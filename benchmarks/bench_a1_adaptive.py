@@ -1,0 +1,34 @@
+"""A1 — adaptive (interleaved) execution vs static plans."""
+
+from __future__ import annotations
+
+from repro.mediator.adaptive import AdaptiveExecutor
+from repro.mediator.reference import reference_answer
+
+
+def test_adaptive_execute(benchmark, medium_kit):
+    kit = medium_kit
+    executor = AdaptiveExecutor(kit.federation, kit.cost_model, kit.estimator)
+
+    def run():
+        kit.federation.reset_traffic()
+        return executor.execute(kit.query).items
+
+    assert benchmark(run) == reference_answer(kit.federation, kit.query)
+
+
+def test_adaptive_execute_heterogeneous(benchmark, hetero_kit):
+    kit = hetero_kit
+    executor = AdaptiveExecutor(kit.federation, kit.cost_model, kit.estimator)
+
+    def run():
+        kit.federation.reset_traffic()
+        return executor.execute(kit.query).items
+
+    assert benchmark(run) == reference_answer(kit.federation, kit.query)
+
+
+def test_a1_report(benchmark, report_runner):
+    report = report_runner(benchmark, "A1")
+    assert "adaptive/static" in report
+    assert "False" not in report

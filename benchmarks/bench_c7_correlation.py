@@ -1,0 +1,25 @@
+"""C7 — condition correlation vs the independence assumption."""
+
+from __future__ import annotations
+
+from repro.costs.correlation import CorrelationModel
+from repro.sources.generators import synthetic_conditions, SyntheticConfig, build_synthetic
+
+
+def test_build_correlation_model(benchmark):
+    config = SyntheticConfig(n_sources=4, n_entities=300, seed=8)
+    federation = build_synthetic(config)
+    conditions = synthetic_conditions(config, 4, seed=9)
+    model = benchmark(
+        CorrelationModel.from_federation,
+        federation,
+        conditions,
+        200,
+        0,
+    )
+    assert model.sample_size <= 200
+
+
+def test_c7_report(benchmark, report_runner):
+    report = report_runner(benchmark, "C7")
+    assert "pairwise-corrected" in report

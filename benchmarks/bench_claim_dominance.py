@@ -1,0 +1,30 @@
+"""C2 — cost dominance FILTER >= SJ >= SJA >= SJA+ across the grid."""
+
+from __future__ import annotations
+
+from repro.optimize.filter import FilterOptimizer
+from repro.optimize.sja import SJAOptimizer
+from repro.optimize.sja_plus import SJAPlusOptimizer
+
+
+def test_sja_plus_optimize_heterogeneous(benchmark, hetero_kit):
+    kit = hetero_kit
+    result = benchmark(
+        SJAPlusOptimizer().optimize,
+        kit.query,
+        kit.source_names,
+        kit.cost_model,
+        kit.estimator,
+    )
+    sja = SJAOptimizer().optimize(
+        kit.query, kit.source_names, kit.cost_model, kit.estimator
+    )
+    filter_cost = FilterOptimizer().optimize(
+        kit.query, kit.source_names, kit.cost_model, kit.estimator
+    ).estimated_cost
+    assert sja.estimated_cost <= filter_cost + 1e-9
+
+
+def test_claim_dominance_report(benchmark, report_runner):
+    report = report_runner(benchmark, "C2")
+    assert "SJA+ <=" in report

@@ -1,0 +1,31 @@
+"""C1 — plan-space counting and brute-force optimality."""
+
+from __future__ import annotations
+
+from repro.plans.space import (
+    count_distinct_semijoin_plans,
+    raw_adaptive_space_size,
+    raw_semijoin_space_size,
+)
+
+
+def test_count_distinct_semijoin_plans_m4(benchmark):
+    count = benchmark(count_distinct_semijoin_plans, 4)
+    assert count <= raw_semijoin_space_size(4)
+
+
+def test_space_size_arithmetic(benchmark):
+    def compute():
+        return [
+            (raw_semijoin_space_size(m), raw_adaptive_space_size(m, 10))
+            for m in range(1, 8)
+        ]
+
+    sizes = benchmark(compute)
+    assert sizes[1][0] == 4  # m = 2
+
+
+def test_claim_plan_space_report(benchmark, report_runner):
+    report = report_runner(benchmark, "C1")
+    assert "SJA = exhaustive?" in report
+    assert "False" not in report.split("brute-force")[1]

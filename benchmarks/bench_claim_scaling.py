@@ -1,0 +1,56 @@
+"""C4 — optimizer runtime scaling: linear in n, factorial in m; greedy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import make_kit
+from repro.optimize.greedy import GreedySJAOptimizer, SelectivityOrderOptimizer
+from repro.optimize.sja import SJAOptimizer
+from repro.sources.generators import SyntheticConfig
+
+
+@pytest.fixture(scope="module")
+def big_n_kit():
+    config = SyntheticConfig(
+        n_sources=100, n_entities=150, coverage=(0.1, 0.3), seed=99
+    )
+    return make_kit(config, m=3)
+
+
+@pytest.mark.parametrize(
+    "optimizer_class",
+    [SJAOptimizer, GreedySJAOptimizer, SelectivityOrderOptimizer],
+    ids=["SJA", "greedy", "selectivity-order"],
+)
+def test_optimize_100_sources(benchmark, big_n_kit, optimizer_class):
+    kit = big_n_kit
+    result = benchmark(
+        optimizer_class().optimize,
+        kit.query,
+        kit.source_names,
+        kit.cost_model,
+        kit.estimator,
+    )
+    assert result.estimated_cost > 0
+
+
+@pytest.mark.parametrize("m", [2, 4, 6], ids=["m2", "m4", "m6"])
+def test_sja_factorial_growth(benchmark, m):
+    config = SyntheticConfig(
+        n_sources=10, n_entities=120, coverage=(0.2, 0.4), seed=m
+    )
+    kit = make_kit(config, m=m)
+    result = benchmark(
+        SJAOptimizer().optimize,
+        kit.query,
+        kit.source_names,
+        kit.cost_model,
+        kit.estimator,
+    )
+    assert result.estimated_cost > 0
+
+
+def test_claim_scaling_report(benchmark, report_runner):
+    report = report_runner(benchmark, "C4")
+    assert "greedy cost / SJA cost" in report

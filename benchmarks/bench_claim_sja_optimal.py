@@ -1,0 +1,25 @@
+"""C3 — SJA's plan is optimal among sampled simple plans for m = 2."""
+
+from __future__ import annotations
+
+import random
+
+from repro.plans.cost import estimate_plan_cost
+from repro.plans.space import random_simple_plan
+
+
+def test_sample_and_cost_simple_plan(benchmark, medium_kit):
+    kit = medium_kit
+    rng = random.Random(0)
+
+    def sample_and_cost():
+        plan = random_simple_plan(kit.query, kit.source_names, rng)
+        return estimate_plan_cost(plan, kit.cost_model, kit.estimator).total
+
+    assert benchmark(sample_and_cost) >= 0
+
+
+def test_claim_sja_optimal_report(benchmark, report_runner):
+    report = report_runner(benchmark, "C3")
+    assert "SJA optimal?" in report
+    assert "False" not in report

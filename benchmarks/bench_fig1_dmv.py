@@ -1,0 +1,31 @@
+"""F1 — Fig. 1: the DMV running example.
+
+Kernels: full mediator answer on the paper's exact data; reference
+evaluation.  Report: the Fig. 1 tables, query, plan, trace, and answer.
+"""
+
+from __future__ import annotations
+
+from repro.mediator.reference import reference_answer
+from repro.mediator.session import Mediator
+from repro.sources.generators import DMV_FIG1_ANSWER
+
+
+def test_mediator_answer_dmv(benchmark, dmv):
+    federation, query = dmv
+
+    def answer():
+        federation.reset_traffic()
+        return Mediator(federation).answer(query).items
+
+    assert benchmark(answer) == DMV_FIG1_ANSWER
+
+
+def test_reference_answer_dmv(benchmark, dmv):
+    federation, query = dmv
+    assert benchmark(reference_answer, federation, query) == DMV_FIG1_ANSWER
+
+
+def test_fig1_report(benchmark, report_runner):
+    report = report_runner(benchmark, "F1")
+    assert "J55, T21" in report

@@ -1,0 +1,44 @@
+"""F2 — Fig. 2: building and classifying the three plan classes."""
+
+from __future__ import annotations
+
+from repro.plans.builder import (
+    StagedChoice,
+    build_filter_plan,
+    build_staged_plan,
+    uniform_choices,
+)
+from repro.plans.classify import PlanClass, classify
+from repro.query.fusion import FusionQuery
+
+QUERY = FusionQuery.from_strings("L", ["V = 'a'", "V = 'b'", "V = 'c'"])
+SOURCES = ["R1", "R2"]
+
+
+def test_build_filter_plan(benchmark):
+    plan = benchmark(build_filter_plan, QUERY, SOURCES)
+    assert len(plan) == 11
+
+
+def test_build_adaptive_plan(benchmark):
+    choices = [
+        [StagedChoice.SELECTION] * 2,
+        [StagedChoice.SEMIJOIN, StagedChoice.SELECTION],
+        [StagedChoice.SELECTION] * 2,
+    ]
+    plan = benchmark(
+        build_staged_plan, QUERY, [0, 1, 2], choices, SOURCES
+    )
+    assert len(plan) == 11
+
+
+def test_classify_semijoin_plan(benchmark):
+    plan = build_staged_plan(
+        QUERY, [0, 1, 2], uniform_choices(3, 2, [False, True, False]), SOURCES
+    )
+    assert benchmark(classify, plan) is PlanClass.SEMIJOIN
+
+
+def test_fig2_report(benchmark, report_runner):
+    report = report_runner(benchmark, "F2")
+    assert "semijoin-adaptive" in report

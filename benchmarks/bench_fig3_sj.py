@@ -1,0 +1,36 @@
+"""F3 — Fig. 3: the SJ optimizer's kernel and scaling report."""
+
+from __future__ import annotations
+
+import math
+
+from repro.optimize.sj import SJOptimizer
+
+
+def test_sj_optimize_medium(benchmark, medium_kit):
+    kit = medium_kit
+    result = benchmark(
+        SJOptimizer().optimize,
+        kit.query,
+        kit.source_names,
+        kit.cost_model,
+        kit.estimator,
+    )
+    assert result.orderings_considered == math.factorial(kit.query.arity)
+
+
+def test_sj_optimize_heterogeneous(benchmark, hetero_kit):
+    kit = hetero_kit
+    result = benchmark(
+        SJOptimizer().optimize,
+        kit.query,
+        kit.source_names,
+        kit.cost_model,
+        kit.estimator,
+    )
+    assert math.isfinite(result.estimated_cost)
+
+
+def test_fig3_report(benchmark, report_runner):
+    report = report_runner(benchmark, "F3")
+    assert "linear in n" in report

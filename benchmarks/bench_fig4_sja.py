@@ -1,0 +1,41 @@
+"""F4 — Fig. 4: the SJA optimizer's kernel and heterogeneity report."""
+
+from __future__ import annotations
+
+import math
+
+from repro.optimize.sj import SJOptimizer
+from repro.optimize.sja import SJAOptimizer
+
+
+def test_sja_optimize_medium(benchmark, medium_kit):
+    kit = medium_kit
+    result = benchmark(
+        SJAOptimizer().optimize,
+        kit.query,
+        kit.source_names,
+        kit.cost_model,
+        kit.estimator,
+    )
+    assert result.orderings_considered == math.factorial(kit.query.arity)
+
+
+def test_sja_optimize_heterogeneous(benchmark, hetero_kit):
+    """SJA on the mixed-capability federation — its home turf."""
+    kit = hetero_kit
+    result = benchmark(
+        SJAOptimizer().optimize,
+        kit.query,
+        kit.source_names,
+        kit.cost_model,
+        kit.estimator,
+    )
+    sj = SJOptimizer().optimize(
+        kit.query, kit.source_names, kit.cost_model, kit.estimator
+    )
+    assert result.estimated_cost <= sj.estimated_cost + 1e-9
+
+
+def test_fig4_report(benchmark, report_runner):
+    report = report_runner(benchmark, "F4")
+    assert "SJ / SJA" in report

@@ -1,0 +1,49 @@
+"""F5 — Fig. 5: the postoptimization passes as kernels + report."""
+
+from __future__ import annotations
+
+from repro.optimize.postopt import (
+    apply_difference_pruning,
+    apply_source_loading,
+)
+from repro.optimize.sja import SJAOptimizer
+from repro.plans.classify import PlanClass, classify
+
+
+def _sja_plan(kit):
+    return SJAOptimizer().optimize(
+        kit.query, kit.source_names, kit.cost_model, kit.estimator
+    ).plan
+
+
+def test_difference_pruning_pass(benchmark, hetero_kit):
+    plan = _sja_plan(hetero_kit)
+    pruned = benchmark(apply_difference_pruning, plan)
+    assert pruned.result == plan.result
+
+
+def test_source_loading_pass(benchmark, hetero_kit):
+    kit = hetero_kit
+    plan = _sja_plan(kit)
+    loaded = benchmark(
+        apply_source_loading, plan, kit.cost_model, kit.estimator
+    )
+    assert loaded.result == plan.result
+
+
+def test_full_postoptimization(benchmark, hetero_kit):
+    kit = hetero_kit
+    plan = _sja_plan(kit)
+
+    def postoptimize():
+        return apply_source_loading(
+            apply_difference_pruning(plan), kit.cost_model, kit.estimator
+        )
+
+    result = benchmark(postoptimize)
+    assert classify(result) in (PlanClass.EXTENDED, classify(plan))
+
+
+def test_fig5_report(benchmark, report_runner):
+    report = report_runner(benchmark, "F5")
+    assert "P2b (difference pruning)" in report

@@ -1,0 +1,39 @@
+"""P1 — one-phase vs two-phase record retrieval (Sec. 6 future work)."""
+
+from __future__ import annotations
+
+from repro.mediator.phases import PhaseStrategy, answer_with_records
+from repro.mediator.session import Mediator
+
+
+def test_two_phase_retrieval(benchmark, medium_kit):
+    kit = medium_kit
+    mediator = Mediator(kit.federation)
+
+    def run():
+        kit.federation.reset_traffic()
+        return answer_with_records(
+            mediator, kit.query, PhaseStrategy.TWO_PHASE
+        )
+
+    result = benchmark(run)
+    assert result.records.items() <= result.items
+
+
+def test_one_phase_retrieval(benchmark, medium_kit):
+    kit = medium_kit
+    mediator = Mediator(kit.federation)
+
+    def run():
+        kit.federation.reset_traffic()
+        return answer_with_records(
+            mediator, kit.query, PhaseStrategy.ONE_PHASE
+        )
+
+    result = benchmark(run)
+    assert result.records.items() <= result.items
+
+
+def test_p1_report(benchmark, report_runner):
+    report = report_runner(benchmark, "P1")
+    assert "auto picked" in report

@@ -1,0 +1,50 @@
+"""C5 — the Sec. 5 join-over-union baseline vs the Sec. 3 algorithms."""
+
+from __future__ import annotations
+
+from repro.bench.harness import make_kit
+from repro.optimize.sja import SJAOptimizer
+from repro.optimize.union_pushdown import JoinOverUnionOptimizer
+from repro.sources.generators import SyntheticConfig
+
+import pytest
+
+
+@pytest.fixture(scope="module")
+def small_kit():
+    config = SyntheticConfig(
+        n_sources=4, n_entities=200, coverage=(0.3, 0.6), seed=55
+    )
+    return make_kit(config, m=3)
+
+
+def test_join_over_union_naive(benchmark, small_kit):
+    kit = small_kit
+    result = benchmark(
+        JoinOverUnionOptimizer().optimize,
+        kit.query,
+        kit.source_names,
+        kit.cost_model,
+        kit.estimator,
+    )
+    assert result.plans_considered == 4**3
+
+
+def test_join_over_union_cse(benchmark, small_kit):
+    kit = small_kit
+    result = benchmark(
+        JoinOverUnionOptimizer(eliminate_common=True).optimize,
+        kit.query,
+        kit.source_names,
+        kit.cost_model,
+        kit.estimator,
+    )
+    sja = SJAOptimizer().optimize(
+        kit.query, kit.source_names, kit.cost_model, kit.estimator
+    )
+    assert sja.estimated_cost <= result.estimated_cost
+
+
+def test_sec5_existing_report(benchmark, report_runner):
+    report = report_runner(benchmark, "C5")
+    assert "naive / SJA" in report

@@ -1,0 +1,73 @@
+"""Shared fixtures for the benchmark suite.
+
+Every ``bench_*`` module pairs (a) micro-benchmarks of the computational
+kernel behind one paper artifact with (b) a ``*_report`` benchmark that
+regenerates the artifact itself and writes it to ``results/<id>.txt``
+(the files EXPERIMENTS.md quotes).  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import make_kit
+from repro.bench.registry import run_experiment
+from repro.sources.generators import SyntheticConfig, dmv_fig1
+
+
+def pytest_collection_modifyitems(config, items):
+    # Keep report benchmarks last within each module for readable output.
+    items.sort(key=lambda item: ("report" in item.name, item.nodeid))
+
+
+@pytest.fixture(scope="module")
+def dmv():
+    return dmv_fig1()
+
+
+@pytest.fixture(scope="module")
+def medium_kit():
+    """A mid-size federation: 10 sources, 300 entities, m = 3."""
+    config = SyntheticConfig(
+        n_sources=10,
+        n_entities=300,
+        coverage=(0.2, 0.6),
+        overhead_range=(5.0, 30.0),
+        receive_range=(1.0, 3.0),
+        seed=1234,
+    )
+    return make_kit(config, m=3)
+
+
+@pytest.fixture(scope="module")
+def hetero_kit():
+    """A heterogeneous federation: half native, 30% emulated sources."""
+    config = SyntheticConfig(
+        n_sources=10,
+        n_entities=300,
+        coverage=(0.2, 0.6),
+        native_fraction=0.5,
+        emulated_fraction=0.3,
+        overhead_range=(2.0, 50.0),
+        receive_range=(1.0, 4.0),
+        seed=4321,
+    )
+    return make_kit(config, m=3)
+
+
+@pytest.fixture
+def report_runner():
+    """Run a registry experiment once, persist the report, return text."""
+
+    def run(benchmark, experiment_id: str) -> str:
+        report = benchmark.pedantic(
+            lambda: run_experiment(experiment_id, save=True),
+            rounds=1,
+            iterations=1,
+        )
+        print(f"\n[{experiment_id}] report written to results/{experiment_id}.txt")
+        return report
+
+    return run

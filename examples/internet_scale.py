@@ -1,0 +1,79 @@
+"""Internet scale: a hundred autonomous sources, flaky links, greedy plans.
+
+The paper's setting is "a large number of sources" where optimization
+must stay linear in n (Sec. 3).  This example builds a 100-source
+federation with transient failures, compares SJA against the O(m·n)
+greedy variants on both planning time and plan cost, and executes with
+retries.
+
+Run:
+    python examples/internet_scale.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import repro
+from repro.sources.remote import FailureInjector
+
+
+def main() -> None:
+    config = repro.SyntheticConfig(
+        n_sources=100,
+        n_entities=2000,
+        coverage=(0.02, 0.15),   # each source sees a small slice
+        native_fraction=0.7,
+        emulated_fraction=0.2,   # 10% cannot do semijoins at all
+        overhead_range=(2.0, 80.0),
+        receive_range=(0.5, 4.0),
+        seed=1998,
+    )
+    federation = repro.build_synthetic(config)
+    total_rows = sum(len(source.table) for source in federation)
+    print(
+        f"federation: {federation.size} sources, {total_rows} rows, "
+        f"{len(federation.all_items())} distinct entities"
+    )
+
+    # Sprinkle transient failures over a third of the sources.
+    for index, source in enumerate(federation):
+        if index % 3 == 0:
+            source.failure = FailureInjector(
+                failure_rate=0.1, seed=index, max_failures=3
+            )
+
+    query = repro.synthetic_query(config, m=4, seed=4)
+    print(query.describe())
+    print()
+
+    optimizers = [
+        repro.SJAOptimizer(),
+        repro.GreedySJAOptimizer(),
+        repro.SelectivityOrderOptimizer(),
+    ]
+    print(f"{'optimizer':<10} {'plan cost':>12} {'planning ms':>12} "
+          f"{'actual cost':>12} {'answer':>7}")
+    for optimizer in optimizers:
+        mediator = repro.Mediator(
+            federation, optimizer=optimizer, verify=True, max_retries=8
+        )
+        start = time.perf_counter()
+        plan_result = mediator.plan(query)
+        planning_ms = (time.perf_counter() - start) * 1e3
+        federation.reset_traffic()
+        answer = mediator.answer(query)
+        print(
+            f"{plan_result.optimizer:<10} "
+            f"{plan_result.estimated_cost:>12.1f} {planning_ms:>12.2f} "
+            f"{answer.execution.total_cost:>12.1f} {len(answer.items):>7}"
+        )
+    print()
+    print(
+        "greedy planning is ~m! times cheaper than SJA and loses only a "
+        "few percent of plan quality — the Sec. 3 trade-off for large m."
+    )
+
+
+if __name__ == "__main__":
+    main()

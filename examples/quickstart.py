@@ -1,0 +1,41 @@
+"""Quickstart: the paper's Fig. 1 DMV example in a dozen lines.
+
+Three state DMVs each export a relation of (license L, violation V,
+year D).  The fusion query asks for drivers with both a 'dui' and an
+'sp' violation — possibly recorded at *different* DMVs.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import repro
+
+
+def main() -> None:
+    # The exact federation and query of the paper's Fig. 1.
+    federation, query = repro.dmv_fig1()
+    print(federation.describe())
+    print()
+    print("SQL:", query.to_sql())
+    print()
+
+    # A mediator wires statistics, cost model, optimizer, and executor.
+    mediator = repro.Mediator(federation, verify=True)
+    answer = mediator.answer(query)
+
+    print("chosen plan:")
+    print(answer.plan.pretty())
+    print()
+    print("answer:", sorted(answer.items), " <- fused across sources")
+    print(answer.summary())
+
+    # Second phase (Sec. 1): fetch the full records of the matches.
+    records = mediator.fetch_records(answer.items)
+    print()
+    print(records.pretty())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Benchmark harness: regenerate every figure and claim of the paper.
+
+The paper's evaluation consists of worked figures (Figs. 1–5) and
+quantitative claims (complexities, plan-space sizes, cost dominance)
+rather than numeric tables; DESIGN.md's experiment index maps each to a
+function here and to a ``benchmarks/bench_*.py`` target that times and
+prints it.
+
+Run any experiment from the command line::
+
+    python -m repro.bench list
+    python -m repro.bench run F1
+    python -m repro.bench all
+
+Each experiment returns a printable report and writes it under
+``results/`` so EXPERIMENTS.md can reference the measured artifacts.
+"""
+
+from repro.bench.report import Table, write_report
+from repro.bench.registry import EXPERIMENTS, run_experiment
+
+__all__ = ["Table", "write_report", "EXPERIMENTS", "run_experiment"]

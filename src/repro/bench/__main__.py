@@ -1,0 +1,41 @@
+"""Command-line entry point: ``python -m repro.bench {list,run,all}``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.registry import EXPERIMENTS, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's figures and claims.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("list", help="list experiment ids")
+    run_parser = subparsers.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run_parser.add_argument(
+        "--no-save", action="store_true", help="do not write results/<id>.txt"
+    )
+    subparsers.add_parser("all", help="run every experiment")
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        for experiment_id in sorted(EXPERIMENTS):
+            description, __ = EXPERIMENTS[experiment_id]
+            print(f"{experiment_id}: {description}")
+        return 0
+    if args.command == "run":
+        print(run_experiment(args.experiment, save=not args.no_save))
+        return 0
+    for experiment_id in sorted(EXPERIMENTS):
+        print(run_experiment(experiment_id))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""Experiment registry: id -> (description, runner)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.bench.figures import run_fig1, run_fig2, run_fig3, run_fig4, run_fig5
+from repro.bench.claims import (
+    run_ablation_postopt,
+    run_claim_dominance,
+    run_claim_plan_space,
+    run_claim_scaling,
+    run_claim_sja_optimal,
+    run_e2e,
+    run_sec5_existing,
+)
+from repro.bench.extensions import (
+    run_adaptive,
+    run_correlation,
+    run_overlap,
+    run_phases,
+    run_response_time,
+)
+from repro.bench.report import write_report
+
+#: Experiment id -> (one-line description, runner). Ids match DESIGN.md.
+EXPERIMENTS: dict[str, tuple[str, Callable[[], str]]] = {
+    "F1": ("Fig. 1 DMV example end to end", run_fig1),
+    "F2": ("Fig. 2 plan classes", run_fig2),
+    "F3": ("Fig. 3 SJ algorithm + scaling", run_fig3),
+    "F4": ("Fig. 4 SJA algorithm + heterogeneity", run_fig4),
+    "F5": ("Fig. 5 postoptimization plans", run_fig5),
+    "C1": ("plan-space sizes and brute-force optimality", run_claim_plan_space),
+    "C2": ("cost dominance FILTER >= SJ >= SJA >= SJA+", run_claim_dominance),
+    "C3": ("SJA optimal among simple plans for m=2", run_claim_sja_optimal),
+    "C4": ("optimizer scaling and greedy quality", run_claim_scaling),
+    "C5": ("Sec. 5 join-over-union baseline", run_sec5_existing),
+    "C6": ("postoptimization ablation", run_ablation_postopt),
+    "E1": ("estimated vs actual execution cost", run_e2e),
+    # Extensions: the paper's Sec. 6 future work and robustness studies.
+    "R1": ("response time in a parallel execution model", run_response_time),
+    "A1": ("adaptive execution vs static plans", run_adaptive),
+    "C7": ("condition correlation vs independence", run_correlation),
+    "C8": ("data overlap ablation", run_overlap),
+    "P1": ("one-phase vs two-phase record retrieval", run_phases),
+}
+
+
+def run_experiment(experiment_id: str, save: bool = True) -> str:
+    """Run one experiment by id, optionally persisting its report."""
+    try:
+        __, runner = EXPERIMENTS[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None
+    report = runner()
+    if save:
+        write_report(experiment_id, report)
+    return report

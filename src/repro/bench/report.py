@@ -1,0 +1,103 @@
+"""Plain-text report formatting for experiments.
+
+Everything renders to fixed-width ASCII so reports diff cleanly, print
+in CI logs, and paste into EXPERIMENTS.md unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+
+def format_cell(value: Any) -> str:
+    """Human formatting: floats get 1-2 decimals, inf a symbol."""
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "inf"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A titled fixed-width table.
+
+    Example:
+        >>> table = Table("demo", ["a", "b"])
+        >>> table.add_row([1, 2.5])
+        >>> print(table.render())  # doctest: +NORMALIZE_WHITESPACE
+        demo
+        a | b
+        --+------
+        1 | 2.500
+    """
+
+    title: str
+    headers: Sequence[str]
+    rows: list[list[str]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, values: Sequence[Any]) -> None:
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"row has {len(values)} cells, table has "
+                f"{len(self.headers)} columns"
+            )
+        self.rows.append([format_cell(value) for value in values])
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self) -> str:
+        widths = [
+            max(len(str(header)), *(len(row[i]) for row in self.rows), 1)
+            if self.rows
+            else len(str(header))
+            for i, header in enumerate(self.headers)
+        ]
+        lines = [self.title]
+        lines.append(
+            " | ".join(
+                str(header).ljust(width)
+                for header, width in zip(self.headers, widths)
+            )
+        )
+        lines.append("-+-".join("-" * width for width in widths))
+        for row in self.rows:
+            lines.append(
+                " | ".join(cell.ljust(width) for cell, width in zip(row, widths))
+            )
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+def join_sections(*sections: str) -> str:
+    """Stack report sections with blank-line separators."""
+    return "\n\n".join(section.rstrip() for section in sections if section)
+
+
+def results_dir() -> str:
+    """The directory reports are written to (created on demand)."""
+    base = os.environ.get("REPRO_RESULTS_DIR") or os.path.join(
+        os.getcwd(), "results"
+    )
+    os.makedirs(base, exist_ok=True)
+    return base
+
+
+def write_report(name: str, text: str) -> str:
+    """Persist a report under results/ and return its path."""
+    path = os.path.join(results_dir(), f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text.rstrip() + "\n")
+    return path

@@ -1,0 +1,185 @@
+"""The ``python -m repro`` command line.
+
+Subcommands:
+
+* ``demo`` — run the Fig. 1 DMV example end to end;
+* ``query SPEC SQL`` — load a federation spec (see :mod:`repro.io`),
+  run a fusion query, print plan + trace + answer;
+* ``explain SPEC SQL`` — plan only, with per-step estimated costs;
+* ``check SPEC SQL`` — report whether the SQL matches the fusion
+  pattern (the Sec. 5 detector), without executing anything;
+* ``export-dmv PATH`` — write the Fig. 1 federation as a spec file, a
+  convenient starting point for hand-edited federations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import FusionError, NotAFusionQueryError
+from repro.io import load_federation, save_federation
+from repro.mediator.session import Mediator
+from repro.optimize import (
+    FilterOptimizer,
+    GreedySJAOptimizer,
+    SJAOptimizer,
+    SJAPlusOptimizer,
+    SJOptimizer,
+)
+from repro.query.sqlparse import parse_fusion_query
+from repro.sources.generators import dmv_fig1
+
+_OPTIMIZERS = {
+    "filter": FilterOptimizer,
+    "sj": SJOptimizer,
+    "sja": SJAOptimizer,
+    "sja+": SJAPlusOptimizer,
+    "greedy": GreedySJAOptimizer,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Fusion queries over (simulated) Internet databases.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("demo", help="run the Fig. 1 DMV example")
+
+    for name, help_text in (
+        ("query", "optimize + execute a fusion query"),
+        ("explain", "show the chosen plan without executing"),
+        ("check", "test whether SQL matches the fusion pattern"),
+    ):
+        sub = subparsers.add_parser(name, help=help_text)
+        sub.add_argument("spec", help="path to a federation spec (JSON)")
+        sub.add_argument("sql", help="the fusion query in SQL")
+        if name != "check":
+            sub.add_argument(
+                "--optimizer",
+                choices=sorted(_OPTIMIZERS),
+                default="sja+",
+                help="planning algorithm (default: sja+)",
+            )
+        if name == "query":
+            sub.add_argument(
+                "--adaptive",
+                action="store_true",
+                help="interleave planning and execution (re-plan each "
+                "stage with actual intermediate sizes)",
+            )
+
+    export = subparsers.add_parser(
+        "export-dmv", help="write the Fig. 1 federation as a spec file"
+    )
+    export.add_argument("path", help="output JSON path")
+    return parser
+
+
+def _command_demo() -> int:
+    federation, query = dmv_fig1()
+    mediator = Mediator(federation, verify=True)
+    answer = mediator.answer(query)
+    print(query.to_sql())
+    print()
+    print(answer.plan.pretty())
+    print()
+    print(answer.execution.trace(answer.plan))
+    print()
+    print("answer:", ", ".join(sorted(answer.items)))
+    return 0
+
+
+def _command_query(
+    spec: str, sql: str, optimizer_name: str, adaptive: bool = False
+) -> int:
+    federation = load_federation(spec)
+    mediator = Mediator(
+        federation, optimizer=_OPTIMIZERS[optimizer_name]()
+    )
+    if adaptive:
+        return _run_adaptive(mediator, sql)
+    answer = mediator.answer(sql)
+    print(answer.plan.pretty())
+    print()
+    print(answer.execution.trace(answer.plan))
+    print()
+    print("answer:", ", ".join(sorted(map(str, answer.items))) or "(empty)")
+    print(answer.summary())
+    return 0
+
+
+def _run_adaptive(mediator: Mediator, sql: str) -> int:
+    from repro.mediator.adaptive import AdaptiveExecutor
+
+    query = mediator._coerce(sql)
+    executor = AdaptiveExecutor(
+        mediator.federation, mediator.cost_model, mediator.estimator
+    )
+    result = executor.execute(query)
+    for index, stage in enumerate(result.stages, start=1):
+        choices = ", ".join(
+            f"{source}:{kind}" for source, kind in stage.choices.items()
+        )
+        print(
+            f"stage {index}: {stage.condition.to_sql()} "
+            f"[{choices}] -> {stage.output_size} items, "
+            f"cost {stage.actual_cost:.1f}"
+        )
+    print("answer:", ", ".join(sorted(map(str, result.items))) or "(empty)")
+    print(result.summary())
+    return 0
+
+
+def _command_explain(spec: str, sql: str, optimizer_name: str) -> int:
+    federation = load_federation(spec)
+    mediator = Mediator(
+        federation, optimizer=_OPTIMIZERS[optimizer_name]()
+    )
+    print(mediator.explain(sql))
+    return 0
+
+
+def _command_check(spec: str, sql: str) -> int:
+    federation = load_federation(spec)
+    try:
+        query = parse_fusion_query(sql, view_name=federation.name)
+        query.validate_against_schema(federation.schema)
+    except NotAFusionQueryError as exc:
+        print(f"NOT a fusion query: {exc}")
+        return 1
+    print("fusion query detected:")
+    print(query.describe())
+    return 0
+
+
+def _command_export_dmv(path: str) -> int:
+    federation, __ = dmv_fig1()
+    save_federation(federation, path)
+    print(f"wrote {path}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "demo":
+            return _command_demo()
+        if args.command == "query":
+            return _command_query(
+                args.spec, args.sql, args.optimizer, adaptive=args.adaptive
+            )
+        if args.command == "explain":
+            return _command_explain(args.spec, args.sql, args.optimizer)
+        if args.command == "check":
+            return _command_check(args.spec, args.sql)
+        return _command_export_dmv(args.path)
+    except (FusionError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""Cost models and size estimation for fusion-query optimization.
+
+Sec. 2.4 defines a deliberately general cost model: every ``sq`` and
+``sjq`` has a non-negative cost; splitting a semijoin set never helps
+(subadditivity); local mediator operations are free; a plan costs the
+sum of its source operations.  This package provides:
+
+* :mod:`~repro.costs.model` — the abstract interface plus an axiom
+  checker used by property tests;
+* :mod:`~repro.costs.estimates` — intermediate-result size estimation
+  under attribute/condition independence, shared by all optimizers;
+* :mod:`~repro.costs.charge` — the concrete "fixed per request + linear
+  per item" model matching the simulated network's actual charging;
+* :mod:`~repro.costs.calibrated` — the same shape but with per-source
+  parameters *learned* by query sampling (ref. [25]).
+"""
+
+from repro.costs.model import CostModel, check_cost_axioms
+from repro.costs.estimates import SizeEstimator
+from repro.costs.charge import ChargeCostModel
+from repro.costs.calibrated import CalibratedCostModel
+
+__all__ = [
+    "CostModel",
+    "check_cost_axioms",
+    "SizeEstimator",
+    "ChargeCostModel",
+    "CalibratedCostModel",
+]

@@ -1,0 +1,111 @@
+"""A cost model with parameters learned by query sampling (ref. [25]).
+
+Identical in shape to :class:`~repro.costs.charge.ChargeCostModel`, but
+the per-source (overhead, per-item-send, per-item-receive) parameters
+come from :func:`repro.sources.sampling.calibrate_federation` — i.e. the
+mediator *measured* them with probe queries rather than reading them
+from configuration.  This is the honest Internet setting: autonomous
+sources do not publish their cost structure.
+
+Loads are not probed (fetching whole sources as calibration would defeat
+the purpose), so ``lq_cost`` extrapolates: rows are charged like
+received items scaled by ``load_factor``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.costs.estimates import SizeEstimator
+from repro.costs.model import INFINITE_COST, CostModel
+from repro.relational.conditions import Condition
+from repro.sources.capabilities import SemijoinSupport, SourceCapabilities
+from repro.sources.registry import Federation
+from repro.sources.sampling import FittedLinkParameters, calibrate_federation
+
+
+class CalibratedCostModel(CostModel):
+    """Charge-shaped cost model over fitted per-source parameters."""
+
+    def __init__(
+        self,
+        fitted: dict[str, FittedLinkParameters],
+        capabilities: dict[str, SourceCapabilities],
+        estimator: SizeEstimator,
+        cardinalities: dict[str, int],
+        load_factor: float = 2.0,
+    ):
+        self.fitted = dict(fitted)
+        self.capabilities = dict(capabilities)
+        self.estimator = estimator
+        self.cardinalities = dict(cardinalities)
+        self.load_factor = load_factor
+
+    @staticmethod
+    def calibrate(
+        federation: Federation,
+        estimator: SizeEstimator,
+        probe_conditions: list[Condition],
+        seed: int = 0,
+        load_factor: float = 2.0,
+    ) -> "CalibratedCostModel":
+        """Probe the federation and return a model over the fitted numbers."""
+        fitted = calibrate_federation(federation, probe_conditions, seed=seed)
+        return CalibratedCostModel(
+            fitted=fitted,
+            capabilities={
+                source.name: source.capabilities for source in federation
+            },
+            estimator=estimator,
+            cardinalities={
+                source.name: len(source.table) for source in federation
+            },
+            load_factor=load_factor,
+        )
+
+    # ------------------------------------------------------------------
+
+    def sq_cost(self, condition: Condition, source_name: str) -> float:
+        parameters = self.fitted[source_name]
+        received = self.estimator.sq_output_size(condition, source_name)
+        return parameters.request_overhead + received * parameters.per_item_receive
+
+    def sjq_cost(
+        self, condition: Condition, source_name: str, input_size: float
+    ) -> float:
+        self._require_size(input_size)
+        capabilities = self.capabilities[source_name]
+        if capabilities.semijoin is SemijoinSupport.UNSUPPORTED:
+            return INFINITE_COST
+        if input_size == 0:
+            return 0.0
+        parameters = self.fitted[source_name]
+        received = self.estimator.sjq_output_size(
+            condition, source_name, input_size
+        )
+        if capabilities.semijoin is SemijoinSupport.EMULATED:
+            return (
+                input_size
+                * (parameters.request_overhead + parameters.per_item_send)
+                + received * parameters.per_item_receive
+            )
+        batch = capabilities.max_semijoin_batch
+        requests = (
+            1 if batch is None else math.ceil(math.ceil(input_size) / batch)
+        )
+        return (
+            requests * parameters.request_overhead
+            + input_size * parameters.per_item_send
+            + received * parameters.per_item_receive
+        )
+
+    def lq_cost(self, source_name: str) -> float:
+        capabilities = self.capabilities[source_name]
+        if not capabilities.supports_load:
+            return INFINITE_COST
+        parameters = self.fitted[source_name]
+        rows = self.cardinalities[source_name]
+        return (
+            parameters.request_overhead
+            + rows * parameters.per_item_receive * self.load_factor
+        )

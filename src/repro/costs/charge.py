@@ -1,0 +1,126 @@
+"""The concrete charge-based cost model.
+
+Mirrors the simulated network's actual charging
+(:class:`~repro.sources.network.LinkProfile`) with *estimated* item
+counts from a :class:`~repro.costs.estimates.SizeEstimator`:
+
+* ``sq_cost``: one request overhead plus the estimated answer items
+  received;
+* ``sjq_cost``: depends on the capability tier —
+
+  - native: ``ceil(|X| / batch)`` request overheads + bindings sent +
+    estimated matches received;
+  - emulated: ``|X|`` per-binding probe requests (each pays overhead and
+    one binding) + estimated matches received — this is why emulated
+    semijoins are expensive and why SJA's per-source choice matters;
+  - unsupported: infinite (Sec. 2.3);
+
+* ``lq_cost``: one overhead plus rows times the per-row load charge.
+
+Because estimation uses the very same formulas as execution accounting,
+any estimated-vs-actual gap observed in the E1 benchmark is attributable
+purely to *size* estimation error, not cost-shape mismatch.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.costs.estimates import SizeEstimator
+from repro.costs.model import INFINITE_COST, CostModel
+from repro.relational.conditions import Condition
+from repro.sources.capabilities import SemijoinSupport, SourceCapabilities
+from repro.sources.network import LinkProfile
+from repro.sources.registry import Federation
+
+
+class ChargeCostModel(CostModel):
+    """Cost model parameterized by per-source link profiles and capabilities.
+
+    Example:
+        >>> from repro.sources.generators import dmv_fig1
+        >>> from repro.sources.statistics import ExactStatistics
+        >>> federation, query = dmv_fig1()
+        >>> stats = ExactStatistics(federation)
+        >>> estimator = SizeEstimator(stats, federation.source_names)
+        >>> model = ChargeCostModel.for_federation(federation, estimator)
+        >>> model.sq_cost(query.conditions[0], "R1")
+        12.0
+    """
+
+    def __init__(
+        self,
+        profiles: dict[str, LinkProfile],
+        capabilities: dict[str, SourceCapabilities],
+        estimator: SizeEstimator,
+        cardinalities: dict[str, int],
+    ):
+        self.profiles = dict(profiles)
+        self.capabilities = dict(capabilities)
+        self.estimator = estimator
+        self.cardinalities = dict(cardinalities)
+
+    @staticmethod
+    def for_federation(
+        federation: Federation, estimator: SizeEstimator
+    ) -> "ChargeCostModel":
+        """Build the model from a federation's declared profiles.
+
+        This assumes the mediator *knows* each source's charges — the
+        oracle setting.  Use :class:`~repro.costs.calibrated.CalibratedCostModel`
+        for the learned-parameters setting.
+        """
+        return ChargeCostModel(
+            profiles={source.name: source.link for source in federation},
+            capabilities={
+                source.name: source.capabilities for source in federation
+            },
+            estimator=estimator,
+            cardinalities={
+                source.name: len(source.table) for source in federation
+            },
+        )
+
+    # ------------------------------------------------------------------
+
+    def sq_cost(self, condition: Condition, source_name: str) -> float:
+        profile = self.profiles[source_name]
+        received = self.estimator.sq_output_size(condition, source_name)
+        return profile.request_overhead + received * profile.per_item_receive
+
+    def sjq_cost(
+        self, condition: Condition, source_name: str, input_size: float
+    ) -> float:
+        self._require_size(input_size)
+        capabilities = self.capabilities[source_name]
+        if capabilities.semijoin is SemijoinSupport.UNSUPPORTED:
+            return INFINITE_COST
+        if input_size == 0:
+            return 0.0
+        profile = self.profiles[source_name]
+        received = self.estimator.sjq_output_size(
+            condition, source_name, input_size
+        )
+        if capabilities.semijoin is SemijoinSupport.EMULATED:
+            # One probe request per binding: overhead + one item sent each.
+            return (
+                input_size * (profile.request_overhead + profile.per_item_send)
+                + received * profile.per_item_receive
+            )
+        batch = capabilities.max_semijoin_batch
+        requests = (
+            1 if batch is None else math.ceil(math.ceil(input_size) / batch)
+        )
+        return (
+            requests * profile.request_overhead
+            + input_size * profile.per_item_send
+            + received * profile.per_item_receive
+        )
+
+    def lq_cost(self, source_name: str) -> float:
+        capabilities = self.capabilities[source_name]
+        if not capabilities.supports_load:
+            return INFINITE_COST
+        profile = self.profiles[source_name]
+        rows = self.cardinalities[source_name]
+        return profile.request_overhead + rows * profile.per_row_load

@@ -1,0 +1,188 @@
+"""Correlation-aware size estimation.
+
+Sec. 1 (step 3): "if there are ... more conditions but they are
+independent, then the best semijoin-adaptive plan is also the best
+simple plan ... Even if the conditions of the query are not independent,
+the best semijoin-adaptive plan provides an excellent heuristic. Indeed,
+when dealing with autonomous sources over the Internet, we often have no
+information about the dependence of conditions."
+
+This module supplies that missing information when the mediator *can*
+sample: a :class:`CorrelationModel` estimates, from a sample of
+entities, each condition's global selectivity ``g(c)`` (probability an
+entity satisfies ``c`` at some source) and all pairwise joints
+``g(c_i ∧ c_j)``.  :class:`CorrelatedSizeEstimator` then replaces the
+independence chain ``|X_k| = D·Π g(c_i)`` with a pairwise-corrected
+chain: each added condition contributes its *most selective conditional*
+against the conditions already in the prefix,
+
+``P(prefix ∪ {c}) ≈ P(prefix) · min_{s in prefix} P(c | s)``
+
+which is exact for two conditions, conservative (never larger than the
+true joint implied by any single pairwise constraint), and degrades
+gracefully to independence when a pair was never sampled.  The C7
+benchmark measures how much plan quality this buys on correlated
+workloads.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Sequence
+
+from repro.costs.estimates import SizeEstimator
+from repro.errors import StatisticsError
+from repro.relational.conditions import Condition
+from repro.sources.registry import Federation
+from repro.sources.statistics import StatisticsProvider
+
+
+class CorrelationModel:
+    """Sampled marginal and pairwise-joint global selectivities.
+
+    Built by drawing ``sample_size`` entities from the federation's
+    union view and recording, for each registered condition, whether the
+    entity satisfies it at *any* source (the fusion-semantics event).
+    """
+
+    def __init__(
+        self,
+        marginals: dict[Condition, float],
+        joints: dict[frozenset, float],
+        sample_size: int,
+    ):
+        self.marginals = dict(marginals)
+        self.joints = dict(joints)
+        self.sample_size = sample_size
+
+    @staticmethod
+    def from_federation(
+        federation: Federation,
+        conditions: Iterable[Condition],
+        sample_size: int = 200,
+        seed: int = 0,
+    ) -> "CorrelationModel":
+        """Sample entities and measure marginals + pairwise joints."""
+        conditions = list(dict.fromkeys(conditions))
+        if not conditions:
+            raise StatisticsError("correlation model needs conditions")
+        union_view = federation.union_view()
+        schema = union_view.schema
+        merge_position = schema.merge_position
+
+        rows_by_item: dict = {}
+        for row in union_view:
+            rows_by_item.setdefault(row[merge_position], []).append(
+                schema.row_to_dict(row)
+            )
+        items = sorted(rows_by_item, key=repr)
+        if not items:
+            raise StatisticsError("federation holds no entities to sample")
+        rng = random.Random(seed)
+        if sample_size < len(items):
+            items = rng.sample(items, sample_size)
+
+        profiles: list[frozenset[Condition]] = []
+        for item in items:
+            rows = rows_by_item[item]
+            satisfied = frozenset(
+                condition
+                for condition in conditions
+                if any(condition.evaluate(row) for row in rows)
+            )
+            profiles.append(satisfied)
+
+        total = len(profiles)
+        marginals = {
+            condition: sum(condition in profile for profile in profiles) / total
+            for condition in conditions
+        }
+        joints: dict[frozenset, float] = {}
+        for i, a in enumerate(conditions):
+            for b in conditions[i + 1 :]:
+                joints[frozenset((a, b))] = (
+                    sum(
+                        a in profile and b in profile for profile in profiles
+                    )
+                    / total
+                )
+        return CorrelationModel(marginals, joints, total)
+
+    # ------------------------------------------------------------------
+
+    def marginal(self, condition: Condition) -> float | None:
+        return self.marginals.get(condition)
+
+    def joint(self, a: Condition, b: Condition) -> float | None:
+        return self.joints.get(frozenset((a, b)))
+
+    def conditional(self, condition: Condition, given: Condition) -> float | None:
+        """Sampled ``P(condition | given)``, or None if unknown/undefined."""
+        joint = self.joint(condition, given)
+        base = self.marginal(given)
+        if joint is None or base is None or base == 0.0:
+            return None
+        return min(1.0, joint / base)
+
+    def lift(self, a: Condition, b: Condition) -> float | None:
+        """``P(a ∧ b) / (P(a)·P(b))`` — 1 means independent."""
+        joint = self.joint(a, b)
+        pa, pb = self.marginal(a), self.marginal(b)
+        if joint is None or not pa or not pb:
+            return None
+        return joint / (pa * pb)
+
+
+class CorrelatedSizeEstimator(SizeEstimator):
+    """A :class:`SizeEstimator` whose prefix sizes honour correlations.
+
+    Drops in wherever a ``SizeEstimator`` is expected — all optimizers
+    accept it unchanged.
+
+    Example:
+        >>> from repro.sources.generators import dmv_fig1
+        >>> from repro.sources.statistics import ExactStatistics
+        >>> federation, query = dmv_fig1()
+        >>> model = CorrelationModel.from_federation(
+        ...     federation, query.conditions, seed=0)
+        >>> estimator = CorrelatedSizeEstimator(
+        ...     ExactStatistics(federation), federation.source_names, model)
+        >>> estimator.prefix_size(query.conditions) <= 5.0
+        True
+    """
+
+    def __init__(
+        self,
+        statistics: StatisticsProvider,
+        source_names: Sequence[str],
+        correlation: CorrelationModel,
+    ):
+        super().__init__(statistics, source_names)
+        self.correlation = correlation
+
+    def prefix_size(self, conditions: Sequence[Condition]) -> float:
+        size = float(self.statistics.universe_size())
+        prefix: list[Condition] = []
+        for condition in conditions:
+            size *= self._conditional_factor(condition, prefix)
+            prefix.append(condition)
+        return size
+
+    def _conditional_factor(
+        self, condition: Condition, prefix: Sequence[Condition]
+    ) -> float:
+        """``P(condition | prefix)`` under pairwise correction."""
+        if not prefix:
+            measured = self.correlation.marginal(condition)
+            if measured is not None:
+                return measured
+            return self.global_selectivity(condition)
+        factors = [
+            conditional
+            for given in prefix
+            if (conditional := self.correlation.conditional(condition, given))
+            is not None
+        ]
+        if factors:
+            return min(factors)
+        return self.global_selectivity(condition)

@@ -1,0 +1,236 @@
+"""The abstract cost model of Sec. 2.4 and its axioms.
+
+A cost model answers three questions for the optimizer:
+
+* ``sq_cost(c, R_j)`` — cost of a selection query;
+* ``sjq_cost(c, R_j, |X|)`` — cost of a semijoin query given the
+  (estimated) size of the binding set.  The paper passes the set ``X``
+  itself; at optimization time only an estimate of ``|X|`` exists, so
+  the interface takes a size.  An unsupported semijoin costs ``inf``
+  (Sec. 2.3);
+* ``lq_cost(R_j)`` — cost of loading the whole source (Sec. 4's ``lq``).
+
+Axioms (Sec. 2.4), checkable via :func:`check_cost_axioms`:
+
+1. non-negativity of all operation costs;
+2. subadditivity in the semijoin set: splitting ``X`` into ``Y ∪ Z``
+   never beats sending ``X`` whole;
+3. local mediator operations are free (enforced by construction — the
+   interface has no local-op cost);
+4. plan cost = sum of operation costs (enforced by the plan coster).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import CostModelError
+from repro.relational.conditions import Condition
+
+#: The infinite cost assigned to unsupported operations.
+INFINITE_COST = math.inf
+
+
+class CostModel(ABC):
+    """Estimates the cost of the three wrapper operations.
+
+    Implementations must be pure functions of their arguments (the
+    optimizers call them many times and may cache), must never return
+    negative values, and should return :data:`INFINITE_COST` for
+    operations a source cannot support.
+    """
+
+    @abstractmethod
+    def sq_cost(self, condition: Condition, source_name: str) -> float:
+        """Estimated cost of ``sq(condition, R_source)``."""
+
+    @abstractmethod
+    def sjq_cost(
+        self, condition: Condition, source_name: str, input_size: float
+    ) -> float:
+        """Estimated cost of ``sjq(condition, R_source, X)`` with |X| ≈
+        ``input_size`` (which may be fractional — it is an estimate)."""
+
+    @abstractmethod
+    def lq_cost(self, source_name: str) -> float:
+        """Estimated cost of loading the entire source (``lq(R_source)``)."""
+
+    def supports_semijoin(self, source_name: str, condition: Condition) -> bool:
+        """True if any finite-cost semijoin is possible at the source."""
+        return math.isfinite(self.sjq_cost(condition, source_name, 1))
+
+    def _require_size(self, input_size: float) -> float:
+        if input_size < 0 or math.isnan(input_size):
+            raise CostModelError(f"invalid semijoin input size: {input_size}")
+        return input_size
+
+
+@dataclass(frozen=True)
+class AxiomViolation:
+    """One detected violation of the Sec. 2.4 axioms."""
+
+    axiom: str
+    detail: str
+
+
+def check_cost_axioms(
+    model: CostModel,
+    conditions: Iterable[Condition],
+    source_names: Iterable[str],
+    sizes: Sequence[int] = (0, 1, 2, 5, 10, 100),
+) -> list[AxiomViolation]:
+    """Probe ``model`` for axiom violations over a grid of inputs.
+
+    Checks non-negativity of ``sq``/``sjq``/``lq`` costs, monotone
+    subadditivity of the semijoin set (``cost(y + z) <= cost(y) +
+    cost(z)``), and that semijoin cost is non-decreasing in the set size
+    (implied by subadditivity with axiom 1 for the models considered
+    here, but checked directly because it is what the SJA+ difference
+    postoptimization relies on).
+
+    Returns the list of violations (empty when the model is sound).
+    """
+    violations: list[AxiomViolation] = []
+    conditions = list(conditions)
+    source_names = list(source_names)
+
+    for source in source_names:
+        lq = model.lq_cost(source)
+        if not math.isnan(lq) and lq < 0:
+            violations.append(
+                AxiomViolation("non-negativity", f"lq_cost({source}) = {lq}")
+            )
+        for condition in conditions:
+            sq = model.sq_cost(condition, source)
+            if sq < 0:
+                violations.append(
+                    AxiomViolation(
+                        "non-negativity",
+                        f"sq_cost({condition}, {source}) = {sq}",
+                    )
+                )
+            costs = {}
+            for size in sizes:
+                sjq = model.sjq_cost(condition, source, size)
+                costs[size] = sjq
+                if sjq < 0:
+                    violations.append(
+                        AxiomViolation(
+                            "non-negativity",
+                            f"sjq_cost({condition}, {source}, {size}) = {sjq}",
+                        )
+                    )
+            ordered = sorted(sizes)
+            for smaller, larger in zip(ordered, ordered[1:]):
+                if costs[smaller] > costs[larger] + 1e-9:
+                    violations.append(
+                        AxiomViolation(
+                            "monotonicity",
+                            f"sjq_cost decreases from |X|={smaller} "
+                            f"({costs[smaller]}) to |X|={larger} "
+                            f"({costs[larger]}) at {source}",
+                        )
+                    )
+            for y in ordered:
+                for z in ordered:
+                    whole = model.sjq_cost(condition, source, y + z)
+                    split = costs.get(y, model.sjq_cost(condition, source, y))
+                    split += costs.get(z, model.sjq_cost(condition, source, z))
+                    if whole > split + 1e-9:
+                        violations.append(
+                            AxiomViolation(
+                                "subadditivity",
+                                f"sjq_cost({source}, {y + z}) = {whole} > "
+                                f"sjq_cost({y}) + sjq_cost({z}) = {split}",
+                            )
+                        )
+    return violations
+
+
+class UniformCostModel(CostModel):
+    """A trivially simple model for unit tests and worked examples.
+
+    Every selection costs ``sq``, every semijoin costs
+    ``sjq_fixed + sjq_per_item * |X|``, every load costs ``lq``.
+    Satisfies all axioms whenever parameters are non-negative.
+    """
+
+    def __init__(
+        self,
+        sq: float = 100.0,
+        sjq_fixed: float = 10.0,
+        sjq_per_item: float = 1.0,
+        lq: float = 1000.0,
+    ):
+        for name, value in (
+            ("sq", sq),
+            ("sjq_fixed", sjq_fixed),
+            ("sjq_per_item", sjq_per_item),
+            ("lq", lq),
+        ):
+            if value < 0:
+                raise CostModelError(f"{name} must be non-negative, got {value}")
+        self.sq = sq
+        self.sjq_fixed = sjq_fixed
+        self.sjq_per_item = sjq_per_item
+        self.lq = lq
+
+    def sq_cost(self, condition: Condition, source_name: str) -> float:
+        return self.sq
+
+    def sjq_cost(
+        self, condition: Condition, source_name: str, input_size: float
+    ) -> float:
+        self._require_size(input_size)
+        return self.sjq_fixed + self.sjq_per_item * input_size
+
+    def lq_cost(self, source_name: str) -> float:
+        return self.lq
+
+
+class TableCostModel(CostModel):
+    """A cost model defined by explicit lookup tables.
+
+    Useful for constructing adversarial scenarios in tests — e.g. the
+    Sec. 2.5 situation where one source's semijoins are cheap and
+    another's are ruinous, which is exactly where SJA beats SJ.
+
+    ``sq_table[(condition, source)]`` gives selection costs;
+    ``sjq_table[(condition, source)]`` gives ``(fixed, per_item)``
+    pairs; ``lq_table[source]`` gives load costs.  Missing entries fall
+    back to the provided defaults.
+    """
+
+    def __init__(
+        self,
+        sq_table: dict[tuple[Condition, str], float] | None = None,
+        sjq_table: dict[tuple[Condition, str], tuple[float, float]] | None = None,
+        lq_table: dict[str, float] | None = None,
+        default_sq: float = 100.0,
+        default_sjq: tuple[float, float] = (10.0, 1.0),
+        default_lq: float = INFINITE_COST,
+    ):
+        self.sq_table = dict(sq_table or {})
+        self.sjq_table = dict(sjq_table or {})
+        self.lq_table = dict(lq_table or {})
+        self.default_sq = default_sq
+        self.default_sjq = default_sjq
+        self.default_lq = default_lq
+
+    def sq_cost(self, condition: Condition, source_name: str) -> float:
+        return self.sq_table.get((condition, source_name), self.default_sq)
+
+    def sjq_cost(
+        self, condition: Condition, source_name: str, input_size: float
+    ) -> float:
+        self._require_size(input_size)
+        fixed, per_item = self.sjq_table.get(
+            (condition, source_name), self.default_sjq
+        )
+        return fixed + per_item * input_size
+
+    def lq_cost(self, source_name: str) -> float:
+        return self.lq_table.get(source_name, self.default_lq)

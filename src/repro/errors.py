@@ -1,0 +1,86 @@
+"""Exception hierarchy shared across the fusion-query reproduction.
+
+Every error raised by the library derives from :class:`FusionError`, so
+callers can catch one type at the API boundary.  Subclasses are split by
+subsystem (schema/data, query, source, planning, execution) because the
+mediator reacts differently to each: a :class:`SourceUnavailableError` is
+retryable, a :class:`PlanValidationError` is a programming bug.
+"""
+
+from __future__ import annotations
+
+
+class FusionError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(FusionError):
+    """A relation, row, or attribute violates its declared schema."""
+
+
+class ConditionError(FusionError):
+    """A condition is malformed or references unknown attributes."""
+
+
+class ParseError(FusionError):
+    """A condition string or SQL query could not be parsed."""
+
+    def __init__(self, message: str, text: str = "", position: int | None = None):
+        self.text = text
+        self.position = position
+        if position is not None:
+            message = f"{message} (at offset {position} in {text!r})"
+        super().__init__(message)
+
+
+class QueryError(FusionError):
+    """A fusion query is malformed (e.g. no conditions, bad merge attribute)."""
+
+
+class NotAFusionQueryError(QueryError):
+    """A SQL statement does not match the fusion-query pattern of Sec. 2.2."""
+
+
+class SourceError(FusionError):
+    """Base class for errors reported by a source/wrapper."""
+
+
+class CapabilityError(SourceError):
+    """An operation was requested that the source cannot support at all.
+
+    This corresponds to the paper's "infinite cost" rule (Sec. 2.3): if a
+    source supports neither semijoin queries nor passed-binding selections,
+    no plan may route a semijoin through it.
+    """
+
+
+class SourceUnavailableError(SourceError):
+    """A simulated transient failure (timeout / unreachable source)."""
+
+    def __init__(self, source_name: str, message: str = ""):
+        self.source_name = source_name
+        super().__init__(message or f"source {source_name!r} is unavailable")
+
+
+class UnknownSourceError(SourceError):
+    """A plan or query referenced a source that is not registered."""
+
+
+class StatisticsError(FusionError):
+    """Statistics were requested that have not been collected."""
+
+
+class CostModelError(FusionError):
+    """A cost model was queried inconsistently (e.g. negative sizes)."""
+
+
+class PlanValidationError(FusionError):
+    """A plan is structurally invalid (undefined register, wrong types...)."""
+
+
+class OptimizationError(FusionError):
+    """The optimizer could not produce any finite-cost plan."""
+
+
+class ExecutionError(FusionError):
+    """Plan execution failed at the mediator."""

@@ -1,0 +1,259 @@
+"""Adaptive execution: mid-query reoptimization with actual set sizes.
+
+The Sec. 3 optimizers commit to a full plan using *estimated*
+intermediate sizes under independence — and the paper notes that with
+autonomous sources "we often have no information about the dependence of
+conditions".  The adaptive executor removes that bet: it interleaves
+planning and execution, one stage at a time.
+
+1. Pick the first condition as the one whose selection stage is
+   cheapest relative to how much it shrinks the candidate set; evaluate
+   it with selection queries everywhere.
+2. After each stage it holds the *actual* ``X_i``.  If ``X_i`` is empty
+   the answer is empty — stop immediately (early termination).
+3. Otherwise re-cost every remaining condition's stage with the actual
+   ``|X_i|`` (per-source selection-vs-semijoin choice, as in SJA's
+   source loop) and execute the cheapest next stage.
+
+The result is an SJA-shaped execution whose ordering and choices adapt
+to observed cardinalities.  When the oracle estimates are exact it
+matches static SJA closely; when estimates are wrong (sampled
+statistics, correlated conditions) it recovers most of the gap — see
+``benchmarks/bench_adaptive.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.costs.estimates import SizeEstimator
+from repro.costs.model import CostModel
+from repro.errors import ExecutionError, OptimizationError, SourceUnavailableError
+from repro.query.fusion import FusionQuery
+from repro.relational.conditions import Condition
+from repro.sources.registry import Federation
+
+
+@dataclass
+class AdaptiveStage:
+    """What one adaptively-chosen stage did."""
+
+    condition: Condition
+    choices: dict[str, str]  # source -> 'sq' | 'sjq'
+    estimated_cost: float
+    actual_cost: float
+    input_size: int
+    output_size: int
+
+
+@dataclass
+class AdaptiveResult:
+    """Answer and accounting of one adaptive execution."""
+
+    items: frozenset[Any]
+    stages: list[AdaptiveStage] = field(default_factory=list)
+    terminated_early: bool = False
+    stages_skipped: int = 0
+
+    @property
+    def total_cost(self) -> float:
+        return sum(stage.actual_cost for stage in self.stages)
+
+    def ordering(self) -> list[Condition]:
+        return [stage.condition for stage in self.stages]
+
+    def summary(self) -> str:
+        skip = (
+            f", stopped early ({self.stages_skipped} stages skipped)"
+            if self.terminated_early
+            else ""
+        )
+        return (
+            f"{len(self.items)} items, actual cost {self.total_cost:.1f}, "
+            f"{len(self.stages)} stages{skip}"
+        )
+
+
+class AdaptiveExecutor:
+    """Interleaved optimize-and-execute over a federation.
+
+    Example:
+        >>> from repro.sources.generators import dmv_fig1
+        >>> from repro.sources.statistics import ExactStatistics
+        >>> from repro.costs.charge import ChargeCostModel
+        >>> from repro.costs.estimates import SizeEstimator
+        >>> federation, query = dmv_fig1()
+        >>> estimator = SizeEstimator(ExactStatistics(federation),
+        ...                           federation.source_names)
+        >>> model = ChargeCostModel.for_federation(federation, estimator)
+        >>> executor = AdaptiveExecutor(federation, model, estimator)
+        >>> sorted(executor.execute(query).items)
+        ['J55', 'T21']
+    """
+
+    def __init__(
+        self,
+        federation: Federation,
+        cost_model: CostModel,
+        estimator: SizeEstimator,
+        max_retries: int = 3,
+    ):
+        self.federation = federation
+        self.cost_model = cost_model
+        self.estimator = estimator
+        self.max_retries = max_retries
+
+    # ------------------------------------------------------------------
+
+    def execute(self, query: FusionQuery) -> AdaptiveResult:
+        """Run ``query`` adaptively and return the fused answer."""
+        query.validate_against_schema(self.federation.schema)
+        remaining = list(query.conditions)
+        result = AdaptiveResult(items=frozenset())
+
+        first = self._pick_first(remaining)
+        remaining.remove(first)
+        current, stage = self._run_selection_stage(first)
+        result.stages.append(stage)
+
+        while remaining:
+            if not current:
+                result.terminated_early = True
+                result.stages_skipped = len(remaining)
+                break
+            condition, choices, estimated = self._pick_next(
+                remaining, len(current)
+            )
+            remaining.remove(condition)
+            current, stage = self._run_adaptive_stage(
+                condition, choices, estimated, current
+            )
+            result.stages.append(stage)
+
+        result.items = current
+        return result
+
+    # ------------------------------------------------------------------
+    # Planning pieces
+
+    def _pick_first(self, conditions: Sequence[Condition]) -> Condition:
+        """Cheapest selection stage, tie-broken by smaller result."""
+        def key(condition: Condition) -> tuple[float, float]:
+            cost = sum(
+                self.cost_model.sq_cost(condition, source)
+                for source in self.federation.source_names
+            )
+            return (cost, self.estimator.global_selectivity(condition))
+
+        return min(conditions, key=key)
+
+    def _stage_options(
+        self, condition: Condition, input_size: int
+    ) -> tuple[dict[str, str], float]:
+        """Per-source SJA choice with the *actual* binding-set size."""
+        choices: dict[str, str] = {}
+        total = 0.0
+        for source in self.federation.source_names:
+            selection = self.cost_model.sq_cost(condition, source)
+            semijoin = self.cost_model.sjq_cost(
+                condition, source, float(input_size)
+            )
+            if selection < semijoin:
+                choices[source] = "sq"
+                total += selection
+            else:
+                choices[source] = "sjq"
+                total += semijoin
+        return choices, total
+
+    def _pick_next(
+        self, conditions: Sequence[Condition], input_size: int
+    ) -> tuple[Condition, dict[str, str], float]:
+        """Cheapest next stage given the actual current set size."""
+        best: tuple[Condition, dict[str, str], float] | None = None
+        for condition in conditions:
+            choices, cost = self._stage_options(condition, input_size)
+            if best is None or cost < best[2]:
+                best = (condition, choices, cost)
+        if best is None:  # pragma: no cover - guarded by caller
+            raise OptimizationError("no conditions left to schedule")
+        return best
+
+    # ------------------------------------------------------------------
+    # Execution pieces
+
+    def _with_retries(self, action):
+        retries = 0
+        while True:
+            try:
+                return action(), retries
+            except SourceUnavailableError as exc:
+                retries += 1
+                if retries > self.max_retries:
+                    raise ExecutionError(
+                        f"source failed after {self.max_retries} retries: {exc}"
+                    ) from exc
+
+    def _run_selection_stage(
+        self, condition: Condition
+    ) -> tuple[frozenset[Any], AdaptiveStage]:
+        cost_before = self.federation.total_traffic_cost()
+        estimated = sum(
+            self.cost_model.sq_cost(condition, source)
+            for source in self.federation.source_names
+        )
+        combined: set[Any] = set()
+        choices = {}
+        for source in self.federation:
+            answer, __ = self._with_retries(
+                lambda source=source: source.selection(condition)
+            )
+            combined.update(answer)
+            choices[source.name] = "sq"
+        items = frozenset(combined)
+        stage = AdaptiveStage(
+            condition=condition,
+            choices=choices,
+            estimated_cost=estimated,
+            actual_cost=self.federation.total_traffic_cost() - cost_before,
+            input_size=0,
+            output_size=len(items),
+        )
+        return items, stage
+
+    def _run_adaptive_stage(
+        self,
+        condition: Condition,
+        choices: dict[str, str],
+        estimated: float,
+        current: frozenset[Any],
+    ) -> tuple[frozenset[Any], AdaptiveStage]:
+        cost_before = self.federation.total_traffic_cost()
+        confirmed: set[Any] = set()
+        for source in self.federation:
+            if choices[source.name] == "sq":
+                answer, __ = self._with_retries(
+                    lambda source=source: source.selection(condition)
+                )
+                confirmed.update(answer & current)
+            else:
+                # Difference pruning for free: never re-send items that
+                # an earlier source in this stage already confirmed.
+                to_send = frozenset(current - confirmed)
+                answer, __ = self._with_retries(
+                    lambda source=source, to_send=to_send: source.semijoin(
+                        condition, to_send
+                    )
+                )
+                confirmed.update(answer)
+        items = frozenset(confirmed)
+        stage = AdaptiveStage(
+            condition=condition,
+            choices=choices,
+            estimated_cost=estimated,
+            actual_cost=self.federation.total_traffic_cost() - cost_before,
+            input_size=len(current),
+            output_size=len(items),
+        )
+        return items, stage

@@ -1,0 +1,209 @@
+"""Plan execution against the (simulated) remote sources.
+
+The executor walks a plan's operations, dispatching remote operations to
+the federation's wrappers and local operations to the item-set algebra.
+It records a :class:`StepTrace` per operation — actual output size and
+the actual network cost incurred (measured as the delta of the sources'
+traffic logs) — so benchmarks can compare *estimated* plan cost against
+*actual* execution cost, and traces can be printed next to the paper's
+figures.
+
+Transient failures injected by
+:class:`~repro.sources.remote.FailureInjector` are retried up to
+``max_retries`` times per operation before surfacing as
+:class:`~repro.errors.ExecutionError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ExecutionError, SourceUnavailableError
+from repro.plans.operations import (
+    DifferenceOp,
+    IntersectOp,
+    LoadOp,
+    LocalSelectionOp,
+    Operation,
+    SelectionOp,
+    SemijoinOp,
+    UnionOp,
+)
+from repro.plans.plan import Plan
+from repro.relational.algebra import (
+    difference,
+    intersect_many,
+    local_selection,
+    union_many,
+)
+from repro.relational.relation import Relation
+from repro.sources.registry import Federation
+
+
+@dataclass(frozen=True)
+class StepTrace:
+    """What one plan step did during execution."""
+
+    step: int
+    operation: Operation
+    output_size: int
+    actual_cost: float
+    elapsed_s: float
+    messages: int
+    retries: int = 0
+
+    def render(self, labels=None) -> str:
+        note = f" [{self.retries} retries]" if self.retries else ""
+        return (
+            f"{self.step:>3}) {self.operation.render(labels):<60} "
+            f"-> {self.output_size:>6} items, cost {self.actual_cost:>9.1f}, "
+            f"{self.messages} msg{note}"
+        )
+
+
+@dataclass
+class ExecutionResult:
+    """The answer plus full accounting of one plan execution."""
+
+    items: frozenset[Any]
+    steps: list[StepTrace] = field(default_factory=list)
+
+    @property
+    def total_cost(self) -> float:
+        """Actual total work — the paper's objective, measured."""
+        return sum(step.actual_cost for step in self.steps)
+
+    @property
+    def total_elapsed_s(self) -> float:
+        return sum(step.elapsed_s for step in self.steps)
+
+    @property
+    def total_messages(self) -> int:
+        return sum(step.messages for step in self.steps)
+
+    def cost_by_source(self) -> dict[str, float]:
+        totals: dict[str, float] = {}
+        for step in self.steps:
+            if step.operation.remote:
+                source = step.operation.source  # type: ignore[attr-defined]
+                totals[source] = totals.get(source, 0.0) + step.actual_cost
+        return totals
+
+    def trace(self, plan: Plan | None = None) -> str:
+        """Printable execution trace, paper-style."""
+        labels = plan.condition_labels() if plan is not None else None
+        lines = [step.render(labels) for step in self.steps]
+        lines.append(
+            f"answer: {len(self.items)} items, total cost "
+            f"{self.total_cost:.1f}, {self.total_messages} messages"
+        )
+        return "\n".join(lines)
+
+
+class Executor:
+    """Executes plans against a federation.
+
+    Example:
+        >>> from repro.sources.generators import dmv_fig1, DMV_FIG1_ANSWER
+        >>> from repro.plans.builder import build_filter_plan
+        >>> federation, query = dmv_fig1()
+        >>> plan = build_filter_plan(query, federation.source_names)
+        >>> result = Executor(federation).execute(plan)
+        >>> result.items == DMV_FIG1_ANSWER
+        True
+    """
+
+    def __init__(self, federation: Federation, max_retries: int = 3):
+        self.federation = federation
+        self.max_retries = max_retries
+
+    def execute(self, plan: Plan) -> ExecutionResult:
+        """Run ``plan`` and return its answer with per-step traces."""
+        items: dict[str, frozenset[Any]] = {}
+        relations: dict[str, Relation] = {}
+        result = ExecutionResult(items=frozenset())
+
+        for index, op in enumerate(plan.operations, start=1):
+            if op.remote:
+                trace = self._execute_remote(index, op, items, relations)
+            else:
+                trace = self._execute_local(index, op, items, relations)
+            result.steps.append(trace)
+
+        result.items = items[plan.result]
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _execute_remote(
+        self,
+        index: int,
+        op: Operation,
+        items: dict[str, frozenset[Any]],
+        relations: dict[str, Relation],
+    ) -> StepTrace:
+        source = self.federation.source(op.source)  # type: ignore[attr-defined]
+        mark = len(source.traffic.records)
+        retries = 0
+        while True:
+            try:
+                if isinstance(op, SelectionOp):
+                    answer = source.selection(op.condition)
+                    items[op.target] = answer
+                    size = len(answer)
+                elif isinstance(op, SemijoinOp):
+                    answer = source.semijoin(op.condition, items[op.input_register])
+                    items[op.target] = answer
+                    size = len(answer)
+                elif isinstance(op, LoadOp):
+                    relation = source.load()
+                    relations[op.target] = relation
+                    size = len(relation)
+                else:  # pragma: no cover
+                    raise ExecutionError(f"unknown remote operation {op!r}")
+                break
+            except SourceUnavailableError as exc:
+                retries += 1
+                if retries > self.max_retries:
+                    raise ExecutionError(
+                        f"step {index} ({op.render()}) failed after "
+                        f"{self.max_retries} retries: {exc}"
+                    ) from exc
+        new_records = source.traffic.records[mark:]
+        return StepTrace(
+            step=index,
+            operation=op,
+            output_size=size,
+            actual_cost=sum(record.cost for record in new_records),
+            elapsed_s=sum(record.elapsed_s for record in new_records),
+            messages=len(new_records),
+            retries=retries,
+        )
+
+    @staticmethod
+    def _execute_local(
+        index: int,
+        op: Operation,
+        items: dict[str, frozenset[Any]],
+        relations: dict[str, Relation],
+    ) -> StepTrace:
+        if isinstance(op, UnionOp):
+            answer = union_many(items[register] for register in op.inputs)
+        elif isinstance(op, IntersectOp):
+            answer = intersect_many(items[register] for register in op.inputs)
+        elif isinstance(op, DifferenceOp):
+            answer = difference(items[op.left], items[op.right])
+        elif isinstance(op, LocalSelectionOp):
+            answer = local_selection(relations[op.input_register], op.condition)
+        else:  # pragma: no cover
+            raise ExecutionError(f"unknown local operation {op!r}")
+        items[op.target] = answer
+        return StepTrace(
+            step=index,
+            operation=op,
+            output_size=len(answer),
+            actual_cost=0.0,
+            elapsed_s=0.0,
+            messages=0,
+        )

@@ -1,0 +1,219 @@
+"""The Mediator facade — the library's front door.
+
+Wires together statistics, size estimation, a cost model, an optimizer,
+and the executor over one federation, exposing the workflow of the
+paper's introduction:
+
+1. hand the mediator a fusion query (structured or as SQL text);
+2. it optimizes (SJA+ by default), executes the plan against the
+   wrappers, and returns the matching items;
+3. optionally, issue the "second phase" to fetch the full records of
+   the matches (Sec. 1's two-phase processing).
+
+Example:
+    >>> from repro.sources.generators import dmv_fig1
+    >>> from repro.mediator.session import Mediator
+    >>> federation, query = dmv_fig1()
+    >>> mediator = Mediator(federation)
+    >>> sorted(mediator.answer(query).items)
+    ['J55', 'T21']
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.costs.charge import ChargeCostModel
+from repro.costs.estimates import SizeEstimator
+from repro.costs.model import CostModel
+from repro.errors import ExecutionError
+from repro.mediator.executor import ExecutionResult, Executor
+from repro.mediator.reference import reference_answer
+from repro.optimize.base import OptimizationResult, Optimizer
+from repro.optimize.sja_plus import SJAPlusOptimizer
+from repro.plans.cost import estimate_plan_cost
+from repro.plans.plan import Plan
+from repro.query.fusion import FusionQuery
+from repro.query.sqlparse import parse_fusion_query
+from repro.relational.relation import Relation
+from repro.sources.registry import Federation
+from repro.sources.statistics import ExactStatistics, StatisticsProvider
+
+
+@dataclass
+class MediatorAnswer:
+    """Everything one query run produced."""
+
+    query: FusionQuery
+    items: frozenset[Any]
+    optimization: OptimizationResult
+    execution: ExecutionResult
+    verified: bool | None = None
+
+    @property
+    def plan(self) -> Plan:
+        return self.optimization.plan
+
+    def summary(self) -> str:
+        checked = (
+            ""
+            if self.verified is None
+            else (" (verified)" if self.verified else " (MISMATCH!)")
+        )
+        return (
+            f"{len(self.items)} items{checked}; "
+            f"optimizer {self.optimization.optimizer}, estimated cost "
+            f"{self.optimization.estimated_cost:.1f}, actual cost "
+            f"{self.execution.total_cost:.1f}, "
+            f"{self.execution.total_messages} messages"
+        )
+
+
+class Mediator:
+    """A configured mediator over one federation.
+
+    Args:
+        federation: The sources forming the union view.
+        statistics: Statistics provider (defaults to oracle
+            :class:`~repro.sources.statistics.ExactStatistics`).
+        cost_model: Cost model (defaults to
+            :class:`~repro.costs.charge.ChargeCostModel` over the
+            federation's declared link profiles).
+        optimizer: Planning algorithm (defaults to
+            :class:`~repro.optimize.sja_plus.SJAPlusOptimizer`).
+        verify: When True, every answer is checked against the
+            materialized-U oracle and a mismatch raises
+            :class:`~repro.errors.ExecutionError` — invaluable in tests,
+            off by default because a real mediator has no oracle.
+        max_retries: Per-operation retry budget for transient failures.
+        cache_plans: Reuse optimization results for repeated identical
+            queries (statistics are static per mediator, so cached plans
+            never go stale).  ``clear_plan_cache()`` resets it.
+    """
+
+    def __init__(
+        self,
+        federation: Federation,
+        statistics: StatisticsProvider | None = None,
+        cost_model: CostModel | None = None,
+        optimizer: Optimizer | None = None,
+        verify: bool = False,
+        max_retries: int = 3,
+        cache_plans: bool = False,
+    ):
+        self.federation = federation
+        self.statistics = statistics or ExactStatistics(federation)
+        self.estimator = SizeEstimator(self.statistics, federation.source_names)
+        self.cost_model = cost_model or ChargeCostModel.for_federation(
+            federation, self.estimator
+        )
+        self.optimizer = optimizer or SJAPlusOptimizer()
+        self.verify = verify
+        self.executor = Executor(federation, max_retries=max_retries)
+        self.cache_plans = cache_plans
+        self._plan_cache: dict[FusionQuery, OptimizationResult] = {}
+        self.plan_cache_hits = 0
+
+    # ------------------------------------------------------------------
+
+    def parse(self, sql: str) -> FusionQuery:
+        """Parse fusion-query SQL against this federation's view name."""
+        query = parse_fusion_query(sql, view_name=self.federation.name)
+        query.validate_against_schema(self.federation.schema)
+        return query
+
+    def _coerce(self, query: FusionQuery | str) -> FusionQuery:
+        if isinstance(query, str):
+            return self.parse(query)
+        query.validate_against_schema(self.federation.schema)
+        return query
+
+    def plan(self, query: FusionQuery | str) -> OptimizationResult:
+        """Optimize without executing (cached when ``cache_plans``)."""
+        query = self._coerce(query)
+        return self._optimize(query)
+
+    def _optimize(self, query: FusionQuery) -> OptimizationResult:
+        if self.cache_plans:
+            cached = self._plan_cache.get(query)
+            if cached is not None:
+                self.plan_cache_hits += 1
+                return cached
+        result = self.optimizer.optimize(
+            query,
+            self.federation.source_names,
+            self.cost_model,
+            self.estimator,
+        )
+        if self.cache_plans:
+            self._plan_cache[query] = result
+        return result
+
+    def clear_plan_cache(self) -> None:
+        """Drop all cached plans (e.g. after swapping the cost model)."""
+        self._plan_cache.clear()
+        self.plan_cache_hits = 0
+
+    def execute(self, plan: Plan) -> ExecutionResult:
+        """Execute a previously produced plan."""
+        return self.executor.execute(plan)
+
+    def answer(self, query: FusionQuery | str) -> MediatorAnswer:
+        """Optimize, execute, and (optionally) verify one fusion query."""
+        query = self._coerce(query)
+        optimization = self._optimize(query)
+        execution = self.executor.execute(optimization.plan)
+        verified = None
+        if self.verify:
+            expected = reference_answer(self.federation, query)
+            verified = execution.items == expected
+            if not verified:
+                raise ExecutionError(
+                    f"plan answer {sorted(execution.items, key=repr)} differs "
+                    f"from reference {sorted(expected, key=repr)}"
+                )
+        return MediatorAnswer(
+            query=query,
+            items=execution.items,
+            optimization=optimization,
+            execution=execution,
+            verified=verified,
+        )
+
+    def explain(self, query: FusionQuery | str) -> str:
+        """The chosen plan with estimated per-step costs, as text."""
+        query = self._coerce(query)
+        result = self._optimize(query)
+        breakdown = estimate_plan_cost(
+            result.plan, self.cost_model, self.estimator
+        )
+        labels = result.plan.condition_labels()
+        lines = [
+            query.describe(),
+            f"optimizer: {result.optimizer} "
+            f"({result.plans_considered} plans considered)",
+        ]
+        for step in breakdown.steps:
+            lines.append(
+                f"{step.step:>3}) {step.operation.render(labels):<60} "
+                f"est. cost {step.cost:>9.1f}, est. size {step.output_size:>8.1f}"
+            )
+        lines.append(f"estimated total cost: {breakdown.total:.1f}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Second phase (Sec. 1)
+
+    def fetch_records(self, items: frozenset[Any]) -> Relation:
+        """Fetch the full rows of the matched items from every source.
+
+        This is the "second phase" of the two-phase approach: the fusion
+        query identified the entities; now their complete records are
+        retrieved (bag union across sources, since each source may hold
+        different rows for the same entity).
+        """
+        parts = [
+            source.fetch_rows(items) for source in self.federation
+        ]
+        return Relation.union_all("matched_records", parts)

@@ -1,0 +1,54 @@
+"""Fusion-query optimizers.
+
+The three algorithms of Sec. 3 plus the Sec. 4 postoptimizer and the
+baselines used in evaluation:
+
+* :class:`FilterOptimizer` — the O(mn) FILTER algorithm (best filter plan);
+* :class:`SJOptimizer` — Fig. 3: optimal semijoin plan, O(m!·m·n);
+* :class:`SJAOptimizer` — Fig. 4: optimal semijoin-adaptive plan, O(m!·m·n);
+* :class:`SJAPlusOptimizer` — SJA + difference pruning + source loading
+  (Sec. 4), O(m!·m·n + m·n);
+* :class:`GreedySJAOptimizer` / :class:`SelectivityOrderOptimizer` —
+  polynomial-time greedy variants in the spirit of the extended
+  version's O(mn) algorithms;
+* :class:`ExhaustiveSemijoinOptimizer` / :class:`ExhaustiveAdaptiveOptimizer`
+  — brute-force searches over the full spec spaces (validation only);
+* :class:`JoinOverUnionOptimizer` — the Sec. 5 "distribute the join over
+  the union" strategy of resolution-based mediators (n^m SPJ subplans).
+"""
+
+from repro.optimize.base import OptimizationResult, Optimizer
+from repro.optimize.filter import FilterOptimizer
+from repro.optimize.sj import SJOptimizer
+from repro.optimize.sja import SJAOptimizer
+from repro.optimize.sja_plus import SJAPlusOptimizer
+from repro.optimize.greedy import (
+    GreedySJAOptimizer,
+    GreedySJOptimizer,
+    SelectivityOrderOptimizer,
+)
+from repro.optimize.response_time import ResponseTimeSJAOptimizer
+from repro.optimize.exhaustive import (
+    ExhaustiveAdaptiveOptimizer,
+    ExhaustiveSemijoinOptimizer,
+)
+from repro.optimize.union_pushdown import JoinOverUnionOptimizer
+from repro.optimize.postopt import apply_difference_pruning, apply_source_loading
+
+__all__ = [
+    "Optimizer",
+    "OptimizationResult",
+    "FilterOptimizer",
+    "SJOptimizer",
+    "SJAOptimizer",
+    "SJAPlusOptimizer",
+    "GreedySJAOptimizer",
+    "GreedySJOptimizer",
+    "SelectivityOrderOptimizer",
+    "ResponseTimeSJAOptimizer",
+    "ExhaustiveSemijoinOptimizer",
+    "ExhaustiveAdaptiveOptimizer",
+    "JoinOverUnionOptimizer",
+    "apply_difference_pruning",
+    "apply_source_loading",
+]

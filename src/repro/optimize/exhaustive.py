@@ -1,0 +1,148 @@
+"""Brute-force searches over the staged plan spaces (validation only).
+
+These optimizers exist to *check* SJ and SJA, not to replace them: they
+enumerate every spec in the corresponding space and cost each with the
+same staged accounting the fast algorithms use
+(:func:`repro.plans.space.staged_plan_cost`), so "SJA's plan is optimal
+in its space" is a meaningful, exactly-comparable statement.  The
+adaptive space has ``m! * 2^(n(m-1))`` specs, so both classes guard
+against accidental blow-ups.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.costs.estimates import SizeEstimator
+from repro.costs.model import CostModel
+from repro.errors import OptimizationError
+from repro.optimize.base import OptimizationResult, Optimizer, _Stopwatch
+from repro.plans.builder import IntersectPolicy, build_staged_plan
+from repro.plans.space import (
+    choices_from_stages,
+    enumerate_adaptive_specs,
+    enumerate_semijoin_specs,
+    raw_adaptive_space_size,
+    raw_semijoin_space_size,
+    staged_plan_cost,
+)
+from repro.query.fusion import FusionQuery
+
+
+class ExhaustiveSemijoinOptimizer(Optimizer):
+    """Enumerate all semijoin-plan specs; must agree with SJ's optimum."""
+
+    name = "SJ-exhaustive"
+
+    def __init__(self, max_specs: int = 2_000_000):
+        self.max_specs = max_specs
+
+    def optimize(
+        self,
+        query: FusionQuery,
+        source_names: Sequence[str],
+        cost_model: CostModel,
+        estimator: SizeEstimator,
+    ) -> OptimizationResult:
+        self._check_inputs(query, source_names)
+        m = query.arity
+        n = len(source_names)
+        space = raw_semijoin_space_size(m)
+        if space > self.max_specs:
+            raise OptimizationError(
+                f"semijoin space has {space} specs, over the "
+                f"{self.max_specs} guard"
+            )
+        best_cost = math.inf
+        best_spec = None
+        considered = 0
+        with _Stopwatch() as watch:
+            for ordering, stages in enumerate_semijoin_specs(m):
+                considered += 1
+                cost = staged_plan_cost(
+                    query,
+                    ordering,
+                    choices_from_stages(stages, n),
+                    source_names,
+                    cost_model,
+                    estimator,
+                )
+                if best_spec is None or cost < best_cost:
+                    best_cost = cost
+                    best_spec = (ordering, stages)
+            assert best_spec is not None
+            ordering, stages = best_spec
+            plan = build_staged_plan(
+                query,
+                ordering,
+                choices_from_stages(stages, n),
+                source_names,
+                intersect_policy=IntersectPolicy.AUTO,
+                description="exhaustively optimal semijoin plan",
+            )
+        return OptimizationResult(
+            plan=plan,
+            estimated_cost=self._finite_or_raise(best_cost, "the best plan"),
+            optimizer=self.name,
+            orderings_considered=math.factorial(m),
+            plans_considered=considered,
+            elapsed_s=watch.elapsed,
+        )
+
+
+class ExhaustiveAdaptiveOptimizer(Optimizer):
+    """Enumerate all semijoin-adaptive specs; must agree with SJA."""
+
+    name = "SJA-exhaustive"
+
+    def __init__(self, max_specs: int = 2_000_000):
+        self.max_specs = max_specs
+
+    def optimize(
+        self,
+        query: FusionQuery,
+        source_names: Sequence[str],
+        cost_model: CostModel,
+        estimator: SizeEstimator,
+    ) -> OptimizationResult:
+        self._check_inputs(query, source_names)
+        m = query.arity
+        n = len(source_names)
+        space = raw_adaptive_space_size(m, n)
+        if space > self.max_specs:
+            raise OptimizationError(
+                f"adaptive space has {space} specs, over the "
+                f"{self.max_specs} guard"
+            )
+        best_cost = math.inf
+        best_spec = None
+        considered = 0
+        with _Stopwatch() as watch:
+            for ordering, choices in enumerate_adaptive_specs(m, n):
+                considered += 1
+                cost = staged_plan_cost(
+                    query, ordering, choices, source_names, cost_model,
+                    estimator,
+                )
+                if best_spec is None or cost < best_cost:
+                    best_cost = cost
+                    best_spec = (ordering, choices)
+            assert best_spec is not None
+            ordering, choices = best_spec
+            plan = build_staged_plan(
+                query,
+                ordering,
+                choices,
+                source_names,
+                intersect_policy=IntersectPolicy.ALWAYS,
+                description="exhaustively optimal semijoin-adaptive plan",
+            )
+        return OptimizationResult(
+            plan=plan,
+            estimated_cost=self._finite_or_raise(best_cost, "the best plan"),
+            optimizer=self.name,
+            orderings_considered=math.factorial(m),
+            plans_considered=considered,
+            elapsed_s=watch.elapsed,
+        )

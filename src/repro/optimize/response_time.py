@@ -1,0 +1,194 @@
+"""Response-time-aware planning (the paper's Sec. 6 future work).
+
+"In this paper, we focused on minimizing the total work in executing a
+query. One could also consider minimizing the *response time* of a
+query in a parallel execution model. This is a future direction..."
+
+:class:`ResponseTimeSJAOptimizer` explores the same space as SJA —
+orderings × per-source choices — but scores candidates by *estimated
+makespan* under the parallel execution model of
+:mod:`repro.mediator.schedule` instead of summed cost:
+
+* for each ordering, each (condition, source) pair picks the option
+  (selection vs semijoin) with the smaller estimated duration
+  (time-greedy: a source's stage time is what it contributes to the
+  stage's parallel frontier);
+* the resulting plan is scheduled and the ordering with the smallest
+  makespan wins.
+
+This is a heuristic, not an optimum — per-source time-greedy choices
+can interact through the schedule — but it exposes the real tension the
+paper anticipated: filter plans finish in one parallel round while
+semijoin chains serialize on ``X_{i-1}``, so the total-work winner and
+the response-time winner often differ (benchmark R1).
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import permutations
+from typing import Sequence
+
+from repro.costs.estimates import SizeEstimator
+from repro.costs.model import CostModel
+from repro.mediator.schedule import Schedule, estimated_response_time
+from repro.optimize.base import OptimizationResult, Optimizer, _Stopwatch
+from repro.plans.builder import (
+    IntersectPolicy,
+    StagedChoice,
+    build_staged_plan,
+)
+from repro.query.fusion import FusionQuery
+from repro.sources.capabilities import SemijoinSupport
+from repro.sources.registry import Federation
+
+
+class ResponseTimeSJAOptimizer(Optimizer):
+    """SJA-shaped search scored by estimated parallel makespan.
+
+    Unlike the cost-based optimizers this one needs the federation
+    itself (link timings live there), so it is constructed over one.
+
+    Example:
+        >>> from repro.sources.generators import dmv_fig1
+        >>> from repro.sources.statistics import ExactStatistics
+        >>> from repro.costs.charge import ChargeCostModel
+        >>> from repro.costs.estimates import SizeEstimator
+        >>> federation, query = dmv_fig1()
+        >>> estimator = SizeEstimator(ExactStatistics(federation),
+        ...                           federation.source_names)
+        >>> model = ChargeCostModel.for_federation(federation, estimator)
+        >>> optimizer = ResponseTimeSJAOptimizer(federation)
+        >>> result = optimizer.optimize(query, federation.source_names,
+        ...                             model, estimator)
+        >>> result.optimizer
+        'SJA-RT'
+    """
+
+    name = "SJA-RT"
+
+    def __init__(self, federation: Federation):
+        self.federation = federation
+        #: Makespan of the winning plan (seconds); set by optimize().
+        self.last_schedule: Schedule | None = None
+
+    def optimize(
+        self,
+        query: FusionQuery,
+        source_names: Sequence[str],
+        cost_model: CostModel,
+        estimator: SizeEstimator,
+    ) -> OptimizationResult:
+        self._check_inputs(query, source_names)
+        m = query.arity
+        best_schedule: Schedule | None = None
+        best_plan = None
+        orderings = 0
+        with _Stopwatch() as watch:
+            for ordering in permutations(range(m)):
+                orderings += 1
+                plan = self._build_time_greedy_plan(
+                    query, ordering, source_names, cost_model, estimator
+                )
+                schedule = estimated_response_time(
+                    plan, self.federation, estimator
+                )
+                if (
+                    best_schedule is None
+                    or schedule.makespan_s < best_schedule.makespan_s
+                ):
+                    best_schedule = schedule
+                    best_plan = plan
+            assert best_plan is not None and best_schedule is not None
+        self.last_schedule = best_schedule
+        return OptimizationResult(
+            plan=best_plan.with_description(
+                "response-time optimized semijoin-adaptive plan"
+            ),
+            estimated_cost=best_schedule.makespan_s,
+            optimizer=self.name,
+            orderings_considered=orderings,
+            plans_considered=orderings,
+            elapsed_s=watch.elapsed,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _build_time_greedy_plan(
+        self,
+        query: FusionQuery,
+        ordering: Sequence[int],
+        source_names: Sequence[str],
+        cost_model: CostModel,
+        estimator: SizeEstimator,
+    ):
+        conditions = [query.conditions[index] for index in ordering]
+        choices: list[list[StagedChoice]] = [
+            [StagedChoice.SELECTION] * len(source_names)
+        ]
+        prefix_size = estimator.union_selection_size(conditions[0])
+        for condition in conditions[1:]:
+            stage: list[StagedChoice] = []
+            for source_name in source_names:
+                stage.append(
+                    self._time_greedy_choice(
+                        condition,
+                        source_name,
+                        prefix_size,
+                        cost_model,
+                        estimator,
+                    )
+                )
+            choices.append(stage)
+            prefix_size *= estimator.global_selectivity(condition)
+        return build_staged_plan(
+            query,
+            ordering,
+            choices,
+            source_names,
+            intersect_policy=IntersectPolicy.ALWAYS,
+        )
+
+    def _time_greedy_choice(
+        self,
+        condition,
+        source_name: str,
+        prefix_size: float,
+        cost_model: CostModel,
+        estimator: SizeEstimator,
+    ) -> StagedChoice:
+        source = self.federation.source(source_name)
+        if source.capabilities.semijoin is SemijoinSupport.UNSUPPORTED:
+            return StagedChoice.SELECTION
+        if not math.isfinite(
+            cost_model.sjq_cost(condition, source_name, prefix_size)
+        ):
+            return StagedChoice.SELECTION
+        selection_time = source.link.request_time_s(
+            0, math.ceil(estimator.sq_output_size(condition, source_name))
+        )
+        bindings = math.ceil(prefix_size)
+        received = math.ceil(
+            estimator.sjq_output_size(condition, source_name, prefix_size)
+        )
+        if source.capabilities.semijoin is SemijoinSupport.EMULATED:
+            semijoin_time = bindings * source.link.request_time_s(1, 1)
+        else:
+            requests = source.capabilities.semijoin_requests(max(bindings, 1))
+            semijoin_time = source.link.request_time_s(bindings, received)
+            semijoin_time += (requests - 1) * 2 * source.link.latency_s
+        if selection_time <= semijoin_time:
+            return StagedChoice.SELECTION
+        return StagedChoice.SEMIJOIN
+
+
+def compare_work_vs_response(
+    plans: dict[str, "object"],
+    federation: Federation,
+    estimator: SizeEstimator,
+) -> dict[str, Schedule]:
+    """Schedule several plans for side-by-side work/response reporting."""
+    return {
+        label: estimated_response_time(plan, federation, estimator)
+        for label, plan in plans.items()
+    }

@@ -1,0 +1,123 @@
+"""The SJ algorithm (Fig. 3): optimal semijoin plan.
+
+For every ordering of the conditions (loop A), evaluate the first
+condition by selection queries, then for each later condition (loop B)
+compare the summed cost of n selection queries against the summed cost
+of n semijoin queries with binding set ``X_{i-1}`` and take the cheaper
+*uniform* option.  Complexity O(m!·m·n); the per-stage decision is
+locally optimal because the stage's *result set* ``X_i`` — and hence
+every later stage's binding size — is the same either way.
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import permutations
+from typing import Sequence
+
+from repro.costs.estimates import SizeEstimator
+from repro.costs.model import CostModel
+from repro.optimize.base import OptimizationResult, Optimizer, _Stopwatch
+from repro.plans.builder import (
+    IntersectPolicy,
+    build_staged_plan,
+    uniform_choices,
+)
+from repro.query.fusion import FusionQuery
+
+
+class SJOptimizer(Optimizer):
+    """Compute the optimal semijoin plan (Fig. 3).
+
+    Example:
+        >>> from repro.sources.generators import dmv_fig1
+        >>> from repro.sources.statistics import ExactStatistics
+        >>> from repro.costs.charge import ChargeCostModel
+        >>> federation, query = dmv_fig1()
+        >>> estimator = SizeEstimator(ExactStatistics(federation),
+        ...                           federation.source_names)
+        >>> model = ChargeCostModel.for_federation(federation, estimator)
+        >>> result = SJOptimizer().optimize(
+        ...     query, federation.source_names, model, estimator)
+        >>> result.orderings_considered  # m! = 2
+        2
+    """
+
+    name = "SJ"
+
+    def optimize(
+        self,
+        query: FusionQuery,
+        source_names: Sequence[str],
+        cost_model: CostModel,
+        estimator: SizeEstimator,
+    ) -> OptimizationResult:
+        self._check_inputs(query, source_names)
+        m = query.arity
+        n = len(source_names)
+        best_cost = math.inf
+        best_ordering: tuple[int, ...] | None = None
+        best_stages: tuple[bool, ...] | None = None
+        orderings = 0
+
+        with _Stopwatch() as watch:
+            for ordering in permutations(range(m)):  # loop A
+                orderings += 1
+                cost, stages = self._cost_ordering(
+                    query, ordering, source_names, cost_model, estimator
+                )
+                if best_ordering is None or cost < best_cost:
+                    best_cost = cost
+                    best_ordering = ordering
+                    best_stages = stages
+            assert best_ordering is not None and best_stages is not None
+            plan = build_staged_plan(
+                query,
+                best_ordering,
+                uniform_choices(m, n, best_stages),
+                source_names,
+                intersect_policy=IntersectPolicy.AUTO,
+                description="SJ optimal semijoin plan",
+            )
+        return OptimizationResult(
+            plan=plan,
+            estimated_cost=self._finite_or_raise(best_cost, "the best semijoin plan"),
+            optimizer=self.name,
+            orderings_considered=orderings,
+            plans_considered=orderings,
+            elapsed_s=watch.elapsed,
+        )
+
+    @staticmethod
+    def _cost_ordering(
+        query: FusionQuery,
+        ordering: Sequence[int],
+        source_names: Sequence[str],
+        cost_model: CostModel,
+        estimator: SizeEstimator,
+    ) -> tuple[float, tuple[bool, ...]]:
+        """Cost the best uniform-choice plan for one ordering (loop B)."""
+        conditions = [query.conditions[index] for index in ordering]
+        first = conditions[0]
+        plan_cost = sum(
+            cost_model.sq_cost(first, source) for source in source_names
+        )
+        prefix_size = estimator.union_selection_size(first)
+        stages = [False]
+        for condition in conditions[1:]:  # loop B
+            selection_cost = sum(
+                cost_model.sq_cost(condition, source)
+                for source in source_names
+            )
+            semijoin_cost = sum(
+                cost_model.sjq_cost(condition, source, prefix_size)
+                for source in source_names
+            )
+            if selection_cost < semijoin_cost:
+                stages.append(False)
+                plan_cost += selection_cost
+            else:
+                stages.append(True)
+                plan_cost += semijoin_cost
+            prefix_size *= estimator.global_selectivity(condition)
+        return plan_cost, tuple(stages)

@@ -1,0 +1,172 @@
+"""Classifying plans into the Sec. 2.5 taxonomy.
+
+The classes, most specific first:
+
+* FILTER — selection queries and local ∪/∩ only (Fig. 2(a));
+* SEMIJOIN — staged, one condition at a time, *uniform* per-stage choice
+  between selections and semijoins against ``X_{i-1}`` (Fig. 2(b));
+* SEMIJOIN_ADAPTIVE — staged with *per-source* choices (Fig. 2(c));
+* SIMPLE — any plan over sq/sjq/∪/∩ that is not staged (e.g. a semijoin
+  whose binding set is an older intermediate);
+* EXTENDED — uses lq, local selections, or set difference (the SJA+
+  postoptimization outputs, Sec. 4).
+
+Every filter plan is also a semijoin plan and every semijoin plan is
+also semijoin-adaptive (the paper's classes are nested); ``classify``
+returns the *most specific* class, and the ``is_*`` predicates implement
+the nesting directly.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.plans.operations import (
+    OpKind,
+    SIMPLE_OP_KINDS,
+    SemijoinOp,
+)
+from repro.plans.plan import Plan
+
+
+class PlanClass(enum.Enum):
+    """The plan taxonomy of Sec. 2.5 (+ EXTENDED from Sec. 4)."""
+
+    FILTER = "filter"
+    SEMIJOIN = "semijoin"
+    SEMIJOIN_ADAPTIVE = "semijoin-adaptive"
+    SIMPLE = "simple"
+    EXTENDED = "extended"
+
+
+def is_simple_plan(plan: Plan) -> bool:
+    """True when the plan uses only simple-plan operations (Sec. 2.3)."""
+    return all(op.kind in SIMPLE_OP_KINDS for op in plan.operations)
+
+
+def is_filter_plan(plan: Plan) -> bool:
+    """True when the plan uses only selections and local ∪/∩."""
+    allowed = {OpKind.SELECTION, OpKind.UNION, OpKind.INTERSECT}
+    return all(op.kind in allowed for op in plan.operations)
+
+
+def _staged_blocks(plan: Plan) -> list[list] | None:
+    """Split remote ops into contiguous per-condition blocks, or None.
+
+    A staged plan touches each condition exactly once, in one contiguous
+    run of remote operations.
+    """
+    blocks: list[list] = []
+    seen_conditions = []
+    for op in plan.remote_operations:
+        condition = op.condition  # type: ignore[attr-defined]
+        if seen_conditions and condition == seen_conditions[-1]:
+            blocks[-1].append(op)
+        else:
+            if condition in seen_conditions:
+                return None  # condition revisited -> not staged
+            seen_conditions.append(condition)
+            blocks.append([op])
+    return blocks
+
+
+def _stage_registers(plan: Plan, blocks: list[list]) -> list[str] | None:
+    """The combined register of each stage, or None if unrecognizable.
+
+    The stage register is the target of the last local operation
+    executed after a block's remote ops and before the next block (or
+    the plan result for the last block).
+    """
+    remote_positions = [
+        index for index, op in enumerate(plan.operations) if op.remote
+    ]
+    # Position of the last remote op of each block within plan.operations.
+    block_ends = []
+    cursor = 0
+    for block in blocks:
+        cursor += len(block)
+        block_ends.append(remote_positions[cursor - 1])
+    registers: list[str] = []
+    boundaries = block_ends[1:] + [len(plan.operations)]
+    for end, boundary in zip(block_ends, boundaries):
+        next_remote = next(
+            (
+                index
+                for index in remote_positions
+                if index > end
+            ),
+            len(plan.operations),
+        )
+        limit = min(boundary + 1, next_remote) if boundary < len(
+            plan.operations
+        ) else next_remote
+        local_targets = [
+            op.target
+            for op in plan.operations[end + 1 : max(limit, next_remote)]
+            if not op.remote
+        ]
+        if not local_targets:
+            return None
+        registers.append(local_targets[-1])
+    return registers
+
+
+def _staged_kind(plan: Plan) -> PlanClass | None:
+    """SEMIJOIN / SEMIJOIN_ADAPTIVE / None for a simple, non-filter plan."""
+    blocks = _staged_blocks(plan)
+    if blocks is None or len(blocks) < 1:
+        return None
+    first_block = blocks[0]
+    if any(op.kind is not OpKind.SELECTION for op in first_block):
+        return None
+    registers = _stage_registers(plan, blocks)
+    if registers is None:
+        return None
+    uniform = True
+    for stage_index, block in enumerate(blocks[1:], start=1):
+        expected_input = registers[stage_index - 1]
+        kinds = {op.kind for op in block}
+        for op in block:
+            if isinstance(op, SemijoinOp) and op.input_register != expected_input:
+                return None  # binding set is not X_{i-1} -> merely simple
+        if len(kinds) > 1:
+            uniform = False
+    return PlanClass.SEMIJOIN if uniform else PlanClass.SEMIJOIN_ADAPTIVE
+
+
+def is_semijoin_adaptive_plan(plan: Plan) -> bool:
+    """True when the plan is staged with per-source choices (or stricter)."""
+    if not is_simple_plan(plan):
+        return False
+    if is_filter_plan(plan):
+        return True  # filter ⊂ semijoin ⊂ semijoin-adaptive
+    return _staged_kind(plan) is not None
+
+
+def is_semijoin_plan(plan: Plan) -> bool:
+    """True when the plan is staged with uniform per-stage choices."""
+    if not is_simple_plan(plan):
+        return False
+    if is_filter_plan(plan):
+        return True
+    return _staged_kind(plan) is PlanClass.SEMIJOIN
+
+
+def classify(plan: Plan) -> PlanClass:
+    """Return the most specific Sec. 2.5 class of ``plan``.
+
+    Example:
+        >>> from repro.plans.builder import build_filter_plan
+        >>> from repro.query.fusion import FusionQuery
+        >>> query = FusionQuery.from_strings("L", ["V = 'dui'", "V = 'sp'"])
+        >>> classify(build_filter_plan(query, ["R1", "R2"])).value
+        'filter'
+    """
+    if not is_simple_plan(plan):
+        return PlanClass.EXTENDED
+    if is_filter_plan(plan):
+        return PlanClass.FILTER
+    staged = _staged_kind(plan)
+    if staged is not None:
+        return staged
+    return PlanClass.SIMPLE

@@ -1,0 +1,207 @@
+"""The Plan container: a validated sequence of operations.
+
+A :class:`Plan` is an ordered operation list plus the name of the result
+register.  Validation enforces single assignment per register being read
+before redefinition is not required by the paper's notation (Fig. 2
+reassigns ``X_2 := X_2 ∩ X_1``), so registers *may* be overwritten; what
+must hold is def-before-use, type agreement (item-set vs relation
+registers), and a defined result.
+
+Plans built by the staged builder additionally carry :class:`StageInfo`
+annotations — one per condition — that postoptimization passes use to
+locate each stage's source operations without re-deriving structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.errors import PlanValidationError
+from repro.plans.operations import (
+    Operation,
+    OpKind,
+    RegisterType,
+)
+from repro.query.fusion import FusionQuery
+from repro.relational.conditions import Condition
+
+
+@dataclass(frozen=True)
+class StageInfo:
+    """Builder annotation: one condition's stage within a staged plan.
+
+    Attributes:
+        condition: The condition this stage evaluates.
+        input_register: The register holding ``X_{i-1}`` (empty for the
+            first stage).
+        source_registers: The per-source output registers ``X_i_j`` in
+            source order.
+        stage_register: The register holding ``X_i`` after combination.
+    """
+
+    condition: Condition
+    input_register: str
+    source_registers: tuple[str, ...]
+    stage_register: str
+
+
+class Plan:
+    """An executable fusion-query plan.
+
+    Example:
+        >>> from repro.plans.operations import SelectionOp, UnionOp
+        >>> from repro.relational.parser import parse_condition
+        >>> c = parse_condition("V = 'dui'")
+        >>> plan = Plan(
+        ...     [SelectionOp("X1", c, "R1"), SelectionOp("X2", c, "R2"),
+        ...      UnionOp("X", ("X1", "X2"))],
+        ...     result="X",
+        ... )
+        >>> plan.remote_op_count
+        2
+    """
+
+    def __init__(
+        self,
+        operations: Sequence[Operation],
+        result: str,
+        query: FusionQuery | None = None,
+        description: str = "",
+        stages: Sequence[StageInfo] = (),
+    ):
+        self.operations: tuple[Operation, ...] = tuple(operations)
+        self.result = result
+        self.query = query
+        self.description = description
+        self.stages: tuple[StageInfo, ...] = tuple(stages)
+        self._validate()
+
+    # ------------------------------------------------------------------
+
+    def _validate(self) -> None:
+        if not self.operations:
+            raise PlanValidationError("a plan requires at least one operation")
+        register_types: dict[str, RegisterType] = {}
+        for index, op in enumerate(self.operations):
+            for read in op.reads():
+                if read not in register_types:
+                    raise PlanValidationError(
+                        f"step {index + 1} ({op.render()}) reads undefined "
+                        f"register {read!r}"
+                    )
+            self._check_read_types(index, op, register_types)
+            register_types[op.target] = op.result_type
+        if self.result not in register_types:
+            raise PlanValidationError(
+                f"result register {self.result!r} is never defined"
+            )
+        if register_types[self.result] is not RegisterType.ITEMS:
+            raise PlanValidationError(
+                f"result register {self.result!r} holds a relation, not items"
+            )
+
+    @staticmethod
+    def _check_read_types(
+        index: int, op: Operation, register_types: dict[str, RegisterType]
+    ) -> None:
+        expected = RegisterType.ITEMS
+        for position, read in enumerate(op.reads()):
+            if op.kind is OpKind.LOCAL_SELECTION and position == 0:
+                expected_here = RegisterType.RELATION
+            else:
+                expected_here = expected
+            actual = register_types[read]
+            if actual is not expected_here:
+                raise PlanValidationError(
+                    f"step {index + 1} ({op.render()}) reads {read!r} as "
+                    f"{expected_here.value} but it holds {actual.value}"
+                )
+
+    # ------------------------------------------------------------------
+    # Introspection
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self.operations)
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Plan):
+            return NotImplemented
+        return (
+            self.operations == other.operations and self.result == other.result
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.operations, self.result))
+
+    def __repr__(self) -> str:
+        return (
+            f"Plan({len(self.operations)} ops, result={self.result!r}"
+            f"{', ' + self.description if self.description else ''})"
+        )
+
+    @property
+    def remote_operations(self) -> tuple[Operation, ...]:
+        """The cost-bearing operations, in order."""
+        return tuple(op for op in self.operations if op.remote)
+
+    @property
+    def remote_op_count(self) -> int:
+        return len(self.remote_operations)
+
+    def count_by_kind(self) -> dict[OpKind, int]:
+        """Operation histogram, e.g. for plan-shape assertions in tests."""
+        counts: dict[OpKind, int] = {}
+        for op in self.operations:
+            counts[op.kind] = counts.get(op.kind, 0) + 1
+        return counts
+
+    def sources_used(self) -> frozenset[str]:
+        """Names of sources the plan contacts."""
+        return frozenset(
+            op.source  # type: ignore[attr-defined]
+            for op in self.operations
+            if op.remote
+        )
+
+    def condition_labels(self) -> dict[Condition, str]:
+        """Map conditions to ``c_i`` labels using the attached query."""
+        if self.query is None:
+            return {}
+        return {
+            condition: f"c{i + 1}"
+            for i, condition in enumerate(self.query.conditions)
+        }
+
+    def pretty(self, use_labels: bool = True) -> str:
+        """Numbered, paper-style listing of the plan.
+
+        Example output (compare Fig. 2(c))::
+
+            1) X1_1 := sq(c1, R1)
+            2) X1_2 := sq(c1, R2)
+            3) X1 := X1_1 ∪ X1_2
+            ...
+        """
+        labels = self.condition_labels() if use_labels else None
+        width = len(str(len(self.operations)))
+        lines = []
+        if self.description:
+            lines.append(f"-- {self.description}")
+        for index, op in enumerate(self.operations, start=1):
+            lines.append(f"{str(index).rjust(width)}) {op.render(labels)}")
+        lines.append(f"result: {self.result}")
+        return "\n".join(lines)
+
+    def with_description(self, description: str) -> "Plan":
+        """A copy of this plan with a different description."""
+        return Plan(
+            self.operations,
+            self.result,
+            query=self.query,
+            description=description,
+            stages=self.stages,
+        )

@@ -1,0 +1,174 @@
+"""Plan serialization: plans to/from JSON-able dicts.
+
+A deployed mediator wants to cache plans, ship them to workers, and
+diff EXPLAIN output across versions; that requires plans to be data all
+the way down.  Conditions serialize as their SQL text (the condition
+parser is the inverse), operations as tagged records, stage annotations
+alongside.
+
+Round-trip guarantee: ``plan_from_dict(plan_to_dict(p)) == p`` for every
+plan the library can build (property-tested).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import PlanValidationError
+from repro.plans.operations import (
+    DifferenceOp,
+    IntersectOp,
+    LoadOp,
+    LocalSelectionOp,
+    Operation,
+    SelectionOp,
+    SemijoinOp,
+    UnionOp,
+)
+from repro.plans.plan import Plan, StageInfo
+from repro.query.fusion import FusionQuery
+from repro.relational.parser import parse_condition
+
+
+def _op_to_dict(op: Operation) -> dict[str, Any]:
+    if isinstance(op, SelectionOp):
+        return {
+            "op": "sq",
+            "target": op.target_register,
+            "condition": op.condition.to_sql(),
+            "source": op.source,
+        }
+    if isinstance(op, SemijoinOp):
+        return {
+            "op": "sjq",
+            "target": op.target_register,
+            "condition": op.condition.to_sql(),
+            "source": op.source,
+            "input": op.input_register,
+        }
+    if isinstance(op, LoadOp):
+        return {"op": "lq", "target": op.target_register, "source": op.source}
+    if isinstance(op, LocalSelectionOp):
+        return {
+            "op": "local-sq",
+            "target": op.target_register,
+            "condition": op.condition.to_sql(),
+            "input": op.input_register,
+        }
+    if isinstance(op, UnionOp):
+        return {"op": "union", "target": op.target_register,
+                "inputs": list(op.inputs)}
+    if isinstance(op, IntersectOp):
+        return {"op": "intersect", "target": op.target_register,
+                "inputs": list(op.inputs)}
+    if isinstance(op, DifferenceOp):
+        return {
+            "op": "difference",
+            "target": op.target_register,
+            "left": op.left,
+            "right": op.right,
+        }
+    raise PlanValidationError(f"cannot serialize operation {op!r}")
+
+
+def _op_from_dict(data: dict[str, Any]) -> Operation:
+    kind = data.get("op")
+    try:
+        if kind == "sq":
+            return SelectionOp(
+                data["target"], parse_condition(data["condition"]),
+                data["source"],
+            )
+        if kind == "sjq":
+            return SemijoinOp(
+                data["target"],
+                parse_condition(data["condition"]),
+                data["source"],
+                data["input"],
+            )
+        if kind == "lq":
+            return LoadOp(data["target"], data["source"])
+        if kind == "local-sq":
+            return LocalSelectionOp(
+                data["target"], parse_condition(data["condition"]),
+                data["input"],
+            )
+        if kind == "union":
+            return UnionOp(data["target"], tuple(data["inputs"]))
+        if kind == "intersect":
+            return IntersectOp(data["target"], tuple(data["inputs"]))
+        if kind == "difference":
+            return DifferenceOp(data["target"], data["left"], data["right"])
+    except KeyError as exc:
+        raise PlanValidationError(
+            f"operation record {data!r} missing key {exc}"
+        ) from exc
+    raise PlanValidationError(f"unknown operation kind {kind!r}")
+
+
+def plan_to_dict(plan: Plan) -> dict[str, Any]:
+    """Serialize a plan (operations, result, query, stages) to a dict."""
+    record: dict[str, Any] = {
+        "operations": [_op_to_dict(op) for op in plan.operations],
+        "result": plan.result,
+        "description": plan.description,
+    }
+    if plan.query is not None:
+        record["query"] = {
+            "merge": plan.query.merge_attribute,
+            "conditions": [c.to_sql() for c in plan.query.conditions],
+            "name": plan.query.name,
+        }
+    if plan.stages:
+        record["stages"] = [
+            {
+                "condition": stage.condition.to_sql(),
+                "input": stage.input_register,
+                "source_registers": list(stage.source_registers),
+                "stage_register": stage.stage_register,
+            }
+            for stage in plan.stages
+        ]
+    return record
+
+
+def plan_from_dict(data: dict[str, Any]) -> Plan:
+    """Rebuild a plan from :func:`plan_to_dict` output."""
+    operations = [_op_from_dict(entry) for entry in data["operations"]]
+    query = None
+    if "query" in data:
+        query_record = data["query"]
+        query = FusionQuery(
+            query_record["merge"],
+            tuple(
+                parse_condition(text) for text in query_record["conditions"]
+            ),
+            name=query_record.get("name", ""),
+        )
+    stages = tuple(
+        StageInfo(
+            condition=parse_condition(entry["condition"]),
+            input_register=entry["input"],
+            source_registers=tuple(entry["source_registers"]),
+            stage_register=entry["stage_register"],
+        )
+        for entry in data.get("stages", ())
+    )
+    return Plan(
+        operations,
+        result=data["result"],
+        query=query,
+        description=data.get("description", ""),
+        stages=stages,
+    )
+
+
+def plan_to_json(plan: Plan, indent: int | None = 2) -> str:
+    """Serialize a plan to a JSON string."""
+    return json.dumps(plan_to_dict(plan), indent=indent)
+
+
+def plan_from_json(text: str) -> Plan:
+    """Parse a plan from :func:`plan_to_json` output."""
+    return plan_from_dict(json.loads(text))

@@ -1,0 +1,19 @@
+"""Fusion-query model, SQL rendering/parsing, and pattern detection.
+
+A fusion query (Sec. 2.2) searches the virtual union view ``U`` of all
+source relations for items (merge-attribute values) that satisfy ``m``
+conditions, each of which may hold at a *different* source::
+
+    SELECT u1.M FROM U u1, ..., U um
+    WHERE u1.M = ... = um.M AND c1 AND ... AND cm
+
+:class:`FusionQuery` is the structured form the optimizers consume;
+:func:`parse_fusion_query` recognizes the SQL pattern (the module Sec. 5
+suggests existing systems add), and :func:`is_fusion_query` is the
+boolean detector.
+"""
+
+from repro.query.fusion import FusionQuery
+from repro.query.sqlparse import is_fusion_query, parse_fusion_query
+
+__all__ = ["FusionQuery", "parse_fusion_query", "is_fusion_query"]

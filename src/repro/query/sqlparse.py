@@ -1,0 +1,215 @@
+"""Recognizing the fusion-query SQL pattern.
+
+Sec. 5 observes that existing optimizers could be retrofitted with "a
+module that checks if a query is a fusion query (by looking for the
+distinctive pattern of fusion queries) and invokes the algorithm of
+Section 3".  This module is that checker: it parses SQL of the form
+
+::
+
+    SELECT u1.M FROM U u1, U u2, ... WHERE
+        u1.M = u2.M AND ... AND <per-variable conditions>
+
+and produces a :class:`~repro.query.fusion.FusionQuery`, or raises
+:class:`~repro.errors.NotAFusionQueryError` explaining which part of the
+pattern failed.  The checks implemented:
+
+* the SELECT list is a single qualified attribute (the merge attribute);
+* the FROM clause ranges only over the union view, once per variable;
+* the WHERE clause is a conjunction whose variable=variable conjuncts
+  are merge-attribute equalities connecting *all* tuple variables; and
+* every remaining conjunct references exactly one tuple variable.
+
+Multiple conjuncts on the same variable are folded into one condition
+with AND; variables with no condition get ``TRUE`` (they only widen the
+join and are harmless, but we flag them as non-fusion to stay strict).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import NotAFusionQueryError, ParseError
+from repro.query.fusion import FusionQuery
+from repro.relational.conditions import And, Condition
+from repro.relational.parser import parse_condition, tokenize
+
+_SQL_SHAPE = re.compile(
+    r"^\s*SELECT\s+(?P<select>.+?)\s+FROM\s+(?P<from>.+?)\s+WHERE\s+(?P<where>.+?)\s*;?\s*$",
+    re.IGNORECASE | re.DOTALL,
+)
+
+_QUALIFIED = re.compile(r"^\s*(\w+)\.(\w+)\s*$")
+
+_FROM_ENTRY = re.compile(r"^\s*(\w+)(?:\s+(?:AS\s+)?(\w+))?\s*$", re.IGNORECASE)
+
+_EQUALITY = re.compile(r"^\s*(\w+)\.(\w+)\s*=\s*(\w+)\.(\w+)\s*$")
+
+
+def _split_top_level(text: str, separator: str) -> list[str]:
+    """Split ``text`` on a keyword separator outside parentheses/strings."""
+    tokens = tokenize(text)
+    pieces: list[str] = []
+    depth = 0
+    start = 0
+    pending_between = 0  # BETWEEN consumes the next AND at this depth
+    for token in tokens:
+        if token.kind == "punct" and token.text == "(":
+            depth += 1
+        elif token.kind == "punct" and token.text == ")":
+            depth -= 1
+        elif token.kind == "keyword" and token.text == "BETWEEN" and depth == 0:
+            pending_between += 1
+        elif token.kind == "keyword" and token.text == separator and depth == 0:
+            if separator == "AND" and pending_between > 0:
+                pending_between -= 1
+                continue
+            pieces.append(text[start : token.position])
+            start = token.position + len(separator)
+    pieces.append(text[start:])
+    return [p.strip() for p in pieces if p.strip()]
+
+
+def _variables_in(fragment: str) -> set[str]:
+    """Tuple-variable qualifiers appearing in a WHERE-clause fragment."""
+    qualifiers: set[str] = set()
+    for token in tokenize(fragment):
+        if token.kind == "ident" and "." in token.text:
+            qualifiers.add(token.text.split(".", 1)[0])
+    return qualifiers
+
+
+def parse_fusion_query(
+    sql: str, view_name: str = "U", name: str = ""
+) -> FusionQuery:
+    """Parse fusion-query SQL into a :class:`FusionQuery`.
+
+    Raises:
+        NotAFusionQueryError: if the statement does not match the pattern.
+        ParseError: if a condition fragment is not valid condition syntax.
+
+    Example:
+        >>> q = parse_fusion_query(
+        ...     "SELECT u1.L FROM U u1, U u2 "
+        ...     "WHERE u1.L = u2.L AND u1.V = 'dui' AND u2.V = 'sp'"
+        ... )
+        >>> q.merge_attribute, q.arity
+        ('L', 2)
+    """
+    shape = _SQL_SHAPE.match(sql)
+    if not shape:
+        raise NotAFusionQueryError(
+            "statement is not of the form SELECT ... FROM ... WHERE ..."
+        )
+
+    # --- SELECT list: a single qualified merge attribute -----------------
+    select_list = shape.group("select")
+    if "," in select_list:
+        raise NotAFusionQueryError(
+            "fusion queries project exactly one attribute (the merge attribute); "
+            f"got {select_list!r}"
+        )
+    selected = _QUALIFIED.match(select_list)
+    if not selected:
+        raise NotAFusionQueryError(
+            f"SELECT list must be a qualified attribute like u1.M; got {select_list!r}"
+        )
+    select_var, merge_attribute = selected.group(1), selected.group(2)
+
+    # --- FROM clause: U u1, U u2, ... ------------------------------------
+    variables: list[str] = []
+    for entry in shape.group("from").split(","):
+        match = _FROM_ENTRY.match(entry)
+        if not match:
+            raise NotAFusionQueryError(f"cannot parse FROM entry {entry!r}")
+        table, alias = match.group(1), match.group(2)
+        if table.upper() != view_name.upper():
+            raise NotAFusionQueryError(
+                f"FROM must range only over the union view {view_name!r}; "
+                f"got table {table!r}"
+            )
+        variables.append(alias or table)
+    if len(set(variables)) != len(variables):
+        raise NotAFusionQueryError(f"duplicate tuple variables: {variables}")
+    variable_set = set(variables)
+    if select_var not in variable_set:
+        raise NotAFusionQueryError(
+            f"SELECT variable {select_var!r} is not declared in FROM"
+        )
+
+    # --- WHERE clause: equalities + one condition per variable -----------
+    try:
+        conjuncts = _split_top_level(shape.group("where"), "AND")
+    except ParseError as exc:
+        raise NotAFusionQueryError(f"cannot tokenize WHERE clause: {exc}") from exc
+
+    equalities: list[tuple[str, str]] = []
+    fragments_by_variable: dict[str, list[str]] = {v: [] for v in variables}
+    for fragment in conjuncts:
+        equality = _EQUALITY.match(fragment)
+        if equality:
+            lvar, lattr, rvar, rattr = equality.groups()
+            if lvar in variable_set and rvar in variable_set:
+                if lattr != merge_attribute or rattr != merge_attribute:
+                    raise NotAFusionQueryError(
+                        f"join equality {fragment.strip()!r} is not on the merge "
+                        f"attribute {merge_attribute!r}"
+                    )
+                equalities.append((lvar, rvar))
+                continue
+        used = _variables_in(fragment) & variable_set
+        if len(used) > 1:
+            raise NotAFusionQueryError(
+                f"conjunct {fragment.strip()!r} references multiple tuple "
+                f"variables {sorted(used)}; fusion conditions are single-variable"
+            )
+        if len(used) == 0:
+            if len(variables) == 1:
+                used = {variables[0]}  # unqualified is unambiguous with one var
+            else:
+                raise NotAFusionQueryError(
+                    f"conjunct {fragment.strip()!r} references no tuple variable"
+                )
+        fragments_by_variable[used.pop()].append(fragment)
+
+    # --- the equalities must connect all variables ------------------------
+    if len(variables) > 1:
+        component = {variables[0]: variables[0]}
+
+        def find(v: str) -> str:
+            while component.setdefault(v, v) != v:
+                component[v] = component[component[v]]
+                v = component[v]
+            return v
+
+        for left, right in equalities:
+            component[find(left)] = find(right)
+        roots = {find(v) for v in variables}
+        if len(roots) > 1:
+            raise NotAFusionQueryError(
+                "merge-attribute equalities do not connect all tuple variables; "
+                f"disconnected groups remain: {len(roots)}"
+            )
+
+    # --- build per-variable conditions ------------------------------------
+    conditions: list[Condition] = []
+    for variable in variables:
+        fragments = fragments_by_variable[variable]
+        if not fragments:
+            raise NotAFusionQueryError(
+                f"tuple variable {variable!r} has no condition; the pattern "
+                "requires one condition per variable"
+            )
+        parsed = [parse_condition(fragment) for fragment in fragments]
+        conditions.append(parsed[0] if len(parsed) == 1 else And.of(*parsed))
+
+    return FusionQuery(merge_attribute, tuple(conditions), name=name)
+
+
+def is_fusion_query(sql: str, view_name: str = "U") -> bool:
+    """True iff ``sql`` matches the fusion-query pattern of Sec. 2.2."""
+    try:
+        parse_fusion_query(sql, view_name=view_name)
+    except (NotAFusionQueryError, ParseError):
+        return False
+    return True

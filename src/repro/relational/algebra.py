@@ -1,0 +1,108 @@
+"""Item-set algebra: the local operations of the mediator.
+
+Under simple plans the mediator combines *sets of items* (merge-attribute
+values) with union and intersection (Sec. 2.3); postoptimized plans add
+set difference and local selections over loaded relations (Sec. 4).
+These are the data-level counterparts of the plan operators in
+:mod:`repro.plans.operations` — the executor calls into this module.
+
+Item sets are plain ``frozenset`` objects: hashable, immutable, cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.relational.conditions import Condition
+from repro.relational.relation import Relation
+
+ItemSet = frozenset
+
+EMPTY_ITEMS: ItemSet = frozenset()
+
+
+def select_rows(relation: Relation, condition: Condition) -> list[tuple[Any, ...]]:
+    """All rows of ``relation`` satisfying ``condition``."""
+    schema = relation.schema
+    return [
+        row for row in relation if condition.evaluate(schema.row_to_dict(row))
+    ]
+
+
+def select_items(relation: Relation, condition: Condition) -> ItemSet:
+    """``sq(c, R)`` evaluated on data: the distinct items whose row satisfies c.
+
+    This is the data-level semantics of the paper's selection query — the
+    set of merge-attribute values of qualifying tuples.
+    """
+    schema = relation.schema
+    merge_pos = schema.merge_position
+    return frozenset(
+        row[merge_pos]
+        for row in relation
+        if condition.evaluate(schema.row_to_dict(row))
+    )
+
+
+def semijoin_items(
+    relation: Relation, condition: Condition, items: Iterable[Any]
+) -> ItemSet:
+    """``sjq(c, R, Y)`` evaluated on data: the subset of ``items`` that
+    satisfy ``condition`` in ``relation``."""
+    wanted = frozenset(items)
+    if not wanted:
+        return EMPTY_ITEMS
+    schema = relation.schema
+    merge_pos = schema.merge_position
+    return frozenset(
+        row[merge_pos]
+        for row in relation
+        if row[merge_pos] in wanted
+        and condition.evaluate(schema.row_to_dict(row))
+    )
+
+
+def project_items(relation: Relation) -> ItemSet:
+    """All distinct items in ``relation`` (projection onto M)."""
+    return relation.items()
+
+
+def union_many(sets: Iterable[Iterable[Any]]) -> ItemSet:
+    """``X := X_1 ∪ ... ∪ X_k`` (empty union is the empty set)."""
+    result: set[Any] = set()
+    for s in sets:
+        result.update(s)
+    return frozenset(result)
+
+
+def intersect_many(sets: Iterable[Iterable[Any]]) -> ItemSet:
+    """``X := X_1 ∩ ... ∩ X_k``; raises on an empty intersection list."""
+    iterator = iter(sets)
+    try:
+        result = set(next(iterator))
+    except StopIteration:
+        raise ValueError("intersection of zero sets is undefined") from None
+    for s in iterator:
+        result.intersection_update(s)
+        if not result:
+            break
+    return frozenset(result)
+
+
+def difference(left: Iterable[Any], right: Iterable[Any]) -> ItemSet:
+    """``X := Y − Z`` — used by SJA+ to prune semijoin send-sets."""
+    return frozenset(left) - frozenset(right)
+
+
+def local_selection(
+    relation: Relation, condition: Condition
+) -> ItemSet:
+    """``sq(c, Y)`` applied locally at the mediator on a loaded relation.
+
+    After an ``lq(R_j)`` the mediator holds the full contents of the
+    source and can evaluate any condition without further communication
+    (Sec. 4, "Loading entire sources").  Identical semantics to
+    :func:`select_items`; a separate name keeps executor traces honest
+    about where work happened.
+    """
+    return select_items(relation, condition)

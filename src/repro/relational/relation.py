@@ -1,0 +1,160 @@
+"""In-memory relations — the tables autonomous sources export.
+
+A :class:`Relation` is an immutable bag of positional rows validated
+against a :class:`~repro.relational.schema.Schema`.  It is deliberately a
+*bag*: two DMV offices may both record the same violation, and a single
+source may hold several rows for one entity (one per violation).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.errors import SchemaError
+from repro.relational.schema import Schema
+
+Row = tuple[Any, ...]
+
+
+class Relation:
+    """An immutable, schema-validated bag of rows.
+
+    Example:
+        >>> from repro.relational.schema import dmv_schema
+        >>> r1 = Relation("R1", dmv_schema(), [("J55", "dui", 1993)])
+        >>> len(r1)
+        1
+        >>> r1.items()
+        frozenset({'J55'})
+    """
+
+    __slots__ = ("name", "schema", "_rows", "_items")
+
+    def __init__(self, name: str, schema: Schema, rows: Iterable[Row] = ()):
+        self.name = name
+        self.schema = schema
+        validated: list[Row] = []
+        for row in rows:
+            row = tuple(row)
+            schema.validate_row(row)
+            validated.append(row)
+        self._rows: tuple[Row, ...] = tuple(validated)
+        self._items: frozenset[Any] | None = None
+
+    # ------------------------------------------------------------------
+    # Container protocol
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __contains__(self, row: object) -> bool:
+        return row in self._rows
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return (
+            self.schema == other.schema
+            and sorted(map(repr, self._rows)) == sorted(map(repr, other._rows))
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - relations rarely hashed
+        return hash((self.schema, frozenset(self._rows)))
+
+    def __repr__(self) -> str:
+        return f"Relation({self.name!r}, rows={len(self._rows)})"
+
+    # ------------------------------------------------------------------
+    # Accessors
+
+    @property
+    def rows(self) -> tuple[Row, ...]:
+        """All rows, in insertion order."""
+        return self._rows
+
+    def rows_as_dicts(self) -> list[dict[str, Any]]:
+        """Rows as attribute-keyed dictionaries (handy for display/tests)."""
+        return [self.schema.row_to_dict(row) for row in self._rows]
+
+    def items(self) -> frozenset[Any]:
+        """The distinct merge-attribute values present in this relation."""
+        if self._items is None:
+            pos = self.schema.merge_position
+            self._items = frozenset(row[pos] for row in self._rows)
+        return self._items
+
+    def column(self, attribute: str) -> list[Any]:
+        """All values (with duplicates) of one column."""
+        pos = self.schema.position(attribute)
+        return [row[pos] for row in self._rows]
+
+    def distinct(self, attribute: str) -> frozenset[Any]:
+        """Distinct values of one column (excluding nulls)."""
+        pos = self.schema.position(attribute)
+        return frozenset(row[pos] for row in self._rows if row[pos] is not None)
+
+    # ------------------------------------------------------------------
+    # Derivation
+
+    def filter(self, predicate: Callable[[dict[str, Any]], bool], name: str | None = None) -> "Relation":
+        """A new relation containing rows whose dict form satisfies ``predicate``."""
+        keep = [
+            row
+            for row in self._rows
+            if predicate(self.schema.row_to_dict(row))
+        ]
+        return Relation(name or f"{self.name}_filtered", self.schema, keep)
+
+    def restrict_to_items(self, items: frozenset[Any] | set[Any], name: str | None = None) -> "Relation":
+        """Rows whose merge attribute is in ``items`` (a semijoin on data)."""
+        pos = self.schema.merge_position
+        keep = [row for row in self._rows if row[pos] in items]
+        return Relation(name or f"{self.name}_semijoined", self.schema, keep)
+
+    @staticmethod
+    def union_all(name: str, relations: Iterable["Relation"]) -> "Relation":
+        """Bag union of compatible relations — the paper's virtual view ``U``."""
+        relations = list(relations)
+        if not relations:
+            raise SchemaError("union_all requires at least one relation")
+        schema = relations[0].schema
+        rows: list[Row] = []
+        for rel in relations:
+            if not rel.schema.compatible_with(schema):
+                raise SchemaError(
+                    f"relation {rel.name!r} schema {rel.schema} is incompatible "
+                    f"with {relations[0].name!r} schema {schema}"
+                )
+            rows.extend(rel.rows)
+        return Relation(name, schema, rows)
+
+    @staticmethod
+    def from_dicts(
+        name: str, schema: Schema, dicts: Iterable[dict[str, Any]]
+    ) -> "Relation":
+        """Build a relation from attribute-keyed dictionaries."""
+        return Relation(name, schema, (schema.dict_to_row(d) for d in dicts))
+
+    def pretty(self, limit: int = 20) -> str:
+        """A small fixed-width rendering, used by examples and traces."""
+        names = self.schema.names
+        shown = self._rows[:limit]
+        widths = [
+            max(len(str(name)), *(len(str(row[i])) for row in shown), 1)
+            if shown
+            else len(str(name))
+            for i, name in enumerate(names)
+        ]
+        header = " | ".join(str(n).ljust(w) for n, w in zip(names, widths))
+        bar = "-+-".join("-" * w for w in widths)
+        lines = [f"{self.name} ({len(self)} rows)", header, bar]
+        for row in shown:
+            lines.append(
+                " | ".join(str(v).ljust(w) for v, w in zip(row, widths))
+            )
+        if len(self._rows) > limit:
+            lines.append(f"... {len(self._rows) - limit} more rows")
+        return "\n".join(lines)

@@ -1,0 +1,95 @@
+"""Per-source capability declarations.
+
+Sec. 2.3: "Some sources may not be able to support semijoin queries. In
+this case, the mediator can emulate a semijoin query as a set of
+selection queries ... the source should at least be able to handle
+selection conditions of the form ``c_i AND M = m`` ... If the source is
+incapable of supporting even such queries, we can assign an infinite
+cost to the semijoin query."
+
+:class:`SourceCapabilities` captures exactly those three tiers, plus a
+batch limit for native semijoins (real wrappers cap how many bindings
+fit in one request) and a load capability for the Sec. 4 ``lq``
+postoptimization.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class SemijoinSupport(enum.Enum):
+    """How a source can process a semijoin query."""
+
+    #: The wrapper accepts a set of bindings in one (or a few) requests.
+    NATIVE = "native"
+    #: Only ``c AND M = m`` selections: the mediator emulates the semijoin
+    #: with one selection query per binding (expensive — Sec. 2.3).
+    EMULATED = "emulated"
+    #: Not even passed bindings: semijoin cost is infinite and no plan may
+    #: route a semijoin through this source.
+    UNSUPPORTED = "unsupported"
+
+
+@dataclass(frozen=True)
+class SourceCapabilities:
+    """What one source's wrapper can do.
+
+    Attributes:
+        semijoin: Tier of semijoin support (native / emulated / none).
+        supports_load: Whether the wrapper can return the full relation
+            (``lq(R_j)``, used by SJA+'s source-loading postoptimization).
+        max_semijoin_batch: For native semijoins, the largest binding set
+            one request may carry; larger sets are split into ceil(|X|/b)
+            requests, each paying the per-request overhead.  ``None``
+            means unlimited.
+    """
+
+    semijoin: SemijoinSupport = SemijoinSupport.NATIVE
+    supports_load: bool = True
+    max_semijoin_batch: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_semijoin_batch is not None and self.max_semijoin_batch < 1:
+            raise ValueError(
+                f"max_semijoin_batch must be >= 1, got {self.max_semijoin_batch}"
+            )
+
+    @property
+    def can_semijoin(self) -> bool:
+        """True when semijoins are possible at all (natively or emulated)."""
+        return self.semijoin is not SemijoinSupport.UNSUPPORTED
+
+    def semijoin_requests(self, binding_count: int) -> int:
+        """How many wrapper requests a semijoin with this many bindings costs.
+
+        Native sources need ``ceil(n / batch)`` requests; emulated sources
+        need one per binding; unsupported sources cannot do it.
+        """
+        if binding_count <= 0:
+            return 0
+        if self.semijoin is SemijoinSupport.UNSUPPORTED:
+            raise ValueError("source does not support semijoins at all")
+        if self.semijoin is SemijoinSupport.EMULATED:
+            return binding_count
+        if self.max_semijoin_batch is None:
+            return 1
+        return -(-binding_count // self.max_semijoin_batch)  # ceil division
+
+    @staticmethod
+    def full() -> "SourceCapabilities":
+        """A fully capable wrapper (native semijoin, loads allowed)."""
+        return SourceCapabilities()
+
+    @staticmethod
+    def selection_only() -> "SourceCapabilities":
+        """A wrapper with passed-binding selections only (emulated semijoin)."""
+        return SourceCapabilities(semijoin=SemijoinSupport.EMULATED)
+
+    @staticmethod
+    def minimal() -> "SourceCapabilities":
+        """A wrapper that cannot participate in semijoins at all."""
+        return SourceCapabilities(
+            semijoin=SemijoinSupport.UNSUPPORTED, supports_load=False
+        )

@@ -1,0 +1,121 @@
+"""The federation: the ordered set of sources forming the union view U.
+
+A :class:`Federation` owns the :class:`~repro.sources.remote.RemoteSource`
+wrappers participating in a fusion query and enforces the framework
+assumption of Sec. 2.1: every source exports a relation over the *same*
+schema, including the merge attribute.  It also materializes ``U`` for
+the reference evaluator (a simulation-only oracle — the real mediator
+never does this unless a plan says ``lq``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.errors import SchemaError, UnknownSourceError
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.sources.remote import RemoteSource
+
+
+class Federation:
+    """An ordered, name-addressable collection of remote sources.
+
+    Example:
+        >>> from repro.sources.generators import dmv_fig1
+        >>> federation, query = dmv_fig1()
+        >>> federation.size
+        3
+        >>> [s.name for s in federation]
+        ['R1', 'R2', 'R3']
+    """
+
+    def __init__(self, sources: Sequence[RemoteSource], name: str = "U"):
+        if not sources:
+            raise SchemaError("a federation requires at least one source")
+        self.name = name
+        self._sources: list[RemoteSource] = list(sources)
+        self._by_name: dict[str, RemoteSource] = {}
+        schema = self._sources[0].schema
+        for source in self._sources:
+            if source.name in self._by_name:
+                raise SchemaError(f"duplicate source name {source.name!r}")
+            if not source.schema.compatible_with(schema):
+                raise SchemaError(
+                    f"source {source.name!r} schema {source.schema} is not "
+                    f"compatible with federation schema {schema}"
+                )
+            self._by_name[source.name] = source
+        self.schema: Schema = schema
+
+    # ------------------------------------------------------------------
+    # Collection protocol
+
+    def __iter__(self) -> Iterator[RemoteSource]:
+        return iter(self._sources)
+
+    def __len__(self) -> int:
+        return len(self._sources)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._by_name
+
+    @property
+    def size(self) -> int:
+        """The paper's ``n`` — the number of sources."""
+        return len(self._sources)
+
+    @property
+    def source_names(self) -> tuple[str, ...]:
+        return tuple(source.name for source in self._sources)
+
+    def source(self, name: str) -> RemoteSource:
+        """Look a source up by name, raising if unknown."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise UnknownSourceError(
+                f"unknown source {name!r}; federation has {self.source_names}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Oracle / accounting helpers
+
+    def union_view(self) -> Relation:
+        """Materialize ``U`` from ground-truth data (simulation oracle).
+
+        Reads the underlying tables directly, bypassing wrappers and
+        charges — only the reference evaluator and statistics collectors
+        may use this.
+        """
+        return Relation.union_all(
+            self.name, (source.table.relation for source in self._sources)
+        )
+
+    def all_items(self) -> frozenset:
+        """Every distinct merge-attribute value across all sources."""
+        return self.union_view().items()
+
+    def reset_traffic(self) -> None:
+        """Clear every source's traffic log (between measured runs)."""
+        for source in self._sources:
+            source.reset_traffic()
+
+    def total_traffic_cost(self) -> float:
+        """Sum of actual request costs across all sources."""
+        return sum(source.traffic.total_cost for source in self._sources)
+
+    def total_messages(self) -> int:
+        return sum(source.traffic.message_count for source in self._sources)
+
+    def describe(self) -> str:
+        """Multi-line summary of the federation used by examples."""
+        lines = [f"Federation {self.name!r}: {self.size} sources, schema {self.schema}"]
+        for source in self._sources:
+            lines.append(
+                f"  {source.name}: {len(source.table)} rows, "
+                f"semijoin={source.capabilities.semijoin.value}, "
+                f"overhead={source.link.request_overhead}, "
+                f"send/recv={source.link.per_item_send}/{source.link.per_item_receive}"
+            )
+        return "\n".join(lines)

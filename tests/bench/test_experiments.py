@@ -1,0 +1,60 @@
+"""Smoke tests for the fast experiment runners.
+
+The heavyweight sweeps (F3/F4/C2/C4...) run in ``benchmarks/``; here we
+execute the fast experiments directly so the plain test suite covers
+their code paths and pins the headline facts each report must state.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.extensions import run_correlation, run_phases
+from repro.bench.figures import run_fig1, run_fig2, run_fig5
+from repro.bench.claims import run_claim_sja_optimal
+
+
+class TestFigureRunners:
+    def test_fig1_states_the_paper_answer(self):
+        report = run_fig1()
+        assert "J55, T21" in report
+        assert "R1 (3 rows)" in report
+        assert "SELECT u1.L FROM U u1, U u2" in report
+
+    def test_fig2_classifies_all_three(self):
+        report = run_fig2()
+        for expected in ("filter", "semijoin", "semijoin-adaptive"):
+            assert expected in report
+
+    def test_fig5_shows_all_four_plans(self):
+        report = run_fig5()
+        for plan_name in ("P1", "P2a", "P2b", "P3"):
+            assert plan_name in report
+        # both answers stay correct through postoptimization
+        assert report.count("J55, T21") >= 4
+
+
+class TestClaimRunners:
+    def test_sja_optimality_claim_holds(self):
+        report = run_claim_sja_optimal()
+        assert "False" not in report
+
+    def test_correlation_report_quantifies_lift(self):
+        report = run_correlation()
+        assert "lift" in report
+        assert "pairwise-corrected" in report
+
+    def test_phases_report_covers_both_strategies(self):
+        report = run_phases()
+        assert "two-phase" in report
+        assert "one-phase" in report
+
+
+class TestReportShape:
+    @pytest.mark.parametrize(
+        "runner", [run_fig2, run_correlation], ids=["F2", "C7"]
+    )
+    def test_reports_are_single_strings_with_header(self, runner):
+        report = runner()
+        assert isinstance(report, str)
+        assert report.startswith("===")

@@ -1,0 +1,60 @@
+"""Unit tests for the experiment registry and harness plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import kit_for_federation, make_kit, run_optimizers
+from repro.bench.registry import EXPERIMENTS, run_experiment
+from repro.optimize.filter import FilterOptimizer
+from repro.sources.generators import SyntheticConfig, dmv_fig1
+
+
+class TestRegistry:
+    def test_all_design_md_experiments_registered(self):
+        expected = {
+            "F1", "F2", "F3", "F4", "F5",
+            "C1", "C2", "C3", "C4", "C5", "C6", "C7", "C8",
+            "E1", "R1", "A1", "P1",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_every_entry_has_description_and_runner(self):
+        for experiment_id, (description, runner) in EXPERIMENTS.items():
+            assert description
+            assert callable(runner)
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_experiment("ZZ", save=False)
+
+    def test_run_experiment_returns_report(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        report = run_experiment("F2", save=True)
+        assert "plan classes" in report
+        assert (tmp_path / "F2.txt").exists()
+
+
+class TestHarness:
+    def test_make_kit_shapes(self):
+        config = SyntheticConfig(n_sources=3, n_entities=100, seed=0)
+        kit = make_kit(config, m=2)
+        assert kit.query.arity == 2
+        assert len(kit.source_names) == 3
+
+    def test_kit_for_federation(self):
+        federation, query = dmv_fig1()
+        kit = kit_for_federation(federation, query)
+        assert kit.source_names == ("R1", "R2", "R3")
+
+    def test_run_optimizers_verifies_and_accounts(self):
+        federation, query = dmv_fig1()
+        kit = kit_for_federation(federation, query)
+        runs = run_optimizers(kit, [FilterOptimizer()])
+        assert len(runs) == 1
+        run = runs[0]
+        assert run.correct
+        assert run.actual_cost > 0
+        assert run.messages == 6
+        # harness resets traffic afterwards
+        assert federation.total_messages() == 0

@@ -1,0 +1,78 @@
+"""Unit tests for report formatting and persistence."""
+
+from __future__ import annotations
+
+import math
+import os
+
+import pytest
+
+from repro.bench.report import (
+    Table,
+    format_cell,
+    join_sections,
+    results_dir,
+    write_report,
+)
+
+
+class TestFormatCell:
+    def test_floats(self):
+        assert format_cell(2.5) == "2.500"
+        assert format_cell(12.34) == "12.3"
+        assert format_cell(1234.5) == "1,234"
+        assert format_cell(0.0) == "0"
+        assert format_cell(math.inf) == "inf"
+
+    def test_non_floats(self):
+        assert format_cell(3) == "3"
+        assert format_cell("x") == "x"
+        assert format_cell(True) == "True"
+
+
+class TestTable:
+    def test_render_alignment(self):
+        table = Table("demo", ["name", "value"])
+        table.add_row(["a", 1])
+        table.add_row(["longer", 123456.0])
+        rendered = table.render()
+        lines = rendered.splitlines()
+        assert lines[0] == "demo"
+        assert all("|" in line for line in lines[1:2])
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1  # all rows same width
+
+    def test_row_arity_checked(self):
+        table = Table("demo", ["a", "b"])
+        with pytest.raises(ValueError, match="cells"):
+            table.add_row([1])
+
+    def test_notes_appended(self):
+        table = Table("demo", ["a"])
+        table.add_row([1])
+        table.add_note("hello")
+        assert "note: hello" in table.render()
+
+    def test_empty_table_renders(self):
+        table = Table("empty", ["a", "b"])
+        assert "empty" in table.render()
+
+
+class TestSections:
+    def test_join_sections_skips_empty(self):
+        assert join_sections("a", "", "b") == "a\n\nb"
+
+
+class TestPersistence:
+    def test_write_report_respects_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        path = write_report("unit", "content")
+        assert os.path.dirname(path) == str(tmp_path)
+        with open(path) as handle:
+            assert handle.read() == "content\n"
+
+    def test_results_dir_created(self, tmp_path, monkeypatch):
+        target = tmp_path / "nested"
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(target))
+        assert results_dir() == str(target)
+        assert target.is_dir()

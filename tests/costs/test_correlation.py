@@ -1,0 +1,147 @@
+"""Unit tests for the correlation-aware size estimator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.costs.correlation import CorrelatedSizeEstimator, CorrelationModel
+from repro.costs.estimates import SizeEstimator
+from repro.errors import StatisticsError
+from repro.query.fusion import FusionQuery
+from repro.relational.relation import Relation
+from repro.relational.schema import dmv_schema
+from repro.sources.generators import dmv_fig1
+from repro.sources.registry import Federation
+from repro.sources.remote import RemoteSource
+from repro.sources.statistics import ExactStatistics
+from repro.sources.table_source import TableSource
+
+
+def correlated_federation():
+    """Entities where condition A implies condition B — strong positive
+    correlation that independence misses entirely."""
+    rows = []
+    for i in range(60):
+        item = f"E{i:03d}"
+        if i < 20:
+            rows.append((item, "dui", 1995))  # A and (below) B
+            rows.append((item, "sp", 1995))
+        elif i < 40:
+            rows.append((item, "sp", 1990))  # B only
+        else:
+            rows.append((item, "parking", 1990))  # neither
+    relation = Relation("R1", dmv_schema(), rows)
+    return Federation([RemoteSource(TableSource(relation))])
+
+
+class TestCorrelationModel:
+    def test_marginals_match_data(self):
+        federation = correlated_federation()
+        query = FusionQuery.from_strings("L", ["V = 'dui'", "V = 'sp'"])
+        model = CorrelationModel.from_federation(
+            federation, query.conditions, sample_size=1000, seed=0
+        )
+        dui, sp = query.conditions
+        assert model.marginal(dui) == pytest.approx(20 / 60)
+        assert model.marginal(sp) == pytest.approx(40 / 60)
+        assert model.joint(dui, sp) == pytest.approx(20 / 60)
+
+    def test_conditional_and_lift(self):
+        federation = correlated_federation()
+        query = FusionQuery.from_strings("L", ["V = 'dui'", "V = 'sp'"])
+        model = CorrelationModel.from_federation(
+            federation, query.conditions, sample_size=1000, seed=0
+        )
+        dui, sp = query.conditions
+        # dui implies sp: P(sp | dui) = 1.
+        assert model.conditional(sp, dui) == pytest.approx(1.0)
+        # lift = (1/3) / (1/3 * 2/3) = 1.5 > 1 (positive correlation)
+        assert model.lift(dui, sp) == pytest.approx(1.5)
+
+    def test_unknown_pair_returns_none(self):
+        federation = correlated_federation()
+        query = FusionQuery.from_strings("L", ["V = 'dui'", "V = 'sp'"])
+        model = CorrelationModel.from_federation(
+            federation, query.conditions, seed=0
+        )
+        from repro.relational.parser import parse_condition
+
+        other = parse_condition("D = 1990")
+        assert model.marginal(other) is None
+        assert model.conditional(other, query.conditions[0]) is None
+
+    def test_requires_conditions_and_data(self):
+        federation = correlated_federation()
+        with pytest.raises(StatisticsError):
+            CorrelationModel.from_federation(federation, [], seed=0)
+
+    def test_sampling_is_deterministic(self):
+        federation = correlated_federation()
+        query = FusionQuery.from_strings("L", ["V = 'dui'", "V = 'sp'"])
+        a = CorrelationModel.from_federation(
+            federation, query.conditions, sample_size=30, seed=5
+        )
+        b = CorrelationModel.from_federation(
+            federation, query.conditions, sample_size=30, seed=5
+        )
+        assert a.marginals == b.marginals
+        assert a.joints == b.joints
+
+
+class TestCorrelatedSizeEstimator:
+    def test_corrects_independence_underestimate(self):
+        """Independence predicts |X2| = 60·(1/3)·(2/3) ≈ 13.3; the true
+        fused answer has 20 items.  The correlated estimator nails it."""
+        federation = correlated_federation()
+        query = FusionQuery.from_strings("L", ["V = 'dui'", "V = 'sp'"])
+        statistics = ExactStatistics(federation)
+        plain = SizeEstimator(statistics, federation.source_names)
+        model = CorrelationModel.from_federation(
+            federation, query.conditions, sample_size=1000, seed=0
+        )
+        correlated = CorrelatedSizeEstimator(
+            statistics, federation.source_names, model
+        )
+        independent_guess = plain.prefix_size(query.conditions)
+        corrected_guess = correlated.prefix_size(query.conditions)
+        assert independent_guess == pytest.approx(60 * (1 / 3) * (2 / 3))
+        assert corrected_guess == pytest.approx(20.0)
+
+    def test_falls_back_to_independence_for_unregistered(self):
+        federation, query = dmv_fig1()
+        statistics = ExactStatistics(federation)
+        model = CorrelationModel.from_federation(
+            federation, query.conditions, seed=0
+        )
+        correlated = CorrelatedSizeEstimator(
+            statistics, federation.source_names, model
+        )
+        plain = SizeEstimator(statistics, federation.source_names)
+        from repro.relational.parser import parse_condition
+
+        unregistered = [parse_condition("D = 1993"), parse_condition("D = 1994")]
+        assert correlated.prefix_size(unregistered) == pytest.approx(
+            plain.prefix_size(unregistered)
+        )
+
+    def test_drop_in_for_optimizers(self):
+        from repro.costs.charge import ChargeCostModel
+        from repro.mediator.executor import Executor
+        from repro.mediator.reference import reference_answer
+        from repro.optimize.sja import SJAOptimizer
+
+        federation = correlated_federation()
+        query = FusionQuery.from_strings("L", ["V = 'dui'", "V = 'sp'"])
+        statistics = ExactStatistics(federation)
+        model = CorrelationModel.from_federation(
+            federation, query.conditions, seed=0
+        )
+        estimator = CorrelatedSizeEstimator(
+            statistics, federation.source_names, model
+        )
+        cost_model = ChargeCostModel.for_federation(federation, estimator)
+        result = SJAOptimizer().optimize(
+            query, federation.source_names, cost_model, estimator
+        )
+        execution = Executor(federation).execute(result.plan)
+        assert execution.items == reference_answer(federation, query)

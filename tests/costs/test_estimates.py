@@ -1,0 +1,73 @@
+"""Unit tests for size estimation under independence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.costs.estimates import SizeEstimator
+from repro.relational.parser import parse_condition
+from repro.sources.generators import dmv_fig1
+from repro.sources.statistics import ExactStatistics
+
+DUI = parse_condition("V = 'dui'")
+SP = parse_condition("V = 'sp'")
+
+
+@pytest.fixture
+def estimator():
+    federation, __ = dmv_fig1()
+    return SizeEstimator(ExactStatistics(federation), federation.source_names)
+
+
+class TestPerSource:
+    def test_coverage(self, estimator):
+        # R1 holds 3 of the 5 universe items.
+        assert estimator.coverage("R1") == pytest.approx(3 / 5)
+        assert estimator.coverage("R3") == pytest.approx(2 / 5)
+
+    def test_sq_output_size_is_exact_for_oracle_stats(self, estimator):
+        # R1: items {J55, T80} satisfy dui -> 2
+        assert estimator.sq_output_size(DUI, "R1") == pytest.approx(2.0)
+        # R3: both items satisfy sp -> 2
+        assert estimator.sq_output_size(SP, "R3") == pytest.approx(2.0)
+
+    def test_match_fraction(self, estimator):
+        # P(item at R1 and dui there) = coverage 3/5 * selectivity 2/3 = 2/5
+        assert estimator.match_fraction(DUI, "R1") == pytest.approx(0.4)
+
+    def test_sjq_output_size_linear_in_input(self, estimator):
+        small = estimator.sjq_output_size(DUI, "R1", 5)
+        large = estimator.sjq_output_size(DUI, "R1", 10)
+        assert large == pytest.approx(2 * small)
+
+
+class TestFederationWide:
+    def test_global_selectivity_bounds(self, estimator):
+        g = estimator.global_selectivity(DUI)
+        assert 0.0 < g <= 1.0
+        # At least the per-source max: mf(R1)=0.4, mf(R2)=1/5, mf(R3)=0.
+        assert g >= 0.4
+
+    def test_union_selection_size(self, estimator):
+        assert estimator.union_selection_size(DUI) == pytest.approx(
+            5 * estimator.global_selectivity(DUI)
+        )
+
+    def test_prefix_size_multiplies(self, estimator):
+        single = estimator.prefix_size([DUI])
+        double = estimator.prefix_size([DUI, SP])
+        assert double == pytest.approx(
+            single * estimator.global_selectivity(SP)
+        )
+
+    def test_prefix_empty_is_universe(self, estimator):
+        assert estimator.prefix_size([]) == 5.0
+
+    def test_answer_size_alias(self, estimator):
+        assert estimator.answer_size([DUI, SP]) == estimator.prefix_size(
+            [DUI, SP]
+        )
+
+    def test_global_selectivity_cached(self, estimator):
+        first = estimator.global_selectivity(DUI)
+        assert estimator.global_selectivity(DUI) == first

@@ -1,0 +1,120 @@
+"""Unit tests for one-phase vs two-phase record retrieval."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mediator.phases import (
+    PhaseStrategy,
+    answer_with_records,
+    estimate_one_phase_cost,
+    estimate_two_phase_cost,
+)
+from repro.mediator.reference import reference_answer
+from repro.mediator.session import Mediator
+from repro.sources.generators import (
+    DMV_FIG1_ANSWER,
+    SyntheticConfig,
+    build_synthetic,
+    dmv_fig1,
+    synthetic_query,
+)
+
+
+@pytest.fixture
+def synthetic():
+    config = SyntheticConfig(n_sources=4, n_entities=300, seed=77)
+    federation = build_synthetic(config)
+    query = synthetic_query(config, m=3, seed=79)
+    return federation, query
+
+
+class TestStrategies:
+    @pytest.mark.parametrize(
+        "strategy", [PhaseStrategy.TWO_PHASE, PhaseStrategy.ONE_PHASE]
+    )
+    def test_both_strategies_find_same_entities(self, synthetic, strategy):
+        federation, query = synthetic
+        mediator = Mediator(federation)
+        result = answer_with_records(mediator, query, strategy)
+        assert result.items == reference_answer(federation, query)
+        assert result.strategy is strategy
+
+    def test_dmv_answer(self):
+        federation, query = dmv_fig1()
+        result = answer_with_records(Mediator(federation), query)
+        assert result.items == DMV_FIG1_ANSWER
+
+    def test_records_belong_to_matches(self, synthetic):
+        federation, query = synthetic
+        mediator = Mediator(federation)
+        for strategy in (PhaseStrategy.TWO_PHASE, PhaseStrategy.ONE_PHASE):
+            federation.reset_traffic()
+            result = answer_with_records(mediator, query, strategy)
+            assert result.records.items() <= result.items
+
+    def test_one_phase_records_subset_of_two_phase(self, synthetic):
+        """One-phase keeps qualifying rows; two-phase fetches all rows of
+        matched entities — a superset."""
+        federation, query = synthetic
+        mediator = Mediator(federation)
+        two = answer_with_records(mediator, query, PhaseStrategy.TWO_PHASE)
+        federation.reset_traffic()
+        one = answer_with_records(mediator, query, PhaseStrategy.ONE_PHASE)
+        assert set(one.records.rows) <= set(two.records.rows)
+
+    def test_sql_accepted(self):
+        federation, query = dmv_fig1()
+        result = answer_with_records(Mediator(federation), query.to_sql())
+        assert result.items == DMV_FIG1_ANSWER
+
+
+class TestAutoChoice:
+    def test_auto_picks_cheaper_estimate(self, synthetic):
+        federation, query = synthetic
+        mediator = Mediator(federation)
+        result = answer_with_records(mediator, query, PhaseStrategy.AUTO)
+        if result.estimated_one_phase < result.estimated_two_phase:
+            assert result.strategy is PhaseStrategy.ONE_PHASE
+        else:
+            assert result.strategy is PhaseStrategy.TWO_PHASE
+
+    def test_estimates_positive(self, synthetic):
+        federation, query = synthetic
+        mediator = Mediator(federation)
+        assert estimate_one_phase_cost(mediator, query) > 0
+        assert estimate_two_phase_cost(mediator, query) > 0
+
+    def test_selective_query_prefers_two_phase(self):
+        """Highly selective conditions -> tiny answer -> phase 2 cheap."""
+        config = SyntheticConfig(
+            n_sources=4,
+            n_entities=800,
+            rows_per_entity=(2, 4),
+            load_range=(10.0, 10.0),  # rows are expensive to ship
+            seed=101,
+        )
+        federation = build_synthetic(config)
+        from repro.relational.conditions import Comparison
+
+        from repro.query.fusion import FusionQuery
+
+        query = FusionQuery(
+            "id",
+            (
+                Comparison("score", "<", 60),
+                Comparison("score", ">=", 940),
+            ),
+        )
+        mediator = Mediator(federation)
+        result = answer_with_records(mediator, query, PhaseStrategy.AUTO)
+        assert result.strategy is PhaseStrategy.TWO_PHASE
+
+    def test_accounting_matches_traffic(self, synthetic):
+        federation, query = synthetic
+        mediator = Mediator(federation)
+        federation.reset_traffic()
+        result = answer_with_records(mediator, query, PhaseStrategy.ONE_PHASE)
+        assert result.actual_cost == pytest.approx(
+            federation.total_traffic_cost()
+        )

@@ -1,0 +1,65 @@
+"""Unit tests for the reference evaluator (the correctness oracle)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import QueryError
+from repro.mediator.reference import (
+    items_satisfying_anywhere,
+    reference_answer,
+    reference_answer_via_join,
+)
+from repro.query.fusion import FusionQuery
+from repro.sources.generators import (
+    DMV_FIG1_ANSWER,
+    SyntheticConfig,
+    build_synthetic,
+    dmv_fig1,
+    synthetic_query,
+)
+
+
+class TestDMV:
+    def test_paper_answer(self, dmv):
+        federation, query = dmv
+        assert reference_answer(federation, query) == DMV_FIG1_ANSWER
+
+    def test_join_oracle_agrees(self, dmv):
+        federation, query = dmv
+        assert reference_answer_via_join(federation, query) == (
+            DMV_FIG1_ANSWER
+        )
+
+    def test_per_condition_sets(self, dmv):
+        federation, query = dmv
+        union_view = federation.union_view()
+        dui_items, sp_items = items_satisfying_anywhere(union_view, query)
+        assert dui_items == frozenset({"J55", "T80", "T21"})
+        assert sp_items == frozenset({"T21", "J55", "T11", "S07"})
+
+    def test_single_condition_query(self, dmv_federation):
+        query = FusionQuery.from_strings("L", ["V = 'dui'"])
+        assert reference_answer(dmv_federation, query) == frozenset(
+            {"J55", "T80", "T21"}
+        )
+
+    def test_unsatisfiable_query(self, dmv_federation):
+        query = FusionQuery.from_strings("L", ["V = 'dui'", "V = 'nope'"])
+        assert reference_answer(dmv_federation, query) == frozenset()
+
+    def test_validates_schema(self, dmv_federation):
+        query = FusionQuery.from_strings("Z", ["V = 'dui'"])
+        with pytest.raises(QueryError):
+            reference_answer(dmv_federation, query)
+
+
+class TestOraclesAgree:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_intersection_and_join_oracles_agree_on_synthetic(self, seed):
+        config = SyntheticConfig(n_sources=3, n_entities=120, seed=seed)
+        federation = build_synthetic(config)
+        query = synthetic_query(config, m=3, seed=seed + 50)
+        assert reference_answer(federation, query) == (
+            reference_answer_via_join(federation, query)
+        )

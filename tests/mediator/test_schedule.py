@@ -1,0 +1,141 @@
+"""Unit tests for the parallel-execution response-time model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.costs.estimates import SizeEstimator
+from repro.mediator.executor import Executor
+from repro.mediator.schedule import (
+    estimated_response_time,
+    response_time,
+)
+from repro.plans.builder import (
+    build_filter_plan,
+    build_staged_plan,
+    uniform_choices,
+)
+from repro.sources.generators import dmv_fig1
+from repro.sources.statistics import ExactStatistics
+
+
+@pytest.fixture
+def kit():
+    federation, query = dmv_fig1()
+    estimator = SizeEstimator(
+        ExactStatistics(federation), federation.source_names
+    )
+    return federation, query, estimator
+
+
+class TestActualScheduling:
+    def test_filter_plan_parallelizes_across_sources(self, kit):
+        federation, query, __ = kit
+        plan = build_filter_plan(query, federation.source_names)
+        execution = Executor(federation).execute(plan)
+        schedule = response_time(plan, execution)
+        # 6 selections over 3 sources: 2 rounds per source in parallel.
+        assert schedule.makespan_s < schedule.total_time_s
+        assert schedule.parallel_speedup == pytest.approx(3.0, rel=0.05)
+
+    def test_semijoin_stage_waits_for_binding_set(self, kit):
+        federation, query, __ = kit
+        plan = build_staged_plan(
+            query,
+            [0, 1],
+            uniform_choices(2, 3, [False, True]),
+            federation.source_names,
+        )
+        execution = Executor(federation).execute(plan)
+        schedule = response_time(plan, execution)
+        # Every semijoin starts only after all stage-1 selections finished.
+        stage1_finish = max(
+            op.finish_s
+            for op in schedule.ops
+            if op.operation.remote and op.operation.kind.value == "sq"
+        )
+        for op in schedule.ops:
+            if op.operation.remote and op.operation.kind.value == "sjq":
+                assert op.start_s >= stage1_finish - 1e-12
+
+    def test_same_source_ops_serialize(self, kit):
+        federation, query, __ = kit
+        plan = build_filter_plan(query, federation.source_names)
+        execution = Executor(federation).execute(plan)
+        schedule = response_time(plan, execution)
+        by_source: dict[str, list] = {}
+        for op in schedule.ops:
+            if op.operation.remote:
+                by_source.setdefault(op.operation.source, []).append(op)
+        for ops in by_source.values():
+            ops.sort(key=lambda op: op.start_s)
+            for earlier, later in zip(ops, ops[1:]):
+                assert later.start_s >= earlier.finish_s - 1e-12
+
+    def test_makespan_bounds(self, kit):
+        federation, query, __ = kit
+        plan = build_filter_plan(query, federation.source_names)
+        execution = Executor(federation).execute(plan)
+        schedule = response_time(plan, execution)
+        longest_single = max(
+            step.elapsed_s for step in execution.steps
+        )
+        assert longest_single <= schedule.makespan_s <= schedule.total_time_s
+
+    def test_critical_path_ends_at_makespan(self, kit):
+        federation, query, __ = kit
+        plan = build_staged_plan(
+            query,
+            [0, 1],
+            uniform_choices(2, 3, [False, True]),
+            federation.source_names,
+        )
+        execution = Executor(federation).execute(plan)
+        schedule = response_time(plan, execution)
+        path = schedule.critical_path()
+        assert path
+        assert path[-1].finish_s == pytest.approx(schedule.makespan_s)
+        for earlier, later in zip(path, path[1:]):
+            assert earlier.finish_s <= later.start_s + 1e-12
+
+    def test_mismatched_trace_rejected(self, kit):
+        federation, query, __ = kit
+        plan = build_filter_plan(query, federation.source_names)
+        execution = Executor(federation).execute(plan)
+        execution.steps.pop()
+        with pytest.raises(ValueError, match="does not match"):
+            response_time(plan, execution)
+
+
+class TestEstimatedScheduling:
+    def test_estimate_matches_actual_with_oracle_stats(self, kit):
+        """The filter plan's traffic is exactly predictable, so the
+        estimated makespan must equal the measured one."""
+        federation, query, estimator = kit
+        plan = build_filter_plan(query, federation.source_names)
+        execution = Executor(federation).execute(plan)
+        actual = response_time(plan, execution)
+        estimated = estimated_response_time(plan, federation, estimator)
+        assert estimated.makespan_s == pytest.approx(
+            actual.makespan_s, rel=0.01
+        )
+
+    def test_emulated_semijoins_serialize_in_estimate(self, kit):
+        from repro.sources.capabilities import SourceCapabilities
+
+        federation, query, estimator = kit
+        for source in federation:
+            source.capabilities = SourceCapabilities.selection_only()
+        plan = build_staged_plan(
+            query,
+            [0, 1],
+            uniform_choices(2, 3, [False, True]),
+            federation.source_names,
+        )
+        schedule = estimated_response_time(plan, federation, estimator)
+        native_federation, __ = dmv_fig1()
+        native = estimated_response_time(
+            plan, native_federation, estimator
+        )
+        # Per-binding round trips dominate: emulation is much slower.
+        assert schedule.makespan_s > native.makespan_s

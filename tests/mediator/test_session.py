@@ -1,0 +1,127 @@
+"""Unit tests for the Mediator facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NotAFusionQueryError, QueryError
+from repro.mediator.session import Mediator
+from repro.optimize.filter import FilterOptimizer
+from repro.optimize.sja import SJAOptimizer
+from repro.sources.generators import DMV_FIG1_ANSWER, dmv_fig1
+from repro.sources.statistics import SampledStatistics
+
+
+class TestAnswer:
+    def test_structured_query(self, dmv_mediator, dmv_query):
+        answer = dmv_mediator.answer(dmv_query)
+        assert answer.items == DMV_FIG1_ANSWER
+        assert answer.verified is True
+
+    def test_sql_query(self, dmv_mediator):
+        sql = (
+            "SELECT u1.L FROM U u1, U u2 "
+            "WHERE u1.L = u2.L AND u1.V = 'dui' AND u2.V = 'sp'"
+        )
+        answer = dmv_mediator.answer(sql)
+        assert answer.items == DMV_FIG1_ANSWER
+
+    def test_bad_sql_rejected(self, dmv_mediator):
+        with pytest.raises(NotAFusionQueryError):
+            dmv_mediator.answer("SELECT * FROM U")
+
+    def test_query_validated_against_schema(self, dmv_mediator):
+        sql = (
+            "SELECT u1.L FROM U u1, U u2 "
+            "WHERE u1.L = u2.L AND u1.ZZZ = 'x' AND u2.V = 'sp'"
+        )
+        with pytest.raises(Exception):
+            dmv_mediator.answer(sql)
+
+    def test_summary_mentions_costs(self, dmv_mediator, dmv_query):
+        answer = dmv_mediator.answer(dmv_query)
+        assert "estimated cost" in answer.summary()
+        assert "actual cost" in answer.summary()
+
+
+class TestConfiguration:
+    def test_custom_optimizer(self, dmv_federation, dmv_query):
+        mediator = Mediator(
+            dmv_federation, optimizer=FilterOptimizer(), verify=True
+        )
+        answer = mediator.answer(dmv_query)
+        assert answer.optimization.optimizer == "FILTER"
+        assert answer.items == DMV_FIG1_ANSWER
+
+    def test_custom_statistics(self, dmv_query):
+        federation, __ = dmv_fig1()
+        mediator = Mediator(
+            federation,
+            statistics=SampledStatistics(federation, fraction=0.5, seed=0),
+            optimizer=SJAOptimizer(),
+            verify=True,
+        )
+        answer = mediator.answer(dmv_query)
+        assert answer.items == DMV_FIG1_ANSWER
+
+    def test_plan_without_execution(self, dmv_mediator, dmv_query):
+        result = dmv_mediator.plan(dmv_query)
+        assert result.plan.result
+        # planning must not touch the sources
+        assert dmv_mediator.federation.total_messages() == 0
+
+    def test_explain_text(self, dmv_mediator, dmv_query):
+        text = dmv_mediator.explain(dmv_query)
+        assert "estimated total cost" in text
+        assert "c1" in text
+
+
+class TestPlanCache:
+    def test_repeated_queries_hit_the_cache(self, dmv_federation, dmv_query):
+        mediator = Mediator(dmv_federation, cache_plans=True, verify=True)
+        first = mediator.answer(dmv_query)
+        second = mediator.answer(dmv_query)
+        assert mediator.plan_cache_hits == 1
+        assert first.plan == second.plan
+        assert second.items == DMV_FIG1_ANSWER
+
+    def test_different_queries_miss(self, dmv_federation, dmv_query):
+        from repro.query.fusion import FusionQuery
+
+        mediator = Mediator(dmv_federation, cache_plans=True)
+        mediator.plan(dmv_query)
+        mediator.plan(FusionQuery.from_strings("L", ["V = 'sp'"]))
+        assert mediator.plan_cache_hits == 0
+
+    def test_cache_off_by_default(self, dmv_mediator, dmv_query):
+        dmv_mediator.plan(dmv_query)
+        dmv_mediator.plan(dmv_query)
+        assert dmv_mediator.plan_cache_hits == 0
+
+    def test_clear_plan_cache(self, dmv_federation, dmv_query):
+        mediator = Mediator(dmv_federation, cache_plans=True)
+        mediator.plan(dmv_query)
+        mediator.clear_plan_cache()
+        mediator.plan(dmv_query)
+        assert mediator.plan_cache_hits == 0
+
+    def test_explain_also_uses_cache(self, dmv_federation, dmv_query):
+        mediator = Mediator(dmv_federation, cache_plans=True)
+        mediator.plan(dmv_query)
+        mediator.explain(dmv_query)
+        assert mediator.plan_cache_hits == 1
+
+
+class TestTwoPhase:
+    def test_fetch_records_returns_full_rows(self, dmv_mediator, dmv_query):
+        answer = dmv_mediator.answer(dmv_query)
+        records = dmv_mediator.fetch_records(answer.items)
+        assert records.items() == DMV_FIG1_ANSWER
+        # J55 has one row each at R1/R2; T21 one each at R1/R2/R3 -> 5 rows.
+        assert len(records) == 5
+
+    def test_fetch_records_charges_traffic(self, dmv_mediator, dmv_query):
+        answer = dmv_mediator.answer(dmv_query)
+        before = dmv_mediator.federation.total_traffic_cost()
+        dmv_mediator.fetch_records(answer.items)
+        assert dmv_mediator.federation.total_traffic_cost() > before

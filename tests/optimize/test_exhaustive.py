@@ -1,0 +1,119 @@
+"""Brute-force validation of SJ and SJA optimality (Sec. 3 claims)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.costs.charge import ChargeCostModel
+from repro.costs.estimates import SizeEstimator
+from repro.errors import OptimizationError
+from repro.optimize.exhaustive import (
+    ExhaustiveAdaptiveOptimizer,
+    ExhaustiveSemijoinOptimizer,
+)
+from repro.optimize.sj import SJOptimizer
+from repro.optimize.sja import SJAOptimizer
+from repro.plans.cost import estimate_plan_cost
+from repro.plans.space import random_simple_plan
+from repro.sources.generators import (
+    SyntheticConfig,
+    build_synthetic,
+    synthetic_query,
+)
+from repro.sources.statistics import ExactStatistics
+
+
+def make_kit(n_sources=3, m=3, seed=0, **config_kwargs):
+    config = SyntheticConfig(
+        n_sources=n_sources, n_entities=150, seed=seed, **config_kwargs
+    )
+    federation = build_synthetic(config)
+    query = synthetic_query(config, m=m, seed=seed + 1)
+    estimator = SizeEstimator(
+        ExactStatistics(federation), federation.source_names
+    )
+    model = ChargeCostModel.for_federation(federation, estimator)
+    return federation, query, model, estimator
+
+
+class TestSJOptimality:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_sj_matches_exhaustive_semijoin_search(self, seed):
+        federation, query, model, estimator = make_kit(
+            n_sources=4, m=3, seed=seed
+        )
+        fast = SJOptimizer().optimize(
+            query, federation.source_names, model, estimator
+        )
+        brute = ExhaustiveSemijoinOptimizer().optimize(
+            query, federation.source_names, model, estimator
+        )
+        assert fast.estimated_cost == pytest.approx(brute.estimated_cost)
+
+    def test_guard_on_large_m(self):
+        federation, query, model, estimator = make_kit(m=3)
+        tiny_guard = ExhaustiveSemijoinOptimizer(max_specs=2)
+        with pytest.raises(OptimizationError, match="guard"):
+            tiny_guard.optimize(
+                query, federation.source_names, model, estimator
+            )
+
+
+class TestSJAOptimality:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_sja_matches_exhaustive_adaptive_search(self, seed):
+        federation, query, model, estimator = make_kit(
+            n_sources=3, m=3, seed=seed
+        )
+        fast = SJAOptimizer().optimize(
+            query, federation.source_names, model, estimator
+        )
+        brute = ExhaustiveAdaptiveOptimizer().optimize(
+            query, federation.source_names, model, estimator
+        )
+        assert fast.estimated_cost == pytest.approx(brute.estimated_cost)
+
+    def test_sja_optimal_with_heterogeneous_capabilities(self):
+        federation, query, model, estimator = make_kit(
+            n_sources=3,
+            m=2,
+            seed=5,
+            native_fraction=0.4,
+            emulated_fraction=0.3,
+            overhead_range=(2.0, 50.0),
+        )
+        fast = SJAOptimizer().optimize(
+            query, federation.source_names, model, estimator
+        )
+        brute = ExhaustiveAdaptiveOptimizer().optimize(
+            query, federation.source_names, model, estimator
+        )
+        assert fast.estimated_cost == pytest.approx(brute.estimated_cost)
+
+
+class TestSJABeatsSampledSimplePlans:
+    """Sec. 3 / [24]: for m = 2 the best semijoin-adaptive plan is the
+    best *simple* plan.  We cannot enumerate all simple plans, so we
+    sample generalized staged plans (arbitrary earlier binding sets) and
+    check none beats SJA under the generic coster."""
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_no_sampled_simple_plan_beats_sja_for_m2(self, seed):
+        federation, query, model, estimator = make_kit(
+            n_sources=4, m=2, seed=seed
+        )
+        sja = SJAOptimizer().optimize(
+            query, federation.source_names, model, estimator
+        )
+        sja_cost = estimate_plan_cost(sja.plan, model, estimator).total
+        rng = random.Random(seed)
+        for __ in range(60):
+            candidate = random_simple_plan(
+                query, federation.source_names, rng
+            )
+            candidate_cost = estimate_plan_cost(
+                candidate, model, estimator
+            ).total
+            assert sja_cost <= candidate_cost + 1e-6

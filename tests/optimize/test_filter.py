@@ -1,0 +1,61 @@
+"""Unit tests for the FILTER algorithm."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import OptimizationError
+from repro.mediator.executor import Executor
+from repro.mediator.reference import reference_answer
+from repro.optimize.filter import FilterOptimizer
+from repro.plans.classify import PlanClass, classify
+
+
+class TestFilterOptimizer:
+    def test_plan_shape_is_m_by_n(self, synthetic_setup):
+        federation, query, model, estimator = synthetic_setup
+        result = FilterOptimizer().optimize(
+            query, federation.source_names, model, estimator
+        )
+        assert result.plan.remote_op_count == query.arity * federation.size
+        assert classify(result.plan) is PlanClass.FILTER
+
+    def test_cost_is_sum_of_all_selections(self, synthetic_setup):
+        federation, query, model, estimator = synthetic_setup
+        result = FilterOptimizer().optimize(
+            query, federation.source_names, model, estimator
+        )
+        expected = sum(
+            model.sq_cost(condition, source)
+            for condition in query.conditions
+            for source in federation.source_names
+        )
+        assert result.estimated_cost == pytest.approx(expected)
+
+    def test_no_search_performed(self, synthetic_setup):
+        federation, query, model, estimator = synthetic_setup
+        result = FilterOptimizer().optimize(
+            query, federation.source_names, model, estimator
+        )
+        assert result.plans_considered == 1
+        assert result.orderings_considered == 1
+
+    def test_executed_answer_matches_reference(self, synthetic_setup):
+        federation, query, model, estimator = synthetic_setup
+        result = FilterOptimizer().optimize(
+            query, federation.source_names, model, estimator
+        )
+        execution = Executor(federation).execute(result.plan)
+        assert execution.items == reference_answer(federation, query)
+
+    def test_empty_sources_rejected(self, synthetic_setup):
+        __, query, model, estimator = synthetic_setup
+        with pytest.raises(OptimizationError):
+            FilterOptimizer().optimize(query, [], model, estimator)
+
+    def test_summary_text(self, synthetic_setup):
+        federation, query, model, estimator = synthetic_setup
+        result = FilterOptimizer().optimize(
+            query, federation.source_names, model, estimator
+        )
+        assert "FILTER" in result.summary()

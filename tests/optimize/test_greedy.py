@@ -1,0 +1,133 @@
+"""Unit tests for the greedy polynomial-time optimizers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.costs.charge import ChargeCostModel
+from repro.costs.estimates import SizeEstimator
+from repro.mediator.executor import Executor
+from repro.mediator.reference import reference_answer
+from repro.optimize.filter import FilterOptimizer
+from repro.optimize.greedy import (
+    GreedySJAOptimizer,
+    GreedySJOptimizer,
+    SelectivityOrderOptimizer,
+)
+from repro.optimize.sj import SJOptimizer
+from repro.optimize.sja import SJAOptimizer
+from repro.plans.classify import is_semijoin_adaptive_plan, is_semijoin_plan
+from repro.sources.generators import (
+    SyntheticConfig,
+    build_synthetic,
+    synthetic_query,
+)
+from repro.sources.statistics import ExactStatistics
+
+GREEDIES = [SelectivityOrderOptimizer, GreedySJAOptimizer, GreedySJOptimizer]
+
+
+def make_kit(m=4, seed=0):
+    config = SyntheticConfig(n_sources=5, n_entities=200, seed=seed)
+    federation = build_synthetic(config)
+    query = synthetic_query(config, m=m, seed=seed + 100)
+    estimator = SizeEstimator(
+        ExactStatistics(federation), federation.source_names
+    )
+    model = ChargeCostModel.for_federation(federation, estimator)
+    return federation, query, model, estimator
+
+
+class TestGreedyCorrectness:
+    @pytest.mark.parametrize("optimizer_class", GREEDIES)
+    def test_answers_match_reference(self, optimizer_class):
+        federation, query, model, estimator = make_kit()
+        result = optimizer_class().optimize(
+            query, federation.source_names, model, estimator
+        )
+        execution = Executor(federation).execute(result.plan)
+        assert execution.items == reference_answer(federation, query)
+
+    @pytest.mark.parametrize("optimizer_class", GREEDIES)
+    def test_plans_are_semijoin_adaptive(self, optimizer_class):
+        federation, query, model, estimator = make_kit()
+        result = optimizer_class().optimize(
+            query, federation.source_names, model, estimator
+        )
+        assert is_semijoin_adaptive_plan(result.plan)
+
+
+class TestGreedyQuality:
+    @pytest.mark.parametrize("optimizer_class", GREEDIES)
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_at_least_as_good_as_filter(self, optimizer_class, seed):
+        federation, query, model, estimator = make_kit(seed=seed)
+        greedy = optimizer_class().optimize(
+            query, federation.source_names, model, estimator
+        )
+        flt = FilterOptimizer().optimize(
+            query, federation.source_names, model, estimator
+        )
+        assert greedy.estimated_cost <= flt.estimated_cost + 1e-9
+
+    @pytest.mark.parametrize("optimizer_class", GREEDIES)
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_within_reasonable_factor_of_sja(self, optimizer_class, seed):
+        """The paper says greedy variants are "still very good"; we
+        assert a loose 1.5x bound on these workloads."""
+        federation, query, model, estimator = make_kit(m=3, seed=seed)
+        greedy = optimizer_class().optimize(
+            query, federation.source_names, model, estimator
+        )
+        sja = SJAOptimizer().optimize(
+            query, federation.source_names, model, estimator
+        )
+        assert greedy.estimated_cost <= 1.5 * sja.estimated_cost + 1e-9
+        assert greedy.estimated_cost >= sja.estimated_cost - 1e-9
+
+    def test_greedy_searches_far_fewer_plans(self):
+        federation, query, model, estimator = make_kit(m=5)
+        greedy = GreedySJAOptimizer().optimize(
+            query, federation.source_names, model, estimator
+        )
+        sja = SJAOptimizer().optimize(
+            query, federation.source_names, model, estimator
+        )
+        assert greedy.plans_considered < sja.plans_considered
+
+    def test_selectivity_order_uses_single_ordering(self):
+        federation, query, model, estimator = make_kit(m=4)
+        result = SelectivityOrderOptimizer().optimize(
+            query, federation.source_names, model, estimator
+        )
+        assert result.orderings_considered == 1
+
+    def test_greedy_sj_emits_semijoin_class_plans(self):
+        federation, query, model, estimator = make_kit(m=3)
+        result = GreedySJOptimizer().optimize(
+            query, federation.source_names, model, estimator
+        )
+        assert is_semijoin_plan(result.plan)
+
+    def test_greedy_sj_never_beats_exact_sj(self):
+        for seed in range(3):
+            federation, query, model, estimator = make_kit(m=3, seed=seed)
+            greedy = GreedySJOptimizer().optimize(
+                query, federation.source_names, model, estimator
+            )
+            exact = SJOptimizer().optimize(
+                query, federation.source_names, model, estimator
+            )
+            assert exact.estimated_cost <= greedy.estimated_cost + 1e-9
+
+    def test_selectivity_ordering_sorts_by_global_selectivity(self):
+        federation, query, model, estimator = make_kit(m=4)
+        result = SelectivityOrderOptimizer().optimize(
+            query, federation.source_names, model, estimator
+        )
+        stage_conditions = [stage.condition for stage in result.plan.stages]
+        selectivities = [
+            estimator.global_selectivity(condition)
+            for condition in stage_conditions
+        ]
+        assert selectivities == sorted(selectivities)

@@ -1,0 +1,136 @@
+"""Unit tests for the response-time-aware optimizer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.costs.charge import ChargeCostModel
+from repro.costs.estimates import SizeEstimator
+from repro.mediator.executor import Executor
+from repro.mediator.reference import reference_answer
+from repro.mediator.schedule import estimated_response_time
+from repro.optimize.response_time import ResponseTimeSJAOptimizer
+from repro.optimize.sja import SJAOptimizer
+from repro.sources.generators import (
+    SyntheticConfig,
+    build_synthetic,
+    dmv_fig1,
+    synthetic_query,
+)
+from repro.sources.network import LinkProfile
+from repro.sources.statistics import ExactStatistics
+
+
+def make_kit(config, m, seed):
+    federation = build_synthetic(config)
+    query = synthetic_query(config, m=m, seed=seed)
+    estimator = SizeEstimator(
+        ExactStatistics(federation), federation.source_names
+    )
+    model = ChargeCostModel.for_federation(federation, estimator)
+    return federation, query, model, estimator
+
+
+class TestResponseTimeOptimizer:
+    def test_dmv_answer_correct(self):
+        federation, query = dmv_fig1()
+        estimator = SizeEstimator(
+            ExactStatistics(federation), federation.source_names
+        )
+        model = ChargeCostModel.for_federation(federation, estimator)
+        optimizer = ResponseTimeSJAOptimizer(federation)
+        result = optimizer.optimize(
+            query, federation.source_names, model, estimator
+        )
+        execution = Executor(federation).execute(result.plan)
+        assert execution.items == reference_answer(federation, query)
+        assert optimizer.last_schedule is not None
+        assert result.estimated_cost == pytest.approx(
+            optimizer.last_schedule.makespan_s
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_answers_correct_on_synthetic(self, seed):
+        config = SyntheticConfig(
+            n_sources=4,
+            n_entities=200,
+            native_fraction=0.5,
+            emulated_fraction=0.25,
+            seed=seed,
+        )
+        federation, query, model, estimator = make_kit(config, 3, seed + 7)
+        result = ResponseTimeSJAOptimizer(federation).optimize(
+            query, federation.source_names, model, estimator
+        )
+        execution = Executor(federation).execute(result.plan)
+        assert execution.items == reference_answer(federation, query)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_never_slower_than_sja_plan(self, seed):
+        """The RT optimizer's makespan <= the total-work SJA plan's —
+        otherwise it failed at its own objective."""
+        config = SyntheticConfig(
+            n_sources=5,
+            n_entities=250,
+            overhead_range=(2.0, 40.0),
+            receive_range=(1.0, 4.0),
+            seed=seed * 11,
+        )
+        federation, query, model, estimator = make_kit(config, 3, seed + 50)
+        rt_result = ResponseTimeSJAOptimizer(federation).optimize(
+            query, federation.source_names, model, estimator
+        )
+        sja_plan = SJAOptimizer().optimize(
+            query, federation.source_names, model, estimator
+        ).plan
+        sja_makespan = estimated_response_time(
+            sja_plan, federation, estimator
+        ).makespan_s
+        assert rt_result.estimated_cost <= sja_makespan + 1e-9
+
+    def test_work_vs_response_tension(self):
+        """Deep semijoin chains can minimize work yet lose on response
+        time to the filter plan; the RT optimizer must notice."""
+        federation, query = dmv_fig1(
+            # high latency makes extra rounds expensive in *time* while
+            # cheap transfers keep semijoins attractive in *work*.
+            link=LinkProfile(
+                request_overhead=1.0,
+                per_item_send=0.1,
+                per_item_receive=20.0,
+                latency_s=2.0,
+                items_per_s=10_000.0,
+            )
+        )
+        estimator = SizeEstimator(
+            ExactStatistics(federation), federation.source_names
+        )
+        model = ChargeCostModel.for_federation(federation, estimator)
+        sja = SJAOptimizer().optimize(
+            query, federation.source_names, model, estimator
+        )
+        rt = ResponseTimeSJAOptimizer(federation).optimize(
+            query, federation.source_names, model, estimator
+        )
+        sja_makespan = estimated_response_time(
+            sja.plan, federation, estimator
+        ).makespan_s
+        assert rt.estimated_cost <= sja_makespan
+        execution = Executor(federation).execute(rt.plan)
+        assert execution.items == reference_answer(federation, query)
+
+    def test_unsupported_sources_get_selections(self):
+        from repro.sources.capabilities import SourceCapabilities
+
+        federation, query = dmv_fig1(
+            capabilities=SourceCapabilities.minimal()
+        )
+        estimator = SizeEstimator(
+            ExactStatistics(federation), federation.source_names
+        )
+        model = ChargeCostModel.for_federation(federation, estimator)
+        result = ResponseTimeSJAOptimizer(federation).optimize(
+            query, federation.source_names, model, estimator
+        )
+        kinds = {op.kind.value for op in result.plan.remote_operations}
+        assert kinds == {"sq"}

@@ -1,0 +1,128 @@
+"""Unit tests for the SJA+ algorithm (Sec. 4.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mediator.executor import Executor
+from repro.mediator.reference import reference_answer
+from repro.optimize.sja import SJAOptimizer
+from repro.optimize.sja_plus import SJAPlusOptimizer
+from repro.plans.classify import PlanClass, classify
+from repro.plans.cost import estimate_plan_cost
+from repro.plans.operations import OpKind
+from repro.sources.generators import dmv_fig1
+from repro.sources.network import LinkProfile
+from repro.costs.charge import ChargeCostModel
+from repro.costs.estimates import SizeEstimator
+from repro.sources.statistics import ExactStatistics
+
+
+def semijoin_heavy_kit():
+    """A DMV variant where answers are expensive, making semijoins (and
+    hence difference pruning) attractive, while loads stay expensive."""
+    federation, query = dmv_fig1(
+        link=LinkProfile(
+            request_overhead=1.0,
+            per_item_send=5.0,
+            per_item_receive=50.0,
+            per_row_load=10_000.0,
+        )
+    )
+    estimator = SizeEstimator(
+        ExactStatistics(federation), federation.source_names
+    )
+    model = ChargeCostModel.for_federation(federation, estimator)
+    return federation, query, model, estimator
+
+
+class TestSJAPlus:
+    def test_never_worse_than_sja_under_generic_coster(self, synthetic_setup):
+        federation, query, model, estimator = synthetic_setup
+        sja = SJAOptimizer().optimize(
+            query, federation.source_names, model, estimator
+        )
+        sja_plus = SJAPlusOptimizer().optimize(
+            query, federation.source_names, model, estimator
+        )
+        sja_generic = estimate_plan_cost(sja.plan, model, estimator).total
+        assert sja_plus.estimated_cost <= sja_generic + 1e-9
+
+    def test_answer_preserved(self, synthetic_setup):
+        federation, query, model, estimator = synthetic_setup
+        result = SJAPlusOptimizer().optimize(
+            query, federation.source_names, model, estimator
+        )
+        execution = Executor(federation).execute(result.plan)
+        assert execution.items == reference_answer(federation, query)
+
+    def test_difference_pruning_applied_when_semijoins_present(self):
+        federation, query, model, estimator = semijoin_heavy_kit()
+        result = SJAPlusOptimizer(load_sources=False).optimize(
+            query, federation.source_names, model, estimator
+        )
+        counts = result.plan.count_by_kind()
+        assert counts.get(OpKind.SEMIJOIN, 0) > 0
+        assert counts.get(OpKind.DIFFERENCE, 0) > 0
+        assert classify(result.plan) is PlanClass.EXTENDED
+
+    def test_source_loading_applied_on_tiny_sources(self, dmv):
+        federation, query = dmv  # default link: loads are cheap vs queries
+        estimator = SizeEstimator(
+            ExactStatistics(federation), federation.source_names
+        )
+        model = ChargeCostModel.for_federation(federation, estimator)
+        result = SJAPlusOptimizer().optimize(
+            query, federation.source_names, model, estimator
+        )
+        assert result.plan.count_by_kind().get(OpKind.LOAD, 0) == 3
+
+    def test_passes_can_be_disabled(self, synthetic_setup):
+        federation, query, model, estimator = synthetic_setup
+        plain = SJAPlusOptimizer(
+            prune_difference=False, load_sources=False
+        ).optimize(query, federation.source_names, model, estimator)
+        sja = SJAOptimizer().optimize(
+            query, federation.source_names, model, estimator
+        )
+        assert plain.plan.operations == sja.plan.operations
+
+    def test_custom_base_optimizer(self, synthetic_setup):
+        from repro.optimize.greedy import SelectivityOrderOptimizer
+
+        federation, query, model, estimator = synthetic_setup
+        result = SJAPlusOptimizer(base=SelectivityOrderOptimizer()).optimize(
+            query, federation.source_names, model, estimator
+        )
+        execution = Executor(federation).execute(result.plan)
+        assert execution.items == reference_answer(federation, query)
+
+    def test_search_statistics_propagated(self, synthetic_setup):
+        federation, query, model, estimator = synthetic_setup
+        sja = SJAOptimizer().optimize(
+            query, federation.source_names, model, estimator
+        )
+        plus = SJAPlusOptimizer().optimize(
+            query, federation.source_names, model, estimator
+        )
+        assert plus.orderings_considered == sja.orderings_considered
+        assert plus.plans_considered == sja.plans_considered + 1
+        assert plus.optimizer == "SJA+"
+
+    def test_actual_cost_improves_on_dmv(self, dmv):
+        """End to end on Fig. 1: SJA+'s executed cost <= SJA's."""
+        federation, query = dmv
+        estimator = SizeEstimator(
+            ExactStatistics(federation), federation.source_names
+        )
+        model = ChargeCostModel.for_federation(federation, estimator)
+        executor = Executor(federation)
+        sja_plan = SJAOptimizer().optimize(
+            query, federation.source_names, model, estimator
+        ).plan
+        plus_plan = SJAPlusOptimizer().optimize(
+            query, federation.source_names, model, estimator
+        ).plan
+        sja_cost = executor.execute(sja_plan).total_cost
+        plus_cost = executor.execute(plus_plan).total_cost
+        assert plus_cost <= sja_cost + 1e-9

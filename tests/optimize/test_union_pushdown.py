@@ -1,0 +1,101 @@
+"""Unit tests for the Sec. 5 join-over-union baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import OptimizationError
+from repro.mediator.executor import Executor
+from repro.mediator.reference import reference_answer
+from repro.optimize.sja import SJAOptimizer
+from repro.optimize.union_pushdown import JoinOverUnionOptimizer
+from repro.plans.operations import OpKind
+
+
+class TestExpansion:
+    def test_subquery_count_is_n_to_the_m(self, dmv_query, dmv_federation,
+                                          dmv_cost_model, dmv_estimator):
+        result = JoinOverUnionOptimizer().optimize(
+            dmv_query, dmv_federation.source_names, dmv_cost_model,
+            dmv_estimator,
+        )
+        assert result.plans_considered == 3**2
+
+    def test_naive_mode_repeats_selections(self, dmv_query, dmv_federation,
+                                           dmv_cost_model, dmv_estimator):
+        result = JoinOverUnionOptimizer().optimize(
+            dmv_query, dmv_federation.source_names, dmv_cost_model,
+            dmv_estimator,
+        )
+        counts = result.plan.count_by_kind()
+        # 9 subqueries: each has 1 selection head + 1 semijoin tail.
+        assert counts[OpKind.SELECTION] == 9
+        assert counts[OpKind.SEMIJOIN] == 9
+
+    def test_cse_mode_dedupes_selections(self, dmv_query, dmv_federation,
+                                         dmv_cost_model, dmv_estimator):
+        result = JoinOverUnionOptimizer(eliminate_common=True).optimize(
+            dmv_query, dmv_federation.source_names, dmv_cost_model,
+            dmv_estimator,
+        )
+        counts = result.plan.count_by_kind()
+        # Only 3 distinct selection heads (c1 at each source) survive,
+        # and 9 semijoins collapse to 3x3 distinct (cond, source, input).
+        assert counts[OpKind.SELECTION] == 3
+        assert counts[OpKind.SEMIJOIN] == 9
+
+    def test_cse_never_costs_more_than_naive(self, dmv_query, dmv_federation,
+                                             dmv_cost_model, dmv_estimator):
+        naive = JoinOverUnionOptimizer().optimize(
+            dmv_query, dmv_federation.source_names, dmv_cost_model,
+            dmv_estimator,
+        )
+        cse = JoinOverUnionOptimizer(eliminate_common=True).optimize(
+            dmv_query, dmv_federation.source_names, dmv_cost_model,
+            dmv_estimator,
+        )
+        assert cse.estimated_cost <= naive.estimated_cost + 1e-9
+
+
+class TestSemantics:
+    def test_answer_matches_reference(self, dmv, dmv_cost_model,
+                                      dmv_estimator):
+        federation, query = dmv
+        for eliminate in (False, True):
+            result = JoinOverUnionOptimizer(eliminate).optimize(
+                query, federation.source_names, dmv_cost_model, dmv_estimator
+            )
+            execution = Executor(federation).execute(result.plan)
+            assert execution.items == reference_answer(federation, query)
+
+    def test_answer_matches_on_synthetic(self, synthetic_setup):
+        federation, query, model, estimator = synthetic_setup
+        result = JoinOverUnionOptimizer(eliminate_common=True).optimize(
+            query, federation.source_names, model, estimator
+        )
+        execution = Executor(federation).execute(result.plan)
+        assert execution.items == reference_answer(federation, query)
+
+
+class TestComparisonWithSJA:
+    def test_sja_is_cheaper(self, synthetic_setup):
+        """The whole point of Sec. 5: the expansion loses badly."""
+        federation, query, model, estimator = synthetic_setup
+        baseline = JoinOverUnionOptimizer().optimize(
+            query, federation.source_names, model, estimator
+        )
+        sja = SJAOptimizer().optimize(
+            query, federation.source_names, model, estimator
+        )
+        assert sja.estimated_cost < baseline.estimated_cost
+
+
+class TestGuard:
+    def test_blowup_guard_trips(self, dmv_query, dmv_federation,
+                                dmv_cost_model, dmv_estimator):
+        guarded = JoinOverUnionOptimizer(max_subqueries=5)
+        with pytest.raises(OptimizationError, match="blow-up"):
+            guarded.optimize(
+                dmv_query, dmv_federation.source_names, dmv_cost_model,
+                dmv_estimator,
+            )

@@ -1,0 +1,185 @@
+"""Unit tests for the staged-plan builder, checked against Fig. 2."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PlanValidationError
+from repro.plans.builder import (
+    IntersectPolicy,
+    StagedChoice,
+    all_selection_choices,
+    build_filter_plan,
+    build_staged_plan,
+    uniform_choices,
+)
+from repro.plans.operations import OpKind
+from repro.query.fusion import FusionQuery
+
+SOURCES = ["R1", "R2"]
+
+
+@pytest.fixture
+def query3():
+    """The Fig. 2 query: three conditions, two sources."""
+    return FusionQuery.from_strings(
+        "L", ["V = 'c1val'", "V = 'c2val'", "V = 'c3val'"]
+    )
+
+
+class TestFilterPlan:
+    def test_matches_fig_2a_shape(self, query3):
+        """Fig. 2(a): 6 selections, 3 unions, 2 intersections, 11 steps."""
+        plan = build_filter_plan(query3, SOURCES)
+        counts = plan.count_by_kind()
+        assert counts[OpKind.SELECTION] == 6
+        assert counts[OpKind.UNION] == 3
+        assert counts[OpKind.INTERSECT] == 2
+        assert len(plan) == 11
+        assert plan.result == "X3"
+
+    def test_step_sequence_matches_fig_2a(self, query3):
+        plan = build_filter_plan(query3, SOURCES)
+        rendered = [op.render(plan.condition_labels()) for op in plan]
+        assert rendered == [
+            "X1_1 := sq(c1, R1)",
+            "X1_2 := sq(c1, R2)",
+            "X1 := X1_1 ∪ X1_2",
+            "X2_1 := sq(c2, R1)",
+            "X2_2 := sq(c2, R2)",
+            "X2 := X2_1 ∪ X2_2",
+            "X2 := X1 ∩ X2",
+            "X3_1 := sq(c3, R1)",
+            "X3_2 := sq(c3, R2)",
+            "X3 := X3_1 ∪ X3_2",
+            "X3 := X2 ∩ X3",
+        ]
+
+
+class TestSemijoinPlan:
+    def test_matches_fig_2b_shape(self, query3):
+        """Fig. 2(b): c2 by semijoins, c1/c3 by selections, 10 steps."""
+        plan = build_staged_plan(
+            query3,
+            ordering=[0, 1, 2],
+            choices=uniform_choices(3, 2, [False, True, False]),
+            source_names=SOURCES,
+            intersect_policy=IntersectPolicy.AUTO,
+        )
+        rendered = [op.render(plan.condition_labels()) for op in plan]
+        assert rendered == [
+            "X1_1 := sq(c1, R1)",
+            "X1_2 := sq(c1, R2)",
+            "X1 := X1_1 ∪ X1_2",
+            "X2_1 := sjq(c2, R1, X1)",
+            "X2_2 := sjq(c2, R2, X1)",
+            "X2 := X2_1 ∪ X2_2",
+            "X3_1 := sq(c3, R1)",
+            "X3_2 := sq(c3, R2)",
+            "X3 := X3_1 ∪ X3_2",
+            "X3 := X2 ∩ X3",
+        ]
+
+
+class TestSemijoinAdaptivePlan:
+    def test_matches_fig_2c_shape(self, query3):
+        """Fig. 2(c): c2 mixed (sjq at R1, sq at R2), c3 by selections."""
+        choices = [
+            [StagedChoice.SELECTION, StagedChoice.SELECTION],
+            [StagedChoice.SEMIJOIN, StagedChoice.SELECTION],
+            [StagedChoice.SELECTION, StagedChoice.SELECTION],
+        ]
+        plan = build_staged_plan(
+            query3,
+            ordering=[0, 1, 2],
+            choices=choices,
+            source_names=SOURCES,
+            intersect_policy=IntersectPolicy.AUTO,
+        )
+        rendered = [op.render(plan.condition_labels()) for op in plan]
+        assert rendered == [
+            "X1_1 := sq(c1, R1)",
+            "X1_2 := sq(c1, R2)",
+            "X1 := X1_1 ∪ X1_2",
+            "X2_1 := sjq(c2, R1, X1)",
+            "X2_2 := sq(c2, R2)",
+            "X2 := X2_1 ∪ X2_2",
+            "X2 := X1 ∩ X2",
+            "X3_1 := sq(c3, R1)",
+            "X3_2 := sq(c3, R2)",
+            "X3 := X3_1 ∪ X3_2",
+            "X3 := X2 ∩ X3",
+        ]
+        assert len(plan) == 11
+
+
+class TestPolicies:
+    def test_always_policy_adds_intersect_to_pure_semijoin_stage(self, query3):
+        plan = build_staged_plan(
+            query3,
+            ordering=[0, 1, 2],
+            choices=uniform_choices(3, 2, [False, True, True]),
+            source_names=SOURCES,
+            intersect_policy=IntersectPolicy.ALWAYS,
+        )
+        assert plan.count_by_kind()[OpKind.INTERSECT] == 2
+
+    def test_auto_policy_omits_intersect_on_pure_semijoin_stage(self, query3):
+        plan = build_staged_plan(
+            query3,
+            ordering=[0, 1, 2],
+            choices=uniform_choices(3, 2, [False, True, True]),
+            source_names=SOURCES,
+            intersect_policy=IntersectPolicy.AUTO,
+        )
+        assert plan.count_by_kind().get(OpKind.INTERSECT, 0) == 0
+
+
+class TestOrdering:
+    def test_ordering_permutes_conditions(self, query3):
+        plan = build_staged_plan(
+            query3,
+            ordering=[2, 0, 1],
+            choices=all_selection_choices(3, 2),
+            source_names=SOURCES,
+        )
+        first_remote = plan.remote_operations[0]
+        assert first_remote.condition == query3.conditions[2]
+
+    def test_stage_annotations(self, query3):
+        plan = build_staged_plan(
+            query3,
+            ordering=[0, 1, 2],
+            choices=all_selection_choices(3, 2),
+            source_names=SOURCES,
+        )
+        assert len(plan.stages) == 3
+        assert plan.stages[0].input_register == ""
+        assert plan.stages[1].input_register == "X1"
+        assert plan.stages[2].source_registers == ("X3_1", "X3_2")
+
+
+class TestValidationErrors:
+    def test_bad_ordering(self, query3):
+        with pytest.raises(PlanValidationError, match="permutation"):
+            build_staged_plan(
+                query3, [0, 0, 1], all_selection_choices(3, 2), SOURCES
+            )
+
+    def test_wrong_choice_shape(self, query3):
+        with pytest.raises(PlanValidationError, match="stages x"):
+            build_staged_plan(
+                query3, [0, 1, 2], all_selection_choices(2, 2), SOURCES
+            )
+
+    def test_first_stage_must_be_selections(self, query3):
+        choices = all_selection_choices(3, 2)
+        choices[0][0] = StagedChoice.SEMIJOIN
+        with pytest.raises(PlanValidationError, match="first stage"):
+            build_staged_plan(query3, [0, 1, 2], choices, SOURCES)
+
+    def test_uniform_choices_validation(self):
+        with pytest.raises(PlanValidationError):
+            uniform_choices(3, 2, [True, False, False])
+        with pytest.raises(PlanValidationError):
+            uniform_choices(3, 2, [False, False])

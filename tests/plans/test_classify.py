@@ -1,0 +1,148 @@
+"""Unit tests for plan classification (the Sec. 2.5 taxonomy)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.optimize.postopt import apply_difference_pruning
+from repro.plans.builder import (
+    IntersectPolicy,
+    StagedChoice,
+    build_filter_plan,
+    build_staged_plan,
+    uniform_choices,
+)
+from repro.plans.classify import (
+    PlanClass,
+    classify,
+    is_filter_plan,
+    is_semijoin_adaptive_plan,
+    is_semijoin_plan,
+    is_simple_plan,
+)
+from repro.plans.operations import (
+    SelectionOp,
+    SemijoinOp,
+    UnionOp,
+)
+from repro.plans.plan import Plan
+from repro.plans.space import random_simple_plan
+from repro.query.fusion import FusionQuery
+
+SOURCES = ["R1", "R2"]
+
+
+@pytest.fixture
+def query3():
+    return FusionQuery.from_strings("L", ["V = 'a'", "V = 'b'", "V = 'c'"])
+
+
+class TestClassification:
+    def test_filter_plan(self, query3):
+        plan = build_filter_plan(query3, SOURCES)
+        assert classify(plan) is PlanClass.FILTER
+
+    def test_semijoin_plan(self, query3):
+        plan = build_staged_plan(
+            query3,
+            [0, 1, 2],
+            uniform_choices(3, 2, [False, True, False]),
+            SOURCES,
+        )
+        assert classify(plan) is PlanClass.SEMIJOIN
+
+    def test_semijoin_adaptive_plan(self, query3):
+        choices = [
+            [StagedChoice.SELECTION] * 2,
+            [StagedChoice.SEMIJOIN, StagedChoice.SELECTION],
+            [StagedChoice.SELECTION] * 2,
+        ]
+        plan = build_staged_plan(query3, [0, 1, 2], choices, SOURCES)
+        assert classify(plan) is PlanClass.SEMIJOIN_ADAPTIVE
+
+    def test_pure_semijoin_with_always_policy_still_semijoin(self, query3):
+        plan = build_staged_plan(
+            query3,
+            [0, 1, 2],
+            uniform_choices(3, 2, [False, True, True]),
+            SOURCES,
+            intersect_policy=IntersectPolicy.ALWAYS,
+        )
+        assert classify(plan) is PlanClass.SEMIJOIN
+
+    def test_simple_but_not_staged(self, query3):
+        """A semijoin whose binding set skips a stage is merely simple."""
+        c1, c2, c3 = query3.conditions
+        plan = Plan(
+            [
+                SelectionOp("X1_1", c1, "R1"),
+                UnionOp("X1", ("X1_1",)),
+                SelectionOp("X2_1", c2, "R1"),
+                UnionOp("X2", ("X2_1",)),
+                SemijoinOp("X3_1", c3, "R1", "X1"),  # binds X1, not X2
+                UnionOp("X3", ("X3_1",)),
+            ],
+            result="X3",
+        )
+        assert is_simple_plan(plan)
+        assert classify(plan) is PlanClass.SIMPLE
+
+    def test_extended_after_difference_pruning(self, query3):
+        plan = build_staged_plan(
+            query3,
+            [0, 1, 2],
+            [
+                [StagedChoice.SELECTION] * 2,
+                [StagedChoice.SELECTION, StagedChoice.SEMIJOIN],
+                [StagedChoice.SELECTION] * 2,
+            ],
+            SOURCES,
+        )
+        pruned = apply_difference_pruning(plan)
+        assert classify(pruned) is PlanClass.EXTENDED
+
+
+class TestNesting:
+    """Filter ⊂ semijoin ⊂ semijoin-adaptive ⊂ simple (Sec. 2.5)."""
+
+    def test_filter_is_also_semijoin_and_adaptive(self, query3):
+        plan = build_filter_plan(query3, SOURCES)
+        assert is_filter_plan(plan)
+        assert is_semijoin_plan(plan)
+        assert is_semijoin_adaptive_plan(plan)
+        assert is_simple_plan(plan)
+
+    def test_semijoin_is_adaptive_but_not_filter(self, query3):
+        plan = build_staged_plan(
+            query3,
+            [0, 1, 2],
+            uniform_choices(3, 2, [False, True, False]),
+            SOURCES,
+        )
+        assert not is_filter_plan(plan)
+        assert is_semijoin_plan(plan)
+        assert is_semijoin_adaptive_plan(plan)
+
+    def test_adaptive_is_not_semijoin(self, query3):
+        choices = [
+            [StagedChoice.SELECTION] * 2,
+            [StagedChoice.SEMIJOIN, StagedChoice.SELECTION],
+            [StagedChoice.SELECTION] * 2,
+        ]
+        plan = build_staged_plan(query3, [0, 1, 2], choices, SOURCES)
+        assert not is_semijoin_plan(plan)
+        assert is_semijoin_adaptive_plan(plan)
+
+    def test_sampled_simple_plans_are_simple(self, query3):
+        rng = random.Random(0)
+        for __ in range(20):
+            plan = random_simple_plan(query3, SOURCES, rng)
+            assert is_simple_plan(plan)
+            assert classify(plan) in (
+                PlanClass.FILTER,
+                PlanClass.SEMIJOIN,
+                PlanClass.SEMIJOIN_ADAPTIVE,
+                PlanClass.SIMPLE,
+            )

@@ -1,0 +1,153 @@
+"""Unit tests for the generic static plan coster."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.costs.charge import ChargeCostModel
+from repro.costs.estimates import SizeEstimator
+from repro.costs.model import UniformCostModel
+from repro.plans.builder import (
+    StagedChoice,
+    build_filter_plan,
+    build_staged_plan,
+    uniform_choices,
+)
+from repro.plans.cost import estimate_plan_cost
+from repro.plans.operations import (
+    DifferenceOp,
+    LoadOp,
+    LocalSelectionOp,
+    SelectionOp,
+    UnionOp,
+)
+from repro.plans.plan import Plan
+from repro.sources.generators import dmv_fig1
+from repro.sources.statistics import ExactStatistics
+
+
+@pytest.fixture
+def kit():
+    federation, query = dmv_fig1()
+    estimator = SizeEstimator(
+        ExactStatistics(federation), federation.source_names
+    )
+    model = ChargeCostModel.for_federation(federation, estimator)
+    return federation, query, model, estimator
+
+
+class TestFilterPlanCost:
+    def test_total_equals_sum_of_selection_costs(self, kit):
+        federation, query, model, estimator = kit
+        plan = build_filter_plan(query, federation.source_names)
+        breakdown = estimate_plan_cost(plan, model, estimator)
+        expected = sum(
+            model.sq_cost(condition, source)
+            for condition in query.conditions
+            for source in federation.source_names
+        )
+        assert breakdown.total == pytest.approx(expected)
+        assert breakdown.remote_total() == pytest.approx(expected)
+
+    def test_local_ops_are_free(self, kit):
+        federation, query, model, estimator = kit
+        plan = build_filter_plan(query, federation.source_names)
+        breakdown = estimate_plan_cost(plan, model, estimator)
+        for step in breakdown.steps:
+            if not step.operation.remote:
+                assert step.cost == 0.0
+
+    def test_by_source_partitions_total(self, kit):
+        federation, query, model, estimator = kit
+        plan = build_filter_plan(query, federation.source_names)
+        breakdown = estimate_plan_cost(plan, model, estimator)
+        assert sum(breakdown.by_source().values()) == pytest.approx(
+            breakdown.total
+        )
+
+
+class TestSemijoinPlanCost:
+    def test_semijoin_stage_uses_prefix_size(self, kit):
+        federation, query, model, estimator = kit
+        plan = build_staged_plan(
+            query,
+            [0, 1],
+            uniform_choices(2, 3, [False, True]),
+            federation.source_names,
+        )
+        breakdown = estimate_plan_cost(plan, model, estimator)
+        x1 = estimator.union_selection_size(query.conditions[0])
+        semijoin_steps = [
+            step
+            for step in breakdown.steps
+            if step.operation.remote and step.operation.kind.value == "sjq"
+        ]
+        for step in semijoin_steps:
+            expected = model.sjq_cost(
+                step.operation.condition, step.operation.source, x1
+            )
+            assert step.cost == pytest.approx(expected)
+
+
+class TestSizePropagation:
+    def test_union_size_never_exceeds_universe(self, kit):
+        federation, query, model, estimator = kit
+        plan = build_filter_plan(query, federation.source_names)
+        breakdown = estimate_plan_cost(plan, model, estimator)
+        universe = estimator.statistics.universe_size()
+        for step in breakdown.steps:
+            assert step.output_size <= universe + 1e-9
+
+    def test_intersection_shrinks(self, kit):
+        federation, query, model, estimator = kit
+        plan = build_filter_plan(query, federation.source_names)
+        breakdown = estimate_plan_cost(plan, model, estimator)
+        sizes = {step.operation.target: step.output_size for step in breakdown.steps}
+        # final X2 (after intersect) <= X1
+        assert sizes["X2"] <= sizes["X1"] + 1e-9
+
+    def test_difference_size_formula(self, kit):
+        federation, query, model, estimator = kit
+        c1, c2 = query.conditions
+        plan = Plan(
+            [
+                SelectionOp("A", c1, "R1"),
+                SelectionOp("B", c2, "R1"),
+                DifferenceOp("D", "A", "B"),
+                UnionOp("X", ("D",)),
+            ],
+            result="X",
+        )
+        breakdown = estimate_plan_cost(plan, model, estimator)
+        sizes = {s.operation.target: s.output_size for s in breakdown.steps}
+        universe = estimator.statistics.universe_size()
+        expected = universe * (sizes["A"] / universe) * (
+            1 - sizes["B"] / universe
+        )
+        assert sizes["D"] == pytest.approx(expected)
+
+
+class TestExtendedOps:
+    def test_load_and_local_selection(self, kit):
+        federation, query, model, estimator = kit
+        c1 = query.conditions[0]
+        plan = Plan(
+            [
+                LoadOp("T", "R1"),
+                LocalSelectionOp("X", c1, "T"),
+                UnionOp("ANS", ("X",)),
+            ],
+            result="ANS",
+        )
+        breakdown = estimate_plan_cost(plan, model, estimator)
+        assert breakdown.total == pytest.approx(model.lq_cost("R1"))
+        sizes = {s.operation.target: s.output_size for s in breakdown.steps}
+        assert sizes["X"] == pytest.approx(
+            estimator.sq_output_size(c1, "R1")
+        )
+
+    def test_uniform_model_works_too(self, kit):
+        federation, query, __, estimator = kit
+        plan = build_filter_plan(query, federation.source_names)
+        breakdown = estimate_plan_cost(plan, UniformCostModel(sq=7), estimator)
+        assert breakdown.total == pytest.approx(7 * 6)  # m*n selections

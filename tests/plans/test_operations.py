@@ -1,0 +1,102 @@
+"""Unit tests for plan operations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.plans.operations import (
+    DifferenceOp,
+    IntersectOp,
+    LoadOp,
+    LocalSelectionOp,
+    OpKind,
+    RegisterType,
+    SelectionOp,
+    SemijoinOp,
+    SIMPLE_OP_KINDS,
+    UnionOp,
+)
+from repro.relational.parser import parse_condition
+
+DUI = parse_condition("V = 'dui'")
+
+
+class TestReadWriteSets:
+    def test_selection(self):
+        op = SelectionOp("X1", DUI, "R1")
+        assert op.target == "X1"
+        assert op.reads() == ()
+        assert op.remote
+        assert op.kind is OpKind.SELECTION
+
+    def test_semijoin(self):
+        op = SemijoinOp("X2", DUI, "R1", "X1")
+        assert op.reads() == ("X1",)
+        assert op.remote
+
+    def test_load_produces_relation_register(self):
+        op = LoadOp("T1", "R1")
+        assert op.result_type is RegisterType.RELATION
+        assert op.remote
+
+    def test_local_selection(self):
+        op = LocalSelectionOp("X1", DUI, "T1")
+        assert op.reads() == ("T1",)
+        assert not op.remote
+        assert op.result_type is RegisterType.ITEMS
+
+    def test_union_intersect_difference(self):
+        union = UnionOp("X", ("A", "B"))
+        intersect = IntersectOp("Y", ("X", "C"))
+        diff = DifferenceOp("Z", "Y", "X")
+        assert union.reads() == ("A", "B")
+        assert intersect.reads() == ("X", "C")
+        assert diff.reads() == ("Y", "X")
+        assert not union.remote
+
+    def test_union_requires_inputs(self):
+        with pytest.raises(ValueError):
+            UnionOp("X", ())
+        with pytest.raises(ValueError):
+            IntersectOp("X", ())
+
+
+class TestRendering:
+    def test_selection_render_with_labels(self):
+        op = SelectionOp("X1_1", DUI, "R1")
+        assert op.render() == "X1_1 := sq(V = 'dui', R1)"
+        assert op.render({DUI: "c1"}) == "X1_1 := sq(c1, R1)"
+
+    def test_semijoin_render(self):
+        op = SemijoinOp("X2_1", DUI, "R1", "X1")
+        assert op.render({DUI: "c2"}) == "X2_1 := sjq(c2, R1, X1)"
+
+    def test_load_render(self):
+        assert LoadOp("T1", "R3").render() == "T1 := lq(R3)"
+
+    def test_local_selection_render(self):
+        op = LocalSelectionOp("X3", DUI, "T1")
+        assert op.render({DUI: "c1"}) == "X3 := sq(c1, T1)"
+
+    def test_set_op_renders(self):
+        assert UnionOp("X", ("A", "B")).render() == "X := A ∪ B"
+        assert IntersectOp("X", ("A", "B")).render() == "X := A ∩ B"
+        assert DifferenceOp("X", "A", "B").render() == "X := A − B"
+
+
+class TestSimpleKinds:
+    def test_simple_op_kinds_match_section_2_3(self):
+        assert SIMPLE_OP_KINDS == {
+            OpKind.SELECTION,
+            OpKind.SEMIJOIN,
+            OpKind.UNION,
+            OpKind.INTERSECT,
+        }
+        assert OpKind.DIFFERENCE not in SIMPLE_OP_KINDS
+        assert OpKind.LOAD not in SIMPLE_OP_KINDS
+
+    def test_operations_are_values(self):
+        a = SelectionOp("X", DUI, "R1")
+        b = SelectionOp("X", DUI, "R1")
+        assert a == b
+        assert hash(a) == hash(b)

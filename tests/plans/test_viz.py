@@ -1,0 +1,86 @@
+"""Unit tests for plan/schedule visualization."""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.mediator.executor import Executor
+from repro.mediator.schedule import response_time
+from repro.plans.builder import (
+    build_filter_plan,
+    build_staged_plan,
+    uniform_choices,
+)
+from repro.plans.viz import plan_to_dot, schedule_gantt
+from repro.sources.generators import dmv_fig1
+
+
+@pytest.fixture
+def kit():
+    federation, query = dmv_fig1()
+    plan = build_staged_plan(
+        query,
+        [0, 1],
+        uniform_choices(2, 3, [False, True]),
+        federation.source_names,
+    )
+    return federation, query, plan
+
+
+class TestDot:
+    def test_structure(self, kit):
+        __, query, plan = kit
+        dot = plan_to_dot(plan, name="p1")
+        assert dot.startswith('digraph "p1"')
+        assert dot.rstrip().endswith("}")
+        # one node per op + the answer node
+        node_definitions = re.findall(r"^  op\d+ \[label=", dot, re.M)
+        assert len(node_definitions) == len(plan)
+        assert "sjq(c2, R1, X1)" in dot
+        assert "doublecircle" in dot
+
+    def test_edges_follow_register_flow(self, kit):
+        __, __, plan = kit
+        dot = plan_to_dot(plan)
+        # the union of stage 1 feeds every stage-2 semijoin: X1 edges
+        assert len(re.findall(r'label="X1"', dot)) >= 3
+
+    def test_quotes_escaped(self):
+        from repro.query.fusion import FusionQuery
+
+        query = FusionQuery.from_strings("L", ["V = 'it''s'"])
+        plan = build_filter_plan(query, ["R1"])
+        dot = plan_to_dot(plan)
+        assert '\\"' not in dot or "digraph" in dot  # parses as one string
+        assert dot.count("{") == dot.count("}")
+
+
+class TestGantt:
+    def test_rows_and_makespan(self, kit):
+        federation, __, plan = kit
+        execution = Executor(federation).execute(plan)
+        schedule = response_time(plan, execution)
+        chart = schedule_gantt(schedule, width=40)
+        lines = chart.splitlines()
+        remote_count = plan.remote_op_count
+        assert len(lines) == remote_count + 1
+        assert "makespan" in lines[-1]
+        for line in lines[:-1]:
+            bar = line.split("|")[1]
+            assert len(bar) == 40
+            assert "#" in bar
+
+    def test_semijoin_bars_start_after_selections(self, kit):
+        federation, __, plan = kit
+        execution = Executor(federation).execute(plan)
+        schedule = response_time(plan, execution)
+        chart = schedule_gantt(schedule, width=40)
+        sq_lines = [line for line in chart.splitlines() if "sq->" in line]
+        sjq_lines = [line for line in chart.splitlines() if "sjq->" in line]
+        last_sq_end = max(line.split("|")[1].rfind("#") for line in sq_lines)
+        first_sjq_start = min(
+            line.split("|")[1].find("#") for line in sjq_lines
+        )
+        assert first_sjq_start >= last_sq_end

@@ -1,0 +1,123 @@
+"""Shared hypothesis strategies for the property-based suite."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.relational.conditions import (
+    And,
+    Between,
+    Comparison,
+    InSet,
+    IsNull,
+    Like,
+    Not,
+    Or,
+)
+from repro.relational.relation import Relation
+from repro.relational.schema import dmv_schema
+from repro.sources.generators import SyntheticConfig, build_synthetic
+
+# --- values -------------------------------------------------------------
+
+licenses = st.sampled_from(
+    ["J55", "T21", "T80", "T11", "S07", "A01", "B02", "C03"]
+)
+violations = st.sampled_from(["dui", "sp", "reckless", "parking"])
+years = st.integers(min_value=1988, max_value=1998)
+
+safe_text = st.text(
+    alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd")),
+    min_size=0,
+    max_size=8,
+)
+
+dmv_rows = st.tuples(licenses, violations, years)
+
+
+@st.composite
+def dmv_relations(draw, name="R"):
+    """A random DMV-schema relation (possibly empty, possibly duplicated)."""
+    rows = draw(st.lists(dmv_rows, max_size=25))
+    return Relation(name, dmv_schema(), rows)
+
+
+# --- conditions over the DMV schema --------------------------------------
+
+comparison_conditions = st.one_of(
+    st.builds(
+        Comparison,
+        st.just("V"),
+        st.sampled_from(["=", "!=", "<", "<=", ">", ">="]),
+        violations,
+    ),
+    st.builds(
+        Comparison,
+        st.just("D"),
+        st.sampled_from(["=", "!=", "<", "<=", ">", ">="]),
+        years,
+    ),
+    st.builds(
+        Comparison,
+        st.just("L"),
+        st.sampled_from(["=", "!="]),
+        licenses,
+    ),
+)
+
+leaf_conditions = st.one_of(
+    comparison_conditions,
+    st.builds(Between, st.just("D"), years, years),
+    st.builds(
+        InSet,
+        st.just("V"),
+        st.lists(violations, min_size=1, max_size=3),
+    ),
+    st.builds(Like, st.just("V"), st.sampled_from(["d%", "%p", "_ui", "%"])),
+    st.builds(IsNull, st.just("V"), st.booleans()),
+)
+
+
+def _boolean_extend(children):
+    return st.one_of(
+        st.builds(lambda ops: And(tuple(ops)), st.lists(children, min_size=2, max_size=3)),
+        st.builds(lambda ops: Or(tuple(ops)), st.lists(children, min_size=2, max_size=3)),
+        st.builds(Not, children),
+    )
+
+
+dmv_conditions = st.recursive(leaf_conditions, _boolean_extend, max_leaves=6)
+
+dmv_row_dicts = st.fixed_dictionaries(
+    {"L": licenses, "V": st.one_of(violations, st.none()), "D": years}
+)
+
+
+# --- whole federations (via deterministic seeds) --------------------------
+
+
+@st.composite
+def synthetic_kits(draw, max_sources=4, max_m=3):
+    """(federation, query-arity m, config) drawn via deterministic seeds."""
+    config = SyntheticConfig(
+        n_sources=draw(st.integers(2, max_sources)),
+        n_entities=draw(st.integers(30, 120)),
+        coverage=(0.3, 0.8),
+        rows_per_entity=(1, 2),
+        **draw(
+            st.sampled_from(
+                [
+                    {"native_fraction": 1.0, "emulated_fraction": 0.0},
+                    {"native_fraction": 0.5, "emulated_fraction": 0.5},
+                    {"native_fraction": 0.5, "emulated_fraction": 0.0},
+                ]
+            )
+        ),
+        overhead_range=(2.0, 30.0),
+        send_range=(0.5, 2.0),
+        receive_range=(0.5, 2.0),
+        seed=draw(st.integers(0, 10_000)),
+    )
+    federation = build_synthetic(config)
+    m = draw(st.integers(1, max_m))
+    return federation, config, m

@@ -1,0 +1,76 @@
+"""Property-based tests for the item-set algebra and data operations."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.relational.algebra import (
+    difference,
+    intersect_many,
+    select_items,
+    semijoin_items,
+    union_many,
+)
+from repro.sources.table_source import TableSource
+
+from tests.property.strategies import dmv_conditions, dmv_relations, licenses
+
+item_sets = st.frozensets(licenses, max_size=8)
+
+
+@given(dmv_relations(), dmv_conditions, item_sets)
+def test_semijoin_is_selection_intersect_input(relation, condition, items):
+    assert semijoin_items(relation, condition, items) == (
+        select_items(relation, condition) & items
+    )
+
+
+@given(dmv_relations(), dmv_conditions)
+def test_selection_items_subset_of_relation_items(relation, condition):
+    assert select_items(relation, condition) <= relation.items()
+
+
+@given(dmv_relations(), dmv_conditions, item_sets, item_sets)
+def test_semijoin_distributes_over_union(relation, condition, left, right):
+    """The data-level counterpart of the cost model's subadditivity: a
+    split binding set returns exactly the union of the parts."""
+    whole = semijoin_items(relation, condition, left | right)
+    parts = semijoin_items(relation, condition, left) | semijoin_items(
+        relation, condition, right
+    )
+    assert whole == parts
+
+
+@given(dmv_relations(), dmv_conditions, item_sets)
+def test_binding_selection_agrees_with_semijoin(relation, condition, items):
+    """Per-binding probes (emulation) aggregate to the native semijoin."""
+    source = TableSource(relation)
+    via_probes = frozenset(
+        item
+        for item in items
+        if source.binding_selection(condition, item)
+    )
+    assert via_probes == semijoin_items(relation, condition, items)
+
+
+@given(st.lists(item_sets, max_size=5))
+def test_union_many_contains_every_input(sets):
+    combined = union_many(sets)
+    for s in sets:
+        assert s <= combined
+
+
+@given(st.lists(item_sets, min_size=1, max_size=5))
+def test_intersect_many_within_every_input(sets):
+    combined = intersect_many(sets)
+    for s in sets:
+        assert combined <= s
+
+
+@given(item_sets, item_sets)
+def test_difference_partition(left, right):
+    removed = difference(left, right)
+    kept = left & right
+    assert removed | kept == left
+    assert removed & right == frozenset()

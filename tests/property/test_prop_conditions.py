@@ -1,0 +1,76 @@
+"""Property-based tests for the condition language."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational.conditions import And, Comparison, Not, Or
+from repro.relational.parser import parse_condition
+
+from tests.property.strategies import (
+    dmv_conditions,
+    dmv_row_dicts,
+    safe_text,
+)
+
+
+@given(dmv_conditions, dmv_row_dicts)
+def test_evaluation_is_boolean_and_total(condition, row):
+    assert condition.evaluate(row) in (True, False)
+
+
+@given(dmv_conditions)
+@settings(max_examples=200)
+def test_sql_roundtrip(condition):
+    """to_sql() output reparses to a semantically identical condition."""
+    reparsed = parse_condition(condition.to_sql())
+    assert reparsed.to_sql() == condition.to_sql()
+
+
+@given(dmv_conditions, dmv_row_dicts)
+def test_sql_roundtrip_preserves_semantics(condition, row):
+    reparsed = parse_condition(condition.to_sql())
+    assert reparsed.evaluate(row) == condition.evaluate(row)
+
+
+@given(dmv_conditions, dmv_conditions, dmv_row_dicts)
+def test_de_morgan(a, b, row):
+    left = Not(And((a, b)))
+    right = Or((Not(a), Not(b)))
+    assert left.evaluate(row) == right.evaluate(row)
+
+
+@given(dmv_conditions, dmv_row_dicts)
+def test_double_negation(condition, row):
+    assert Not(Not(condition)).evaluate(row) == condition.evaluate(row)
+
+
+@given(dmv_conditions, dmv_conditions, dmv_row_dicts)
+def test_and_commutes(a, b, row):
+    assert And((a, b)).evaluate(row) == And((b, a)).evaluate(row)
+
+
+@given(dmv_conditions, dmv_row_dicts)
+def test_idempotence(condition, row):
+    assert And((condition, condition)).evaluate(row) == condition.evaluate(row)
+    assert Or((condition, condition)).evaluate(row) == condition.evaluate(row)
+
+
+@given(st.text(min_size=0, max_size=30))
+def test_string_literal_escaping_roundtrip(value):
+    """Any string literal survives SQL rendering + reparsing."""
+    condition = Comparison("V", "=", value)
+    assert parse_condition(condition.to_sql()) == condition
+
+
+@given(safe_text, safe_text)
+def test_comparison_evaluation_matches_python(value, literal):
+    condition = Comparison("V", "<", literal)
+    row = {"V": value}
+    assert condition.evaluate(row) == (value < literal)
+
+
+@given(dmv_conditions)
+def test_attributes_subset_of_schema(condition):
+    assert condition.attributes() <= {"L", "V", "D"}

@@ -1,0 +1,89 @@
+"""Property-based tests: the charge cost model satisfies the Sec. 2.4
+axioms for any federation configuration, and size estimation is sane."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.costs.charge import ChargeCostModel
+from repro.costs.estimates import SizeEstimator
+from repro.costs.model import check_cost_axioms
+from repro.sources.generators import synthetic_conditions
+from repro.sources.statistics import ExactStatistics
+
+from tests.property.strategies import synthetic_kits
+
+
+def kit_to_model(federation, config):
+    statistics = ExactStatistics(federation)
+    estimator = SizeEstimator(statistics, federation.source_names)
+    model = ChargeCostModel.for_federation(federation, estimator)
+    conditions = synthetic_conditions(config, 4, seed=config.seed + 1)
+    return model, estimator, conditions
+
+
+@given(kit=synthetic_kits())
+@settings(max_examples=25, deadline=None)
+def test_charge_model_satisfies_all_axioms(kit):
+    federation, config, __ = kit
+    model, __, conditions = kit_to_model(federation, config)
+    violations = check_cost_axioms(
+        model, conditions, list(federation.source_names)
+    )
+    assert violations == []
+
+
+@given(kit=synthetic_kits(), size=st.integers(0, 500))
+@settings(max_examples=25, deadline=None)
+def test_sjq_cost_nonnegative_and_monotone(kit, size):
+    federation, config, __ = kit
+    model, __, conditions = kit_to_model(federation, config)
+    for condition in conditions:
+        for name in federation.source_names:
+            small = model.sjq_cost(condition, name, size)
+            large = model.sjq_cost(condition, name, size + 10)
+            assert small >= 0
+            assert small <= large + 1e-9
+
+
+@given(kit=synthetic_kits())
+@settings(max_examples=25, deadline=None)
+def test_size_estimates_within_bounds(kit):
+    federation, config, __ = kit
+    __, estimator, conditions = kit_to_model(federation, config)
+    universe = estimator.statistics.universe_size()
+    for condition in conditions:
+        assert 0.0 <= estimator.global_selectivity(condition) <= 1.0
+        assert 0.0 <= estimator.union_selection_size(condition) <= universe
+        for name in federation.source_names:
+            output = estimator.sq_output_size(condition, name)
+            assert 0.0 <= output <= estimator.statistics.distinct_items(name)
+            assert 0.0 <= estimator.match_fraction(condition, name) <= 1.0
+
+
+@given(kit=synthetic_kits())
+@settings(max_examples=25, deadline=None)
+def test_prefix_sizes_shrink_monotonically(kit):
+    federation, config, __ = kit
+    __, estimator, conditions = kit_to_model(federation, config)
+    previous = float(estimator.statistics.universe_size())
+    for i in range(1, len(conditions) + 1):
+        current = estimator.prefix_size(conditions[:i])
+        assert current <= previous + 1e-9
+        previous = current
+
+
+@given(kit=synthetic_kits())
+@settings(max_examples=20, deadline=None)
+def test_lq_cost_finite_iff_load_supported(kit):
+    federation, config, __ = kit
+    model, __, __ = kit_to_model(federation, config)
+    for source in federation:
+        cost = model.lq_cost(source.name)
+        if source.capabilities.supports_load:
+            assert math.isfinite(cost)
+        else:
+            assert math.isinf(cost)

@@ -1,0 +1,121 @@
+"""Property-based tests for the SJA+ postoptimization transformations.
+
+Invariants (Sec. 4):
+
+* difference pruning and source loading both preserve the answer;
+* difference pruning never increases the estimated cost (monotone,
+  subadditive semijoin costs) nor the number of items actually sent;
+* SJA+'s final plan is never costlier than SJA's under the generic
+  coster used to make the load decisions.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.costs.charge import ChargeCostModel
+from repro.costs.estimates import SizeEstimator
+from repro.mediator.executor import Executor
+from repro.mediator.reference import reference_answer
+from repro.optimize.postopt import (
+    apply_difference_pruning,
+    apply_source_loading,
+)
+from repro.optimize.sja import SJAOptimizer
+from repro.optimize.sja_plus import SJAPlusOptimizer
+from repro.plans.cost import estimate_plan_cost
+from repro.sources.generators import synthetic_query
+from repro.sources.statistics import ExactStatistics
+
+from tests.property.strategies import synthetic_kits
+
+
+def make_plan(federation, config, m, query_seed):
+    query = synthetic_query(config, m=m, seed=query_seed)
+    statistics = ExactStatistics(federation)
+    estimator = SizeEstimator(statistics, federation.source_names)
+    model = ChargeCostModel.for_federation(federation, estimator)
+    plan = SJAOptimizer().optimize(
+        query, federation.source_names, model, estimator
+    ).plan
+    return query, plan, model, estimator
+
+
+@given(kit=synthetic_kits(), query_seed=st.integers(0, 500))
+@settings(max_examples=20, deadline=None)
+def test_difference_pruning_preserves_answer(kit, query_seed):
+    federation, config, m = kit
+    query, plan, __, __ = make_plan(federation, config, m, query_seed)
+    pruned = apply_difference_pruning(plan)
+    executor = Executor(federation)
+    assert executor.execute(pruned).items == reference_answer(
+        federation, query
+    )
+
+
+@given(kit=synthetic_kits(), query_seed=st.integers(0, 500))
+@settings(max_examples=20, deadline=None)
+def test_difference_pruning_never_increases_estimated_cost(kit, query_seed):
+    federation, config, m = kit
+    __, plan, model, estimator = make_plan(federation, config, m, query_seed)
+    before = estimate_plan_cost(plan, model, estimator).total
+    after = estimate_plan_cost(
+        apply_difference_pruning(plan), model, estimator
+    ).total
+    assert after <= before + 1e-6
+
+
+@given(kit=synthetic_kits(), query_seed=st.integers(0, 500))
+@settings(max_examples=20, deadline=None)
+def test_difference_pruning_never_sends_more_items(kit, query_seed):
+    federation, config, m = kit
+    __, plan, __, __ = make_plan(federation, config, m, query_seed)
+    executor = Executor(federation)
+    federation.reset_traffic()
+    executor.execute(plan)
+    sent_before = sum(source.traffic.items_sent for source in federation)
+    federation.reset_traffic()
+    executor.execute(apply_difference_pruning(plan))
+    sent_after = sum(source.traffic.items_sent for source in federation)
+    assert sent_after <= sent_before
+
+
+@given(kit=synthetic_kits(), query_seed=st.integers(0, 500))
+@settings(max_examples=20, deadline=None)
+def test_source_loading_preserves_answer(kit, query_seed):
+    federation, config, m = kit
+    query, plan, model, estimator = make_plan(
+        federation, config, m, query_seed
+    )
+    loaded = apply_source_loading(plan, model, estimator)
+    executor = Executor(federation)
+    assert executor.execute(loaded).items == reference_answer(
+        federation, query
+    )
+
+
+@given(kit=synthetic_kits(), query_seed=st.integers(0, 500))
+@settings(max_examples=20, deadline=None)
+def test_source_loading_never_increases_estimated_cost(kit, query_seed):
+    federation, config, m = kit
+    __, plan, model, estimator = make_plan(federation, config, m, query_seed)
+    before = estimate_plan_cost(plan, model, estimator).total
+    after = estimate_plan_cost(
+        apply_source_loading(plan, model, estimator), model, estimator
+    ).total
+    assert after <= before + 1e-6
+
+
+@given(kit=synthetic_kits(), query_seed=st.integers(0, 500))
+@settings(max_examples=15, deadline=None)
+def test_sja_plus_never_worse_than_sja_generic_costing(kit, query_seed):
+    federation, config, m = kit
+    query, sja_plan, model, estimator = make_plan(
+        federation, config, m, query_seed
+    )
+    plus = SJAPlusOptimizer().optimize(
+        query, federation.source_names, model, estimator
+    )
+    sja_generic = estimate_plan_cost(sja_plan, model, estimator).total
+    assert plus.estimated_cost <= sja_generic + 1e-6

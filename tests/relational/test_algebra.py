@@ -1,0 +1,97 @@
+"""Unit tests for the item-set algebra (the mediator's local operations)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relational.algebra import (
+    difference,
+    intersect_many,
+    local_selection,
+    project_items,
+    select_items,
+    select_rows,
+    semijoin_items,
+    union_many,
+)
+from repro.relational.parser import parse_condition
+from repro.relational.relation import Relation
+from repro.relational.schema import dmv_schema
+
+
+@pytest.fixture
+def r1():
+    return Relation(
+        "R1",
+        dmv_schema(),
+        [("J55", "dui", 1993), ("T21", "sp", 1994), ("T80", "dui", 1993)],
+    )
+
+
+class TestSelection:
+    def test_select_items(self, r1):
+        assert select_items(r1, parse_condition("V = 'dui'")) == frozenset(
+            {"J55", "T80"}
+        )
+
+    def test_select_items_empty(self, r1):
+        assert select_items(r1, parse_condition("V = 'zzz'")) == frozenset()
+
+    def test_select_rows(self, r1):
+        rows = select_rows(r1, parse_condition("D = 1993"))
+        assert len(rows) == 2
+
+    def test_select_items_deduplicates(self):
+        rel = Relation(
+            "r", dmv_schema(), [("J55", "dui", 1993), ("J55", "dui", 1994)]
+        )
+        assert select_items(rel, parse_condition("V = 'dui'")) == frozenset(
+            {"J55"}
+        )
+
+    def test_local_selection_matches_select_items(self, r1):
+        condition = parse_condition("V = 'sp'")
+        assert local_selection(r1, condition) == select_items(r1, condition)
+
+
+class TestSemijoin:
+    def test_semijoin_filters_by_items_and_condition(self, r1):
+        result = semijoin_items(
+            r1, parse_condition("V = 'dui'"), {"J55", "T21"}
+        )
+        assert result == frozenset({"J55"})
+
+    def test_semijoin_empty_input(self, r1):
+        assert semijoin_items(r1, parse_condition("V = 'dui'"), set()) == (
+            frozenset()
+        )
+
+    def test_semijoin_is_selection_intersected_with_input(self, r1):
+        condition = parse_condition("D = 1993")
+        items = frozenset({"J55", "T21", "XXX"})
+        assert semijoin_items(r1, condition, items) == (
+            select_items(r1, condition) & items
+        )
+
+
+class TestSetOps:
+    def test_union_many(self):
+        assert union_many([{1, 2}, {2, 3}, set()]) == frozenset({1, 2, 3})
+        assert union_many([]) == frozenset()
+
+    def test_intersect_many(self):
+        assert intersect_many([{1, 2, 3}, {2, 3}, {3, 4}]) == frozenset({3})
+
+    def test_intersect_many_short_circuits_empty(self):
+        assert intersect_many([{1}, set(), {1}]) == frozenset()
+
+    def test_intersect_many_rejects_zero_sets(self):
+        with pytest.raises(ValueError):
+            intersect_many([])
+
+    def test_difference(self):
+        assert difference({1, 2, 3}, {2}) == frozenset({1, 3})
+        assert difference(set(), {1}) == frozenset()
+
+    def test_project_items(self, r1):
+        assert project_items(r1) == frozenset({"J55", "T21", "T80"})

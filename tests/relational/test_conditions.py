@@ -1,0 +1,188 @@
+"""Unit tests for the condition AST and its evaluation semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConditionError
+from repro.relational.conditions import (
+    And,
+    Between,
+    Comparison,
+    FalseCondition,
+    InSet,
+    IsNull,
+    Like,
+    Not,
+    Or,
+    TrueCondition,
+    validate_against,
+    walk,
+)
+
+ROW = {"L": "J55", "V": "dui", "D": 1993, "NOTE": None}
+
+
+class TestComparison:
+    @pytest.mark.parametrize(
+        "op,value,expected",
+        [
+            ("=", "dui", True),
+            ("=", "sp", False),
+            ("!=", "sp", True),
+            ("<", "e", True),
+            ("<=", "dui", True),
+            (">", "a", True),
+            (">=", "dui", True),
+        ],
+    )
+    def test_string_comparisons(self, op, value, expected):
+        assert Comparison("V", op, value).evaluate(ROW) is expected
+
+    @pytest.mark.parametrize(
+        "op,value,expected",
+        [("=", 1993, True), ("<", 1994, True), (">=", 1994, False)],
+    )
+    def test_numeric_comparisons(self, op, value, expected):
+        assert Comparison("D", op, value).evaluate(ROW) is expected
+
+    def test_null_comparison_is_false(self):
+        assert Comparison("NOTE", "=", "x").evaluate(ROW) is False
+        assert Comparison("NOTE", "!=", "x").evaluate(ROW) is False
+
+    def test_cross_domain_comparison_is_false(self):
+        assert Comparison("D", "=", "1993").evaluate(ROW) is False
+        assert Comparison("V", "<", 5).evaluate(ROW) is False
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ConditionError):
+            Comparison("V", "~", "x")
+
+    def test_non_scalar_literal_rejected(self):
+        with pytest.raises(ConditionError):
+            Comparison("V", "=", ["a"])
+
+    def test_missing_attribute_raises(self):
+        with pytest.raises(ConditionError, match="lacks attribute"):
+            Comparison("Z", "=", 1).evaluate(ROW)
+
+    def test_to_sql(self):
+        assert Comparison("V", "=", "dui").to_sql() == "V = 'dui'"
+        assert Comparison("D", ">=", 1994).to_sql() == "D >= 1994"
+        assert Comparison("V", "=", "d'ui").to_sql() == "V = 'd''ui'"
+        assert Comparison("V", "=", "x").to_sql("u1") == "u1.V = 'x'"
+
+
+class TestOtherPredicates:
+    def test_between_inclusive(self):
+        assert Between("D", 1993, 1995).evaluate(ROW)
+        assert Between("D", 1990, 1993).evaluate(ROW)
+        assert not Between("D", 1994, 1999).evaluate(ROW)
+
+    def test_between_null_is_false(self):
+        assert not Between("NOTE", 1, 2).evaluate(ROW)
+
+    def test_in_set(self):
+        assert InSet("V", ["dui", "sp"]).evaluate(ROW)
+        assert not InSet("V", ["sp"]).evaluate(ROW)
+
+    def test_in_set_requires_values(self):
+        with pytest.raises(ConditionError):
+            InSet("V", [])
+
+    def test_in_set_hashable(self):
+        assert hash(InSet("V", ["a", "b"])) == hash(InSet("V", ["b", "a"]))
+
+    @pytest.mark.parametrize(
+        "pattern,expected",
+        [
+            ("dui", True),
+            ("d%", True),
+            ("%ui", True),
+            ("d_i", True),
+            ("s%", False),
+            ("%", True),
+            ("du", False),
+        ],
+    )
+    def test_like(self, pattern, expected):
+        assert Like("V", pattern).evaluate(ROW) is expected
+
+    def test_like_non_string_is_false(self):
+        assert not Like("D", "19%").evaluate(ROW)
+
+    def test_is_null(self):
+        assert IsNull("NOTE").evaluate(ROW)
+        assert not IsNull("V").evaluate(ROW)
+        assert IsNull("V", negated=True).evaluate(ROW)
+
+
+class TestBooleanCombinators:
+    def test_and_or_not(self):
+        dui = Comparison("V", "=", "dui")
+        recent = Comparison("D", ">=", 1994)
+        assert (dui & recent).evaluate(ROW) is False
+        assert (dui | recent).evaluate(ROW) is True
+        assert (~recent).evaluate(ROW) is True
+
+    def test_and_flattening_and_simplification(self):
+        a = Comparison("V", "=", "dui")
+        b = Comparison("D", "<", 2000)
+        combined = And.of(a, And.of(b, TrueCondition()))
+        assert combined == And((a, b))
+        assert And.of(a, FalseCondition()) == FalseCondition()
+        assert And.of(TrueCondition(), TrueCondition()) == TrueCondition()
+        assert And.of(a) == a
+
+    def test_or_flattening_and_simplification(self):
+        a = Comparison("V", "=", "dui")
+        b = Comparison("V", "=", "sp")
+        assert Or.of(a, Or.of(b)) == Or((a, b))
+        assert Or.of(a, TrueCondition()) == TrueCondition()
+        assert Or.of(FalseCondition(), FalseCondition()) == FalseCondition()
+
+    def test_direct_construction_arity(self):
+        with pytest.raises(ConditionError):
+            And((Comparison("V", "=", "x"),))
+        with pytest.raises(ConditionError):
+            Or((Comparison("V", "=", "x"),))
+
+    def test_and_sql_parenthesizes_or(self):
+        a = Comparison("V", "=", "dui")
+        b = Or((Comparison("D", "=", 1993), Comparison("D", "=", 1994)))
+        assert And((a, b)).to_sql() == "V = 'dui' AND (D = 1993 OR D = 1994)"
+
+    def test_conjuncts(self):
+        a = Comparison("V", "=", "dui")
+        b = Comparison("D", "<", 2000)
+        assert And((a, b)).conjuncts() == (a, b)
+        assert a.conjuncts() == (a,)
+
+
+class TestStructure:
+    def test_attributes(self):
+        cond = And(
+            (
+                Comparison("V", "=", "dui"),
+                Or((Comparison("D", "<", 1994), IsNull("NOTE"))),
+            )
+        )
+        assert cond.attributes() == frozenset({"V", "D", "NOTE"})
+
+    def test_walk_visits_all_nodes(self):
+        cond = Not(And((Comparison("V", "=", "x"), Comparison("D", "<", 1))))
+        kinds = [type(node).__name__ for node in walk(cond)]
+        assert kinds == ["Not", "And", "Comparison", "Comparison"]
+
+    def test_validate_against(self):
+        cond = Comparison("V", "=", "dui")
+        validate_against(cond, ["L", "V", "D"])
+        with pytest.raises(ConditionError, match="unknown attributes"):
+            validate_against(cond, ["L", "D"])
+
+    def test_conditions_are_hashable_and_equal_by_value(self):
+        a = Comparison("V", "=", "dui")
+        b = Comparison("V", "=", "dui")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1

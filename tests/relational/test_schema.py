@@ -1,0 +1,126 @@
+"""Unit tests for schemas, attributes, and data types."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.schema import Attribute, DataType, Schema, dmv_schema
+
+
+class TestDataType:
+    def test_string_accepts_str_only(self):
+        assert DataType.STRING.accepts("x")
+        assert not DataType.STRING.accepts(3)
+        assert not DataType.STRING.accepts(None)
+
+    def test_int_rejects_bool(self):
+        assert DataType.INT.accepts(3)
+        assert not DataType.INT.accepts(True)
+
+    def test_float_accepts_int(self):
+        assert DataType.FLOAT.accepts(3)
+        assert DataType.FLOAT.accepts(3.5)
+        assert not DataType.FLOAT.accepts(True)
+
+    def test_bool_accepts_bool_only(self):
+        assert DataType.BOOL.accepts(True)
+        assert not DataType.BOOL.accepts(1)
+
+
+class TestAttribute:
+    def test_str_rendering(self):
+        assert str(Attribute("V")) == "V:string"
+        assert str(Attribute("D", DataType.INT, nullable=True)) == "D:int?"
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("")
+        with pytest.raises(SchemaError):
+            Attribute("bad name")
+
+    def test_validate_value_type_mismatch(self):
+        with pytest.raises(SchemaError, match="expects int"):
+            Attribute("D", DataType.INT).validate_value("1993")
+
+    def test_validate_value_nullability(self):
+        Attribute("V", nullable=True).validate_value(None)
+        with pytest.raises(SchemaError, match="not nullable"):
+            Attribute("V").validate_value(None)
+
+
+class TestSchema:
+    def test_dmv_schema_shape(self):
+        schema = dmv_schema()
+        assert schema.names == ("L", "V", "D")
+        assert schema.merge_attribute == "L"
+        assert schema.merge_position == 0
+        assert len(schema) == 3
+
+    def test_position_lookup_and_cache(self):
+        schema = dmv_schema()
+        assert schema.position("V") == 1
+        assert schema.position("V") == 1  # cached path
+        with pytest.raises(SchemaError):
+            schema.position("missing")
+
+    def test_contains(self):
+        schema = dmv_schema()
+        assert "V" in schema
+        assert "Z" not in schema
+
+    def test_duplicate_attribute_names_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema((Attribute("L"), Attribute("L")), merge_attribute="L")
+
+    def test_merge_attribute_must_exist(self):
+        with pytest.raises(SchemaError, match="not among"):
+            Schema((Attribute("L"),), merge_attribute="M")
+
+    def test_merge_attribute_must_not_be_nullable(self):
+        with pytest.raises(SchemaError, match="not be nullable"):
+            Schema(
+                (Attribute("L", nullable=True), Attribute("V")),
+                merge_attribute="L",
+            )
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema((), merge_attribute="L")
+
+    def test_validate_row_arity(self):
+        with pytest.raises(SchemaError, match="2 values"):
+            dmv_schema().validate_row(("J55", "dui"))
+
+    def test_validate_row_types(self):
+        with pytest.raises(SchemaError):
+            dmv_schema().validate_row(("J55", "dui", "1993"))
+        dmv_schema().validate_row(("J55", "dui", 1993))
+
+    def test_row_dict_roundtrip(self):
+        schema = dmv_schema()
+        row = ("J55", "dui", 1993)
+        assert schema.dict_to_row(schema.row_to_dict(row)) == row
+
+    def test_dict_to_row_missing_required(self):
+        with pytest.raises(SchemaError, match="missing value"):
+            dmv_schema().dict_to_row({"L": "J55", "V": "dui"})
+
+    def test_dict_to_row_fills_nullable(self):
+        schema = Schema(
+            (Attribute("L"), Attribute("V", nullable=True)),
+            merge_attribute="L",
+        )
+        assert schema.dict_to_row({"L": "J55"}) == ("J55", None)
+
+    def test_dict_to_row_rejects_unknown_keys(self):
+        with pytest.raises(SchemaError, match="unknown attributes"):
+            dmv_schema().dict_to_row({"L": "J55", "V": "x", "D": 1, "Z": 2})
+
+    def test_compatibility(self):
+        assert dmv_schema().compatible_with(dmv_schema())
+        other = Schema(
+            (Attribute("L"), Attribute("V"), Attribute("D")),  # D is string
+            merge_attribute="L",
+        )
+        assert not dmv_schema().compatible_with(other)

@@ -1,0 +1,53 @@
+"""Unit tests for source capability declarations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sources.capabilities import SemijoinSupport, SourceCapabilities
+
+
+class TestFactories:
+    def test_full(self):
+        caps = SourceCapabilities.full()
+        assert caps.semijoin is SemijoinSupport.NATIVE
+        assert caps.supports_load
+        assert caps.can_semijoin
+
+    def test_selection_only(self):
+        caps = SourceCapabilities.selection_only()
+        assert caps.semijoin is SemijoinSupport.EMULATED
+        assert caps.can_semijoin
+
+    def test_minimal(self):
+        caps = SourceCapabilities.minimal()
+        assert caps.semijoin is SemijoinSupport.UNSUPPORTED
+        assert not caps.can_semijoin
+        assert not caps.supports_load
+
+
+class TestSemijoinRequests:
+    def test_native_unlimited_is_one_request(self):
+        assert SourceCapabilities.full().semijoin_requests(1000) == 1
+
+    def test_native_batched_ceil(self):
+        caps = SourceCapabilities(max_semijoin_batch=100)
+        assert caps.semijoin_requests(250) == 3
+        assert caps.semijoin_requests(200) == 2
+        assert caps.semijoin_requests(1) == 1
+
+    def test_emulated_one_per_binding(self):
+        caps = SourceCapabilities.selection_only()
+        assert caps.semijoin_requests(7) == 7
+
+    def test_zero_bindings_zero_requests(self):
+        assert SourceCapabilities.full().semijoin_requests(0) == 0
+        assert SourceCapabilities.minimal().semijoin_requests(0) == 0
+
+    def test_unsupported_raises(self):
+        with pytest.raises(ValueError):
+            SourceCapabilities.minimal().semijoin_requests(1)
+
+    def test_invalid_batch_rejected(self):
+        with pytest.raises(ValueError):
+            SourceCapabilities(max_semijoin_batch=0)

@@ -1,0 +1,183 @@
+"""Unit tests for workload generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import QueryError
+from repro.mediator.reference import reference_answer
+from repro.sources.capabilities import SemijoinSupport
+from repro.sources.generators import (
+    DMV_FIG1_ANSWER,
+    SyntheticConfig,
+    bibliographic_federation,
+    bibliographic_query,
+    build_synthetic,
+    dmv_fig1,
+    random_item_set,
+    synthetic_conditions,
+    synthetic_query,
+)
+
+
+class TestDMVFig1:
+    def test_exact_paper_contents(self):
+        federation, __ = dmv_fig1()
+        r1 = federation.source("R1").table.relation
+        assert r1.rows == (
+            ("J55", "dui", 1993),
+            ("T21", "sp", 1994),
+            ("T80", "dui", 1993),
+        )
+        r3 = federation.source("R3").table.relation
+        assert ("S07", "sp", 1996) in r3
+
+    def test_query_answer_matches_paper(self):
+        federation, query = dmv_fig1()
+        assert reference_answer(federation, query) == DMV_FIG1_ANSWER
+
+    def test_answer_requires_cross_source_fusion(self):
+        """No single source contains both violations for J55 — the
+        defining property of the example."""
+        federation, query = dmv_fig1()
+        dui, sp = query.conditions
+        for source in federation:
+            relation = source.table.relation
+            from repro.relational.algebra import select_items
+
+            both_here = select_items(relation, dui) & select_items(relation, sp)
+            assert "J55" not in both_here
+
+
+class TestSyntheticConfig:
+    def test_validation(self):
+        with pytest.raises(QueryError):
+            SyntheticConfig(n_sources=0)
+        with pytest.raises(QueryError):
+            SyntheticConfig(n_entities=0)
+        with pytest.raises(QueryError):
+            SyntheticConfig(native_fraction=0.8, emulated_fraction=0.5)
+
+
+class TestBuildSynthetic:
+    def test_deterministic(self):
+        config = SyntheticConfig(n_sources=3, n_entities=100, seed=13)
+        a = build_synthetic(config)
+        b = build_synthetic(config)
+        for name in a.source_names:
+            assert a.source(name).table.relation == b.source(name).table.relation
+
+    def test_source_count_and_schema(self):
+        config = SyntheticConfig(n_sources=5, n_entities=50, seed=0)
+        federation = build_synthetic(config)
+        assert federation.size == 5
+        assert federation.schema.merge_attribute == "id"
+
+    def test_coverage_bounds_respected(self):
+        config = SyntheticConfig(
+            n_sources=4, n_entities=200, coverage=0.25, seed=2
+        )
+        federation = build_synthetic(config)
+        for source in federation:
+            assert len(source.table.relation.items()) == 50
+
+    def test_rows_per_entity_range(self):
+        config = SyntheticConfig(
+            n_sources=2,
+            n_entities=100,
+            coverage=0.5,
+            rows_per_entity=(2, 2),
+            seed=3,
+        )
+        federation = build_synthetic(config)
+        for source in federation:
+            relation = source.table.relation
+            assert len(relation) == 2 * len(relation.items())
+
+    def test_capability_fractions(self):
+        config = SyntheticConfig(
+            n_sources=10,
+            n_entities=50,
+            native_fraction=0.5,
+            emulated_fraction=0.3,
+            seed=7,
+        )
+        federation = build_synthetic(config)
+        tiers = [source.capabilities.semijoin for source in federation]
+        assert tiers.count(SemijoinSupport.NATIVE) == 5
+        assert tiers.count(SemijoinSupport.EMULATED) == 3
+        assert tiers.count(SemijoinSupport.UNSUPPORTED) == 2
+
+    def test_heterogeneous_link_parameters(self):
+        config = SyntheticConfig(
+            n_sources=5,
+            n_entities=50,
+            overhead_range=(1.0, 100.0),
+            seed=21,
+        )
+        federation = build_synthetic(config)
+        overheads = {source.link.request_overhead for source in federation}
+        assert len(overheads) > 1
+
+
+class TestSyntheticConditions:
+    def test_count_and_determinism(self):
+        config = SyntheticConfig(seed=5)
+        a = synthetic_conditions(config, 6, seed=1)
+        b = synthetic_conditions(config, 6, seed=1)
+        assert len(a) == 6
+        assert a == b
+
+    def test_query_wrapper(self):
+        config = SyntheticConfig(seed=5)
+        query = synthetic_query(config, m=4, seed=2)
+        assert query.arity == 4
+        assert query.merge_attribute == "id"
+
+    def test_conditions_evaluable_on_generated_data(self):
+        config = SyntheticConfig(n_sources=2, n_entities=80, seed=6)
+        federation = build_synthetic(config)
+        query = synthetic_query(config, m=3, seed=6)
+        # Must not raise; answers may be empty.
+        reference_answer(federation, query)
+
+
+class TestBibliographic:
+    def test_federation_shape(self):
+        federation = bibliographic_federation(n_libraries=4, n_documents=100, seed=0)
+        assert federation.size == 4
+        assert federation.schema.merge_attribute == "doc"
+        # The last library is selection-only by construction.
+        last = federation.source(federation.source_names[-1])
+        assert last.capabilities.semijoin is SemijoinSupport.EMULATED
+
+    def test_query_answers_nonempty_with_common_keywords(self):
+        federation = bibliographic_federation(
+            n_libraries=3, n_documents=300, seed=1
+        )
+        query = bibliographic_query(("mediator", "semijoin"))
+        answer = reference_answer(federation, query)
+        assert len(answer) > 0
+
+    def test_year_floor_narrows_answer(self):
+        federation = bibliographic_federation(
+            n_libraries=3, n_documents=300, seed=1
+        )
+        broad = reference_answer(
+            federation, bibliographic_query(("mediator", "semijoin"))
+        )
+        narrow = reference_answer(
+            federation,
+            bibliographic_query(("mediator", "semijoin"), since_year=1996),
+        )
+        assert narrow <= broad
+
+
+class TestHelpers:
+    def test_random_item_set(self):
+        items = random_item_set(100, 10, seed=0)
+        assert len(items) == 10
+        assert random_item_set(100, 10, seed=0) == items
+
+    def test_random_item_set_caps_at_universe(self):
+        assert len(random_item_set(5, 10, seed=0)) == 5

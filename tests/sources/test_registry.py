@@ -1,0 +1,90 @@
+"""Unit tests for the Federation registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchemaError, UnknownSourceError
+from repro.relational.parser import parse_condition
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, Schema, dmv_schema
+from repro.sources.generators import dmv_fig1
+from repro.sources.registry import Federation
+from repro.sources.remote import RemoteSource
+from repro.sources.table_source import TableSource
+
+
+class TestConstruction:
+    def test_dmv_federation(self):
+        federation, __ = dmv_fig1()
+        assert federation.size == 3
+        assert federation.source_names == ("R1", "R2", "R3")
+        assert "R2" in federation
+        assert len(federation) == 3
+
+    def test_requires_sources(self):
+        with pytest.raises(SchemaError):
+            Federation([])
+
+    def test_duplicate_names_rejected(self):
+        table = TableSource(Relation("R1", dmv_schema(), []))
+        with pytest.raises(SchemaError, match="duplicate"):
+            Federation([RemoteSource(table), RemoteSource(table)])
+
+    def test_incompatible_schema_rejected(self):
+        good = RemoteSource(TableSource(Relation("R1", dmv_schema(), [])))
+        other_schema = Schema(
+            (Attribute("L"), Attribute("X")), merge_attribute="L"
+        )
+        bad = RemoteSource(TableSource(Relation("R2", other_schema, [])))
+        with pytest.raises(SchemaError, match="not\\s+compatible"):
+            Federation([good, bad])
+
+
+class TestLookup:
+    def test_source_by_name(self):
+        federation, __ = dmv_fig1()
+        assert federation.source("R2").name == "R2"
+
+    def test_unknown_source(self):
+        federation, __ = dmv_fig1()
+        with pytest.raises(UnknownSourceError):
+            federation.source("R9")
+
+
+class TestOracleViews:
+    def test_union_view_is_bag_union(self):
+        federation, __ = dmv_fig1()
+        union = federation.union_view()
+        assert len(union) == 9  # 3 + 3 + 3 rows
+        assert union.name == "U"
+
+    def test_all_items(self):
+        federation, __ = dmv_fig1()
+        assert federation.all_items() == frozenset(
+            {"J55", "T21", "T80", "T11", "S07"}
+        )
+
+    def test_union_view_does_not_charge_traffic(self):
+        federation, __ = dmv_fig1()
+        federation.union_view()
+        assert federation.total_traffic_cost() == 0
+
+
+class TestAccounting:
+    def test_traffic_aggregation_and_reset(self):
+        federation, __ = dmv_fig1()
+        condition = parse_condition("V = 'dui'")
+        for source in federation:
+            source.selection(condition)
+        assert federation.total_messages() == 3
+        assert federation.total_traffic_cost() > 0
+        federation.reset_traffic()
+        assert federation.total_messages() == 0
+        assert federation.total_traffic_cost() == 0
+
+    def test_describe_mentions_each_source(self):
+        federation, __ = dmv_fig1()
+        text = federation.describe()
+        for name in federation.source_names:
+            assert name in text

@@ -1,0 +1,118 @@
+"""Unit tests for query-sampling cost calibration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StatisticsError
+from repro.sources.generators import (
+    SyntheticConfig,
+    build_synthetic,
+    synthetic_conditions,
+)
+from repro.sources.sampling import (
+    FittedLinkParameters,
+    ProbeObservation,
+    calibrate_federation,
+    fit_parameters,
+    probe_source,
+)
+
+
+@pytest.fixture
+def setup():
+    config = SyntheticConfig(
+        n_sources=3,
+        n_entities=300,
+        overhead_range=(5.0, 30.0),
+        send_range=(0.5, 2.0),
+        receive_range=(0.5, 2.0),
+        seed=4,
+    )
+    federation = build_synthetic(config)
+    conditions = synthetic_conditions(config, 4, seed=8)
+    return federation, conditions
+
+
+class TestFit:
+    def test_fit_recovers_linear_model_exactly(self):
+        observations = [
+            ProbeObservation("sq", s, r, 7.0 + 1.5 * s + 0.5 * r)
+            for s, r in [(0, 5), (0, 9), (3, 2), (10, 1), (20, 8)]
+        ]
+        fitted = fit_parameters(observations)
+        assert fitted.request_overhead == pytest.approx(7.0, abs=1e-6)
+        assert fitted.per_item_send == pytest.approx(1.5, abs=1e-6)
+        assert fitted.per_item_receive == pytest.approx(0.5, abs=1e-6)
+        assert fitted.residual == pytest.approx(0.0, abs=1e-6)
+
+    def test_fit_requires_observations(self):
+        with pytest.raises(StatisticsError):
+            fit_parameters([ProbeObservation("sq", 0, 1, 5.0)])
+
+    def test_predict(self):
+        fitted = FittedLinkParameters(10.0, 2.0, 3.0, 0.0, 5)
+        assert fitted.predict(2, 3) == 10 + 4 + 9
+
+    def test_parameters_clamped_non_negative(self):
+        observations = [
+            ProbeObservation("sq", s, r, 1.0)  # constant cost
+            for s, r in [(0, 5), (1, 1), (2, 8), (4, 0)]
+        ]
+        fitted = fit_parameters(observations)
+        assert fitted.request_overhead >= 0
+        assert fitted.per_item_send >= 0
+        assert fitted.per_item_receive >= 0
+
+
+class TestProbing:
+    def test_probe_source_collects_observations(self, setup):
+        federation, conditions = setup
+        source = federation.source(federation.source_names[0])
+        observations = probe_source(
+            source, conditions, federation.all_items(), seed=0
+        )
+        assert len(observations) >= len(conditions)
+        assert any(obs.operation == "sjq" for obs in observations)
+
+    def test_probe_requires_conditions(self, setup):
+        federation, __ = setup
+        source = federation.source(federation.source_names[0])
+        with pytest.raises(StatisticsError):
+            probe_source(source, [], federation.all_items())
+
+
+class TestCalibration:
+    def test_calibration_recovers_true_link_parameters(self, setup):
+        federation, conditions = setup
+        fitted = calibrate_federation(federation, conditions, seed=0)
+        for source in federation:
+            learned = fitted[source.name]
+            # The simulated charge model *is* linear, so the fit should be
+            # essentially exact.
+            assert learned.request_overhead == pytest.approx(
+                source.link.request_overhead, rel=0.05, abs=0.5
+            )
+            assert learned.residual < 1e-6
+
+    def test_emulated_sources_calibrate_via_binding_probes(self):
+        """Selection-only wrappers still yield enough observations: each
+        emulated binding is its own probe request (regression for the
+        tutorial's mixed-capability federation)."""
+        from repro.sources.capabilities import SourceCapabilities
+        from repro.sources.generators import dmv_fig1
+
+        federation, query = dmv_fig1(
+            capabilities=SourceCapabilities.selection_only()
+        )
+        fitted = calibrate_federation(
+            federation, list(query.conditions), seed=0
+        )
+        for name in federation.source_names:
+            assert fitted[name].probes >= 3
+            assert fitted[name].request_overhead >= 0
+
+    def test_calibration_cleans_probe_traffic(self, setup):
+        federation, conditions = setup
+        calibrate_federation(federation, conditions, seed=0)
+        assert federation.total_messages() == 0

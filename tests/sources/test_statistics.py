@@ -1,0 +1,208 @@
+"""Unit tests for the statistics providers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StatisticsError
+from repro.relational.parser import parse_condition
+from repro.sources.generators import (
+    SyntheticConfig,
+    build_synthetic,
+    dmv_fig1,
+    synthetic_conditions,
+)
+from repro.sources.statistics import (
+    EquiWidthHistogram,
+    ExactStatistics,
+    FrequencyTable,
+    HistogramStatistics,
+    SampledStatistics,
+    selectivity_error,
+)
+
+
+@pytest.fixture
+def dmv_stats():
+    federation, __ = dmv_fig1()
+    return federation, ExactStatistics(federation)
+
+
+class TestExactStatistics:
+    def test_cardinality_and_distinct(self, dmv_stats):
+        __, stats = dmv_stats
+        assert stats.cardinality("R1") == 3
+        assert stats.distinct_items("R1") == 3
+        assert stats.universe_size() == 5
+
+    def test_selectivity_is_item_fraction(self, dmv_stats):
+        __, stats = dmv_stats
+        # R3 has items {T21, S07}; only both satisfy V='sp' -> 1.0
+        assert stats.selectivity("R3", parse_condition("V = 'sp'")) == 1.0
+        # R1 items {J55, T21, T80}; dui holds for J55, T80 -> 2/3
+        assert stats.selectivity(
+            "R1", parse_condition("V = 'dui'")
+        ) == pytest.approx(2 / 3)
+
+    def test_selectivity_cached(self, dmv_stats):
+        __, stats = dmv_stats
+        condition = parse_condition("V = 'dui'")
+        first = stats.selectivity("R1", condition)
+        assert stats.selectivity("R1", condition) == first
+
+    def test_unknown_source(self, dmv_stats):
+        __, stats = dmv_stats
+        with pytest.raises(StatisticsError):
+            stats.selectivity("R9", parse_condition("V = 'x'"))
+
+    def test_empty_source_selectivity_zero(self):
+        from repro.relational.relation import Relation
+        from repro.relational.schema import dmv_schema
+        from repro.sources.registry import Federation
+        from repro.sources.remote import RemoteSource
+        from repro.sources.table_source import TableSource
+
+        federation = Federation(
+            [RemoteSource(TableSource(Relation("E", dmv_schema(), [])))]
+        )
+        stats = ExactStatistics(federation)
+        assert stats.selectivity("E", parse_condition("V = 'x'")) == 0.0
+
+
+class TestSampledStatistics:
+    @pytest.fixture
+    def synthetic(self):
+        config = SyntheticConfig(n_sources=3, n_entities=500, seed=1)
+        return build_synthetic(config), config
+
+    def test_small_sources_fully_sampled(self, dmv_stats):
+        federation, exact = dmv_stats
+        sampled = SampledStatistics(federation, fraction=0.5, seed=0)
+        condition = parse_condition("V = 'dui'")
+        # DMV sources are tiny -> full sample -> exact agreement.
+        for name in federation.source_names:
+            assert sampled.selectivity(name, condition) == pytest.approx(
+                exact.selectivity(name, condition)
+            )
+
+    def test_sample_estimates_are_close(self, synthetic):
+        federation, config = synthetic
+        exact = ExactStatistics(federation)
+        sampled = SampledStatistics(federation, fraction=0.4, seed=0)
+        conditions = synthetic_conditions(config, 6, seed=3)
+        error = selectivity_error(
+            exact, sampled, list(federation.source_names), conditions
+        )
+        assert error < 0.15
+
+    def test_sample_is_deterministic(self, synthetic):
+        federation, __ = synthetic
+        a = SampledStatistics(federation, fraction=0.3, seed=5)
+        b = SampledStatistics(federation, fraction=0.3, seed=5)
+        condition = parse_condition("score < 500")
+        assert a.selectivity("S000", condition) == b.selectivity(
+            "S000", condition
+        )
+
+    def test_invalid_fraction(self, dmv_stats):
+        federation, __ = dmv_stats
+        with pytest.raises(StatisticsError):
+            SampledStatistics(federation, fraction=0.0)
+
+    def test_sample_size_reported(self, synthetic):
+        federation, __ = synthetic
+        sampled = SampledStatistics(federation, fraction=0.25, seed=0)
+        for source in federation:
+            assert 0 < sampled.sample_size(source.name) <= len(source.table)
+
+
+class TestFrequencyTable:
+    def test_fraction_equal_and_in(self):
+        table = FrequencyTable(["a", "a", "b", None])
+        assert table.fraction_equal("a") == 0.5
+        assert table.fraction_equal("zzz") == 0.0
+        assert table.fraction_in(frozenset({"a", "b"})) == 0.75
+        assert table.fraction_null() == 0.25
+
+    def test_fraction_like(self):
+        table = FrequencyTable(["cat", "car", "dog"])
+        assert table.fraction_like("ca%") == pytest.approx(2 / 3)
+
+    def test_fraction_compare(self):
+        table = FrequencyTable([1, 2, 3, 4])
+        assert table.fraction_compare("<", 3) == 0.5
+        assert table.fraction_compare(">=", 4) == 0.25
+
+    def test_empty(self):
+        table = FrequencyTable([])
+        assert table.fraction_equal("a") == 0.0
+        assert table.fraction_null() == 0.0
+
+
+class TestEquiWidthHistogram:
+    def test_fraction_below(self):
+        histogram = EquiWidthHistogram(list(range(100)), buckets=10)
+        assert histogram.fraction_below(50, inclusive=False) == pytest.approx(
+            0.5, abs=0.05
+        )
+        assert histogram.fraction_below(-1, inclusive=True) == 0.0
+        assert histogram.fraction_below(1000, inclusive=True) == 1.0
+
+    def test_fraction_between(self):
+        histogram = EquiWidthHistogram(list(range(100)), buckets=10)
+        assert histogram.fraction_between(20, 40) == pytest.approx(
+            0.2, abs=0.05
+        )
+        assert histogram.fraction_between(40, 20) == 0.0
+
+    def test_no_numeric_values(self):
+        histogram = EquiWidthHistogram([None, None])
+        assert histogram.fraction_below(5, inclusive=True) == 0.0
+
+
+class TestHistogramStatistics:
+    @pytest.fixture
+    def synthetic(self):
+        config = SyntheticConfig(n_sources=3, n_entities=400, seed=9)
+        return build_synthetic(config), config
+
+    def test_estimates_reasonably_close_to_exact(self, synthetic):
+        federation, config = synthetic
+        exact = ExactStatistics(federation)
+        histogram = HistogramStatistics(federation)
+        conditions = synthetic_conditions(config, 8, seed=11)
+        error = selectivity_error(
+            exact, histogram, list(federation.source_names), conditions
+        )
+        assert error < 0.25
+
+    def test_boolean_structure_estimation(self, synthetic):
+        federation, __ = synthetic
+        histogram = HistogramStatistics(federation)
+        name = federation.source_names[0]
+        a = parse_condition("score < 500")
+        combined_and = parse_condition("score < 500 AND region = 'north'")
+        combined_or = parse_condition("score < 500 OR region = 'north'")
+        s_and = histogram.selectivity(name, combined_and)
+        s_or = histogram.selectivity(name, combined_or)
+        s_a = histogram.selectivity(name, a)
+        assert 0.0 <= s_and <= s_a <= s_or <= 1.0
+
+    def test_negation_complements_row_level(self, synthetic):
+        federation, __ = synthetic
+        histogram = HistogramStatistics(federation)
+        name = federation.source_names[0]
+        row_pos = histogram._row_selectivity(
+            name, parse_condition("region = 'north'")
+        )
+        row_neg = histogram._row_selectivity(
+            name, parse_condition("NOT region = 'north'")
+        )
+        assert row_pos + row_neg == pytest.approx(1.0)
+
+    def test_selectivity_in_unit_interval(self, synthetic):
+        federation, config = synthetic
+        histogram = HistogramStatistics(federation)
+        for condition in synthetic_conditions(config, 10, seed=2):
+            for name in federation.source_names:
+                assert 0.0 <= histogram.selectivity(name, condition) <= 1.0

@@ -1,0 +1,68 @@
+"""Unit tests for the autonomous source engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relational.parser import parse_condition
+from repro.relational.relation import Relation
+from repro.relational.schema import dmv_schema
+from repro.sources.table_source import TableSource
+
+
+@pytest.fixture
+def source():
+    return TableSource(
+        Relation(
+            "R1",
+            dmv_schema(),
+            [("J55", "dui", 1993), ("T21", "sp", 1994), ("T80", "dui", 1993)],
+        )
+    )
+
+
+class TestOperations:
+    def test_selection(self, source):
+        assert source.selection(parse_condition("V = 'dui'")) == frozenset(
+            {"J55", "T80"}
+        )
+
+    def test_semijoin(self, source):
+        result = source.semijoin(
+            parse_condition("V = 'dui'"), frozenset({"J55", "T21"})
+        )
+        assert result == frozenset({"J55"})
+
+    def test_binding_selection_true_and_false(self, source):
+        dui = parse_condition("V = 'dui'")
+        assert source.binding_selection(dui, "J55") is True
+        assert source.binding_selection(dui, "T21") is False
+        assert source.binding_selection(dui, "NOPE") is False
+
+    def test_load_returns_relation(self, source):
+        assert source.load() is source.relation
+
+    def test_name_and_len(self, source):
+        assert source.name == "R1"
+        assert len(source) == 3
+
+
+class TestCounters:
+    def test_counters_track_operations(self, source):
+        condition = parse_condition("V = 'sp'")
+        source.selection(condition)
+        source.semijoin(condition, frozenset({"T21"}))
+        source.binding_selection(condition, "T21")
+        source.load()
+        counters = source.counters
+        assert counters.selections == 1
+        assert counters.semijoins == 1
+        assert counters.binding_selections == 1
+        assert counters.loads == 1
+        assert counters.rows_scanned == 4 * 3
+
+    def test_reset(self, source):
+        source.selection(parse_condition("V = 'sp'"))
+        source.counters.reset()
+        assert source.counters.selections == 0
+        assert source.counters.rows_scanned == 0

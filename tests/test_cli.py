@@ -1,0 +1,72 @@
+"""Unit tests for the ``python -m repro`` command line."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+DMV_SQL = (
+    "SELECT u1.L FROM U u1, U u2 "
+    "WHERE u1.L = u2.L AND u1.V = 'dui' AND u2.V = 'sp'"
+)
+
+
+@pytest.fixture
+def spec_path(tmp_path):
+    path = tmp_path / "dmv.json"
+    assert main(["export-dmv", str(path)]) == 0
+    return str(path)
+
+
+class TestDemo:
+    def test_demo_prints_answer(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "answer: J55, T21" in out
+
+
+class TestQuery:
+    def test_query_runs_and_prints_plan(self, spec_path, capsys):
+        assert main(["query", spec_path, DMV_SQL]) == 0
+        out = capsys.readouterr().out
+        assert "J55, T21" in out
+        assert "optimizer" in out
+
+    @pytest.mark.parametrize("optimizer", ["filter", "sj", "sja", "sja+", "greedy"])
+    def test_all_optimizers_available(self, spec_path, capsys, optimizer):
+        assert main(
+            ["query", spec_path, DMV_SQL, "--optimizer", optimizer]
+        ) == 0
+        assert "J55, T21" in capsys.readouterr().out
+
+    def test_adaptive_execution(self, spec_path, capsys):
+        assert main(["query", spec_path, DMV_SQL, "--adaptive"]) == 0
+        out = capsys.readouterr().out
+        assert "stage 1:" in out
+        assert "J55, T21" in out
+
+    def test_bad_sql_is_an_error(self, spec_path, capsys):
+        assert main(["query", spec_path, "SELECT * FROM U"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_spec_is_an_error(self, capsys):
+        assert main(["query", "/does/not/exist.json", DMV_SQL]) == 2
+
+
+class TestExplain:
+    def test_explain_prints_estimates(self, spec_path, capsys):
+        assert main(["explain", spec_path, DMV_SQL]) == 0
+        out = capsys.readouterr().out
+        assert "estimated total cost" in out
+
+
+class TestCheck:
+    def test_fusion_query_detected(self, spec_path, capsys):
+        assert main(["check", spec_path, DMV_SQL]) == 0
+        assert "fusion query detected" in capsys.readouterr().out
+
+    def test_non_fusion_rejected(self, spec_path, capsys):
+        sql = "SELECT u1.L FROM U u1, U u2 WHERE u1.V = u2.V AND u1.D = 1 AND u2.D = 2"
+        assert main(["check", spec_path, sql]) == 1
+        assert "NOT a fusion query" in capsys.readouterr().out

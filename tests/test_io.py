@@ -1,0 +1,126 @@
+"""Unit tests for federation serialization (JSON specs, CSV data)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.io import (
+    capabilities_from_dict,
+    capabilities_to_dict,
+    federation_from_dict,
+    federation_to_dict,
+    link_from_dict,
+    link_to_dict,
+    load_federation,
+    rows_from_csv,
+    save_federation,
+    schema_from_dict,
+    schema_to_dict,
+)
+from repro.mediator.reference import reference_answer
+from repro.relational.schema import dmv_schema
+from repro.sources.capabilities import SemijoinSupport, SourceCapabilities
+from repro.sources.generators import DMV_FIG1_ANSWER, dmv_fig1
+from repro.sources.network import LinkProfile
+
+
+class TestSchemaRoundTrip:
+    def test_roundtrip(self):
+        schema = dmv_schema()
+        assert schema_from_dict(schema_to_dict(schema)) == schema
+
+    def test_missing_keys_rejected(self):
+        with pytest.raises(SchemaError, match="missing key"):
+            schema_from_dict({"attributes": [{"name": "L"}]})
+
+
+class TestCapabilitiesAndLinks:
+    def test_capabilities_roundtrip(self):
+        for capabilities in (
+            SourceCapabilities.full(),
+            SourceCapabilities.selection_only(),
+            SourceCapabilities.minimal(),
+            SourceCapabilities(max_semijoin_batch=50),
+        ):
+            assert (
+                capabilities_from_dict(capabilities_to_dict(capabilities))
+                == capabilities
+            )
+
+    def test_link_roundtrip(self):
+        link = LinkProfile(
+            request_overhead=7.5, per_item_send=0.3, latency_s=0.25
+        )
+        assert link_from_dict(link_to_dict(link)) == link
+
+    def test_defaults_applied(self):
+        assert capabilities_from_dict({}).semijoin is SemijoinSupport.NATIVE
+        assert link_from_dict({}).request_overhead == LinkProfile().request_overhead
+
+
+class TestFederationRoundTrip:
+    def test_dmv_roundtrip_preserves_answers(self):
+        federation, query = dmv_fig1()
+        rebuilt = federation_from_dict(federation_to_dict(federation))
+        assert rebuilt.source_names == federation.source_names
+        assert reference_answer(rebuilt, query) == DMV_FIG1_ANSWER
+
+    def test_file_roundtrip(self, tmp_path):
+        federation, query = dmv_fig1()
+        path = tmp_path / "dmv.json"
+        save_federation(federation, str(path))
+        loaded = load_federation(str(path))
+        assert reference_answer(loaded, query) == DMV_FIG1_ANSWER
+        # the file is plain JSON
+        data = json.loads(path.read_text())
+        assert data["schema"]["merge"] == "L"
+
+    def test_empty_sources_rejected(self):
+        with pytest.raises(SchemaError, match="no sources"):
+            federation_from_dict(
+                {"schema": schema_to_dict(dmv_schema()), "sources": []}
+            )
+
+    def test_json_rows_coerced(self):
+        spec = {
+            "schema": schema_to_dict(dmv_schema()),
+            "sources": [
+                {"name": "R1", "rows": [["J55", "dui", 1993]]},
+            ],
+        }
+        federation = federation_from_dict(spec)
+        assert federation.source("R1").table.relation.rows == (
+            ("J55", "dui", 1993),
+        )
+
+
+class TestCSV:
+    def test_rows_from_csv(self, tmp_path):
+        path = tmp_path / "r1.csv"
+        path.write_text("L,V,D\nJ55,dui,1993\nT21,sp,1994\n")
+        rows = rows_from_csv(str(path), dmv_schema())
+        assert rows == [("J55", "dui", 1993), ("T21", "sp", 1994)]
+
+    def test_csv_missing_column(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("L,V\nJ55,dui\n")
+        with pytest.raises(SchemaError, match="lacks columns"):
+            rows_from_csv(str(path), dmv_schema())
+
+    def test_csv_source_in_spec(self, tmp_path):
+        csv_path = tmp_path / "r1.csv"
+        csv_path.write_text("L,V,D\nJ55,dui,1993\n")
+        spec_path = tmp_path / "federation.json"
+        spec_path.write_text(
+            json.dumps(
+                {
+                    "schema": schema_to_dict(dmv_schema()),
+                    "sources": [{"name": "R1", "csv": "r1.csv"}],
+                }
+            )
+        )
+        federation = load_federation(str(spec_path))
+        assert len(federation.source("R1").table) == 1
