@@ -1,0 +1,57 @@
+"""R2 — discrete-event concurrent runtime vs static schedule analysis."""
+
+from __future__ import annotations
+
+from repro.mediator.executor import Executor
+from repro.mediator.schedule import response_time
+from repro.plans.builder import build_filter_plan
+from repro.runtime.engine import RuntimeEngine
+
+
+def test_engine_filter_plan(benchmark, medium_kit):
+    kit = medium_kit
+    plan = build_filter_plan(kit.query, kit.source_names)
+    engine = RuntimeEngine(kit.federation)
+
+    def run():
+        kit.federation.reset_traffic()
+        return engine.run(plan)
+
+    result = benchmark(run)
+    assert result.complete
+    assert result.makespan_s > 0
+
+
+def test_engine_matches_schedule(benchmark, medium_kit):
+    kit = medium_kit
+    plan = build_filter_plan(kit.query, kit.source_names)
+    kit.federation.reset_traffic()
+    execution = Executor(kit.federation).execute(plan)
+    predicted = response_time(plan, execution)
+    engine = RuntimeEngine(kit.federation)
+
+    def run():
+        kit.federation.reset_traffic()
+        return engine.run(plan)
+
+    simulated = benchmark(run)
+    assert abs(simulated.makespan_s - predicted.makespan_s) < 1e-9
+    assert simulated.items == execution.items
+
+
+def test_engine_dmv(benchmark, dmv):
+    federation, query = dmv
+    plan = build_filter_plan(query, federation.source_names)
+    engine = RuntimeEngine(federation)
+
+    def run():
+        federation.reset_traffic()
+        return engine.run(plan)
+
+    result = benchmark(run)
+    assert sorted(result.items) == ["J55", "T21"]
+
+
+def test_r2_report(benchmark, report_runner):
+    report = report_runner(benchmark, "R2")
+    assert "simulated" in report

@@ -19,7 +19,10 @@ full stack:
   join-over-union baseline (:mod:`repro.optimize`);
 * a mediator runtime that executes plans, accounts actual costs, and
   verifies answers against a materialized-U oracle
-  (:mod:`repro.mediator`).
+  (:mod:`repro.mediator`);
+* a deterministic discrete-event *concurrent* runtime with fault
+  injection, retry policies, and execution tracing
+  (:mod:`repro.runtime`).
 
 Quickstart:
     >>> import repro
@@ -77,6 +80,17 @@ from repro.mediator.schedule import estimated_response_time, response_time
 from repro.mediator.phases import PhaseStrategy, answer_with_records
 from repro.optimize.response_time import ResponseTimeSJAOptimizer
 from repro.costs.correlation import CorrelatedSizeEstimator, CorrelationModel
+from repro.runtime import (
+    CompletenessReport,
+    FaultInjector,
+    FaultProfile,
+    OnExhaust,
+    RetryPolicy,
+    RuntimeEngine,
+    RuntimeResult,
+    RuntimeTrace,
+    completeness_report,
+)
 from repro.io import load_federation, save_federation
 
 __version__ = "1.0.0"
@@ -134,6 +148,15 @@ __all__ = [
     "ResponseTimeSJAOptimizer",
     "CorrelationModel",
     "CorrelatedSizeEstimator",
+    "RuntimeEngine",
+    "RuntimeResult",
+    "RuntimeTrace",
+    "FaultInjector",
+    "FaultProfile",
+    "RetryPolicy",
+    "OnExhaust",
+    "CompletenessReport",
+    "completeness_report",
     "load_federation",
     "save_federation",
 ]

@@ -23,12 +23,22 @@ from repro.mediator.schedule import response_time
 from repro.mediator.session import Mediator
 from repro.optimize.filter import FilterOptimizer
 from repro.optimize.response_time import ResponseTimeSJAOptimizer
+from repro.optimize.sj import SJOptimizer
 from repro.optimize.sja import SJAOptimizer
+from repro.plans.builder import build_filter_plan
 from repro.query.fusion import FusionQuery
 from repro.relational.conditions import Comparison
 from repro.relational.relation import Relation
 from repro.relational.schema import dmv_schema
-from repro.sources.generators import SyntheticConfig, build_synthetic, synthetic_query
+from repro.runtime.engine import RuntimeEngine
+from repro.runtime.faults import FaultInjector, FaultProfile
+from repro.runtime.policy import RetryPolicy, completeness_report
+from repro.sources.generators import (
+    SyntheticConfig,
+    build_synthetic,
+    dmv_fig1,
+    synthetic_query,
+)
 from repro.sources.network import LinkProfile
 from repro.sources.registry import Federation
 from repro.sources.remote import RemoteSource
@@ -401,4 +411,167 @@ def run_phases() -> str:
     )
     return join_sections(
         "=== P1: one-phase vs two-phase retrieval ===", table.render()
+    )
+
+
+def _r2_plans(federation, query, estimator, cost_model):
+    """The three plan classes R2 cross-validates, as (label, plan)."""
+    names = federation.source_names
+    return [
+        ("FILTER", build_filter_plan(query, names)),
+        (
+            "SJ",
+            SJOptimizer().optimize(query, names, cost_model, estimator).plan,
+        ),
+        (
+            "SJA",
+            SJAOptimizer().optimize(query, names, cost_model, estimator).plan,
+        ),
+    ]
+
+
+def run_concurrent_runtime() -> str:
+    """R2 — simulated vs predicted makespan under zero faults.
+
+    The discrete-event engine and the longest-path scheduler implement
+    the same parallel execution model (different sources overlap,
+    same-source ops serialize in plan order, local ops are free).  With
+    no faults injected they must therefore agree exactly — this
+    experiment is the cross-validation, over FILTER/SJ/SJA plans on the
+    DMV and a synthetic workload.
+    """
+    table = Table(
+        "simulated (discrete-event) vs predicted (longest-path) makespan",
+        [
+            "workload",
+            "plan",
+            "predicted s",
+            "simulated s",
+            "|delta| s",
+            "answer ok",
+        ],
+    )
+    workloads = [("dmv", *dmv_fig1())]
+    config = SyntheticConfig(
+        n_sources=6,
+        n_entities=200,
+        coverage=(0.3, 0.6),
+        overhead_range=(5.0, 25.0),
+        receive_range=(1.0, 3.0),
+        seed=97,
+    )
+    workloads.append(
+        ("synthetic", build_synthetic(config), synthetic_query(config, m=3, seed=5))
+    )
+    max_delta = 0.0
+    for name, federation, query in workloads:
+        estimator = SizeEstimator(
+            ExactStatistics(federation), federation.source_names
+        )
+        cost_model = ChargeCostModel.for_federation(federation, estimator)
+        expected = reference_answer(federation, query)
+        executor = Executor(federation)
+        engine = RuntimeEngine(federation)
+        for label, plan in _r2_plans(federation, query, estimator, cost_model):
+            federation.reset_traffic()
+            predicted = response_time(plan, executor.execute(plan))
+            federation.reset_traffic()
+            simulated = engine.run(plan)
+            delta = abs(predicted.makespan_s - simulated.makespan_s)
+            max_delta = max(max_delta, delta)
+            table.add_row(
+                [
+                    name,
+                    label,
+                    predicted.makespan_s,
+                    simulated.makespan_s,
+                    delta,
+                    simulated.items == expected,
+                ]
+            )
+        federation.reset_traffic()
+    table.add_note(
+        f"max |delta| = {max_delta:.2e}s: the engine reproduces the "
+        "static analysis exactly when nothing fails"
+    )
+    return join_sections(
+        "=== R2: concurrent runtime vs static schedule ===", table.render()
+    )
+
+
+def run_fault_sweep() -> str:
+    """R3 — answer completeness and response time vs fault rate.
+
+    Sweeps the per-attempt transient-failure rate over a synthetic
+    federation and compares a no-retry policy against exponential
+    backoff with three retries.  Degradation is graceful: failed
+    operations yield empty item sets, so completeness falls but the
+    answer never contains a wrong item and execution never errors out.
+    """
+    config = SyntheticConfig(
+        n_sources=8,
+        n_entities=300,
+        coverage=(0.3, 0.6),
+        overhead_range=(5.0, 20.0),
+        receive_range=(1.0, 3.0),
+        seed=181,
+    )
+    federation = build_synthetic(config)
+    query = synthetic_query(config, m=3, seed=13)
+    estimator = SizeEstimator(
+        ExactStatistics(federation), federation.source_names
+    )
+    cost_model = ChargeCostModel.for_federation(federation, estimator)
+    plan = (
+        SJAOptimizer()
+        .optimize(query, federation.source_names, cost_model, estimator)
+        .plan
+    )
+    policies = [
+        ("no retry", RetryPolicy.no_retry()),
+        ("retry x3", RetryPolicy(max_retries=3, backoff_base_s=0.1)),
+    ]
+    table = Table(
+        "completeness and response time vs transient-failure rate (SJA plan)",
+        [
+            "fault rate",
+            "policy",
+            "completeness",
+            "spurious",
+            "makespan s",
+            "retries",
+            "degraded ops",
+            "wire cost",
+        ],
+    )
+    for rate in (0.0, 0.1, 0.3, 0.5):
+        for label, policy in policies:
+            federation.reset_traffic()
+            engine = RuntimeEngine(
+                federation,
+                faults=FaultInjector(FaultProfile.flaky(rate), seed=29),
+                policy=policy,
+            )
+            result = engine.run(plan)
+            report = completeness_report(federation, query, result.items)
+            table.add_row(
+                [
+                    rate,
+                    label,
+                    report.completeness,
+                    len(report.spurious),
+                    result.makespan_s,
+                    result.trace.total_retries,
+                    len(result.degraded_steps),
+                    result.trace.total_cost,
+                ]
+            )
+    federation.reset_traffic()
+    table.add_note(
+        "retries trade wire cost and makespan for completeness; spurious "
+        "answers stay at zero because degraded ops only lose items"
+    )
+    return join_sections(
+        "=== R3: fault sweep — graceful degradation and retries ===",
+        table.render(),
     )

@@ -16,7 +16,9 @@ from repro.bench.claims import (
 )
 from repro.bench.extensions import (
     run_adaptive,
+    run_concurrent_runtime,
     run_correlation,
+    run_fault_sweep,
     run_overlap,
     run_phases,
     run_response_time,
@@ -39,6 +41,8 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[], str]]] = {
     "E1": ("estimated vs actual execution cost", run_e2e),
     # Extensions: the paper's Sec. 6 future work and robustness studies.
     "R1": ("response time in a parallel execution model", run_response_time),
+    "R2": ("concurrent runtime vs static schedule", run_concurrent_runtime),
+    "R3": ("fault sweep: completeness and retries", run_fault_sweep),
     "A1": ("adaptive execution vs static plans", run_adaptive),
     "C7": ("condition correlation vs independence", run_correlation),
     "C8": ("data overlap ablation", run_overlap),

@@ -4,7 +4,10 @@ Subcommands:
 
 * ``demo`` — run the Fig. 1 DMV example end to end;
 * ``query SPEC SQL`` — load a federation spec (see :mod:`repro.io`),
-  run a fusion query, print plan + trace + answer;
+  run a fusion query, print plan + trace + answer; ``--runtime`` runs
+  it on the concurrent discrete-event engine instead (with
+  ``--fault-rate``/``--retries``/``--timeline`` to inject failures and
+  watch the retry behaviour);
 * ``explain SPEC SQL`` — plan only, with per-step estimated costs;
 * ``check SPEC SQL`` — report whether the SQL matches the fusion
   pattern (the Sec. 5 detector), without executing anything;
@@ -70,6 +73,37 @@ def _build_parser() -> argparse.ArgumentParser:
                 help="interleave planning and execution (re-plan each "
                 "stage with actual intermediate sizes)",
             )
+            sub.add_argument(
+                "--runtime",
+                action="store_true",
+                help="execute concurrently on the discrete-event runtime "
+                "(observed makespan, retries, fault tolerance)",
+            )
+            sub.add_argument(
+                "--fault-rate",
+                type=float,
+                default=0.0,
+                metavar="P",
+                help="per-attempt transient-failure probability injected "
+                "at every source (runtime backend only)",
+            )
+            sub.add_argument(
+                "--fault-seed",
+                type=int,
+                default=0,
+                help="seed for fault injection (default: 0)",
+            )
+            sub.add_argument(
+                "--retries",
+                type=int,
+                default=3,
+                help="per-operation retry budget (default: 3)",
+            )
+            sub.add_argument(
+                "--timeline",
+                action="store_true",
+                help="print the ASCII execution timeline (runtime backend)",
+            )
 
     export = subparsers.add_parser(
         "export-dmv", help="write the Fig. 1 federation as a spec file"
@@ -93,9 +127,22 @@ def _command_demo() -> int:
 
 
 def _command_query(
-    spec: str, sql: str, optimizer_name: str, adaptive: bool = False
+    spec: str,
+    sql: str,
+    optimizer_name: str,
+    adaptive: bool = False,
+    runtime: bool = False,
+    fault_rate: float = 0.0,
+    fault_seed: int = 0,
+    retries: int = 3,
+    timeline: bool = False,
 ) -> int:
     federation = load_federation(spec)
+    if runtime:
+        return _run_runtime(
+            federation, sql, optimizer_name, fault_rate, fault_seed,
+            retries, timeline,
+        )
     mediator = Mediator(
         federation, optimizer=_OPTIMIZERS[optimizer_name]()
     )
@@ -108,6 +155,46 @@ def _command_query(
     print()
     print("answer:", ", ".join(sorted(map(str, answer.items))) or "(empty)")
     print(answer.summary())
+    return 0
+
+
+def _run_runtime(
+    federation,
+    sql: str,
+    optimizer_name: str,
+    fault_rate: float,
+    fault_seed: int,
+    retries: int,
+    timeline: bool,
+) -> int:
+    from repro.runtime import (
+        FaultInjector,
+        FaultProfile,
+        RetryPolicy,
+        completeness_report,
+    )
+
+    mediator = Mediator(
+        federation,
+        optimizer=_OPTIMIZERS[optimizer_name](),
+        backend="runtime",
+        faults=FaultInjector(FaultProfile.flaky(fault_rate), seed=fault_seed),
+        retry_policy=RetryPolicy(max_retries=retries),
+    )
+    answer = mediator.answer(sql)
+    assert answer.runtime is not None
+    print(answer.plan.pretty())
+    print()
+    if timeline:
+        print(answer.runtime.trace.timeline())
+        print()
+        print(answer.runtime.trace.utilization_report())
+        print()
+    print("answer:", ", ".join(sorted(map(str, answer.items))) or "(empty)")
+    print(answer.summary())
+    if fault_rate > 0:
+        report = completeness_report(federation, answer.query, answer.items)
+        print(f"completeness: {report.summary()}")
     return 0
 
 
@@ -169,7 +256,15 @@ def main(argv: list[str] | None = None) -> int:
             return _command_demo()
         if args.command == "query":
             return _command_query(
-                args.spec, args.sql, args.optimizer, adaptive=args.adaptive
+                args.spec,
+                args.sql,
+                args.optimizer,
+                adaptive=args.adaptive,
+                runtime=args.runtime,
+                fault_rate=args.fault_rate,
+                fault_seed=args.fault_seed,
+                retries=args.retries,
+                timeline=args.timeline,
             )
         if args.command == "explain":
             return _command_explain(args.spec, args.sql, args.optimizer)

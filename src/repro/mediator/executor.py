@@ -100,6 +100,18 @@ class ExecutionResult:
         )
         return "\n".join(lines)
 
+    def summary(self) -> str:
+        """One-line digest: answer size, steps, cost, messages, retries."""
+        retries = sum(step.retries for step in self.steps)
+        return (
+            f"{len(self.items)} items in {len(self.steps)} steps; "
+            f"cost {self.total_cost:.1f}, {self.total_messages} messages, "
+            f"{retries} retries, {self.total_elapsed_s:.3f}s on the wire"
+        )
+
+    def __repr__(self) -> str:
+        return f"ExecutionResult({self.summary()})"
+
 
 class Executor:
     """Executes plans against a federation.

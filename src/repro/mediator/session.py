@@ -37,8 +37,14 @@ from repro.plans.plan import Plan
 from repro.query.fusion import FusionQuery
 from repro.query.sqlparse import parse_fusion_query
 from repro.relational.relation import Relation
+from repro.runtime.engine import RuntimeEngine, RuntimeResult
+from repro.runtime.faults import FaultInjector
+from repro.runtime.policy import RetryPolicy
 from repro.sources.registry import Federation
 from repro.sources.statistics import ExactStatistics, StatisticsProvider
+
+#: Execution backends the mediator can drive.
+BACKENDS = ("sequential", "runtime")
 
 
 @dataclass
@@ -50,6 +56,8 @@ class MediatorAnswer:
     optimization: OptimizationResult
     execution: ExecutionResult
     verified: bool | None = None
+    #: Present when the concurrent runtime backend executed the plan.
+    runtime: RuntimeResult | None = None
 
     @property
     def plan(self) -> Plan:
@@ -61,13 +69,20 @@ class MediatorAnswer:
             if self.verified is None
             else (" (verified)" if self.verified else " (MISMATCH!)")
         )
-        return (
+        text = (
             f"{len(self.items)} items{checked}; "
             f"optimizer {self.optimization.optimizer}, estimated cost "
             f"{self.optimization.estimated_cost:.1f}, actual cost "
             f"{self.execution.total_cost:.1f}, "
             f"{self.execution.total_messages} messages"
         )
+        if self.runtime is not None:
+            text += (
+                f"; makespan {self.runtime.makespan_s:.3f}s, "
+                f"{self.runtime.trace.total_retries} retries, "
+                f"{len(self.runtime.degraded_steps)} degraded"
+            )
+        return text
 
 
 class Mediator:
@@ -90,6 +105,14 @@ class Mediator:
         cache_plans: Reuse optimization results for repeated identical
             queries (statistics are static per mediator, so cached plans
             never go stale).  ``clear_plan_cache()`` resets it.
+        backend: ``"sequential"`` executes plans one operation at a time
+            (the paper's total-work setting); ``"runtime"`` executes
+            them concurrently on the discrete-event engine of
+            :mod:`repro.runtime`, observing response time, faults, and
+            retries.
+        faults: Fault injector for the runtime backend (default: none).
+        retry_policy: Retry/backoff/deadline policy for the runtime
+            backend (default: :meth:`RetryPolicy.default`).
     """
 
     def __init__(
@@ -101,7 +124,14 @@ class Mediator:
         verify: bool = False,
         max_retries: int = 3,
         cache_plans: bool = False,
+        backend: str = "sequential",
+        faults: FaultInjector | None = None,
+        retry_policy: RetryPolicy | None = None,
     ):
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; choose from {BACKENDS}"
+            )
         self.federation = federation
         self.statistics = statistics or ExactStatistics(federation)
         self.estimator = SizeEstimator(self.statistics, federation.source_names)
@@ -111,6 +141,10 @@ class Mediator:
         self.optimizer = optimizer or SJAPlusOptimizer()
         self.verify = verify
         self.executor = Executor(federation, max_retries=max_retries)
+        self.backend = backend
+        self.runtime = RuntimeEngine(
+            federation, faults=faults, policy=retry_policy
+        )
         self.cache_plans = cache_plans
         self._plan_cache: dict[FusionQuery, OptimizationResult] = {}
         self.plan_cache_hits = 0
@@ -159,16 +193,31 @@ class Mediator:
         """Execute a previously produced plan."""
         return self.executor.execute(plan)
 
+    def execute_concurrent(self, plan: Plan) -> RuntimeResult:
+        """Execute a plan on the discrete-event concurrent runtime."""
+        return self.runtime.run(plan)
+
     def answer(self, query: FusionQuery | str) -> MediatorAnswer:
         """Optimize, execute, and (optionally) verify one fusion query."""
         query = self._coerce(query)
         optimization = self._optimize(query)
-        execution = self.executor.execute(optimization.plan)
+        runtime_result = None
+        if self.backend == "runtime":
+            runtime_result = self.runtime.run(optimization.plan)
+            execution = runtime_result.to_execution_result()
+        else:
+            execution = self.executor.execute(optimization.plan)
         verified = None
         if self.verify:
             expected = reference_answer(self.federation, query)
             verified = execution.items == expected
-            if not verified:
+            degraded = (
+                runtime_result is not None
+                and bool(runtime_result.degraded_steps)
+            )
+            # A degraded concurrent run is *expected* to lose answers;
+            # only an unexplained mismatch is a bug worth raising on.
+            if not verified and not degraded:
                 raise ExecutionError(
                     f"plan answer {sorted(execution.items, key=repr)} differs "
                     f"from reference {sorted(expected, key=repr)}"
@@ -179,6 +228,7 @@ class Mediator:
             optimization=optimization,
             execution=execution,
             verified=verified,
+            runtime=runtime_result,
         )
 
     def explain(self, query: FusionQuery | str) -> str:

@@ -1,0 +1,45 @@
+"""Concurrent runtime: discrete-event execution with faults and retries.
+
+The paper's conclusion names "minimizing the response time of a query in
+a parallel execution model" as future work; :mod:`repro.mediator.schedule`
+analyzes that model statically.  This package *executes* it: a
+deterministic discrete-event engine (:mod:`~repro.runtime.engine`) runs
+plans concurrently on a virtual clock, a fault layer
+(:mod:`~repro.runtime.faults`) makes sources flaky the way Internet
+sources are, a policy layer (:mod:`~repro.runtime.policy`) retries with
+exponential backoff and degrades gracefully, and a trace layer
+(:mod:`~repro.runtime.trace`) records per-operation spans with an ASCII
+timeline.  Everything is seeded and replayable.
+"""
+
+from repro.runtime.engine import RuntimeEngine, RuntimeResult
+from repro.runtime.faults import (
+    AttemptFate,
+    AttemptOutcome,
+    FaultInjector,
+    FaultProfile,
+)
+from repro.runtime.policy import (
+    CompletenessReport,
+    OnExhaust,
+    RetryPolicy,
+    completeness_report,
+)
+from repro.runtime.trace import AttemptSpan, OpSpan, OpStatus, RuntimeTrace
+
+__all__ = [
+    "RuntimeEngine",
+    "RuntimeResult",
+    "FaultInjector",
+    "FaultProfile",
+    "AttemptFate",
+    "AttemptOutcome",
+    "RetryPolicy",
+    "OnExhaust",
+    "CompletenessReport",
+    "completeness_report",
+    "RuntimeTrace",
+    "OpSpan",
+    "AttemptSpan",
+    "OpStatus",
+]

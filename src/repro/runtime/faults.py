@@ -1,0 +1,228 @@
+"""Fault injection for the concurrent runtime.
+
+The network simulator (:mod:`repro.sources.network`) computes how long a
+healthy exchange takes; this module decides what *actually* happens to
+each attempt on the simulated wire.  Four failure modes, configurable
+per source through a :class:`FaultProfile`:
+
+* **transient errors** — the request dies quickly (connection reset);
+  the wrapper reports failure after roughly one round trip;
+* **stalls** — the source accepts the request and then hangs for
+  ``stall_s`` extra seconds; combined with a per-attempt timeout in the
+  :class:`~repro.runtime.policy.RetryPolicy` this is the classic
+  "request timed out" failure;
+* **slowdowns** — the source is up but degraded; the attempt completes
+  correctly, ``slowdown_factor`` times slower;
+* **hard outages** — absolute windows of virtual time during which every
+  request to the source fails fast (connection refused).
+
+All randomness is drawn from per-source streams seeded from one master
+seed, so a run is reproducible regardless of how the event loop
+interleaves sources.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+import random
+from dataclasses import dataclass
+
+from repro.errors import CostModelError
+from repro.sources.network import LinkProfile
+
+
+class AttemptFate(enum.Enum):
+    """How one request attempt ended on the simulated wire."""
+
+    OK = "ok"
+    TRANSIENT = "transient"
+    TIMEOUT = "timeout"
+    OUTAGE = "outage"
+
+    @property
+    def failed(self) -> bool:
+        return self is not AttemptFate.OK
+
+
+@dataclass(frozen=True)
+class AttemptOutcome:
+    """The injector's verdict on one attempt: its fate and duration."""
+
+    fate: AttemptFate
+    duration_s: float
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """Failure behaviour of one source.
+
+    Attributes:
+        transient_rate: Per-attempt probability of a fast transient error.
+        stall_rate: Per-attempt probability the source hangs; the attempt
+            takes ``stall_s`` extra seconds (a policy timeout turns this
+            into a timeout failure).
+        stall_s: How long a stalled attempt hangs beyond its normal time.
+        slowdown_rate: Per-attempt probability of a degraded-but-correct
+            response.
+        slowdown_factor: Duration multiplier for slowed attempts.
+        outages: ``(start_s, end_s)`` windows of virtual time during
+            which every attempt fails fast.
+    """
+
+    transient_rate: float = 0.0
+    stall_rate: float = 0.0
+    stall_s: float = 30.0
+    slowdown_rate: float = 0.0
+    slowdown_factor: float = 4.0
+    outages: tuple[tuple[float, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        for name in ("transient_rate", "stall_rate", "slowdown_rate"):
+            rate = getattr(self, name)
+            if not (math.isfinite(rate) and 0.0 <= rate <= 1.0):
+                raise CostModelError(f"{name} must be in [0, 1], got {rate}")
+        if not (math.isfinite(self.stall_s) and self.stall_s >= 0):
+            raise CostModelError(
+                f"stall_s must be finite and non-negative, got {self.stall_s}"
+            )
+        if not (math.isfinite(self.slowdown_factor) and self.slowdown_factor >= 1):
+            raise CostModelError(
+                f"slowdown_factor must be >= 1, got {self.slowdown_factor}"
+            )
+        for window in self.outages:
+            start, end = window
+            if not (math.isfinite(start) and math.isfinite(end) and 0 <= start < end):
+                raise CostModelError(f"invalid outage window {window!r}")
+
+    @property
+    def healthy(self) -> bool:
+        """True when this profile can never perturb an attempt."""
+        return (
+            self.transient_rate == 0.0
+            and self.stall_rate == 0.0
+            and self.slowdown_rate == 0.0
+            and not self.outages
+        )
+
+    def in_outage(self, now_s: float) -> bool:
+        """Whether ``now_s`` falls inside a hard-outage window."""
+        return any(start <= now_s < end for start, end in self.outages)
+
+    @staticmethod
+    def none() -> "FaultProfile":
+        """A perfectly healthy source."""
+        return FaultProfile()
+
+    @staticmethod
+    def flaky(rate: float) -> "FaultProfile":
+        """Transient errors only, at the given per-attempt rate."""
+        return FaultProfile(transient_rate=rate)
+
+    @staticmethod
+    def degraded(rate: float, factor: float = 4.0) -> "FaultProfile":
+        """Slowdowns only: correct answers, ``factor`` times slower."""
+        return FaultProfile(slowdown_rate=rate, slowdown_factor=factor)
+
+
+class FaultInjector:
+    """Seeded, per-source fault decisions for the runtime engine.
+
+    Args:
+        profiles: Either one :class:`FaultProfile` applied to every
+            source, or a ``{source_name: FaultProfile}`` mapping (sources
+            not in the mapping use ``default``).
+        seed: Master seed; each source derives an independent stream, so
+            outcomes do not depend on how the event loop interleaves
+            sources.
+        default: Profile for sources absent from a mapping.
+    """
+
+    def __init__(
+        self,
+        profiles: FaultProfile | dict[str, FaultProfile] | None = None,
+        seed: int = 0,
+        default: FaultProfile | None = None,
+    ):
+        if profiles is None:
+            profiles = {}
+        if isinstance(profiles, FaultProfile):
+            self._default = profiles
+            self._profiles: dict[str, FaultProfile] = {}
+        else:
+            self._default = default or FaultProfile.none()
+            self._profiles = dict(profiles)
+        self.seed = seed
+        self._streams: dict[str, random.Random] = {}
+        self.attempts = 0
+        self.injected: dict[AttemptFate, int] = {
+            fate: 0 for fate in AttemptFate if fate.failed
+        }
+
+    @staticmethod
+    def none() -> "FaultInjector":
+        """An injector that never perturbs anything."""
+        return FaultInjector(FaultProfile.none())
+
+    def profile_for(self, source_name: str) -> FaultProfile:
+        return self._profiles.get(source_name, self._default)
+
+    def _stream(self, source_name: str) -> random.Random:
+        stream = self._streams.get(source_name)
+        if stream is None:
+            # String seeding is hashed with SHA-512 internally, so streams
+            # are stable across processes (unlike built-in hash()).
+            stream = random.Random(f"{self.seed}:{source_name}")
+            self._streams[source_name] = stream
+        return stream
+
+    def judge(
+        self,
+        source_name: str,
+        now_s: float,
+        base_duration_s: float,
+        link: LinkProfile,
+    ) -> AttemptOutcome:
+        """Decide one attempt's fate.
+
+        ``base_duration_s`` is the healthy duration of the exchange (from
+        the network simulator); the outcome's duration replaces it.  A
+        failed attempt still takes simulated time: transient errors
+        surface after one round trip, outages fail after one latency.
+        """
+        self.attempts += 1
+        profile = self.profile_for(source_name)
+        if profile.healthy:
+            return AttemptOutcome(AttemptFate.OK, base_duration_s)
+        if profile.in_outage(now_s):
+            self.injected[AttemptFate.OUTAGE] += 1
+            return AttemptOutcome(AttemptFate.OUTAGE, link.latency_s)
+        stream = self._stream(source_name)
+        # Fixed draw order keeps streams aligned across configurations.
+        u_transient = stream.random()
+        u_stall = stream.random()
+        u_slow = stream.random()
+        if u_transient < profile.transient_rate:
+            self.injected[AttemptFate.TRANSIENT] += 1
+            return AttemptOutcome(
+                AttemptFate.TRANSIENT, link.request_time_s(0, 0)
+            )
+        duration = base_duration_s
+        if u_stall < profile.stall_rate:
+            duration += profile.stall_s
+        if u_slow < profile.slowdown_rate:
+            duration *= profile.slowdown_factor
+        return AttemptOutcome(AttemptFate.OK, duration)
+
+    def summary(self) -> str:
+        """One-line account of what was injected."""
+        injected = sum(self.injected.values())
+        parts = ", ".join(
+            f"{count} {fate.value}"
+            for fate, count in self.injected.items()
+            if count
+        )
+        return (
+            f"{self.attempts} attempts, {injected} injected failures"
+            + (f" ({parts})" if parts else "")
+        )

@@ -1,0 +1,164 @@
+"""Resilience policy: retries, backoff, deadlines, graceful degradation.
+
+A :class:`RetryPolicy` tells the runtime engine what to do when an
+attempt fails: how many times to retry, how long to back off between
+attempts (deterministic exponential backoff — no jitter, so runs
+replay exactly), how long one attempt may run before it is cut off
+(``timeout_s``), and how much total virtual time one operation may
+consume across attempts (``deadline_s``).
+
+When the budget is exhausted the policy chooses between two endgames:
+
+* ``OnExhaust.SKIP`` — *graceful degradation*: the operation yields an
+  empty result, execution continues, and the answer is a subset of the
+  true answer (fusion plans only ever intersect and union item sets, so
+  a skipped source loses answers but never invents them);
+* ``OnExhaust.FAIL`` — surface an
+  :class:`~repro.errors.ExecutionError`, for callers that prefer a hard
+  error over a partial answer.
+
+:func:`completeness_report` quantifies the degradation by comparing an
+executed answer with the reference evaluator's ground truth.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import CostModelError
+from repro.mediator.reference import reference_answer
+from repro.query.fusion import FusionQuery
+from repro.sources.registry import Federation
+
+
+class OnExhaust(enum.Enum):
+    """What to do once an operation's retry budget is spent."""
+
+    SKIP = "skip"  # degrade: empty result, keep executing
+    FAIL = "fail"  # raise ExecutionError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry/backoff/deadline configuration for the runtime engine.
+
+    Attributes:
+        max_retries: Retries allowed per operation (0 = single attempt).
+        backoff_base_s: Wait before the first retry.
+        backoff_multiplier: Growth factor per further retry.
+        backoff_max_s: Cap on a single backoff wait.
+        timeout_s: Per-attempt cutoff; an attempt still running at this
+            point fails as a timeout.  ``None`` disables the cutoff.
+        deadline_s: Total virtual-time budget per operation, measured
+            from its first attempt; no retry may be scheduled past it.
+        on_exhaust: Degrade (:attr:`OnExhaust.SKIP`) or raise.
+    """
+
+    max_retries: int = 3
+    backoff_base_s: float = 0.1
+    backoff_multiplier: float = 2.0
+    backoff_max_s: float = 5.0
+    timeout_s: float | None = None
+    deadline_s: float | None = None
+    on_exhaust: OnExhaust = OnExhaust.SKIP
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise CostModelError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        for name in ("backoff_base_s", "backoff_multiplier", "backoff_max_s"):
+            value = getattr(self, name)
+            if not (math.isfinite(value) and value >= 0):
+                raise CostModelError(
+                    f"{name} must be finite and non-negative, got {value}"
+                )
+        for name in ("timeout_s", "deadline_s"):
+            value = getattr(self, name)
+            if value is not None and not (math.isfinite(value) and value > 0):
+                raise CostModelError(
+                    f"{name} must be finite and positive, got {value}"
+                )
+
+    def backoff_s(self, retry_number: int) -> float:
+        """Wait before retry ``retry_number`` (1-based), capped."""
+        if retry_number < 1:
+            raise ValueError(f"retry_number must be >= 1, got {retry_number}")
+        wait = self.backoff_base_s * self.backoff_multiplier ** (retry_number - 1)
+        return min(wait, self.backoff_max_s)
+
+    def may_retry(
+        self, retries_done: int, first_start_s: float, retry_at_s: float
+    ) -> bool:
+        """Whether another retry fits the count and deadline budgets."""
+        if retries_done >= self.max_retries:
+            return False
+        if self.deadline_s is not None:
+            return retry_at_s - first_start_s <= self.deadline_s
+        return True
+
+    @staticmethod
+    def no_retry(on_exhaust: OnExhaust = OnExhaust.SKIP) -> "RetryPolicy":
+        """Single attempt per operation; degrade (or fail) immediately."""
+        return RetryPolicy(max_retries=0, on_exhaust=on_exhaust)
+
+    @staticmethod
+    def default() -> "RetryPolicy":
+        """Three retries, exponential backoff from 100 ms, degrade."""
+        return RetryPolicy()
+
+    @staticmethod
+    def strict(timeout_s: float = 10.0, deadline_s: float = 30.0) -> "RetryPolicy":
+        """Bounded-latency profile: tight timeout + per-op deadline."""
+        return RetryPolicy(timeout_s=timeout_s, deadline_s=deadline_s)
+
+
+@dataclass(frozen=True)
+class CompletenessReport:
+    """How much of the true answer a (possibly degraded) run recovered.
+
+    Skipping a dead source can only *lose* answers in fusion plans, so
+    ``spurious`` should stay empty; it is reported anyway as a safety
+    check on that invariant.
+    """
+
+    expected: frozenset[Any]
+    answered: frozenset[Any]
+
+    @property
+    def missing(self) -> frozenset[Any]:
+        return self.expected - self.answered
+
+    @property
+    def spurious(self) -> frozenset[Any]:
+        return self.answered - self.expected
+
+    @property
+    def completeness(self) -> float:
+        """Recall: fraction of true answers recovered (1.0 when exact)."""
+        if not self.expected:
+            return 1.0
+        return len(self.expected & self.answered) / len(self.expected)
+
+    @property
+    def exact(self) -> bool:
+        return self.answered == self.expected
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.answered)}/{len(self.expected)} answers, "
+            f"completeness {self.completeness:.2f}"
+            + (f", {len(self.spurious)} spurious!" if self.spurious else "")
+        )
+
+
+def completeness_report(
+    federation: Federation, query: FusionQuery, answered: frozenset[Any]
+) -> CompletenessReport:
+    """Compare an executed answer against the reference evaluator."""
+    return CompletenessReport(
+        expected=reference_answer(federation, query), answered=answered
+    )

@@ -1,0 +1,218 @@
+"""Execution tracing for the concurrent runtime.
+
+Every remote operation the engine runs leaves an :class:`OpSpan` —
+queued/started/finished timestamps on the virtual clock plus one
+:class:`AttemptSpan` per wire attempt (so retries and their backoff gaps
+are visible).  A :class:`RuntimeTrace` aggregates the spans into
+per-source utilization and renders a fixed-width ASCII timeline in the
+same spirit as :func:`repro.plans.viz.schedule_gantt` and the
+:mod:`repro.bench.report` tables: plain text that diffs cleanly and
+pastes into reports unchanged.
+
+Timeline legend: ``#`` successful attempt, ``x`` failed attempt,
+``.`` waiting (queued, blocked on inputs, or backing off).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.plans.operations import Operation
+from repro.runtime.faults import AttemptFate
+
+
+class OpStatus(enum.Enum):
+    """Terminal state of one operation under the runtime."""
+
+    OK = "ok"
+    DEGRADED = "degraded"  # retry budget exhausted; empty result substituted
+
+
+@dataclass(frozen=True)
+class AttemptSpan:
+    """One wire attempt of a remote operation."""
+
+    attempt: int  # 1-based
+    start_s: float
+    end_s: float
+    fate: AttemptFate
+    cost: float
+    items_sent: int
+    items_received: int
+    rows_loaded: int
+    messages: int
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+@dataclass(frozen=True)
+class OpSpan:
+    """One operation's full history on the virtual clock."""
+
+    step: int  # 1-based plan position
+    operation: Operation
+    queued_s: float  # inputs ready; waiting for the source connection
+    started_s: float  # first attempt began
+    finished_s: float  # value produced (or degradation decided)
+    attempts: tuple[AttemptSpan, ...]
+    status: OpStatus
+    output_size: int
+
+    @property
+    def source(self) -> str:
+        return getattr(self.operation, "source", "")
+
+    @property
+    def retries(self) -> int:
+        return max(0, len(self.attempts) - 1)
+
+    @property
+    def busy_s(self) -> float:
+        """Time the source connection was actually occupied (no backoff)."""
+        return sum(span.duration_s for span in self.attempts)
+
+    @property
+    def cost(self) -> float:
+        return sum(span.cost for span in self.attempts)
+
+    @property
+    def messages(self) -> int:
+        return sum(span.messages for span in self.attempts)
+
+    @property
+    def items_sent(self) -> int:
+        return sum(span.items_sent for span in self.attempts)
+
+    @property
+    def items_received(self) -> int:
+        return sum(span.items_received for span in self.attempts)
+
+    @property
+    def queue_wait_s(self) -> float:
+        return self.started_s - self.queued_s
+
+    def render(self, labels=None) -> str:
+        flags = ""
+        if self.retries:
+            flags += f" [{self.retries} retries]"
+        if self.status is OpStatus.DEGRADED:
+            flags += " [DEGRADED]"
+        return (
+            f"{self.step:>3}) {self.operation.render(labels):<60} "
+            f"{self.started_s:>8.3f}s -> {self.finished_s:>8.3f}s, "
+            f"{self.output_size:>6} items{flags}"
+        )
+
+
+@dataclass(frozen=True)
+class RuntimeTrace:
+    """The observable record of one concurrent plan execution."""
+
+    spans: tuple[OpSpan, ...]
+    makespan_s: float
+
+    @property
+    def remote_spans(self) -> tuple[OpSpan, ...]:
+        return tuple(s for s in self.spans if s.operation.remote)
+
+    @property
+    def degraded_steps(self) -> tuple[int, ...]:
+        return tuple(
+            s.step for s in self.spans if s.status is OpStatus.DEGRADED
+        )
+
+    @property
+    def total_retries(self) -> int:
+        return sum(s.retries for s in self.spans)
+
+    @property
+    def total_cost(self) -> float:
+        return sum(s.cost for s in self.spans)
+
+    @property
+    def total_messages(self) -> int:
+        return sum(s.messages for s in self.spans)
+
+    def by_source(self) -> dict[str, list[OpSpan]]:
+        grouped: dict[str, list[OpSpan]] = {}
+        for span in self.remote_spans:
+            grouped.setdefault(span.source, []).append(span)
+        return grouped
+
+    def per_source_utilization(self) -> dict[str, float]:
+        """Fraction of the makespan each source connection was busy."""
+        if self.makespan_s <= 0:
+            return {name: 0.0 for name in self.by_source()}
+        return {
+            name: sum(span.busy_s for span in spans) / self.makespan_s
+            for name, spans in self.by_source().items()
+        }
+
+    # ------------------------------------------------------------------
+    # Rendering
+
+    def timeline(self, width: int = 60) -> str:
+        """ASCII timeline of remote operations, retries visible.
+
+        One row per remote operation; ``#`` marks time inside a
+        successful attempt, ``x`` inside a failed one, ``.`` waiting.
+        """
+        remote = self.remote_spans
+        if not remote:
+            return "(no remote operations)"
+        makespan = self.makespan_s or 1.0
+
+        def column(t: float) -> int:
+            return min(width, max(0, int(round(t / makespan * width))))
+
+        label_width = max(len(self._label(span)) for span in remote)
+        lines = []
+        for span in remote:
+            cells = ["."] * width
+            for attempt in span.attempts:
+                start = column(attempt.start_s)
+                end = max(start + 1, column(attempt.end_s))
+                mark = "x" if attempt.fate.failed else "#"
+                for i in range(start, min(end, width)):
+                    cells[i] = mark
+            note = " DEGRADED" if span.status is OpStatus.DEGRADED else ""
+            lines.append(
+                f"{self._label(span).ljust(label_width)} "
+                f"|{''.join(cells)}|{note}"
+            )
+        lines.append(
+            f"{'makespan'.ljust(label_width)}  {self.makespan_s:.3f}s, "
+            f"{self.total_retries} retries, "
+            f"{len(self.degraded_steps)} degraded"
+        )
+        return "\n".join(lines)
+
+    def utilization_report(self) -> str:
+        """Per-source busy time / utilization, fixed width."""
+        lines = ["source   busy s     util   ops  retries"]
+        utilization = self.per_source_utilization()
+        for name, spans in sorted(self.by_source().items()):
+            busy = sum(span.busy_s for span in spans)
+            retries = sum(span.retries for span in spans)
+            lines.append(
+                f"{name:<8} {busy:>7.3f} {utilization[name]:>7.1%} "
+                f"{len(spans):>5} {retries:>8}"
+            )
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        return (
+            f"makespan {self.makespan_s:.3f}s, "
+            f"{len(self.remote_spans)} remote ops, "
+            f"{self.total_retries} retries, "
+            f"{len(self.degraded_steps)} degraded, "
+            f"cost {self.total_cost:.1f}"
+        )
+
+    @staticmethod
+    def _label(span: OpSpan) -> str:
+        op = span.operation
+        return f"{span.step:>3}) {span.source:<6} {op.kind.value}->{op.target}"

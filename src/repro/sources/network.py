@@ -19,6 +19,7 @@ paper's total-work objective.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Iterator
 
@@ -58,11 +59,14 @@ class LinkProfile:
             "latency_s": self.latency_s,
         }
         for name, value in numeric.items():
+            if not math.isfinite(value):
+                raise CostModelError(f"{name} must be finite, got {value}")
             if value < 0:
                 raise CostModelError(f"{name} must be non-negative, got {value}")
-        if self.items_per_s <= 0:
+        if not math.isfinite(self.items_per_s) or self.items_per_s <= 0:
             raise CostModelError(
-                f"items_per_s must be positive, got {self.items_per_s}"
+                f"items_per_s must be positive and finite, "
+                f"got {self.items_per_s}"
             )
 
     def request_cost(

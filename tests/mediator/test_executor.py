@@ -6,7 +6,6 @@ import pytest
 
 from repro.errors import ExecutionError
 from repro.mediator.executor import Executor
-from repro.mediator.reference import reference_answer
 from repro.plans.builder import build_filter_plan, build_staged_plan, uniform_choices
 from repro.plans.operations import (
     DifferenceOp,
@@ -152,3 +151,16 @@ class TestTraceRendering:
         text = result.trace(plan)
         assert "sq(c1, R1)" in text
         assert "answer: 2 items" in text
+
+
+class TestResultSummary:
+    def test_summary_and_repr(self):
+        federation, query = dmv_fig1()
+        plan = build_filter_plan(query, federation.source_names)
+        result = Executor(federation).execute(plan)
+        summary = result.summary()
+        assert "2 items" in summary
+        assert f"{len(result.steps)} steps" in summary
+        assert "6 messages" in summary
+        assert "0 retries" in summary
+        assert repr(result) == f"ExecutionResult({summary})"

@@ -15,7 +15,6 @@ from repro.sources.generators import (
     DMV_FIG1_ANSWER,
     SyntheticConfig,
     build_synthetic,
-    dmv_fig1,
     synthetic_query,
 )
 

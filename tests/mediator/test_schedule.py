@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.costs.estimates import SizeEstimator
+from repro.errors import PlanValidationError
 from repro.mediator.executor import Executor
 from repro.mediator.schedule import (
     estimated_response_time,
@@ -15,6 +16,9 @@ from repro.plans.builder import (
     build_staged_plan,
     uniform_choices,
 )
+from repro.plans.operations import SelectionOp, UnionOp
+from repro.plans.plan import Plan
+from repro.relational.parser import parse_condition
 from repro.sources.generators import dmv_fig1
 from repro.sources.statistics import ExactStatistics
 
@@ -139,3 +143,42 @@ class TestEstimatedScheduling:
         )
         # Per-binding round trips dominate: emulation is much slower.
         assert schedule.makespan_s > native.makespan_s
+
+
+class TestEdgeCases:
+    def test_empty_plan_is_unconstructible(self):
+        with pytest.raises(PlanValidationError, match="at least one"):
+            Plan([], result="X")
+
+    def test_single_op_plan_makespan_is_its_duration(self, kit):
+        federation, __, ___ = kit
+        condition = parse_condition("V = 'dui'")
+        plan = Plan([SelectionOp("X", condition, "R1")], result="X")
+        execution = Executor(federation).execute(plan)
+        schedule = response_time(plan, execution)
+        assert len(schedule.ops) == 1
+        assert schedule.makespan_s == pytest.approx(
+            execution.steps[0].elapsed_s
+        )
+        assert schedule.makespan_s == pytest.approx(schedule.total_time_s)
+        assert schedule.parallel_speedup == pytest.approx(1.0)
+
+    def test_all_ops_on_one_source_fully_serialize(self, kit):
+        federation, __, ___ = kit
+        conditions = [
+            parse_condition("V = 'dui'"),
+            parse_condition("V = 'sp'"),
+            parse_condition("D > 1990"),
+        ]
+        ops = [
+            SelectionOp(f"X{i}", condition, "R1")
+            for i, condition in enumerate(conditions, start=1)
+        ]
+        plan = Plan(
+            [*ops, UnionOp("X", ("X1", "X2", "X3"))], result="X"
+        )
+        execution = Executor(federation).execute(plan)
+        schedule = response_time(plan, execution)
+        # One connection, no overlap: makespan is the sum of durations.
+        assert schedule.makespan_s == pytest.approx(schedule.total_time_s)
+        assert schedule.parallel_speedup == pytest.approx(1.0)

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.errors import NotAFusionQueryError, QueryError
+from repro.errors import NotAFusionQueryError
 from repro.mediator.session import Mediator
 from repro.optimize.filter import FilterOptimizer
 from repro.optimize.sja import SJAOptimizer
@@ -125,3 +125,50 @@ class TestTwoPhase:
         before = dmv_mediator.federation.total_traffic_cost()
         dmv_mediator.fetch_records(answer.items)
         assert dmv_mediator.federation.total_traffic_cost() > before
+
+
+class TestRuntimeBackend:
+    def test_unknown_backend_rejected(self, dmv_federation):
+        with pytest.raises(ValueError, match="unknown backend"):
+            Mediator(dmv_federation, backend="parallel")
+
+    def test_runtime_backend_answers_and_attaches_trace(
+        self, dmv_federation, dmv_query
+    ):
+        mediator = Mediator(dmv_federation, backend="runtime", verify=True)
+        answer = mediator.answer(dmv_query)
+        assert answer.items == DMV_FIG1_ANSWER
+        assert answer.runtime is not None
+        assert answer.runtime.makespan_s > 0
+        assert "makespan" in answer.summary()
+
+    def test_sequential_backend_has_no_runtime_result(
+        self, dmv_mediator, dmv_query
+    ):
+        answer = dmv_mediator.answer(dmv_query)
+        assert answer.runtime is None
+        assert "makespan" not in answer.summary()
+
+    def test_degraded_run_does_not_fail_verification(
+        self, dmv_federation, dmv_query
+    ):
+        from repro.runtime import FaultInjector, FaultProfile, RetryPolicy
+
+        mediator = Mediator(
+            dmv_federation,
+            backend="runtime",
+            verify=True,
+            faults=FaultInjector({"R1": FaultProfile.flaky(1.0)}, seed=0),
+            retry_policy=RetryPolicy.no_retry(),
+        )
+        answer = mediator.answer(dmv_query)  # must not raise
+        assert answer.verified is False
+        assert answer.runtime is not None
+        assert answer.runtime.degraded_steps
+        assert answer.items <= DMV_FIG1_ANSWER
+
+    def test_execute_concurrent_entry_point(self, dmv_mediator, dmv_query):
+        optimization = dmv_mediator.plan(dmv_query)
+        result = dmv_mediator.execute_concurrent(optimization.plan)
+        assert result.items == DMV_FIG1_ANSWER
+        assert result.complete

@@ -11,7 +11,6 @@ from repro.optimize.postopt import (
     apply_difference_pruning,
     apply_source_loading,
 )
-from repro.optimize.sja import SJAOptimizer
 from repro.plans.builder import (
     StagedChoice,
     build_staged_plan,
@@ -26,7 +25,6 @@ from repro.plans.operations import (
     OpKind,
     SemijoinOp,
 )
-from repro.query.fusion import FusionQuery
 
 
 @pytest.fixture

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import math
 
-import pytest
 
 from repro.costs.model import TableCostModel
 from repro.mediator.executor import Executor

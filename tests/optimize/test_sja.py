@@ -4,14 +4,13 @@ from __future__ import annotations
 
 import math
 
-import pytest
 
 from repro.costs.model import TableCostModel
 from repro.mediator.executor import Executor
 from repro.mediator.reference import reference_answer
 from repro.optimize.sj import SJOptimizer
 from repro.optimize.sja import SJAOptimizer
-from repro.plans.classify import classify, is_semijoin_adaptive_plan
+from repro.plans.classify import is_semijoin_adaptive_plan
 from repro.sources.capabilities import SourceCapabilities
 from repro.sources.generators import dmv_fig1
 from repro.costs.charge import ChargeCostModel
@@ -105,7 +104,6 @@ class TestCapabilityAwareness:
         assert math.isfinite(result.estimated_cost)
 
     def test_mixed_capability_federation(self):
-        from repro.sources.capabilities import SemijoinSupport
         from repro.sources.network import LinkProfile
 
         federation, query = dmv_fig1(

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.mediator.executor import Executor
 from repro.mediator.reference import reference_answer

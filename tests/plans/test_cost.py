@@ -8,7 +8,6 @@ from repro.costs.charge import ChargeCostModel
 from repro.costs.estimates import SizeEstimator
 from repro.costs.model import UniformCostModel
 from repro.plans.builder import (
-    StagedChoice,
     build_filter_plan,
     build_staged_plan,
     uniform_choices,

@@ -19,7 +19,7 @@ from repro.plans.serialize import (
     plan_to_dict,
     plan_to_json,
 )
-from repro.sources.generators import DMV_FIG1_ANSWER, dmv_fig1
+from repro.sources.generators import DMV_FIG1_ANSWER
 
 
 @pytest.fixture

@@ -9,7 +9,6 @@ import pytest
 
 from repro.costs.charge import ChargeCostModel
 from repro.costs.estimates import SizeEstimator
-from repro.plans.builder import StagedChoice
 from repro.plans.space import (
     canonical_semijoin_key,
     choices_from_stages,

@@ -6,7 +6,7 @@ import pytest
 
 from repro.errors import SchemaError
 from repro.relational.relation import Relation
-from repro.relational.schema import Attribute, DataType, Schema, dmv_schema
+from repro.relational.schema import Attribute, Schema, dmv_schema
 
 ROWS = [("J55", "dui", 1993), ("T21", "sp", 1994), ("T80", "dui", 1993)]
 

@@ -1,0 +1,322 @@
+"""Unit tests for the discrete-event concurrent engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.costs.charge import ChargeCostModel
+from repro.costs.estimates import SizeEstimator
+from repro.errors import ExecutionError
+from repro.mediator.executor import Executor
+from repro.mediator.reference import reference_answer
+from repro.mediator.schedule import response_time
+from repro.optimize.sj import SJOptimizer
+from repro.optimize.sja import SJAOptimizer
+from repro.plans.builder import build_filter_plan
+from repro.plans.operations import (
+    IntersectOp,
+    LoadOp,
+    LocalSelectionOp,
+    SelectionOp,
+    UnionOp,
+)
+from repro.plans.plan import Plan
+from repro.runtime.engine import RuntimeEngine
+from repro.runtime.faults import AttemptFate, FaultInjector, FaultProfile
+from repro.runtime.policy import OnExhaust, RetryPolicy
+from repro.runtime.trace import OpStatus
+from repro.sources.generators import (
+    DMV_FIG1_ANSWER,
+    SyntheticConfig,
+    build_synthetic,
+    dmv_fig1,
+    synthetic_query,
+)
+from repro.sources.remote import FailureInjector
+from repro.sources.statistics import ExactStatistics
+
+
+@pytest.fixture
+def dmv_kit():
+    federation, query = dmv_fig1()
+    estimator = SizeEstimator(
+        ExactStatistics(federation), federation.source_names
+    )
+    return federation, query, estimator
+
+
+@pytest.fixture
+def synthetic_kit():
+    config = SyntheticConfig(
+        n_sources=5,
+        n_entities=150,
+        coverage=(0.3, 0.6),
+        overhead_range=(5.0, 20.0),
+        receive_range=(1.0, 3.0),
+        seed=31,
+    )
+    federation = build_synthetic(config)
+    query = synthetic_query(config, m=3, seed=17)
+    estimator = SizeEstimator(
+        ExactStatistics(federation), federation.source_names
+    )
+    return federation, query, estimator
+
+
+def plans_for(federation, query, estimator):
+    cost_model = ChargeCostModel.for_federation(federation, estimator)
+    names = federation.source_names
+    return {
+        "FILTER": build_filter_plan(query, names),
+        "SJ": SJOptimizer().optimize(query, names, cost_model, estimator).plan,
+        "SJA": SJAOptimizer().optimize(query, names, cost_model, estimator).plan,
+    }
+
+
+class TestZeroFaultCrossValidation:
+    """The acceptance criterion: simulated == predicted under zero faults."""
+
+    @pytest.mark.parametrize("kit_name", ["dmv_kit", "synthetic_kit"])
+    def test_makespan_matches_schedule(self, kit_name, request):
+        federation, query, estimator = request.getfixturevalue(kit_name)
+        expected = reference_answer(federation, query)
+        engine = RuntimeEngine(federation)
+        for label, plan in plans_for(federation, query, estimator).items():
+            federation.reset_traffic()
+            predicted = response_time(plan, Executor(federation).execute(plan))
+            federation.reset_traffic()
+            simulated = engine.run(plan)
+            assert simulated.makespan_s == pytest.approx(
+                predicted.makespan_s, abs=1e-12
+            ), f"{label} plan diverged"
+            assert simulated.items == expected, f"{label} wrong answer"
+            assert simulated.complete
+
+    def test_same_cost_and_messages_as_sequential(self, dmv_kit):
+        federation, query, __ = dmv_kit
+        plan = build_filter_plan(query, federation.source_names)
+        federation.reset_traffic()
+        sequential = Executor(federation).execute(plan)
+        federation.reset_traffic()
+        concurrent = RuntimeEngine(federation).run(plan)
+        assert concurrent.trace.total_cost == pytest.approx(
+            sequential.total_cost
+        )
+        assert concurrent.trace.total_messages == sequential.total_messages
+
+    def test_same_source_ops_never_overlap(self, dmv_kit):
+        federation, query, __ = dmv_kit
+        plan = build_filter_plan(query, federation.source_names)
+        result = RuntimeEngine(federation).run(plan)
+        for spans in result.trace.by_source().values():
+            ordered = sorted(spans, key=lambda s: s.started_s)
+            for earlier, later in zip(ordered, ordered[1:]):
+                assert later.started_s >= earlier.finished_s - 1e-12
+
+    def test_different_sources_overlap(self, dmv_kit):
+        federation, query, __ = dmv_kit
+        plan = build_filter_plan(query, federation.source_names)
+        result = RuntimeEngine(federation).run(plan)
+        first_finish = min(s.finished_s for s in result.trace.remote_spans)
+        overlapping = [
+            s for s in result.trace.remote_spans if s.started_s < first_finish
+        ]
+        assert len(overlapping) == len(federation.source_names)
+
+
+class TestRetries:
+    def test_transient_failures_retried_to_success(self, dmv_kit):
+        federation, query, __ = dmv_kit
+        plan = build_filter_plan(query, federation.source_names)
+        engine = RuntimeEngine(
+            federation,
+            faults=FaultInjector(FaultProfile.flaky(0.5), seed=5),
+            policy=RetryPolicy(max_retries=8, backoff_base_s=0.05),
+        )
+        result = engine.run(plan)
+        assert result.items == DMV_FIG1_ANSWER
+        assert result.trace.total_retries > 0
+        assert result.complete
+
+    def test_backoff_gap_between_attempts(self, dmv_kit):
+        federation, query, __ = dmv_kit
+        plan = build_filter_plan(query, federation.source_names)
+        policy = RetryPolicy(max_retries=8, backoff_base_s=0.25)
+        engine = RuntimeEngine(
+            federation,
+            faults=FaultInjector(FaultProfile.flaky(0.5), seed=5),
+            policy=policy,
+        )
+        result = engine.run(plan)
+        retried = [s for s in result.trace.remote_spans if s.retries]
+        assert retried
+        for span in retried:
+            for a, b in zip(span.attempts, span.attempts[1:]):
+                gap = b.start_s - a.end_s
+                assert gap >= policy.backoff_s(a.attempt) - 1e-12
+
+    def test_failed_attempts_are_charged(self, dmv_kit):
+        federation, query, __ = dmv_kit
+        plan = build_filter_plan(query, federation.source_names)
+        federation.reset_traffic()
+        clean_cost = RuntimeEngine(federation).run(plan).trace.total_cost
+        federation.reset_traffic()
+        engine = RuntimeEngine(
+            federation,
+            faults=FaultInjector(FaultProfile.flaky(0.5), seed=5),
+            policy=RetryPolicy(max_retries=8, backoff_base_s=0.05),
+        )
+        faulty = engine.run(plan)
+        assert faulty.trace.total_retries > 0
+        assert faulty.trace.total_cost > clean_cost
+
+    def test_legacy_failure_injector_is_a_transient(self, dmv_kit):
+        federation, query, __ = dmv_kit
+        federation.source("R1").failure = FailureInjector(
+            failure_rate=1.0, seed=0, max_failures=2
+        )
+        try:
+            plan = build_filter_plan(query, federation.source_names)
+            result = RuntimeEngine(federation).run(plan)
+        finally:
+            federation.source("R1").failure = None
+        assert result.items == DMV_FIG1_ANSWER
+        fates = [
+            a.fate
+            for s in result.trace.remote_spans
+            for a in s.attempts
+        ]
+        assert fates.count(AttemptFate.TRANSIENT) == 2
+
+
+class TestDegradationAndFailure:
+    def test_skip_degrades_to_partial_answer(self, dmv_kit):
+        federation, query, __ = dmv_kit
+        plan = build_filter_plan(query, federation.source_names)
+        engine = RuntimeEngine(
+            federation,
+            faults=FaultInjector(
+                {"R1": FaultProfile.flaky(1.0)}, seed=0
+            ),
+            policy=RetryPolicy.no_retry(),
+        )
+        result = engine.run(plan)
+        assert not result.complete
+        assert result.degraded_steps
+        # R1's ops degraded to empty sets: subset of the truth, never more.
+        assert result.items <= DMV_FIG1_ANSWER
+
+    def test_fail_mode_raises(self, dmv_kit):
+        federation, query, __ = dmv_kit
+        plan = build_filter_plan(query, federation.source_names)
+        engine = RuntimeEngine(
+            federation,
+            faults=FaultInjector(FaultProfile.flaky(1.0), seed=0),
+            policy=RetryPolicy.no_retry(on_exhaust=OnExhaust.FAIL),
+        )
+        with pytest.raises(ExecutionError, match="failed after 0 retries"):
+            engine.run(plan)
+
+    def test_timeout_cuts_off_stalls(self, dmv_kit):
+        federation, query, __ = dmv_kit
+        plan = build_filter_plan(query, federation.source_names)
+        engine = RuntimeEngine(
+            federation,
+            faults=FaultInjector(
+                FaultProfile(stall_rate=1.0, stall_s=60.0), seed=0
+            ),
+            policy=RetryPolicy(
+                max_retries=0, timeout_s=2.0, on_exhaust=OnExhaust.SKIP
+            ),
+        )
+        result = engine.run(plan)
+        fates = {
+            a.fate for s in result.trace.remote_spans for a in s.attempts
+        }
+        assert fates == {AttemptFate.TIMEOUT}
+        for span in result.trace.remote_spans:
+            assert span.attempts[-1].duration_s == pytest.approx(2.0)
+
+    def test_outage_window_fails_fast_then_recovers(self, dmv_kit):
+        federation, query, __ = dmv_kit
+        plan = build_filter_plan(query, federation.source_names)
+        engine = RuntimeEngine(
+            federation,
+            faults=FaultInjector(
+                {"R1": FaultProfile(outages=((0.0, 5.0),))}, seed=0
+            ),
+            policy=RetryPolicy(max_retries=10, backoff_base_s=2.0),
+        )
+        result = engine.run(plan)
+        assert result.items == DMV_FIG1_ANSWER
+        outage_fates = [
+            a.fate
+            for s in result.trace.remote_spans
+            if s.source == "R1"
+            for a in s.attempts
+        ]
+        assert AttemptFate.OUTAGE in outage_fates
+        assert outage_fates[-1] is AttemptFate.OK
+
+    def test_degraded_load_yields_empty_relation(self, dmv_kit):
+        federation, query, __ = dmv_kit
+        c1, c2 = query.conditions
+        plan = Plan(
+            [
+                LoadOp("T1", "R1"),
+                LocalSelectionOp("A", c1, "T1"),
+                LocalSelectionOp("B", c2, "T1"),
+                IntersectOp("X", ("A", "B")),
+                SelectionOp("Y", c1, "R2"),
+                UnionOp("Z", ("X", "Y")),
+            ],
+            result="Z",
+        )
+        engine = RuntimeEngine(
+            federation,
+            faults=FaultInjector({"R1": FaultProfile.flaky(1.0)}, seed=0),
+            policy=RetryPolicy.no_retry(),
+        )
+        result = engine.run(plan)
+        load_span = result.trace.spans[0]
+        assert load_span.status is OpStatus.DEGRADED
+        assert load_span.output_size == 0
+        # R2's selection still contributes its c1 matches.
+        assert result.items == frozenset({"T21"})
+
+
+class TestDeterminismAndProjection:
+    def test_identical_runs_replay_exactly(self, synthetic_kit):
+        federation, query, estimator = synthetic_kit
+        plan = plans_for(federation, query, estimator)["SJA"]
+
+        def run():
+            federation.reset_traffic()
+            engine = RuntimeEngine(
+                federation,
+                faults=FaultInjector(FaultProfile.flaky(0.3), seed=99),
+                policy=RetryPolicy(max_retries=3, backoff_base_s=0.1),
+            )
+            return engine.run(plan)
+
+        first, second = run(), run()
+        assert first.items == second.items
+        assert first.makespan_s == second.makespan_s
+        assert first.trace.spans == second.trace.spans
+
+    def test_to_execution_result_projection(self, dmv_kit):
+        federation, query, __ = dmv_kit
+        plan = build_filter_plan(query, federation.source_names)
+        result = RuntimeEngine(federation).run(plan)
+        projected = result.to_execution_result()
+        assert projected.items == result.items
+        assert len(projected.steps) == len(plan)
+        assert projected.total_cost == pytest.approx(result.trace.total_cost)
+        assert projected.total_messages == result.trace.total_messages
+
+    def test_result_repr_and_summary(self, dmv_kit):
+        federation, query, __ = dmv_kit
+        plan = build_filter_plan(query, federation.source_names)
+        result = RuntimeEngine(federation).run(plan)
+        assert "2 items" in repr(result)
+        assert "makespan" in result.summary()

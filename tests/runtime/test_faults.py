@@ -1,0 +1,130 @@
+"""Unit tests for the fault-injection layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CostModelError
+from repro.runtime.faults import (
+    AttemptFate,
+    FaultInjector,
+    FaultProfile,
+)
+from repro.sources.network import LinkProfile
+
+
+LINK = LinkProfile(latency_s=0.1, items_per_s=1000.0)
+
+
+class TestFaultProfile:
+    def test_none_is_healthy(self):
+        assert FaultProfile.none().healthy
+
+    def test_flaky_and_degraded_are_not_healthy(self):
+        assert not FaultProfile.flaky(0.1).healthy
+        assert not FaultProfile.degraded(0.1).healthy
+
+    def test_zero_rate_flaky_is_healthy(self):
+        assert FaultProfile.flaky(0.0).healthy
+
+    @pytest.mark.parametrize("rate", [-0.1, 1.1, float("nan")])
+    def test_invalid_rates_rejected(self, rate):
+        with pytest.raises(CostModelError):
+            FaultProfile(transient_rate=rate)
+
+    def test_invalid_outage_window_rejected(self):
+        with pytest.raises(CostModelError):
+            FaultProfile(outages=((5.0, 2.0),))
+
+    def test_in_outage(self):
+        profile = FaultProfile(outages=((1.0, 2.0), (5.0, 6.0)))
+        assert profile.in_outage(1.5)
+        assert profile.in_outage(5.0)
+        assert not profile.in_outage(2.0)  # half-open window
+        assert not profile.in_outage(3.0)
+
+    def test_slowdown_factor_below_one_rejected(self):
+        with pytest.raises(CostModelError):
+            FaultProfile(slowdown_rate=0.5, slowdown_factor=0.5)
+
+
+class TestFaultInjector:
+    def test_healthy_profile_never_perturbs(self):
+        injector = FaultInjector.none()
+        for __ in range(50):
+            outcome = injector.judge("S", 0.0, 1.0, LINK)
+            assert outcome.fate is AttemptFate.OK
+            assert outcome.duration_s == 1.0
+        assert injector.attempts == 50
+        assert sum(injector.injected.values()) == 0
+
+    def test_always_transient(self):
+        injector = FaultInjector(FaultProfile.flaky(1.0), seed=0)
+        outcome = injector.judge("S", 0.0, 1.0, LINK)
+        assert outcome.fate is AttemptFate.TRANSIENT
+        # Fails after one empty round trip, not the full exchange.
+        assert outcome.duration_s == pytest.approx(LINK.request_time_s(0, 0))
+
+    def test_outage_beats_randomness(self):
+        injector = FaultInjector(
+            FaultProfile(outages=((0.0, 10.0),)), seed=0
+        )
+        outcome = injector.judge("S", 5.0, 1.0, LINK)
+        assert outcome.fate is AttemptFate.OUTAGE
+        assert outcome.duration_s == pytest.approx(LINK.latency_s)
+        after = injector.judge("S", 10.0, 1.0, LINK)
+        assert after.fate is AttemptFate.OK
+
+    def test_stall_extends_duration(self):
+        injector = FaultInjector(
+            FaultProfile(stall_rate=1.0, stall_s=30.0), seed=0
+        )
+        outcome = injector.judge("S", 0.0, 1.0, LINK)
+        assert outcome.fate is AttemptFate.OK  # policy turns it into timeout
+        assert outcome.duration_s == pytest.approx(31.0)
+
+    def test_slowdown_multiplies_duration(self):
+        injector = FaultInjector(FaultProfile.degraded(1.0, 4.0), seed=0)
+        outcome = injector.judge("S", 0.0, 1.0, LINK)
+        assert outcome.fate is AttemptFate.OK
+        assert outcome.duration_s == pytest.approx(4.0)
+
+    def test_per_source_streams_are_independent_and_deterministic(self):
+        def draw(seed):
+            injector = FaultInjector(FaultProfile.flaky(0.5), seed=seed)
+            return [
+                injector.judge(name, 0.0, 1.0, LINK).fate
+                for name in ("A", "B", "A", "B", "A")
+            ]
+
+        assert draw(7) == draw(7)
+        assert draw(7) != draw(8) or draw(7) != draw(9)
+
+    def test_interleaving_does_not_change_a_sources_stream(self):
+        a_only = FaultInjector(FaultProfile.flaky(0.5), seed=3)
+        fates_alone = [
+            a_only.judge("A", 0.0, 1.0, LINK).fate for __ in range(6)
+        ]
+        mixed = FaultInjector(FaultProfile.flaky(0.5), seed=3)
+        fates_mixed = []
+        for __ in range(6):
+            fates_mixed.append(mixed.judge("A", 0.0, 1.0, LINK).fate)
+            mixed.judge("B", 0.0, 1.0, LINK)  # interleaved traffic
+        assert fates_alone == fates_mixed
+
+    def test_per_source_mapping_with_default(self):
+        injector = FaultInjector(
+            {"A": FaultProfile.flaky(1.0)},
+            seed=0,
+            default=FaultProfile.none(),
+        )
+        assert injector.judge("A", 0.0, 1.0, LINK).fate.failed
+        assert not injector.judge("B", 0.0, 1.0, LINK).fate.failed
+
+    def test_summary_counts(self):
+        injector = FaultInjector(FaultProfile.flaky(1.0), seed=0)
+        injector.judge("A", 0.0, 1.0, LINK)
+        injector.judge("A", 0.0, 1.0, LINK)
+        assert "2 attempts" in injector.summary()
+        assert "2 injected failures" in injector.summary()
+        assert "transient" in injector.summary()

@@ -1,0 +1,107 @@
+"""Unit tests for retry policies and the completeness report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CostModelError
+from repro.runtime.policy import (
+    CompletenessReport,
+    OnExhaust,
+    RetryPolicy,
+    completeness_report,
+)
+from repro.sources.generators import DMV_FIG1_ANSWER, dmv_fig1
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially_and_caps(self):
+        policy = RetryPolicy(
+            backoff_base_s=0.1, backoff_multiplier=2.0, backoff_max_s=0.5
+        )
+        assert policy.backoff_s(1) == pytest.approx(0.1)
+        assert policy.backoff_s(2) == pytest.approx(0.2)
+        assert policy.backoff_s(3) == pytest.approx(0.4)
+        assert policy.backoff_s(4) == pytest.approx(0.5)  # capped
+        assert policy.backoff_s(10) == pytest.approx(0.5)
+
+    def test_backoff_rejects_zeroth_retry(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff_s(0)
+
+    def test_may_retry_counts(self):
+        policy = RetryPolicy(max_retries=2)
+        assert policy.may_retry(0, 0.0, 1.0)
+        assert policy.may_retry(1, 0.0, 1.0)
+        assert not policy.may_retry(2, 0.0, 1.0)
+
+    def test_may_retry_deadline(self):
+        policy = RetryPolicy(max_retries=10, deadline_s=5.0)
+        assert policy.may_retry(0, 100.0, 104.0)
+        assert not policy.may_retry(0, 100.0, 105.5)
+
+    def test_no_retry_profile(self):
+        policy = RetryPolicy.no_retry()
+        assert policy.max_retries == 0
+        assert policy.on_exhaust is OnExhaust.SKIP
+        assert not policy.may_retry(0, 0.0, 0.0)
+
+    def test_strict_profile_has_bounds(self):
+        policy = RetryPolicy.strict(timeout_s=1.0, deadline_s=3.0)
+        assert policy.timeout_s == 1.0
+        assert policy.deadline_s == 3.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_retries": -1},
+            {"backoff_base_s": -0.1},
+            {"backoff_base_s": float("inf")},
+            {"timeout_s": 0.0},
+            {"deadline_s": -1.0},
+        ],
+    )
+    def test_invalid_configurations_rejected(self, kwargs):
+        with pytest.raises(CostModelError):
+            RetryPolicy(**kwargs)
+
+
+class TestCompletenessReport:
+    def test_exact_answer(self):
+        report = CompletenessReport(
+            expected=frozenset({"a", "b"}), answered=frozenset({"a", "b"})
+        )
+        assert report.exact
+        assert report.completeness == 1.0
+        assert not report.missing
+        assert not report.spurious
+
+    def test_partial_answer(self):
+        report = CompletenessReport(
+            expected=frozenset({"a", "b", "c", "d"}),
+            answered=frozenset({"a", "b"}),
+        )
+        assert report.completeness == pytest.approx(0.5)
+        assert report.missing == frozenset({"c", "d"})
+        assert "2/4 answers" in report.summary()
+
+    def test_spurious_flagged_in_summary(self):
+        report = CompletenessReport(
+            expected=frozenset({"a"}), answered=frozenset({"a", "z"})
+        )
+        assert report.spurious == frozenset({"z"})
+        assert "spurious!" in report.summary()
+
+    def test_empty_expected_is_vacuously_complete(self):
+        report = CompletenessReport(
+            expected=frozenset(), answered=frozenset()
+        )
+        assert report.completeness == 1.0
+        assert report.exact
+
+    def test_against_reference(self):
+        federation, query = dmv_fig1()
+        report = completeness_report(federation, query, DMV_FIG1_ANSWER)
+        assert report.exact
+        partial = completeness_report(federation, query, frozenset({"J55"}))
+        assert partial.completeness == pytest.approx(0.5)

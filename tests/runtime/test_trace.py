@@ -1,0 +1,125 @@
+"""Unit tests for runtime trace structures and rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.plans.builder import build_filter_plan
+from repro.runtime.engine import RuntimeEngine
+from repro.runtime.faults import AttemptFate, FaultInjector, FaultProfile
+from repro.runtime.policy import RetryPolicy
+from repro.runtime.trace import AttemptSpan, OpStatus
+from repro.sources.generators import dmv_fig1
+
+
+@pytest.fixture
+def clean_run():
+    federation, query = dmv_fig1()
+    plan = build_filter_plan(query, federation.source_names)
+    return RuntimeEngine(federation).run(plan), plan
+
+
+@pytest.fixture
+def faulty_run():
+    federation, query = dmv_fig1()
+    plan = build_filter_plan(query, federation.source_names)
+    engine = RuntimeEngine(
+        federation,
+        faults=FaultInjector(FaultProfile.flaky(0.6), seed=5),
+        policy=RetryPolicy(max_retries=5, backoff_base_s=0.05),
+    )
+    return engine.run(plan)
+
+
+class TestSpans:
+    def test_attempt_span_duration(self):
+        span = AttemptSpan(
+            attempt=1, start_s=1.0, end_s=3.5, fate=AttemptFate.OK,
+            cost=10.0, items_sent=0, items_received=5, rows_loaded=0,
+            messages=1,
+        )
+        assert span.duration_s == pytest.approx(2.5)
+
+    def test_clean_run_spans_cover_every_step(self, clean_run):
+        result, plan = clean_run
+        assert len(result.trace.spans) == len(plan)
+        assert [s.step for s in result.trace.spans] == list(
+            range(1, len(plan) + 1)
+        )
+        for span in result.trace.spans:
+            assert span.status is OpStatus.OK
+            assert span.queued_s <= span.started_s <= span.finished_s
+
+    def test_remote_spans_have_one_attempt_each_when_clean(self, clean_run):
+        result, __ = clean_run
+        for span in result.trace.remote_spans:
+            assert len(span.attempts) == 1
+            assert span.retries == 0
+            assert span.messages >= 1
+
+    def test_local_spans_are_instantaneous_and_free(self, clean_run):
+        result, __ = clean_run
+        locals_ = [
+            s for s in result.trace.spans if not s.operation.remote
+        ]
+        assert locals_
+        for span in locals_:
+            assert span.attempts == ()
+            assert span.busy_s == 0.0
+            assert span.cost == 0.0
+
+
+class TestAggregates:
+    def test_total_cost_matches_traffic(self):
+        federation, query = dmv_fig1()
+        plan = build_filter_plan(query, federation.source_names)
+        federation.reset_traffic()
+        result = RuntimeEngine(federation).run(plan)
+        assert result.trace.total_cost == pytest.approx(
+            federation.total_traffic_cost()
+        )
+        assert result.trace.total_messages == federation.total_messages()
+
+    def test_utilization_bounded_by_one(self, clean_run):
+        result, __ = clean_run
+        for fraction in result.trace.per_source_utilization().values():
+            assert 0.0 < fraction <= 1.0 + 1e-12
+
+    def test_by_source_partitions_remote_spans(self, clean_run):
+        result, __ = clean_run
+        grouped = result.trace.by_source()
+        assert sum(len(v) for v in grouped.values()) == len(
+            result.trace.remote_spans
+        )
+
+
+class TestRendering:
+    def test_timeline_row_per_remote_op(self, clean_run):
+        result, __ = clean_run
+        lines = result.trace.timeline().splitlines()
+        # one per remote op + the makespan footer
+        assert len(lines) == len(result.trace.remote_spans) + 1
+        assert "makespan" in lines[-1]
+        assert all("|" in line for line in lines[:-1])
+
+    def test_timeline_marks_failed_attempts(self, faulty_run):
+        assert faulty_run.trace.total_retries > 0
+        assert "x" in faulty_run.trace.timeline()
+
+    def test_timeline_fixed_width(self, clean_run):
+        result, __ = clean_run
+        rows = result.trace.timeline(width=40).splitlines()[:-1]
+        assert len({len(row) for row in rows}) == 1
+
+    def test_utilization_report_lists_every_source(self, clean_run):
+        result, __ = clean_run
+        report = result.trace.utilization_report()
+        for name in ("R1", "R2", "R3"):
+            assert name in report
+
+    def test_summary_mentions_key_figures(self, clean_run):
+        result, __ = clean_run
+        summary = result.trace.summary()
+        assert "makespan" in summary
+        assert "remote ops" in summary
+        assert "retries" in summary

@@ -72,3 +72,25 @@ class TestTrafficLog:
 
     def test_elapsed_accumulates(self, log):
         assert log.total_elapsed_s > 0
+
+
+class TestLinkProfileFiniteness:
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -float("inf")])
+    @pytest.mark.parametrize(
+        "field_name",
+        [
+            "request_overhead",
+            "per_item_send",
+            "per_item_receive",
+            "per_row_load",
+            "latency_s",
+            "items_per_s",
+        ],
+    )
+    def test_non_finite_parameters_rejected(self, field_name, bad):
+        with pytest.raises(CostModelError):
+            LinkProfile(**{field_name: bad})
+
+    def test_finite_parameters_accepted(self):
+        link = LinkProfile(request_overhead=0.0, latency_s=0.0)
+        assert link.request_cost(1, 1) == pytest.approx(2.0)

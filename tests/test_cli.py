@@ -70,3 +70,39 @@ class TestCheck:
         sql = "SELECT u1.L FROM U u1, U u2 WHERE u1.V = u2.V AND u1.D = 1 AND u2.D = 2"
         assert main(["check", spec_path, sql]) == 1
         assert "NOT a fusion query" in capsys.readouterr().out
+
+
+class TestRuntimeBackend:
+    def test_runtime_execution(self, spec_path, capsys):
+        assert main(["query", spec_path, DMV_SQL, "--runtime"]) == 0
+        out = capsys.readouterr().out
+        assert "J55, T21" in out
+        assert "makespan" in out
+
+    def test_runtime_with_timeline(self, spec_path, capsys):
+        assert main(
+            ["query", spec_path, DMV_SQL, "--runtime", "--timeline"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "|" in out          # the ASCII timeline rows
+        assert "util" in out       # the utilization report header
+
+    def test_runtime_with_faults_reports_completeness(self, spec_path, capsys):
+        assert main(
+            [
+                "query", spec_path, DMV_SQL, "--runtime",
+                "--fault-rate", "0.4", "--fault-seed", "3", "--retries", "5",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "completeness:" in out
+
+    def test_runtime_fault_runs_are_seeded(self, spec_path, capsys):
+        args = [
+            "query", spec_path, DMV_SQL, "--runtime",
+            "--fault-rate", "0.5", "--fault-seed", "9", "--retries", "2",
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == first

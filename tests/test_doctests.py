@@ -34,6 +34,9 @@ MODULE_NAMES = [
     "repro.query.fusion",
     "repro.query.sqlparse",
     "repro.relational.parser",
+    "repro.runtime.engine",
+    "repro.runtime.faults",
+    "repro.runtime.policy",
     "repro.relational.relation",
     "repro.relational.schema",
     "repro.sources.registry",
