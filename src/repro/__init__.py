@@ -81,16 +81,21 @@ from repro.mediator.phases import PhaseStrategy, answer_with_records
 from repro.optimize.response_time import ResponseTimeSJAOptimizer
 from repro.costs.correlation import CorrelatedSizeEstimator, CorrelationModel
 from repro.runtime import (
+    BreakerConfig,
     CompletenessReport,
     FaultInjector,
     FaultProfile,
+    HealthRegistry,
     OnExhaust,
+    ResilientExecutor,
+    ResilientResult,
     RetryPolicy,
     RuntimeEngine,
     RuntimeResult,
     RuntimeTrace,
     completeness_report,
 )
+from repro.sources.generators import replicate_federation
 from repro.io import load_federation, save_federation
 
 __version__ = "1.0.0"
@@ -157,6 +162,11 @@ __all__ = [
     "OnExhaust",
     "CompletenessReport",
     "completeness_report",
+    "BreakerConfig",
+    "HealthRegistry",
+    "ResilientExecutor",
+    "ResilientResult",
+    "replicate_federation",
     "load_federation",
     "save_federation",
 ]

@@ -21,6 +21,7 @@ from repro.bench.extensions import (
     run_fault_sweep,
     run_overlap,
     run_phases,
+    run_resilience,
     run_response_time,
 )
 from repro.bench.report import write_report
@@ -43,6 +44,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[], str]]] = {
     "R1": ("response time in a parallel execution model", run_response_time),
     "R2": ("concurrent runtime vs static schedule", run_concurrent_runtime),
     "R3": ("fault sweep: completeness and retries", run_fault_sweep),
+    "R4": ("resilience: hedging, breakers, replanning", run_resilience),
     "A1": ("adaptive execution vs static plans", run_adaptive),
     "C7": ("condition correlation vs independence", run_correlation),
     "C8": ("data overlap ablation", run_overlap),

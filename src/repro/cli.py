@@ -7,7 +7,8 @@ Subcommands:
   run a fusion query, print plan + trace + answer; ``--runtime`` runs
   it on the concurrent discrete-event engine instead (with
   ``--fault-rate``/``--retries``/``--timeline`` to inject failures and
-  watch the retry behaviour);
+  watch the retry behaviour, and ``--hedge-delay``/``--breaker``/
+  ``--replan`` to recover via replicas when the spec declares them);
 * ``explain SPEC SQL`` — plan only, with per-step estimated costs;
 * ``check SPEC SQL`` — report whether the SQL matches the fusion
   pattern (the Sec. 5 detector), without executing anything;
@@ -104,6 +105,30 @@ def _build_parser() -> argparse.ArgumentParser:
                 action="store_true",
                 help="print the ASCII execution timeline (runtime backend)",
             )
+            sub.add_argument(
+                "--hedge-delay",
+                type=float,
+                default=None,
+                metavar="S",
+                help="speculatively duplicate an attempt on a replica "
+                "after S virtual seconds, and immediately on failure "
+                "(runtime backend; requires replicas/substitutes)",
+            )
+            sub.add_argument(
+                "--breaker",
+                choices=("off", "default", "aggressive"),
+                default="off",
+                help="circuit-breaker profile: trip dead sources and "
+                "reroute to replicas (runtime backend)",
+            )
+            sub.add_argument(
+                "--replan",
+                type=int,
+                default=0,
+                metavar="N",
+                help="re-plan up to N times around dead sources, merging "
+                "answers (runtime backend; default: 0)",
+            )
 
     export = subparsers.add_parser(
         "export-dmv", help="write the Fig. 1 federation as a spec file"
@@ -136,12 +161,15 @@ def _command_query(
     fault_seed: int = 0,
     retries: int = 3,
     timeline: bool = False,
+    hedge_delay: float | None = None,
+    breaker: str = "off",
+    replan: int = 0,
 ) -> int:
     federation = load_federation(spec)
     if runtime:
         return _run_runtime(
             federation, sql, optimizer_name, fault_rate, fault_seed,
-            retries, timeline,
+            retries, timeline, hedge_delay, breaker, replan,
         )
     mediator = Mediator(
         federation, optimizer=_OPTIMIZERS[optimizer_name]()
@@ -166,20 +194,32 @@ def _run_runtime(
     fault_seed: int,
     retries: int,
     timeline: bool,
+    hedge_delay: float | None = None,
+    breaker: str = "off",
+    replan: int = 0,
 ) -> int:
     from repro.runtime import (
+        BreakerConfig,
         FaultInjector,
         FaultProfile,
         RetryPolicy,
         completeness_report,
     )
 
+    breaker_config = {
+        "off": None,
+        "default": BreakerConfig.default(),
+        "aggressive": BreakerConfig.aggressive(),
+    }[breaker]
     mediator = Mediator(
         federation,
         optimizer=_OPTIMIZERS[optimizer_name](),
         backend="runtime",
         faults=FaultInjector(FaultProfile.flaky(fault_rate), seed=fault_seed),
         retry_policy=RetryPolicy(max_retries=retries),
+        hedge_delay_s=hedge_delay,
+        breaker=breaker_config,
+        replan=replan,
     )
     answer = mediator.answer(sql)
     assert answer.runtime is not None
@@ -190,10 +230,18 @@ def _run_runtime(
         print()
         print(answer.runtime.trace.utilization_report())
         print()
+    if answer.resilient is not None and answer.resilient.replans:
+        print(f"replanning: {answer.resilient.summary()}")
+    if breaker_config is not None:
+        print(mediator.runtime.health.report())
+        print()
     print("answer:", ", ".join(sorted(map(str, answer.items))) or "(empty)")
     print(answer.summary())
     if fault_rate > 0:
-        report = completeness_report(federation, answer.query, answer.items)
+        report = completeness_report(
+            federation, answer.query, answer.items,
+            trace=answer.runtime.trace,
+        )
         print(f"completeness: {report.summary()}")
     return 0
 
@@ -265,6 +313,9 @@ def main(argv: list[str] | None = None) -> int:
                 fault_seed=args.fault_seed,
                 retries=args.retries,
                 timeline=args.timeline,
+                hedge_delay=args.hedge_delay,
+                breaker=args.breaker,
+                replan=args.replan,
             )
         if args.command == "explain":
             return _command_explain(args.spec, args.sql, args.optimizer)

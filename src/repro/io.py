@@ -25,7 +25,8 @@ Spec format::
           "link": {"request_overhead": 10.0, "per_item_send": 1.0,
                    "per_item_receive": 1.0, "per_row_load": 2.0}
         }
-      ]
+      ],
+      "replicas": [["R1", "R1b"]]              // optional mirror groups
     }
 
 ``federation_to_dict`` / ``federation_from_dict`` round-trip exactly.
@@ -179,7 +180,7 @@ def link_from_dict(data: dict[str, Any]) -> LinkProfile:
 
 def federation_to_dict(federation: Federation) -> dict[str, Any]:
     """Serialize a federation (rows inline) to a JSON-able dict."""
-    return {
+    data = {
         "name": federation.name,
         "schema": schema_to_dict(federation.schema),
         "sources": [
@@ -192,6 +193,9 @@ def federation_to_dict(federation: Federation) -> dict[str, Any]:
             for source in federation
         ],
     }
+    if federation.replica_groups:
+        data["replicas"] = [list(group) for group in federation.replica_groups]
+    return data
 
 
 def federation_from_dict(
@@ -226,7 +230,11 @@ def federation_from_dict(
         )
     if not sources:
         raise SchemaError("federation spec declares no sources")
-    return Federation(sources, name=data.get("name", "U"))
+    return Federation(
+        sources,
+        name=data.get("name", "U"),
+        replica_groups=data.get("replicas", ()),
+    )
 
 
 def save_federation(federation: Federation, path: str) -> None:

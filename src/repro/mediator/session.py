@@ -27,7 +27,7 @@ from typing import Any
 from repro.costs.charge import ChargeCostModel
 from repro.costs.estimates import SizeEstimator
 from repro.costs.model import CostModel
-from repro.errors import ExecutionError
+from repro.errors import CostModelError, ExecutionError
 from repro.mediator.executor import ExecutionResult, Executor
 from repro.mediator.reference import reference_answer
 from repro.optimize.base import OptimizationResult, Optimizer
@@ -39,7 +39,9 @@ from repro.query.sqlparse import parse_fusion_query
 from repro.relational.relation import Relation
 from repro.runtime.engine import RuntimeEngine, RuntimeResult
 from repro.runtime.faults import FaultInjector
+from repro.runtime.health import BreakerConfig, HealthRegistry
 from repro.runtime.policy import RetryPolicy
+from repro.runtime.replan import ResilientExecutor, ResilientResult
 from repro.sources.registry import Federation
 from repro.sources.statistics import ExactStatistics, StatisticsProvider
 
@@ -58,6 +60,9 @@ class MediatorAnswer:
     verified: bool | None = None
     #: Present when the concurrent runtime backend executed the plan.
     runtime: RuntimeResult | None = None
+    #: Present when re-planning was enabled (``replan > 0``); the
+    #: ``runtime`` field then holds the final round's result.
+    resilient: ResilientResult | None = None
 
     @property
     def plan(self) -> Plan:
@@ -82,6 +87,10 @@ class MediatorAnswer:
                 f"{self.runtime.trace.total_retries} retries, "
                 f"{len(self.runtime.degraded_steps)} degraded"
             )
+            if self.runtime.recovered_steps:
+                text += f", {len(self.runtime.recovered_steps)} recovered"
+        if self.resilient is not None and self.resilient.replans:
+            text += f"; {self.resilient.replans} replan round(s)"
         return text
 
 
@@ -113,6 +122,16 @@ class Mediator:
         faults: Fault injector for the runtime backend (default: none).
         retry_policy: Retry/backoff/deadline policy for the runtime
             backend (default: :meth:`RetryPolicy.default`).
+        hedge_delay_s: Hedged-dispatch delay for the runtime backend —
+            a still-running attempt is speculatively duplicated on a
+            substitutable source after this much virtual time, and
+            immediately on failure (``None`` disables hedging).
+        breaker: Circuit-breaker configuration for the runtime backend;
+            ``True`` means :meth:`BreakerConfig.default`, ``None`` /
+            ``False`` disables breakers.
+        replan: Re-planning rounds allowed after a degraded run (dead
+            sources masked, substitutes swapped in, answers merged by
+            union).  ``True`` means 2 rounds; 0 / ``False`` disables.
     """
 
     def __init__(
@@ -127,10 +146,22 @@ class Mediator:
         backend: str = "sequential",
         faults: FaultInjector | None = None,
         retry_policy: RetryPolicy | None = None,
+        hedge_delay_s: float | None = None,
+        breaker: BreakerConfig | bool | None = None,
+        replan: int | bool = 0,
     ):
         if backend not in BACKENDS:
             raise ValueError(
                 f"unknown backend {backend!r}; choose from {BACKENDS}"
+            )
+        if breaker is True:
+            breaker = BreakerConfig.default()
+        elif breaker is False:
+            breaker = None
+        self.max_replans = 2 if replan is True else int(replan)
+        if self.max_replans < 0:
+            raise CostModelError(
+                f"replan must be >= 0, got {self.max_replans}"
             )
         self.federation = federation
         self.statistics = statistics or ExactStatistics(federation)
@@ -142,8 +173,31 @@ class Mediator:
         self.verify = verify
         self.executor = Executor(federation, max_retries=max_retries)
         self.backend = backend
+        # One health registry for the whole mediator: the plain engine
+        # and the re-planner's engine see the same breaker state, and
+        # ``mediator.runtime.health`` is always the live view.
+        health = HealthRegistry(breaker)
         self.runtime = RuntimeEngine(
-            federation, faults=faults, policy=retry_policy
+            federation,
+            faults=faults,
+            policy=retry_policy,
+            hedge_delay_s=hedge_delay_s,
+            health=health,
+        )
+        self.replanner = (
+            ResilientExecutor(
+                federation,
+                optimizer=self.optimizer,
+                statistics=self.statistics,
+                cost_model=self.cost_model,
+                faults=faults,
+                policy=retry_policy,
+                hedge_delay_s=hedge_delay_s,
+                health=health,
+                max_replans=self.max_replans,
+            )
+            if self.max_replans > 0
+            else None
         )
         self.cache_plans = cache_plans
         self._plan_cache: dict[FusionQuery, OptimizationResult] = {}
@@ -174,9 +228,12 @@ class Mediator:
             if cached is not None:
                 self.plan_cache_hits += 1
                 return cached
+        # Plan over one representative per replica group: declared
+        # mirrors hold identical rows, so querying them is pure
+        # duplicated work — they serve as failover capacity instead.
         result = self.optimizer.optimize(
             query,
-            self.federation.source_names,
+            self.federation.representative_names,
             self.cost_model,
             self.estimator,
         )
@@ -200,12 +257,22 @@ class Mediator:
     def answer(self, query: FusionQuery | str) -> MediatorAnswer:
         """Optimize, execute, and (optionally) verify one fusion query."""
         query = self._coerce(query)
-        optimization = self._optimize(query)
         runtime_result = None
-        if self.backend == "runtime":
+        resilient = None
+        if self.backend == "runtime" and self.replanner is not None:
+            resilient = self.replanner.run(query)
+            optimization = resilient.rounds[0].optimization
+            runtime_result = resilient.rounds[-1].result
+            steps = []
+            for round_ in resilient.rounds:
+                steps.extend(round_.result.to_execution_result().steps)
+            execution = ExecutionResult(items=resilient.items, steps=steps)
+        elif self.backend == "runtime":
+            optimization = self._optimize(query)
             runtime_result = self.runtime.run(optimization.plan)
             execution = runtime_result.to_execution_result()
         else:
+            optimization = self._optimize(query)
             execution = self.executor.execute(optimization.plan)
         verified = None
         if self.verify:
@@ -214,7 +281,7 @@ class Mediator:
             degraded = (
                 runtime_result is not None
                 and bool(runtime_result.degraded_steps)
-            )
+            ) or (resilient is not None and bool(resilient.masked))
             # A degraded concurrent run is *expected* to lose answers;
             # only an unexplained mismatch is a bug worth raising on.
             if not verified and not degraded:
@@ -229,6 +296,7 @@ class Mediator:
             execution=execution,
             verified=verified,
             runtime=runtime_result,
+            resilient=resilient,
         )
 
     def explain(self, query: FusionQuery | str) -> str:

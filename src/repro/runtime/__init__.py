@@ -10,6 +10,12 @@ sources are, a policy layer (:mod:`~repro.runtime.policy`) retries with
 exponential backoff and degrades gracefully, and a trace layer
 (:mod:`~repro.runtime.trace`) records per-operation spans with an ASCII
 timeline.  Everything is seeded and replayable.
+
+On top of the engine sit the replica-aware resilience layers: per-source
+health tracking and circuit breakers (:mod:`~repro.runtime.health`),
+hedged dispatch onto substitutable sources (engine options), and
+in-flight re-planning around dead sources
+(:mod:`~repro.runtime.replan`).
 """
 
 from repro.runtime.engine import RuntimeEngine, RuntimeResult
@@ -19,11 +25,23 @@ from repro.runtime.faults import (
     FaultInjector,
     FaultProfile,
 )
+from repro.runtime.health import (
+    BreakerConfig,
+    BreakerState,
+    CircuitBreaker,
+    HealthRegistry,
+    SourceHealth,
+)
 from repro.runtime.policy import (
     CompletenessReport,
     OnExhaust,
     RetryPolicy,
     completeness_report,
+)
+from repro.runtime.replan import (
+    ReplanRound,
+    ResilientExecutor,
+    ResilientResult,
 )
 from repro.runtime.trace import AttemptSpan, OpSpan, OpStatus, RuntimeTrace
 
@@ -42,4 +60,12 @@ __all__ = [
     "OpSpan",
     "AttemptSpan",
     "OpStatus",
+    "BreakerConfig",
+    "BreakerState",
+    "CircuitBreaker",
+    "HealthRegistry",
+    "SourceHealth",
+    "ResilientExecutor",
+    "ResilientResult",
+    "ReplanRound",
 ]

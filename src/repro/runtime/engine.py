@@ -20,6 +20,28 @@ per-operation spans (:mod:`repro.runtime.trace`).  Failed attempts are
 charged in full on the simulated wire — retries buy resilience with
 real traffic, which is exactly the trade-off the R3 benchmark measures.
 
+Replica-aware resilience (all opt-in; the zero-config engine behaves
+exactly as before):
+
+* **Hedged dispatch** (``hedge_delay_s``) — once an attempt has been
+  running for the hedge delay, or immediately when it fails, the same
+  operation is speculatively issued to a substitutable source (declared
+  mirror or row-containing sibling, :meth:`Federation.substitutability`).
+  The first success wins; the loser is cancelled, but its traffic was
+  already on the wire and stays charged.  At most one hedge per
+  operation, and hedges never consume the retry budget.
+* **Circuit breakers** (``breaker``) — a :class:`HealthRegistry` tracks
+  per-source rolling failure stats; an open breaker makes dispatch
+  reroute to a healthy substitute, or wait for the cooldown when none
+  can serve.  Fusion plans only union per-source contributions, so a
+  substitute whose rows contain the original's can never introduce
+  spurious answers — substitution trades nothing for completeness.
+
+Everything remains seeded and deterministic: hedge timers live on the
+same virtual-clock heap as completions, substitutes are probed in the
+federation's deterministic substitutability order, and replaying a
+configuration reproduces the trace byte for byte.
+
 Example:
     >>> from repro.sources.generators import dmv_fig1
     >>> from repro.plans.builder import build_filter_plan
@@ -37,11 +59,12 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from collections import deque
 from dataclasses import dataclass
 from typing import Any
 
-from repro.errors import ExecutionError, SourceUnavailableError
+from repro.errors import CostModelError, ExecutionError, SourceUnavailableError
 from repro.mediator.executor import ExecutionResult, StepTrace
 from repro.plans.operations import (
     DifferenceOp,
@@ -62,6 +85,7 @@ from repro.relational.algebra import (
 )
 from repro.relational.relation import Relation
 from repro.runtime.faults import AttemptFate, AttemptOutcome, FaultInjector
+from repro.runtime.health import BreakerConfig, HealthRegistry
 from repro.runtime.policy import OnExhaust, RetryPolicy
 from repro.runtime.trace import AttemptSpan, OpSpan, OpStatus, RuntimeTrace
 from repro.sources.registry import Federation
@@ -82,6 +106,11 @@ class RuntimeResult:
     def degraded_steps(self) -> tuple[int, ...]:
         """Plan steps whose retry budget ran out (empty result used)."""
         return self.trace.degraded_steps
+
+    @property
+    def recovered_steps(self) -> tuple[int, ...]:
+        """Plan steps served by a substitute of their planned source."""
+        return self.trace.recovered_steps
 
     @property
     def complete(self) -> bool:
@@ -130,6 +159,17 @@ class RuntimeEngine:
         faults: Fault injector (default: no injected faults).
         policy: Retry/backoff/deadline policy (default:
             :meth:`RetryPolicy.default`).
+        hedge_delay_s: Virtual-time delay after which a still-running
+            attempt is speculatively duplicated on a substitutable
+            source (``None`` disables hedging).
+        breaker: Circuit-breaker configuration; ``None`` disables
+            breakers (health is still tracked).
+        health: An existing :class:`HealthRegistry` to share — re-plan
+            rounds pass the same registry so breaker state survives
+            across plans.  Overrides ``breaker``.
+        min_containment: Row-containment threshold for derived
+            substitutes (1.0 = only lossless substitution; declared
+            replica groups always qualify).
     """
 
     def __init__(
@@ -137,10 +177,38 @@ class RuntimeEngine:
         federation: Federation,
         faults: FaultInjector | None = None,
         policy: RetryPolicy | None = None,
+        hedge_delay_s: float | None = None,
+        breaker: BreakerConfig | None = None,
+        health: HealthRegistry | None = None,
+        min_containment: float = 1.0,
     ):
+        if hedge_delay_s is not None and not (
+            math.isfinite(hedge_delay_s) and hedge_delay_s >= 0
+        ):
+            raise CostModelError(
+                f"hedge_delay_s must be finite and non-negative, "
+                f"got {hedge_delay_s}"
+            )
         self.federation = federation
         self.faults = faults or FaultInjector.none()
         self.policy = policy or RetryPolicy.default()
+        self.hedge_delay_s = hedge_delay_s
+        self.health = health if health is not None else HealthRegistry(breaker)
+        self.min_containment = min_containment
+        self._substitutes: dict[str, tuple[str, ...]] | None = None
+
+    @property
+    def resilient(self) -> bool:
+        """True when hedging or breakers may alter the execution."""
+        return self.hedge_delay_s is not None or self.health.enabled
+
+    def substitutes_for(self, source_name: str) -> tuple[str, ...]:
+        """Substitutable sources for ``source_name``, best first (cached)."""
+        if self._substitutes is None:
+            self._substitutes = self.federation.substitutability(
+                min_containment=self.min_containment
+            )
+        return self._substitutes.get(source_name, ())
 
     def run(self, plan: Plan) -> RuntimeResult:
         """Execute ``plan`` concurrently and return answer + trace."""
@@ -152,8 +220,9 @@ class _Task:
 
     __slots__ = (
         "index", "op", "input_writer", "remaining", "dependents",
-        "value", "queued_s", "first_start_s", "attempt_start_s",
-        "attempts", "done",
+        "value", "queued_s", "first_start_s", "attempts", "done",
+        "inflight", "hedged", "primary_attempts", "retry_pending",
+        "exhausted",
     )
 
     def __init__(self, index: int, op: Operation):
@@ -165,22 +234,60 @@ class _Task:
         self.value: Any = None
         self.queued_s = 0.0
         self.first_start_s: float | None = None
-        self.attempt_start_s = 0.0
         self.attempts: list[AttemptSpan] = []
         self.done = False
+        self.inflight: list[_Attempt] = []
+        self.hedged = False
+        self.primary_attempts = 0
+        self.retry_pending = False
+        self.exhausted = False
 
     @property
     def step(self) -> int:
         return self.index + 1
+
+    @property
+    def planned_source(self) -> str:
+        return self.op.source  # type: ignore[attr-defined]
+
+
+class _Attempt:
+    """One in-flight wire attempt (primary-path or hedge)."""
+
+    __slots__ = (
+        "task", "source_name", "start_s", "outcome", "value", "records",
+        "hedge", "cancelled",
+    )
+
+    def __init__(
+        self,
+        task: _Task,
+        source_name: str,
+        start_s: float,
+        outcome: AttemptOutcome,
+        value: Any,
+        records: list,
+        hedge: bool,
+    ):
+        self.task = task
+        self.source_name = source_name
+        self.start_s = start_s
+        self.outcome = outcome
+        self.value = value
+        self.records = records
+        self.hedge = hedge
+        self.cancelled = False
 
 
 class _Execution:
     """One plan run: the event heap, queues, and handlers."""
 
     def __init__(self, engine: RuntimeEngine, plan: Plan):
+        self.engine = engine
         self.federation = engine.federation
         self.faults = engine.faults
         self.policy = engine.policy
+        self.health = engine.health
         self.plan = plan
         self.tasks = self._build_tasks(plan)
         self.result_writer = self._final_writer(plan)
@@ -190,9 +297,11 @@ class _Execution:
         self.busy: dict[str, bool] = {}
         for task in self.tasks:
             if task.op.remote:
-                source = task.op.source  # type: ignore[attr-defined]
-                self.queues.setdefault(source, deque()).append(task)
-                self.busy.setdefault(source, False)
+                self.queues.setdefault(task.planned_source, deque()).append(task)
+                self.busy.setdefault(task.planned_source, False)
+        # Tasks whose dispatch is refused by an open breaker with no
+        # healthy substitute; re-tried on every state change.
+        self.blocked: list[_Task] = []
         self.heap: list[tuple[float, int, str, tuple]] = []
         self.seq = itertools.count()
         self.spans: dict[int, OpSpan] = {}
@@ -236,9 +345,13 @@ class _Execution:
         while self.heap:
             now, __, kind, payload = heapq.heappop(self.heap)
             if kind == "complete":
-                self._handle_complete(now, *payload)
-            else:  # "retry"
-                self._start_attempt(payload[0], now)
+                self._handle_complete(now, payload[0])
+            elif kind == "retry":
+                self._handle_retry(now, payload[0])
+            elif kind == "hedge":
+                self._handle_hedge(now, *payload)
+            else:  # "dispatch": an open breaker's cooldown elapsed
+                self._handle_dispatch_wake(now, payload[0])
         unfinished = [t.step for t in self.tasks if not t.done]
         if unfinished:  # pragma: no cover - would be an engine bug
             raise ExecutionError(
@@ -260,14 +373,14 @@ class _Execution:
     def _mark_ready(self, task: _Task, now: float) -> None:
         task.queued_s = now
         if task.op.remote:
-            self._try_dispatch(task.op.source, now)  # type: ignore[attr-defined]
+            self._try_dispatch(task.planned_source, now)
         else:
             self._run_local(task, now)
 
     def _try_dispatch(self, source_name: str, now: float) -> None:
-        if self.busy[source_name]:
+        if self.busy.get(source_name, False):
             return
-        queue = self.queues[source_name]
+        queue = self.queues.get(source_name)
         if not queue or queue[0].remaining > 0:
             return
         task = queue.popleft()
@@ -275,10 +388,80 @@ class _Execution:
         self._start_attempt(task, now)
 
     def _start_attempt(self, task: _Task, now: float) -> None:
+        """Begin a primary-path attempt, routing around open breakers."""
         if task.first_start_s is None:
             task.first_start_s = now
-        task.attempt_start_s = now
-        source = self.federation.source(task.op.source)  # type: ignore[attr-defined]
+        planned = task.planned_source
+        serving = planned
+        if not self.health.allow(planned, now):
+            serving = self._substitute_target(task, now)
+            if serving is None:
+                self._block(task, now)
+                return
+        self._launch(task, serving, now, hedge=False)
+
+    def _block(self, task: _Task, now: float) -> None:
+        """Park a dispatch refused by a breaker with no substitute free.
+
+        An OPEN breaker has a known re-probe time: schedule a wake
+        there.  A HALF_OPEN breaker at its probe limit has an attempt in
+        flight whose completion drains the blocked list.
+        """
+        self.blocked.append(task)
+        reopens = self.health.reopens_at(task.planned_source)
+        if reopens is not None:
+            self._push(max(reopens, now), "dispatch", (task,))
+
+    def _handle_dispatch_wake(self, now: float, task: _Task) -> None:
+        if task.done or task not in self.blocked:
+            return
+        self.blocked.remove(task)
+        self._start_attempt(task, now)
+
+    def _drain_blocked(self, now: float) -> None:
+        for task in list(self.blocked):
+            if task not in self.blocked:  # re-entrant removal
+                continue
+            self.blocked.remove(task)
+            self._start_attempt(task, now)
+
+    def _substitute_target(self, task: _Task, now: float) -> str | None:
+        """First substitute that can serve, is idle, and is allowed.
+
+        Probed in the federation's deterministic substitutability order
+        (declared replicas first, then by descending row containment).
+        Checking ``allow`` last matters: it commits a half-open probe
+        slot, so it must only run for a candidate we would actually use.
+        """
+        taken = {a.source_name for a in task.inflight}
+        taken.add(task.planned_source)
+        for name in self.engine.substitutes_for(task.planned_source):
+            if name in taken or self.busy.get(name, False):
+                continue
+            if not self._can_serve(name, task.op):
+                continue
+            if not self.health.allow(name, now):
+                continue
+            return name
+        return None
+
+    def _can_serve(self, source_name: str, op: Operation) -> bool:
+        capabilities = self.federation.source(source_name).capabilities
+        if isinstance(op, SemijoinOp):
+            return capabilities.can_semijoin
+        if isinstance(op, LoadOp):
+            return capabilities.supports_load
+        return True
+
+    def _launch(
+        self, task: _Task, serving: str, now: float, hedge: bool
+    ) -> None:
+        """Issue one wire attempt of ``task`` against source ``serving``."""
+        source = self.federation.source(serving)
+        if serving != task.planned_source:
+            # The planned source's connection slot stays with the task;
+            # a substitute's connection is held only for the attempt.
+            self.busy[serving] = True
         mark = len(source.traffic.records)
         try:
             value = self._call_wrapper(task, source)
@@ -301,11 +484,22 @@ class _Execution:
             outcome = AttemptOutcome(AttemptFate.TIMEOUT, timeout)
         if outcome.fate.failed:
             value = None
-        self._push(
-            now + outcome.duration_s,
-            "complete",
-            (task, outcome, value, records),
-        )
+        attempt = _Attempt(task, serving, now, outcome, value, records, hedge)
+        task.inflight.append(attempt)
+        if hedge:
+            task.hedged = True
+        else:
+            task.primary_attempts += 1
+        self._push(now + outcome.duration_s, "complete", (attempt,))
+        if (
+            not hedge
+            and self.engine.hedge_delay_s is not None
+            and not task.hedged
+            and self.engine.hedge_delay_s < outcome.duration_s
+        ):
+            self._push(
+                now + self.engine.hedge_delay_s, "hedge", (task, attempt)
+            )
 
     def _call_wrapper(self, task: _Task, source) -> Any:
         op = task.op
@@ -319,43 +513,137 @@ class _Execution:
         raise ExecutionError(f"unknown remote operation {op!r}")  # pragma: no cover
 
     # ------------------------------------------------------------------
+    # Hedging
+
+    def _handle_hedge(
+        self, now: float, task: _Task, attempt: _Attempt
+    ) -> None:
+        """Hedge timer fired: duplicate a still-slow attempt."""
+        if (
+            task.done
+            or task.hedged
+            or attempt.cancelled
+            or attempt not in task.inflight
+        ):
+            return
+        target = self._substitute_target(task, now)
+        if target is None:
+            return  # no idle healthy replica; the primary races alone
+        self._launch(task, target, now, hedge=True)
+
+    def _maybe_hedge_on_failure(self, task: _Task, now: float) -> None:
+        """First-failure trigger: hedge immediately instead of waiting."""
+        if self.engine.hedge_delay_s is None or task.hedged:
+            return
+        target = self._substitute_target(task, now)
+        if target is not None:
+            self._launch(task, target, now, hedge=True)
+
+    def _cancel(self, attempt: _Attempt, now: float) -> None:
+        """Cancel a raced-out attempt: record span, free its connection.
+
+        The attempt's traffic was charged when it went on the wire and
+        stays charged — cancellation only stops the wait.
+        """
+        attempt.cancelled = True
+        self._record_span(attempt, now, AttemptFate.CANCELLED)
+        self.health.abandon(attempt.source_name)
+        if attempt.source_name != attempt.task.planned_source:
+            self.busy[attempt.source_name] = False
+            self._try_dispatch(attempt.source_name, now)
+
+    # ------------------------------------------------------------------
     # Completion, retries, degradation
 
-    def _handle_complete(
-        self,
-        now: float,
-        task: _Task,
-        outcome: AttemptOutcome,
-        value: Any,
-        records: list,
+    def _record_span(
+        self, attempt: _Attempt, now: float, fate: AttemptFate
     ) -> None:
+        task = attempt.task
+        records = attempt.records
         task.attempts.append(
             AttemptSpan(
                 attempt=len(task.attempts) + 1,
-                start_s=task.attempt_start_s,
+                start_s=attempt.start_s,
                 end_s=now,
-                fate=outcome.fate,
+                fate=fate,
                 cost=sum(r.cost for r in records),
                 items_sent=sum(r.items_sent for r in records),
                 items_received=sum(r.items_received for r in records),
                 rows_loaded=sum(r.rows_loaded for r in records),
                 messages=len(records),
+                source=attempt.source_name,
+                hedge=attempt.hedge,
             )
         )
-        if not outcome.fate.failed:
-            self._finish_remote(task, now, value, OpStatus.OK)
+
+    def _handle_complete(self, now: float, attempt: _Attempt) -> None:
+        if attempt.cancelled:
+            return  # the race's loser; span recorded at cancellation
+        task = attempt.task
+        task.inflight.remove(attempt)
+        self._record_span(attempt, now, attempt.outcome.fate)
+        ok = not attempt.outcome.fate.failed
+        self.health.record(
+            attempt.source_name, now, ok, attempt.outcome.duration_s
+        )
+        released = attempt.source_name != task.planned_source
+        if released:
+            self.busy[attempt.source_name] = False
+        if ok:
+            for other in list(task.inflight):
+                self._cancel(other, now)
+            task.inflight.clear()
+            status = (
+                OpStatus.OK
+                if attempt.source_name == task.planned_source
+                else OpStatus.RECOVERED
+            )
+            self._finish_remote(task, now, attempt.value, status)
+        else:
+            self._handle_failure(task, attempt, now)
+        if released:
+            self._try_dispatch(attempt.source_name, now)
+        if self.blocked:
+            self._drain_blocked(now)
+
+    def _handle_failure(
+        self, task: _Task, attempt: _Attempt, now: float
+    ) -> None:
+        if attempt.hedge:
+            # The hedge lost its race to recover; if the primary path is
+            # already out of budget and nothing else is pending, the
+            # hedge was the last hope — degrade now.
+            if task.exhausted and not task.inflight and not task.retry_pending:
+                self._give_up(task, now)
             return
-        retries_used = len(task.attempts) - 1
-        retry_at = now + self.policy.backoff_s(retries_used + 1)
+        self._maybe_hedge_on_failure(task, now)
+        retries_used = task.primary_attempts - 1
+        retry_at = now + self.policy.backoff_s(
+            retries_used + 1, key=task.op.target, seed=self.faults.seed
+        )
         assert task.first_start_s is not None
         if self.policy.may_retry(retries_used, task.first_start_s, retry_at):
+            task.retry_pending = True
             self._push(retry_at, "retry", (task,))  # connection stays held
             return
+        if task.inflight:
+            task.exhausted = True  # a hedge is still racing; wait for it
+            return
+        self._give_up(task, now)
+
+    def _handle_retry(self, now: float, task: _Task) -> None:
+        task.retry_pending = False
+        if task.done:
+            return  # a hedge won during the backoff
+        self._start_attempt(task, now)
+
+    def _give_up(self, task: _Task, now: float) -> None:
         if self.policy.on_exhaust is OnExhaust.FAIL:
+            last = task.attempts[-1].fate.value if task.attempts else "?"
             raise ExecutionError(
                 f"step {task.step} ({task.op.render()}) failed after "
-                f"{retries_used} retries "
-                f"(last attempt: {outcome.fate.value})"
+                f"{task.primary_attempts - 1} retries "
+                f"(last attempt: {last})"
             )
         self._finish_remote(
             task, now, self._degraded_value(task), OpStatus.DEGRADED
@@ -370,7 +658,7 @@ class _Execution:
     def _finish_remote(
         self, task: _Task, now: float, value: Any, status: OpStatus
     ) -> None:
-        source_name = task.op.source  # type: ignore[attr-defined]
+        source_name = task.planned_source
         task.value = value
         task.done = True
         assert task.first_start_s is not None

@@ -39,6 +39,9 @@ class AttemptFate(enum.Enum):
     TRANSIENT = "transient"
     TIMEOUT = "timeout"
     OUTAGE = "outage"
+    #: A hedged duplicate whose sibling won the race; the attempt was
+    #: abandoned (but its traffic was already on the wire and charged).
+    CANCELLED = "cancelled"
 
     @property
     def failed(self) -> bool:

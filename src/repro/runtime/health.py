@@ -1,0 +1,296 @@
+"""Per-source health tracking and circuit breakers on the virtual clock.
+
+Retrying a dead source buys nothing but wire traffic and makespan; the
+classic remedy is a *circuit breaker* per source.  A
+:class:`CircuitBreaker` watches the rolling attempt history kept by
+:class:`SourceHealth` and moves through three states:
+
+* **CLOSED** — normal operation; every dispatch is allowed.
+* **OPEN** — the source tripped (too many consecutive failures, or the
+  rolling failure rate crossed the threshold with enough volume).  New
+  dispatches are refused, so the engine reroutes them to healthy
+  replicas instead of burning the retry budget.
+* **HALF_OPEN** — the cooldown elapsed; a bounded number of probe
+  attempts are let through.  A probe success closes the breaker, a
+  probe failure re-opens it for another cooldown.
+
+Everything is driven by the engine's virtual clock and the seeded fault
+streams — no wall-clock, no hidden randomness — so runs with breakers
+enabled replay byte-identically.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import CostModelError
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Tuning knobs of one circuit breaker.
+
+    Attributes:
+        failure_threshold: Consecutive failures that trip the breaker.
+        failure_rate_to_open: Rolling failure rate that trips it (once
+            ``min_volume`` attempts are in the window).
+        window: Number of recent attempts kept per source.
+        min_volume: Attempts required before the rate rule may trip.
+        cooldown_s: Virtual time an open breaker waits before allowing
+            half-open probes.
+        half_open_probes: Concurrent probe attempts allowed while
+            half-open.
+    """
+
+    failure_threshold: int = 3
+    failure_rate_to_open: float = 0.5
+    window: int = 20
+    min_volume: int = 5
+    cooldown_s: float = 30.0
+    half_open_probes: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("failure_threshold", "window", "min_volume", "half_open_probes"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value < 1:
+                raise CostModelError(
+                    f"{name} must be a positive integer, got {value!r}"
+                )
+        if not (
+            math.isfinite(self.failure_rate_to_open)
+            and 0.0 < self.failure_rate_to_open <= 1.0
+        ):
+            raise CostModelError(
+                "failure_rate_to_open must be in (0, 1], got "
+                f"{self.failure_rate_to_open}"
+            )
+        if not (math.isfinite(self.cooldown_s) and self.cooldown_s >= 0):
+            raise CostModelError(
+                f"cooldown_s must be finite and non-negative, got {self.cooldown_s}"
+            )
+
+    @staticmethod
+    def default() -> "BreakerConfig":
+        return BreakerConfig()
+
+    @staticmethod
+    def aggressive() -> "BreakerConfig":
+        """Trip fast, probe soon — for very flaky federations."""
+        return BreakerConfig(
+            failure_threshold=2, failure_rate_to_open=0.34, cooldown_s=5.0
+        )
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+class SourceHealth:
+    """Rolling failure/latency statistics of one source.
+
+    Records the last ``window`` attempts as ``(ok, duration_s)`` pairs
+    plus lifetime counters; used by the breaker's rate rule and by the
+    registry report.
+    """
+
+    def __init__(self, window: int = 20):
+        self._recent: deque[tuple[bool, float]] = deque(maxlen=window)
+        self.attempts = 0
+        self.failures = 0
+        self.busy_s = 0.0
+
+    def record(self, ok: bool, duration_s: float) -> None:
+        self._recent.append((ok, duration_s))
+        self.attempts += 1
+        self.busy_s += duration_s
+        if not ok:
+            self.failures += 1
+
+    @property
+    def volume(self) -> int:
+        """Attempts currently in the rolling window."""
+        return len(self._recent)
+
+    @property
+    def failure_rate(self) -> float:
+        """Failure fraction over the rolling window (0.0 when empty)."""
+        if not self._recent:
+            return 0.0
+        return sum(1 for ok, __ in self._recent if not ok) / len(self._recent)
+
+    @property
+    def mean_latency_s(self) -> float:
+        """Mean attempt duration over the rolling window."""
+        if not self._recent:
+            return 0.0
+        return sum(duration for __, duration in self._recent) / len(self._recent)
+
+
+class CircuitBreaker:
+    """One source's breaker state machine on the virtual clock."""
+
+    def __init__(self, config: BreakerConfig, health: SourceHealth):
+        self.config = config
+        self.health = health
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self.opened_at_s: float | None = None
+        self.probes_in_flight = 0
+        self.times_opened = 0
+
+    @property
+    def reopens_at_s(self) -> float | None:
+        """When an OPEN breaker becomes probe-able (None if not open)."""
+        if self.state is not BreakerState.OPEN:
+            return None
+        assert self.opened_at_s is not None
+        return self.opened_at_s + self.config.cooldown_s
+
+    def allow(self, now_s: float) -> bool:
+        """Whether a dispatch to this source may start at ``now_s``.
+
+        Transitions OPEN -> HALF_OPEN once the cooldown has elapsed and
+        counts half-open probes; callers must follow every allowed
+        dispatch with exactly one :meth:`record_success` /
+        :meth:`record_failure`.
+        """
+        if self.state is BreakerState.CLOSED:
+            return True
+        if self.state is BreakerState.OPEN:
+            reopens = self.reopens_at_s
+            assert reopens is not None
+            if now_s + 1e-12 < reopens:
+                return False
+            self.state = BreakerState.HALF_OPEN
+            self.probes_in_flight = 0
+        # HALF_OPEN: admit a bounded number of concurrent probes.
+        if self.probes_in_flight >= self.config.half_open_probes:
+            return False
+        self.probes_in_flight += 1
+        return True
+
+    def record_success(self, now_s: float, duration_s: float) -> None:
+        self.health.record(True, duration_s)
+        self.consecutive_failures = 0
+        if self.state is BreakerState.HALF_OPEN:
+            self.probes_in_flight = max(0, self.probes_in_flight - 1)
+            self.state = BreakerState.CLOSED
+            self.opened_at_s = None
+
+    def abandon(self) -> None:
+        """Release an admitted dispatch that never ran to completion.
+
+        Hedged dispatch can cancel an in-flight attempt when its sibling
+        wins the race; the attempt then reports neither success nor
+        failure, but if it was admitted as a half-open probe its slot
+        must be returned or the breaker would starve.
+        """
+        if self.state is BreakerState.HALF_OPEN:
+            self.probes_in_flight = max(0, self.probes_in_flight - 1)
+
+    def record_failure(self, now_s: float, duration_s: float) -> None:
+        self.health.record(False, duration_s)
+        self.consecutive_failures += 1
+        if self.state is BreakerState.HALF_OPEN:
+            self.probes_in_flight = max(0, self.probes_in_flight - 1)
+            self._trip(now_s)
+            return
+        if self.state is BreakerState.CLOSED and self._should_trip():
+            self._trip(now_s)
+
+    def _should_trip(self) -> bool:
+        if self.consecutive_failures >= self.config.failure_threshold:
+            return True
+        return (
+            self.health.volume >= self.config.min_volume
+            and self.health.failure_rate >= self.config.failure_rate_to_open
+        )
+
+    def _trip(self, now_s: float) -> None:
+        self.state = BreakerState.OPEN
+        self.opened_at_s = now_s
+        self.times_opened += 1
+
+
+class HealthRegistry:
+    """Health stats and (optional) breakers for every source.
+
+    Created once per :class:`~repro.runtime.engine.RuntimeEngine`, so
+    breaker knowledge persists across plans and re-planning rounds run
+    on the same engine.  With ``config=None`` the registry still tracks
+    health but every dispatch is allowed (breakers disabled).
+    """
+
+    def __init__(self, config: BreakerConfig | None = None):
+        self.config = config
+        self._health: dict[str, SourceHealth] = {}
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return self.config is not None
+
+    def health_of(self, source_name: str) -> SourceHealth:
+        health = self._health.get(source_name)
+        if health is None:
+            window = self.config.window if self.config else 20
+            health = SourceHealth(window)
+            self._health[source_name] = health
+        return health
+
+    def breaker_of(self, source_name: str) -> CircuitBreaker | None:
+        if self.config is None:
+            return None
+        breaker = self._breakers.get(source_name)
+        if breaker is None:
+            breaker = CircuitBreaker(self.config, self.health_of(source_name))
+            self._breakers[source_name] = breaker
+        return breaker
+
+    def allow(self, source_name: str, now_s: float) -> bool:
+        breaker = self.breaker_of(source_name)
+        return True if breaker is None else breaker.allow(now_s)
+
+    def reopens_at(self, source_name: str) -> float | None:
+        breaker = self.breaker_of(source_name)
+        return None if breaker is None else breaker.reopens_at_s
+
+    def abandon(self, source_name: str) -> None:
+        """Return a probe slot for a cancelled (raced-out) dispatch."""
+        breaker = self.breaker_of(source_name)
+        if breaker is not None:
+            breaker.abandon()
+
+    def record(
+        self, source_name: str, now_s: float, ok: bool, duration_s: float
+    ) -> None:
+        breaker = self.breaker_of(source_name)
+        if breaker is None:
+            self.health_of(source_name).record(ok, duration_s)
+        elif ok:
+            breaker.record_success(now_s, duration_s)
+        else:
+            breaker.record_failure(now_s, duration_s)
+
+    def state_of(self, source_name: str) -> BreakerState:
+        breaker = self.breaker_of(source_name)
+        return BreakerState.CLOSED if breaker is None else breaker.state
+
+    def report(self) -> str:
+        """Fixed-width per-source health table."""
+        lines = ["source   attempts fail  rate   breaker    opened"]
+        for name in sorted(self._health):
+            health = self._health[name]
+            breaker = self._breakers.get(name)
+            state = breaker.state.value if breaker else "-"
+            opened = breaker.times_opened if breaker else 0
+            lines.append(
+                f"{name:<8} {health.attempts:>8} {health.failures:>4} "
+                f"{health.failure_rate:>5.0%} {state:>10} {opened:>7}"
+            )
+        return "\n".join(lines)

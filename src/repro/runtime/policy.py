@@ -2,10 +2,13 @@
 
 A :class:`RetryPolicy` tells the runtime engine what to do when an
 attempt fails: how many times to retry, how long to back off between
-attempts (deterministic exponential backoff — no jitter, so runs
-replay exactly), how long one attempt may run before it is cut off
+attempts, how long one attempt may run before it is cut off
 (``timeout_s``), and how much total virtual time one operation may
-consume across attempts (``deadline_s``).
+consume across attempts (``deadline_s``).  Backoff is deterministic
+exponential by default; opt-in *seeded* jitter (``backoff_jitter``)
+de-synchronizes retry storms while staying replayable — the perturbation
+is a pure function of ``(seed, key, retry_number)``, so the same run
+configuration always produces the same waits.
 
 When the budget is exhausted the policy chooses between two endgames:
 
@@ -25,13 +28,17 @@ from __future__ import annotations
 
 import enum
 import math
+import random
 from dataclasses import dataclass
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.errors import CostModelError
 from repro.mediator.reference import reference_answer
 from repro.query.fusion import FusionQuery
 from repro.sources.registry import Federation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.trace import RuntimeTrace
 
 
 class OnExhaust(enum.Enum):
@@ -55,6 +62,11 @@ class RetryPolicy:
         deadline_s: Total virtual-time budget per operation, measured
             from its first attempt; no retry may be scheduled past it.
         on_exhaust: Degrade (:attr:`OnExhaust.SKIP`) or raise.
+        backoff_jitter: Opt-in seeded jitter fraction in ``[0, 1]``: each
+            wait is perturbed by up to ``±jitter`` of itself, drawn
+            deterministically from ``(seed, key, retry_number)`` — runs
+            replay exactly, but concurrent operations no longer retry in
+            lock-step.  0 (the default) keeps pure exponential backoff.
     """
 
     max_retries: int = 3
@@ -64,11 +76,12 @@ class RetryPolicy:
     timeout_s: float | None = None
     deadline_s: float | None = None
     on_exhaust: OnExhaust = OnExhaust.SKIP
+    backoff_jitter: float = 0.0
 
     def __post_init__(self) -> None:
-        if self.max_retries < 0:
+        if not isinstance(self.max_retries, int) or self.max_retries < 0:
             raise CostModelError(
-                f"max_retries must be >= 0, got {self.max_retries}"
+                f"max_retries must be an integer >= 0, got {self.max_retries!r}"
             )
         for name in ("backoff_base_s", "backoff_multiplier", "backoff_max_s"):
             value = getattr(self, name)
@@ -82,13 +95,38 @@ class RetryPolicy:
                 raise CostModelError(
                     f"{name} must be finite and positive, got {value}"
                 )
+        if not (
+            math.isfinite(self.backoff_jitter)
+            and 0.0 <= self.backoff_jitter <= 1.0
+        ):
+            raise CostModelError(
+                f"backoff_jitter must be in [0, 1], got {self.backoff_jitter}"
+            )
+        if not isinstance(self.on_exhaust, OnExhaust):
+            raise CostModelError(
+                f"on_exhaust must be an OnExhaust member, got "
+                f"{self.on_exhaust!r}"
+            )
 
-    def backoff_s(self, retry_number: int) -> float:
-        """Wait before retry ``retry_number`` (1-based), capped."""
+    def backoff_s(
+        self, retry_number: int, *, key: str = "", seed: int = 0
+    ) -> float:
+        """Wait before retry ``retry_number`` (1-based), capped.
+
+        With ``backoff_jitter`` enabled the capped wait is perturbed by a
+        factor drawn from a fresh :class:`random.Random` seeded with
+        ``"{seed}:{key}:{retry_number}"`` — deterministic per (seed,
+        operation, attempt), independent of event-loop interleaving.
+        """
         if retry_number < 1:
             raise ValueError(f"retry_number must be >= 1, got {retry_number}")
         wait = self.backoff_base_s * self.backoff_multiplier ** (retry_number - 1)
-        return min(wait, self.backoff_max_s)
+        wait = min(wait, self.backoff_max_s)
+        if self.backoff_jitter and wait > 0:
+            # String seeding hashes with SHA-512, stable across processes.
+            u = random.Random(f"{seed}:{key}:{retry_number}").random()
+            wait *= 1.0 + self.backoff_jitter * (2.0 * u - 1.0)
+        return wait
 
     def may_retry(
         self, retries_done: int, first_start_s: float, retry_at_s: float
@@ -115,6 +153,11 @@ class RetryPolicy:
         """Bounded-latency profile: tight timeout + per-op deadline."""
         return RetryPolicy(timeout_s=timeout_s, deadline_s=deadline_s)
 
+    @staticmethod
+    def jittered(jitter: float = 0.5) -> "RetryPolicy":
+        """Default profile with seeded backoff jitter enabled."""
+        return RetryPolicy(backoff_jitter=jitter)
+
 
 @dataclass(frozen=True)
 class CompletenessReport:
@@ -122,11 +165,18 @@ class CompletenessReport:
 
     Skipping a dead source can only *lose* answers in fusion plans, so
     ``spurious`` should stay empty; it is reported anyway as a safety
-    check on that invariant.
+    check on that invariant.  When built from a runtime trace the report
+    also distinguishes operations lost to skips (``skipped_ops``) from
+    operations rescued by a replica (``recovered_ops``) — the difference
+    between the two is exactly what replication buys.
     """
 
     expected: frozenset[Any]
     answered: frozenset[Any]
+    #: Remote operations that degraded (retry budget spent, no replica).
+    skipped_ops: int = 0
+    #: Remote operations served by a substitute of their planned source.
+    recovered_ops: int = 0
 
     @property
     def missing(self) -> frozenset[Any]:
@@ -148,17 +198,33 @@ class CompletenessReport:
         return self.answered == self.expected
 
     def summary(self) -> str:
-        return (
+        text = (
             f"{len(self.answered)}/{len(self.expected)} answers, "
             f"completeness {self.completeness:.2f}"
             + (f", {len(self.spurious)} spurious!" if self.spurious else "")
         )
+        if self.skipped_ops or self.recovered_ops:
+            text += (
+                f" ({self.skipped_ops} ops skipped, "
+                f"{self.recovered_ops} recovered via replicas)"
+            )
+        return text
 
 
 def completeness_report(
-    federation: Federation, query: FusionQuery, answered: frozenset[Any]
+    federation: Federation,
+    query: FusionQuery,
+    answered: frozenset[Any],
+    trace: "RuntimeTrace | None" = None,
 ) -> CompletenessReport:
-    """Compare an executed answer against the reference evaluator."""
+    """Compare an executed answer against the reference evaluator.
+
+    Passing the runtime trace attributes the loss: how many remote
+    operations were skipped outright versus recovered via replicas.
+    """
     return CompletenessReport(
-        expected=reference_answer(federation, query), answered=answered
+        expected=reference_answer(federation, query),
+        answered=answered,
+        skipped_ops=len(trace.degraded_steps) if trace is not None else 0,
+        recovered_ops=len(trace.recovered_steps) if trace is not None else 0,
     )

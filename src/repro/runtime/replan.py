@@ -1,0 +1,232 @@
+"""In-flight re-planning: mask dead sources, re-optimize, merge answers.
+
+Hedging and breakers (:mod:`repro.runtime.engine`) recover an operation
+*while it runs*; this module handles the case they cannot: an operation
+exhausted its retry budget and no substitute could serve it, so the run
+degraded.  The :class:`ResilientExecutor` then re-invokes the optimizer
+on the residual problem — the same fusion query over the surviving
+sources, with every dead source masked out and an unused substitute
+swapped in where one exists — and executes the new plan on the *same*
+engine, so circuit-breaker state carries across rounds and the replan
+does not re-burn budget on sources already known dead.
+
+Answers accumulate across rounds by union.  That is sound because fusion
+answers are monotone in the evaluated sources: each round's (possibly
+degraded) answer is a subset of the true answer — skipping a source only
+ever under-fills some ``X_i = ∪_j sq(c_i, R_j)``, shrinking the final
+intersection — so the union of subsets is still a subset.  Re-planning
+can therefore only *add* confirmed answers, never invent spurious ones;
+already-confirmed item sets are preserved verbatim.
+
+Example:
+    >>> from repro.sources.generators import dmv_fig1, replicate_federation
+    >>> from repro.runtime.replan import ResilientExecutor
+    >>> federation, query = dmv_fig1()
+    >>> executor = ResilientExecutor(replicate_federation(federation, 2))
+    >>> sorted(executor.run(query).items)
+    ['J55', 'T21']
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.costs.charge import ChargeCostModel
+from repro.costs.estimates import SizeEstimator
+from repro.costs.model import CostModel
+from repro.errors import CostModelError
+from repro.optimize.base import OptimizationResult, Optimizer
+from repro.optimize.sja_plus import SJAPlusOptimizer
+from repro.query.fusion import FusionQuery
+from repro.runtime.engine import RuntimeEngine, RuntimeResult
+from repro.runtime.faults import FaultInjector
+from repro.runtime.health import BreakerConfig, HealthRegistry
+from repro.runtime.policy import RetryPolicy
+from repro.runtime.trace import OpStatus
+from repro.sources.registry import Federation
+from repro.sources.statistics import ExactStatistics, StatisticsProvider
+
+
+@dataclass(frozen=True)
+class ReplanRound:
+    """One optimize-and-execute round of a resilient run."""
+
+    round: int  # 0 = initial plan, 1.. = replans
+    sources: tuple[str, ...]  # sources the optimizer planned over
+    optimization: OptimizationResult
+    result: RuntimeResult
+
+    @property
+    def dead_sources(self) -> tuple[str, ...]:
+        """Planned sources of this round's degraded operations."""
+        seen: list[str] = []
+        for span in self.result.trace.remote_spans:
+            if span.status is OpStatus.DEGRADED and span.source not in seen:
+                seen.append(span.source)
+        return tuple(seen)
+
+
+@dataclass(frozen=True)
+class ResilientResult:
+    """The merged outcome of an initial run plus any replan rounds."""
+
+    query: FusionQuery
+    rounds: tuple[ReplanRound, ...]
+    masked: tuple[str, ...]  # sources removed from planning as dead
+
+    @property
+    def items(self) -> frozenset[Any]:
+        """Union of all rounds' answers (each a subset of the truth)."""
+        merged: frozenset[Any] = frozenset()
+        for round_ in self.rounds:
+            merged |= round_.result.items
+        return merged
+
+    @property
+    def replans(self) -> int:
+        return len(self.rounds) - 1
+
+    @property
+    def complete(self) -> bool:
+        """True when the final round finished with nothing degraded."""
+        return self.rounds[-1].result.complete
+
+    @property
+    def makespan_s(self) -> float:
+        """Total virtual time: rounds run back to back on one clock."""
+        return sum(r.result.makespan_s for r in self.rounds)
+
+    @property
+    def total_cost(self) -> float:
+        return sum(r.result.trace.total_cost for r in self.rounds)
+
+    def summary(self) -> str:
+        text = (
+            f"{len(self.items)} items in {len(self.rounds)} round(s), "
+            f"makespan {self.makespan_s:.3f}s, cost {self.total_cost:.1f}"
+        )
+        if self.masked:
+            text += f", masked: {', '.join(self.masked)}"
+        if not self.complete:
+            text += " (still degraded)"
+        return text
+
+
+class ResilientExecutor:
+    """Optimize → execute → re-plan around dead sources, bounded.
+
+    Args:
+        federation: Sources to run against (replicas included; by
+            default planning covers one representative per replica
+            group, leaving mirrors as failover capacity).
+        optimizer: Planning algorithm (default SJA+, as the mediator).
+        statistics: Statistics provider for the optimizer's estimates.
+        cost_model: Cost model for the optimizer.
+        faults: Fault injector shared by every round.
+        policy: Retry policy for the engine.
+        hedge_delay_s: Hedged-dispatch delay (``None`` disables).
+        breaker: Circuit-breaker configuration (``None`` disables).
+        health: An existing :class:`HealthRegistry` to share with other
+            engines over the same federation (overrides ``breaker``).
+        max_replans: How many re-planning rounds may follow the initial
+            run (0 = plain execution, no re-planning).
+        min_containment: Row-containment threshold for substitutes.
+    """
+
+    def __init__(
+        self,
+        federation: Federation,
+        optimizer: Optimizer | None = None,
+        statistics: StatisticsProvider | None = None,
+        cost_model: CostModel | None = None,
+        faults: FaultInjector | None = None,
+        policy: RetryPolicy | None = None,
+        hedge_delay_s: float | None = None,
+        breaker: BreakerConfig | None = None,
+        health: HealthRegistry | None = None,
+        max_replans: int = 2,
+        min_containment: float = 1.0,
+    ):
+        if max_replans < 0:
+            raise CostModelError(
+                f"max_replans must be >= 0, got {max_replans}"
+            )
+        self.federation = federation
+        self.optimizer = optimizer or SJAPlusOptimizer()
+        self.statistics = statistics or ExactStatistics(federation)
+        self.estimator = SizeEstimator(
+            self.statistics, federation.source_names
+        )
+        self.cost_model = cost_model or ChargeCostModel.for_federation(
+            federation, self.estimator
+        )
+        self.max_replans = max_replans
+        self.min_containment = min_containment
+        # One engine for every round: breaker/health state must survive
+        # re-planning so a replan does not re-burn budget on known-dead
+        # sources.
+        self.engine = RuntimeEngine(
+            federation,
+            faults=faults,
+            policy=policy,
+            hedge_delay_s=hedge_delay_s,
+            breaker=breaker,
+            health=health,
+            min_containment=min_containment,
+        )
+
+    def run(
+        self,
+        query: FusionQuery,
+        source_names: Sequence[str] | None = None,
+    ) -> ResilientResult:
+        """Execute ``query``, re-planning around dead sources as needed."""
+        query.validate_against_schema(self.federation.schema)
+        if source_names is None:
+            active = list(self.federation.representative_names)
+        else:
+            active = list(source_names)
+        masked: list[str] = []
+        rounds: list[ReplanRound] = []
+        for round_no in range(self.max_replans + 1):
+            optimization = self.optimizer.optimize(
+                query, tuple(active), self.cost_model, self.estimator
+            )
+            result = self.engine.run(optimization.plan)
+            round_ = ReplanRound(
+                round=round_no,
+                sources=tuple(active),
+                optimization=optimization,
+                result=result,
+            )
+            rounds.append(round_)
+            if result.complete:
+                break
+            changed = False
+            for dead in round_.dead_sources:
+                if dead not in masked:
+                    masked.append(dead)
+                if dead in active:
+                    active.remove(dead)
+                    changed = True
+                replacement = self._replacement(dead, active, masked)
+                if replacement is not None:
+                    active.append(replacement)
+                    changed = True
+            if not active or not changed:
+                break  # nothing left to reroute to; keep what we have
+        return ResilientResult(
+            query=query, rounds=tuple(rounds), masked=tuple(masked)
+        )
+
+    def _replacement(
+        self, dead: str, active: list[str], masked: list[str]
+    ) -> str | None:
+        """Best substitute for ``dead`` not already planned or dead."""
+        for name in self.federation.substitutes_for(
+            dead, min_containment=self.min_containment
+        ):
+            if name not in active and name not in masked:
+                return name
+        return None

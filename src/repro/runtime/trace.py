@@ -10,7 +10,13 @@ same spirit as :func:`repro.plans.viz.schedule_gantt` and the
 pastes into reports unchanged.
 
 Timeline legend: ``#`` successful attempt, ``x`` failed attempt,
-``.`` waiting (queued, blocked on inputs, or backing off).
+``c`` cancelled hedge attempt, ``.`` waiting (queued, blocked on
+inputs, or backing off).
+
+With hedged dispatch an operation's attempts may run on *different*
+sources (the primary and a replica racing); each :class:`AttemptSpan`
+therefore carries the source it actually ran on, and utilization is
+accounted per serving source, not per planned source.
 """
 
 from __future__ import annotations
@@ -27,6 +33,7 @@ class OpStatus(enum.Enum):
 
     OK = "ok"
     DEGRADED = "degraded"  # retry budget exhausted; empty result substituted
+    RECOVERED = "recovered"  # served by a replica after the planned source failed
 
 
 @dataclass(frozen=True)
@@ -42,6 +49,11 @@ class AttemptSpan:
     items_received: int
     rows_loaded: int
     messages: int
+    #: The source this attempt actually ran on.  Empty means "the
+    #: operation's planned source" (pre-hedging traces).
+    source: str = ""
+    #: True for speculative duplicates launched by hedged dispatch.
+    hedge: bool = False
 
     @property
     def duration_s(self) -> float:
@@ -67,7 +79,8 @@ class OpSpan:
 
     @property
     def retries(self) -> int:
-        return max(0, len(self.attempts) - 1)
+        """Primary-path re-attempts (hedge duplicates are not retries)."""
+        return max(0, sum(1 for a in self.attempts if not a.hedge) - 1)
 
     @property
     def busy_s(self) -> float:
@@ -94,12 +107,27 @@ class OpSpan:
     def queue_wait_s(self) -> float:
         return self.started_s - self.queued_s
 
+    @property
+    def served_by(self) -> str:
+        """The source whose attempt produced the value (last attempt)."""
+        for span in reversed(self.attempts):
+            if span.fate is AttemptFate.OK:
+                return span.source or self.source
+        return self.source
+
+    @property
+    def hedged(self) -> bool:
+        """True when a speculative duplicate attempt was launched."""
+        return any(span.hedge for span in self.attempts)
+
     def render(self, labels=None) -> str:
         flags = ""
         if self.retries:
             flags += f" [{self.retries} retries]"
         if self.status is OpStatus.DEGRADED:
             flags += " [DEGRADED]"
+        if self.status is OpStatus.RECOVERED:
+            flags += f" [RECOVERED via {self.served_by}]"
         return (
             f"{self.step:>3}) {self.operation.render(labels):<60} "
             f"{self.started_s:>8.3f}s -> {self.finished_s:>8.3f}s, "
@@ -125,6 +153,20 @@ class RuntimeTrace:
         )
 
     @property
+    def recovered_steps(self) -> tuple[int, ...]:
+        """Steps whose planned source failed but a replica served them."""
+        return tuple(
+            s.step for s in self.spans if s.status is OpStatus.RECOVERED
+        )
+
+    @property
+    def hedge_attempts(self) -> int:
+        """Speculative duplicate attempts launched across all steps."""
+        return sum(
+            1 for s in self.spans for a in s.attempts if a.hedge
+        )
+
+    @property
     def total_retries(self) -> int:
         return sum(s.retries for s in self.spans)
 
@@ -142,13 +184,26 @@ class RuntimeTrace:
             grouped.setdefault(span.source, []).append(span)
         return grouped
 
+    def busy_by_serving_source(self) -> dict[str, float]:
+        """Connection-busy seconds per source that actually served attempts.
+
+        Unlike :meth:`by_source` (which groups by the *planned* source),
+        hedge attempts are charged to the replica they ran on.
+        """
+        busy: dict[str, float] = {}
+        for span in self.remote_spans:
+            for attempt in span.attempts:
+                name = attempt.source or span.source
+                busy[name] = busy.get(name, 0.0) + attempt.duration_s
+        return busy
+
     def per_source_utilization(self) -> dict[str, float]:
         """Fraction of the makespan each source connection was busy."""
+        busy = self.busy_by_serving_source()
         if self.makespan_s <= 0:
-            return {name: 0.0 for name in self.by_source()}
+            return {name: 0.0 for name in busy}
         return {
-            name: sum(span.busy_s for span in spans) / self.makespan_s
-            for name, spans in self.by_source().items()
+            name: seconds / self.makespan_s for name, seconds in busy.items()
         }
 
     # ------------------------------------------------------------------
@@ -158,7 +213,8 @@ class RuntimeTrace:
         """ASCII timeline of remote operations, retries visible.
 
         One row per remote operation; ``#`` marks time inside a
-        successful attempt, ``x`` inside a failed one, ``.`` waiting.
+        successful attempt, ``x`` inside a failed one, ``c`` inside a
+        cancelled hedge duplicate, ``.`` waiting.
         """
         remote = self.remote_spans
         if not remote:
@@ -175,10 +231,20 @@ class RuntimeTrace:
             for attempt in span.attempts:
                 start = column(attempt.start_s)
                 end = max(start + 1, column(attempt.end_s))
-                mark = "x" if attempt.fate.failed else "#"
+                if attempt.fate is AttemptFate.CANCELLED:
+                    mark = "c"
+                elif attempt.fate.failed:
+                    mark = "x"
+                else:
+                    mark = "#"
                 for i in range(start, min(end, width)):
                     cells[i] = mark
-            note = " DEGRADED" if span.status is OpStatus.DEGRADED else ""
+            if span.status is OpStatus.DEGRADED:
+                note = " DEGRADED"
+            elif span.status is OpStatus.RECOVERED:
+                note = f" RECOVERED<-{span.served_by}"
+            else:
+                note = ""
             lines.append(
                 f"{self._label(span).ljust(label_width)} "
                 f"|{''.join(cells)}|{note}"
@@ -191,26 +257,46 @@ class RuntimeTrace:
         return "\n".join(lines)
 
     def utilization_report(self) -> str:
-        """Per-source busy time / utilization, fixed width."""
-        lines = ["source   busy s     util   ops  retries"]
+        """Per-source busy time / utilization, fixed width.
+
+        Rows are serving sources: a replica that only ever served hedge
+        or rerouted attempts gets its own row; a planned source that
+        never actually served (fully rerouted) still shows with zero
+        busy time.
+        """
+        busy = self.busy_by_serving_source()
         utilization = self.per_source_utilization()
-        for name, spans in sorted(self.by_source().items()):
-            busy = sum(span.busy_s for span in spans)
-            retries = sum(span.retries for span in spans)
+        attempts: dict[str, list[AttemptSpan]] = {}
+        for span in self.remote_spans:
+            attempts.setdefault(span.source, [])
+            for attempt in span.attempts:
+                name = attempt.source or span.source
+                attempts.setdefault(name, []).append(attempt)
+        lines = ["source   busy s     util  attempts  hedges"]
+        for name in sorted(attempts):
+            served = attempts[name]
+            hedges = sum(1 for a in served if a.hedge)
             lines.append(
-                f"{name:<8} {busy:>7.3f} {utilization[name]:>7.1%} "
-                f"{len(spans):>5} {retries:>8}"
+                f"{name:<8} {busy.get(name, 0.0):>7.3f} "
+                f"{utilization.get(name, 0.0):>7.1%} "
+                f"{len(served):>8} {hedges:>7}"
             )
         return "\n".join(lines)
 
     def summary(self) -> str:
-        return (
+        text = (
             f"makespan {self.makespan_s:.3f}s, "
             f"{len(self.remote_spans)} remote ops, "
             f"{self.total_retries} retries, "
             f"{len(self.degraded_steps)} degraded, "
             f"cost {self.total_cost:.1f}"
         )
+        if self.recovered_steps or self.hedge_attempts:
+            text += (
+                f", {len(self.recovered_steps)} recovered, "
+                f"{self.hedge_attempts} hedges"
+            )
+        return text
 
     @staticmethod
     def _label(span: OpSpan) -> str:

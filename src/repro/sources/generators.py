@@ -285,6 +285,48 @@ def synthetic_query(
     )
 
 
+def replicate_federation(
+    federation: Federation, copies: int, suffix: str = "~"
+) -> Federation:
+    """Mirror every source of ``federation`` ``copies`` times.
+
+    Each source gains ``copies - 1`` mirrors named ``<name><suffix><k>``
+    serving the *same* relation over the same link and capabilities, and
+    every (source, mirrors...) set is declared a replica group — the
+    redundancy the resilience layer (hedging, breaker rerouting,
+    re-planning) exploits.  ``copies == 1`` returns an equivalent
+    federation with no mirrors.
+
+    Mirrors share ground-truth rows but are independent wrappers:
+    separate traffic logs, separate connections, separate fault streams.
+    """
+    if copies < 1:
+        raise QueryError(f"copies must be >= 1, got {copies}")
+    sources: list[RemoteSource] = []
+    groups: list[tuple[str, ...]] = []
+    for source in federation:
+        group = [source.name]
+        sources.append(source)
+        for k in range(1, copies):
+            mirror_name = f"{source.name}{suffix}{k}"
+            mirror = RemoteSource(
+                TableSource(
+                    Relation(
+                        mirror_name,
+                        source.schema,
+                        list(source.table.relation.rows),
+                    )
+                ),
+                capabilities=source.capabilities,
+                link=source.link,
+            )
+            sources.append(mirror)
+            group.append(mirror_name)
+        if len(group) > 1:
+            groups.append(tuple(group))
+    return Federation(sources, name=federation.name, replica_groups=groups)
+
+
 # ----------------------------------------------------------------------
 # Bibliographic scenario (Sec. 1's two-phase motivation)
 

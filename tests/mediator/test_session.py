@@ -172,3 +172,87 @@ class TestRuntimeBackend:
         result = dmv_mediator.execute_concurrent(optimization.plan)
         assert result.items == DMV_FIG1_ANSWER
         assert result.complete
+
+
+class TestResilientBackend:
+    def make_mediator(self, **kwargs):
+        from repro.runtime.faults import FaultInjector, FaultProfile
+        from repro.runtime.policy import RetryPolicy
+        from repro.sources.generators import replicate_federation
+
+        federation, __ = dmv_fig1()
+        federation = replicate_federation(federation, 2)
+        return Mediator(
+            federation,
+            backend="runtime",
+            faults=FaultInjector({"R1": FaultProfile.flaky(1.0)}, seed=7),
+            retry_policy=RetryPolicy.no_retry(),
+            **kwargs,
+        )
+
+    def test_replanning_recovers_dead_source(self, dmv_query):
+        mediator = self.make_mediator(replan=2)
+        answer = mediator.answer(dmv_query)
+        assert answer.items == DMV_FIG1_ANSWER
+        assert answer.resilient is not None
+        assert answer.resilient.replans >= 1
+        assert "replan round" in answer.summary()
+
+    def test_hedging_recovers_in_flight(self, dmv_query):
+        mediator = self.make_mediator(hedge_delay_s=2.0)
+        answer = mediator.answer(dmv_query)
+        assert answer.items == DMV_FIG1_ANSWER
+        assert answer.resilient is None  # no replanning configured
+        assert answer.runtime.recovered_steps
+        assert "recovered" in answer.summary()
+
+    def test_breaker_true_means_default_config(self, dmv_query):
+        mediator = self.make_mediator(breaker=True)
+        assert mediator.runtime.health.enabled
+        mediator = self.make_mediator(breaker=False)
+        assert not mediator.runtime.health.enabled
+
+    def test_health_registry_shared_with_replanner(self, dmv_query):
+        mediator = self.make_mediator(replan=2, breaker=True)
+        answer = mediator.answer(dmv_query)
+        assert answer.items == DMV_FIG1_ANSWER
+        # The replanner's engine and the mediator's plain engine share
+        # one registry, so the mediator-level view saw the failures.
+        assert mediator.replanner.engine.health is mediator.runtime.health
+        assert mediator.runtime.health.health_of("R1").failures > 0
+
+    def test_negative_replan_rejected(self):
+        from repro.errors import CostModelError
+
+        federation, __ = dmv_fig1()
+        with pytest.raises(CostModelError):
+            Mediator(federation, backend="runtime", replan=-1)
+
+    def test_masked_resilient_run_passes_verification(self, dmv_query):
+        # Both R1 and its mirror dead: the final round plans around the
+        # whole group and completes, but ``masked`` explains the losses
+        # so verify=True must not raise.
+        from repro.runtime.faults import FaultInjector, FaultProfile
+        from repro.runtime.policy import RetryPolicy
+        from repro.sources.generators import replicate_federation
+
+        federation, __ = dmv_fig1()
+        federation = replicate_federation(federation, 2)
+        mediator = Mediator(
+            federation,
+            backend="runtime",
+            verify=True,
+            faults=FaultInjector(
+                {
+                    "R1": FaultProfile.flaky(1.0),
+                    "R1~1": FaultProfile.flaky(1.0),
+                },
+                seed=7,
+            ),
+            retry_policy=RetryPolicy.no_retry(),
+            replan=2,
+        )
+        answer = mediator.answer(dmv_query)
+        assert answer.verified is False
+        assert answer.items < DMV_FIG1_ANSWER
+        assert answer.resilient.masked

@@ -128,3 +128,117 @@ class TestFaultInjector:
         assert "2 attempts" in injector.summary()
         assert "2 injected failures" in injector.summary()
         assert "transient" in injector.summary()
+
+
+class TestOutageOverlaps:
+    """Outage windows interacting with retry backoffs and hedge delays."""
+
+    def run_engine(self, outage, **engine_kwargs):
+        from repro.plans.builder import build_filter_plan
+        from repro.runtime.engine import RuntimeEngine
+        from repro.sources.generators import dmv_fig1, replicate_federation
+
+        federation, query = dmv_fig1()
+        if engine_kwargs.pop("replicate", False):
+            federation = replicate_federation(federation, 2)
+        plan = build_filter_plan(query, federation.representative_names)
+        engine = RuntimeEngine(
+            federation,
+            faults=FaultInjector(
+                {"R1": FaultProfile(outages=(outage,))}, seed=0
+            ),
+            **engine_kwargs,
+        )
+        return engine.run(plan)
+
+    def r1_attempts(self, result):
+        return [
+            attempt
+            for span in result.trace.remote_spans
+            if span.source == "R1"
+            for attempt in span.attempts
+        ]
+
+    def test_backoffs_inside_window_keep_failing_until_it_ends(self):
+        from repro.runtime.policy import RetryPolicy
+
+        outage = (0.0, 4.0)
+        result = self.run_engine(
+            outage,
+            policy=RetryPolicy(max_retries=10, backoff_base_s=1.0),
+        )
+        attempts = self.r1_attempts(result)
+        # Every attempt that started inside the window failed with
+        # OUTAGE; the first attempt at/after its end succeeded.
+        for attempt in attempts:
+            if attempt.start_s < outage[1]:
+                assert attempt.fate is AttemptFate.OUTAGE
+            else:
+                assert attempt.fate is AttemptFate.OK
+                assert not attempt.hedge
+        assert sum(1 for a in attempts if a.fate is AttemptFate.OUTAGE) >= 2
+        assert result.complete
+
+    def test_backoff_longer_than_window_skips_it_entirely(self):
+        from repro.runtime.policy import RetryPolicy
+
+        result = self.run_engine(
+            (0.0, 0.5),
+            policy=RetryPolicy(max_retries=2, backoff_base_s=5.0),
+        )
+        attempts = self.r1_attempts(result)
+        fates = [a.fate for a in attempts]
+        # One failure inside the window, then the 5 s backoff lands the
+        # single retry far past it.
+        assert fates.count(AttemptFate.OUTAGE) == len(fates) - fates.count(
+            AttemptFate.OK
+        )
+        assert result.complete
+        for span in result.trace.remote_spans:
+            if span.source == "R1":
+                assert span.retries <= 1
+
+    def test_budget_exhausted_inside_window_degrades(self):
+        from repro.runtime.policy import RetryPolicy
+        from repro.sources.generators import DMV_FIG1_ANSWER
+
+        result = self.run_engine(
+            (0.0, 1e6),
+            policy=RetryPolicy(max_retries=2, backoff_base_s=0.5),
+        )
+        assert not result.complete
+        assert result.items <= DMV_FIG1_ANSWER
+        assert all(
+            a.fate is AttemptFate.OUTAGE for a in self.r1_attempts(result)
+        )
+
+    def test_hedge_rides_out_outage_via_mirror(self):
+        from repro.runtime.policy import RetryPolicy
+        from repro.sources.generators import DMV_FIG1_ANSWER
+
+        outage_end = 1e6
+        result = self.run_engine(
+            (0.0, outage_end),
+            replicate=True,
+            policy=RetryPolicy.no_retry(),
+            hedge_delay_s=2.0,
+        )
+        assert result.items == DMV_FIG1_ANSWER
+        assert result.complete
+        assert result.makespan_s < outage_end
+        assert result.trace.recovered_steps
+
+    def test_jittered_backoff_with_outage_is_deterministic(self):
+        from repro.runtime.policy import RetryPolicy
+
+        runs = [
+            self.run_engine(
+                (0.0, 3.0),
+                policy=RetryPolicy(
+                    max_retries=8, backoff_base_s=0.7, backoff_jitter=0.5
+                ),
+            )
+            for __ in range(2)
+        ]
+        assert runs[0].trace == runs[1].trace
+        assert runs[0].complete

@@ -1,0 +1,175 @@
+"""Unit tests for per-source health tracking and circuit breakers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CostModelError
+from repro.runtime.health import (
+    BreakerConfig,
+    BreakerState,
+    CircuitBreaker,
+    HealthRegistry,
+    SourceHealth,
+)
+
+
+def make_breaker(**kwargs) -> CircuitBreaker:
+    config = BreakerConfig(**kwargs)
+    return CircuitBreaker(config, SourceHealth(config.window))
+
+
+class TestBreakerConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"failure_threshold": 0},
+            {"window": 0},
+            {"min_volume": -1},
+            {"half_open_probes": 0},
+            {"failure_rate_to_open": 0.0},
+            {"failure_rate_to_open": 1.5},
+            {"cooldown_s": -1.0},
+            {"cooldown_s": float("inf")},
+        ],
+    )
+    def test_invalid_configurations_rejected(self, kwargs):
+        with pytest.raises(CostModelError):
+            BreakerConfig(**kwargs)
+
+    def test_presets_valid(self):
+        assert BreakerConfig.default().failure_threshold == 3
+        aggressive = BreakerConfig.aggressive()
+        assert aggressive.failure_threshold == 2
+        assert aggressive.cooldown_s == 5.0
+
+
+class TestSourceHealth:
+    def test_rolling_window_statistics(self):
+        health = SourceHealth(window=3)
+        for ok in (False, False, True, True):
+            health.record(ok, 1.0)
+        # Window holds the last 3: False, True, True.
+        assert health.volume == 3
+        assert health.failure_rate == pytest.approx(1 / 3)
+        assert health.attempts == 4
+        assert health.failures == 2
+        assert health.busy_s == pytest.approx(4.0)
+
+    def test_empty_window_rates_are_zero(self):
+        health = SourceHealth()
+        assert health.failure_rate == 0.0
+        assert health.mean_latency_s == 0.0
+
+    def test_mean_latency(self):
+        health = SourceHealth(window=10)
+        health.record(True, 1.0)
+        health.record(True, 3.0)
+        assert health.mean_latency_s == pytest.approx(2.0)
+
+
+class TestCircuitBreaker:
+    def test_trips_on_consecutive_failures(self):
+        breaker = make_breaker(failure_threshold=3)
+        for i in range(2):
+            breaker.record_failure(float(i), 0.1)
+            assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure(2.0, 0.1)
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.times_opened == 1
+
+    def test_success_resets_consecutive_count(self):
+        breaker = make_breaker(failure_threshold=2, min_volume=100)
+        breaker.record_failure(0.0, 0.1)
+        breaker.record_success(1.0, 0.1)
+        breaker.record_failure(2.0, 0.1)
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_trips_on_windowed_failure_rate(self):
+        breaker = make_breaker(
+            failure_threshold=100,
+            failure_rate_to_open=0.5,
+            window=10,
+            min_volume=4,
+        )
+        # Alternate so consecutive failures never accumulate.
+        breaker.record_failure(0.0, 0.1)
+        breaker.record_success(1.0, 0.1)
+        breaker.record_failure(2.0, 0.1)
+        assert breaker.state is BreakerState.CLOSED  # volume 3 < min 4
+        breaker.record_failure(3.0, 0.1)
+        assert breaker.state is BreakerState.OPEN  # rate 3/4 >= 0.5
+
+    def test_open_blocks_until_cooldown_then_half_opens(self):
+        breaker = make_breaker(failure_threshold=1, cooldown_s=10.0)
+        breaker.record_failure(5.0, 0.1)
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.reopens_at_s == pytest.approx(15.0)
+        assert not breaker.allow(14.9)
+        assert breaker.allow(15.0)
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_half_open_limits_probes(self):
+        breaker = make_breaker(
+            failure_threshold=1, cooldown_s=0.0, half_open_probes=1
+        )
+        breaker.record_failure(0.0, 0.1)
+        assert breaker.allow(1.0)  # the one probe
+        assert not breaker.allow(1.0)  # second concurrent probe refused
+        assert breaker.reopens_at_s is None  # not OPEN: no wake time
+
+    def test_probe_success_closes(self):
+        breaker = make_breaker(failure_threshold=1, cooldown_s=0.0)
+        breaker.record_failure(0.0, 0.1)
+        assert breaker.allow(1.0)
+        breaker.record_success(2.0, 0.1)
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow(2.0)
+
+    def test_probe_failure_reopens_for_another_cooldown(self):
+        breaker = make_breaker(failure_threshold=1, cooldown_s=10.0)
+        breaker.record_failure(0.0, 0.1)
+        assert breaker.allow(10.0)
+        breaker.record_failure(11.0, 0.1)
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.reopens_at_s == pytest.approx(21.0)
+        assert breaker.times_opened == 2
+
+    def test_abandon_returns_probe_slot(self):
+        breaker = make_breaker(
+            failure_threshold=1, cooldown_s=0.0, half_open_probes=1
+        )
+        breaker.record_failure(0.0, 0.1)
+        assert breaker.allow(1.0)
+        breaker.abandon()  # the probe was cancelled, not answered
+        assert breaker.allow(1.0)  # slot is available again
+
+
+class TestHealthRegistry:
+    def test_disabled_registry_tracks_but_always_allows(self):
+        registry = HealthRegistry()
+        assert not registry.enabled
+        for __ in range(10):
+            registry.record("R1", 0.0, ok=False, duration_s=0.1)
+        assert registry.allow("R1", 0.0)
+        assert registry.state_of("R1") is BreakerState.CLOSED
+        assert registry.health_of("R1").failures == 10
+
+    def test_enabled_registry_trips_and_reroutes(self):
+        registry = HealthRegistry(BreakerConfig(failure_threshold=2))
+        registry.record("R1", 0.0, ok=False, duration_s=0.1)
+        registry.record("R1", 1.0, ok=False, duration_s=0.1)
+        assert registry.state_of("R1") is BreakerState.OPEN
+        assert not registry.allow("R1", 1.0)
+        assert registry.allow("R2", 1.0)  # other sources unaffected
+        assert registry.reopens_at("R1") == pytest.approx(
+            1.0 + BreakerConfig().cooldown_s
+        )
+
+    def test_report_lists_sources_and_states(self):
+        registry = HealthRegistry(BreakerConfig(failure_threshold=1))
+        registry.record("R1", 0.0, ok=False, duration_s=0.1)
+        registry.record("R2", 0.0, ok=True, duration_s=0.1)
+        report = registry.report()
+        assert "R1" in report and "R2" in report
+        assert "open" in report

@@ -105,3 +105,108 @@ class TestCompletenessReport:
         assert report.exact
         partial = completeness_report(federation, query, frozenset({"J55"}))
         assert partial.completeness == pytest.approx(0.5)
+
+
+class TestBackoffJitter:
+    def test_disabled_by_default(self):
+        policy = RetryPolicy(backoff_base_s=0.1)
+        assert policy.backoff_jitter == 0.0
+        assert policy.backoff_s(1, key="op", seed=3) == pytest.approx(0.1)
+
+    def test_jitter_stays_within_band(self):
+        policy = RetryPolicy(backoff_base_s=1.0, backoff_jitter=0.25)
+        for retry in range(1, 6):
+            for seed in range(5):
+                wait = policy.backoff_s(retry, key="semijoin:R1", seed=seed)
+                base = min(
+                    1.0 * policy.backoff_multiplier ** (retry - 1),
+                    policy.backoff_max_s,
+                )
+                assert base * 0.75 <= wait <= base * 1.25
+
+    def test_deterministic_per_seed_key_and_attempt(self):
+        policy = RetryPolicy.jittered()
+        a = policy.backoff_s(2, key="load:R1", seed=7)
+        b = policy.backoff_s(2, key="load:R1", seed=7)
+        assert a == b  # byte-identical, not just approximately equal
+
+    def test_varies_across_seed_key_and_attempt(self):
+        policy = RetryPolicy.jittered()
+        baseline = policy.backoff_s(1, key="load:R1", seed=7)
+        assert policy.backoff_s(1, key="load:R2", seed=7) != baseline
+        assert policy.backoff_s(1, key="load:R1", seed=8) != baseline
+
+    def test_jittered_profile(self):
+        assert RetryPolicy.jittered(0.3).backoff_jitter == 0.3
+
+    @pytest.mark.parametrize("jitter", [-0.1, 1.5, float("nan")])
+    def test_invalid_jitter_rejected(self, jitter):
+        with pytest.raises(CostModelError):
+            RetryPolicy(backoff_jitter=jitter)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_retries": 1.5},
+            {"max_retries": "3"},
+            {"on_exhaust": "skip"},
+        ],
+    )
+    def test_wrongly_typed_fields_rejected(self, kwargs):
+        with pytest.raises(CostModelError):
+            RetryPolicy(**kwargs)
+
+
+class TestCompletenessAccounting:
+    def run_with(self, engine_kwargs):
+        from repro.plans.builder import build_filter_plan
+        from repro.runtime.engine import RuntimeEngine
+        from repro.sources.generators import replicate_federation
+
+        federation, query = dmv_fig1()
+        federation = replicate_federation(federation, 2)
+        plan = build_filter_plan(query, federation.representative_names)
+        engine = RuntimeEngine(federation, **engine_kwargs)
+        result = engine.run(plan)
+        return completeness_report(
+            federation, query, result.items, trace=result.trace
+        )
+
+    def test_skipped_ops_counted(self):
+        from repro.runtime.faults import FaultInjector, FaultProfile
+
+        report = self.run_with(
+            dict(
+                faults=FaultInjector(
+                    {"R1": FaultProfile.flaky(1.0)}, seed=0
+                ),
+                policy=RetryPolicy.no_retry(),
+            )
+        )
+        assert report.skipped_ops > 0
+        assert report.recovered_ops == 0
+        assert "ops skipped" in report.summary()
+
+    def test_recovered_ops_counted(self):
+        from repro.runtime.faults import FaultInjector, FaultProfile
+
+        report = self.run_with(
+            dict(
+                faults=FaultInjector(
+                    {"R1": FaultProfile.flaky(1.0)}, seed=0
+                ),
+                policy=RetryPolicy.no_retry(),
+                hedge_delay_s=5.0,
+            )
+        )
+        assert report.exact
+        assert report.skipped_ops == 0
+        assert report.recovered_ops > 0
+        assert "recovered via replicas" in report.summary()
+
+    def test_clean_run_reports_neither(self):
+        report = self.run_with({})
+        assert report.exact
+        assert report.skipped_ops == 0
+        assert report.recovered_ops == 0
+        assert "skipped" not in report.summary()
