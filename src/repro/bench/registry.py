@@ -23,6 +23,7 @@ from repro.bench.extensions import (
     run_phases,
     run_resilience,
     run_response_time,
+    run_robust_planning,
 )
 from repro.bench.report import write_report
 
@@ -45,6 +46,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[], str]]] = {
     "R2": ("concurrent runtime vs static schedule", run_concurrent_runtime),
     "R3": ("fault sweep: completeness and retries", run_fault_sweep),
     "R4": ("resilience: hedging, breakers, replanning", run_resilience),
+    "R5": ("robust planning: completeness-aware optimization", run_robust_planning),
     "A1": ("adaptive execution vs static plans", run_adaptive),
     "C7": ("condition correlation vs independence", run_correlation),
     "C8": ("data overlap ablation", run_overlap),

@@ -7,8 +7,11 @@ Subcommands:
   run a fusion query, print plan + trace + answer; ``--runtime`` runs
   it on the concurrent discrete-event engine instead (with
   ``--fault-rate``/``--retries``/``--timeline`` to inject failures and
-  watch the retry behaviour, and ``--hedge-delay``/``--breaker``/
-  ``--replan`` to recover via replicas when the spec declares them);
+  watch the retry behaviour, ``--hedge-delay``/``--breaker``/
+  ``--replan`` to recover via replicas when the spec declares them,
+  ``--robust``/``--robustness-lambda`` to plan for the faulty setting
+  by expected completeness, and ``--load-balance`` to spread healthy
+  traffic across replica groups);
 * ``explain SPEC SQL`` — plan only, with per-step estimated costs;
 * ``check SPEC SQL`` — report whether the SQL matches the fusion
   pattern (the Sec. 5 detector), without executing anything;
@@ -129,6 +132,29 @@ def _build_parser() -> argparse.ArgumentParser:
                 help="re-plan up to N times around dead sources, merging "
                 "answers (runtime backend; default: 0)",
             )
+            sub.add_argument(
+                "--robust",
+                action="store_true",
+                help="rank candidate plans by cost + λ·(1−expected "
+                "completeness)·penalty instead of cost alone, using "
+                "the fault regime and live source health (overrides "
+                "--optimizer)",
+            )
+            sub.add_argument(
+                "--robustness-lambda",
+                type=float,
+                default=1.0,
+                metavar="L",
+                help="the λ exchange rate of --robust: how much extra "
+                "wire cost one unit of expected completeness is worth "
+                "(default: 1.0)",
+            )
+            sub.add_argument(
+                "--load-balance",
+                action="store_true",
+                help="spread healthy runtime traffic round-robin across "
+                "replica-group members (runtime backend)",
+            )
 
     export = subparsers.add_parser(
         "export-dmv", help="write the Fig. 1 federation as a spec file"
@@ -164,15 +190,22 @@ def _command_query(
     hedge_delay: float | None = None,
     breaker: str = "off",
     replan: int = 0,
+    robust: bool = False,
+    robustness: float = 1.0,
+    load_balance: bool = False,
 ) -> int:
     federation = load_federation(spec)
     if runtime:
         return _run_runtime(
             federation, sql, optimizer_name, fault_rate, fault_seed,
             retries, timeline, hedge_delay, breaker, replan,
+            robust=robust, robustness=robustness,
+            load_balance=load_balance,
         )
     mediator = Mediator(
-        federation, optimizer=_OPTIMIZERS[optimizer_name]()
+        federation,
+        optimizer="robust" if robust else _OPTIMIZERS[optimizer_name](),
+        robustness=robustness,
     )
     if adaptive:
         return _run_adaptive(mediator, sql)
@@ -197,6 +230,9 @@ def _run_runtime(
     hedge_delay: float | None = None,
     breaker: str = "off",
     replan: int = 0,
+    robust: bool = False,
+    robustness: float = 1.0,
+    load_balance: bool = False,
 ) -> int:
     from repro.runtime import (
         BreakerConfig,
@@ -213,18 +249,30 @@ def _run_runtime(
     }[breaker]
     mediator = Mediator(
         federation,
-        optimizer=_OPTIMIZERS[optimizer_name](),
+        optimizer="robust" if robust else _OPTIMIZERS[optimizer_name](),
         backend="runtime",
         faults=FaultInjector(FaultProfile.flaky(fault_rate), seed=fault_seed),
         retry_policy=RetryPolicy(max_retries=retries),
         hedge_delay_s=hedge_delay,
         breaker=breaker_config,
         replan=replan,
+        robustness=robustness,
+        load_balance=load_balance,
     )
     answer = mediator.answer(sql)
     assert answer.runtime is not None
     print(answer.plan.pretty())
     print()
+    if robust:
+        opt = answer.optimization
+        print(
+            f"robust ranking (λ={robustness:g}): "
+            f"E[completeness] {opt.expected_completeness:.3f}, "
+            f"utility {opt.utility:.1f}"
+        )
+        for candidate in opt.candidates:
+            print(f"  {candidate.summary()}")
+        print()
     if timeline:
         print(answer.runtime.trace.timeline())
         print()
@@ -316,6 +364,9 @@ def main(argv: list[str] | None = None) -> int:
                 hedge_delay=args.hedge_delay,
                 breaker=args.breaker,
                 replan=args.replan,
+                robust=args.robust,
+                robustness=args.robustness_lambda,
+                load_balance=args.load_balance,
             )
         if args.command == "explain":
             return _command_explain(args.spec, args.sql, args.optimizer)

@@ -31,12 +31,14 @@ from repro.errors import CostModelError, ExecutionError
 from repro.mediator.executor import ExecutionResult, Executor
 from repro.mediator.reference import reference_answer
 from repro.optimize.base import OptimizationResult, Optimizer
+from repro.optimize.robust import RobustOptimizer
 from repro.optimize.sja_plus import SJAPlusOptimizer
 from repro.plans.cost import estimate_plan_cost
 from repro.plans.plan import Plan
 from repro.query.fusion import FusionQuery
 from repro.query.sqlparse import parse_fusion_query
 from repro.relational.relation import Relation
+from repro.runtime.availability import AvailabilityModel, ObservedAvailability
 from repro.runtime.engine import RuntimeEngine, RuntimeResult
 from repro.runtime.faults import FaultInjector
 from repro.runtime.health import BreakerConfig, HealthRegistry
@@ -105,7 +107,10 @@ class Mediator:
             :class:`~repro.costs.charge.ChargeCostModel` over the
             federation's declared link profiles).
         optimizer: Planning algorithm (defaults to
-            :class:`~repro.optimize.sja_plus.SJAPlusOptimizer`).
+            :class:`~repro.optimize.sja_plus.SJAPlusOptimizer`), or the
+            string ``"robust"`` to build a completeness-aware
+            :class:`~repro.optimize.robust.RobustOptimizer` wired to
+            this mediator's fault injector and live health registry.
         verify: When True, every answer is checked against the
             materialized-U oracle and a mismatch raises
             :class:`~repro.errors.ExecutionError` — invaluable in tests,
@@ -132,6 +137,13 @@ class Mediator:
         replan: Re-planning rounds allowed after a degraded run (dead
             sources masked, substitutes swapped in, answers merged by
             union).  ``True`` means 2 rounds; 0 / ``False`` disables.
+        robustness: The λ exchange rate of the robust optimizer — how
+            much extra wire cost buying back one unit of expected
+            completeness is worth (only used with
+            ``optimizer="robust"``).
+        load_balance: Spread healthy runtime traffic round-robin across
+            replica-group members instead of serializing it on each
+            group's representative.
     """
 
     def __init__(
@@ -139,7 +151,7 @@ class Mediator:
         federation: Federation,
         statistics: StatisticsProvider | None = None,
         cost_model: CostModel | None = None,
-        optimizer: Optimizer | None = None,
+        optimizer: Optimizer | str | None = None,
         verify: bool = False,
         max_retries: int = 3,
         cache_plans: bool = False,
@@ -149,6 +161,8 @@ class Mediator:
         hedge_delay_s: float | None = None,
         breaker: BreakerConfig | bool | None = None,
         replan: int | bool = 0,
+        robustness: float = 1.0,
+        load_balance: bool = False,
     ):
         if backend not in BACKENDS:
             raise ValueError(
@@ -169,7 +183,6 @@ class Mediator:
         self.cost_model = cost_model or ChargeCostModel.for_federation(
             federation, self.estimator
         )
-        self.optimizer = optimizer or SJAPlusOptimizer()
         self.verify = verify
         self.executor = Executor(federation, max_retries=max_retries)
         self.backend = backend
@@ -183,7 +196,39 @@ class Mediator:
             policy=retry_policy,
             hedge_delay_s=hedge_delay_s,
             health=health,
+            load_balance=load_balance,
         )
+        if optimizer == "robust":
+            # Prior from the injected-fault statistics, sharpened live
+            # by the shared health registry as attempts accumulate.
+            prior = (
+                AvailabilityModel.from_faults(
+                    faults,
+                    retry_policy or RetryPolicy.default(),
+                    federation.source_names,
+                )
+                if faults is not None
+                else AvailabilityModel.perfect()
+            )
+            optimizer = RobustOptimizer(
+                federation,
+                availability=ObservedAvailability(health, prior=prior),
+                robustness=robustness,
+                # With hedging, breakers, or re-planning the executor
+                # reaches declared mirrors on its own; the planner then
+                # credits that redundancy instead of duplicating work.
+                failover=(
+                    hedge_delay_s is not None
+                    or breaker is not None
+                    or self.max_replans > 0
+                ),
+            )
+        elif isinstance(optimizer, str):
+            raise ValueError(
+                f"unknown optimizer {optimizer!r}; pass an Optimizer "
+                "instance or the string 'robust'"
+            )
+        self.optimizer: Optimizer = optimizer or SJAPlusOptimizer()
         self.replanner = (
             ResilientExecutor(
                 federation,
@@ -195,6 +240,7 @@ class Mediator:
                 hedge_delay_s=hedge_delay_s,
                 health=health,
                 max_replans=self.max_replans,
+                load_balance=load_balance,
             )
             if self.max_replans > 0
             else None

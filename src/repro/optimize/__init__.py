@@ -34,6 +34,11 @@ from repro.optimize.exhaustive import (
 )
 from repro.optimize.union_pushdown import JoinOverUnionOptimizer
 from repro.optimize.postopt import apply_difference_pruning, apply_source_loading
+from repro.optimize.robust import (
+    CandidateScore,
+    RobustOptimizationResult,
+    RobustOptimizer,
+)
 
 __all__ = [
     "Optimizer",
@@ -51,4 +56,7 @@ __all__ = [
     "JoinOverUnionOptimizer",
     "apply_difference_pruning",
     "apply_source_loading",
+    "RobustOptimizer",
+    "RobustOptimizationResult",
+    "CandidateScore",
 ]

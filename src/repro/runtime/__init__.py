@@ -18,6 +18,13 @@ in-flight re-planning around dead sources
 (:mod:`~repro.runtime.replan`).
 """
 
+from repro.runtime.availability import (
+    AvailabilityModel,
+    CompletenessEstimate,
+    ConditionSurvival,
+    ObservedAvailability,
+    expected_completeness,
+)
 from repro.runtime.engine import RuntimeEngine, RuntimeResult
 from repro.runtime.faults import (
     AttemptFate,
@@ -68,4 +75,9 @@ __all__ = [
     "ResilientExecutor",
     "ResilientResult",
     "ReplanRound",
+    "AvailabilityModel",
+    "ObservedAvailability",
+    "CompletenessEstimate",
+    "ConditionSurvival",
+    "expected_completeness",
 ]

@@ -36,6 +36,14 @@ exactly as before):
   can serve.  Fusion plans only union per-source contributions, so a
   substitute whose rows contain the original's can never introduce
   spurious answers — substitution trades nothing for completeness.
+* **Replica load balancing** (``load_balance``) — plans typically put
+  every operation of a replica group on its representative, leaving the
+  mirrors idle.  With balancing on, a queued operation may claim the
+  connection slot of *any* declared group member (round-robin over the
+  members, in federation order), so healthy traffic spreads across the
+  group instead of serializing on the representative.  Mirrors hold
+  identical rows, so answers are unchanged; the serving member is
+  recorded in the trace and the rotation is seed-deterministic.
 
 Everything remains seeded and deterministic: hedge timers live on the
 same virtual-clock heap as completions, substitutes are probed in the
@@ -170,6 +178,10 @@ class RuntimeEngine:
         min_containment: Row-containment threshold for derived
             substitutes (1.0 = only lossless substitution; declared
             replica groups always qualify).
+        load_balance: Spread healthy traffic round-robin across a
+            replica group's members instead of serializing everything
+            on the planned source (off by default — the zero-config
+            engine matches the static scheduler exactly).
     """
 
     def __init__(
@@ -181,6 +193,7 @@ class RuntimeEngine:
         breaker: BreakerConfig | None = None,
         health: HealthRegistry | None = None,
         min_containment: float = 1.0,
+        load_balance: bool = False,
     ):
         if hedge_delay_s is not None and not (
             math.isfinite(hedge_delay_s) and hedge_delay_s >= 0
@@ -195,6 +208,7 @@ class RuntimeEngine:
         self.hedge_delay_s = hedge_delay_s
         self.health = health if health is not None else HealthRegistry(breaker)
         self.min_containment = min_containment
+        self.load_balance = load_balance
         self._substitutes: dict[str, tuple[str, ...]] | None = None
 
     @property
@@ -222,12 +236,16 @@ class _Task:
         "index", "op", "input_writer", "remaining", "dependents",
         "value", "queued_s", "first_start_s", "attempts", "done",
         "inflight", "hedged", "primary_attempts", "retry_pending",
-        "exhausted",
+        "exhausted", "slot_source",
     )
 
     def __init__(self, index: int, op: Operation):
         self.index = index
         self.op = op
+        # The source whose connection slot this task occupies once
+        # dispatched; equals the planned source unless load balancing
+        # moved the task onto another member of the same replica group.
+        self.slot_source: str = op.source if op.remote else ""
         self.input_writer: dict[str, int] = {}
         self.remaining = 0
         self.dependents: list[int] = []
@@ -299,6 +317,9 @@ class _Execution:
             if task.op.remote:
                 self.queues.setdefault(task.planned_source, deque()).append(task)
                 self.busy.setdefault(task.planned_source, False)
+        # Round-robin rotation state per replica group, only consulted
+        # when the engine balances load across group members.
+        self.rotation: dict[tuple[str, ...], int] = {}
         # Tasks whose dispatch is refused by an open breaker with no
         # healthy substitute; re-tried on every state change.
         self.blocked: list[_Task] = []
@@ -377,23 +398,67 @@ class _Execution:
         else:
             self._run_local(task, now)
 
+    def _dispatch_group(self, source_name: str, now: float) -> None:
+        """Dispatch from every queue a freed slot could now serve."""
+        if not self.engine.load_balance:
+            self._try_dispatch(source_name, now)
+            return
+        for member in self.federation.group_of(source_name):
+            self._try_dispatch(member, now)
+
     def _try_dispatch(self, source_name: str, now: float) -> None:
-        if self.busy.get(source_name, False):
+        if not self.engine.load_balance:
+            if self.busy.get(source_name, False):
+                return
+            queue = self.queues.get(source_name)
+            if not queue or queue[0].remaining > 0:
+                return
+            task = queue.popleft()
+            self.busy[source_name] = True
+            self._start_attempt(task, now)
             return
+        # Balanced mode: the queue head may claim any idle member of
+        # its planned source's replica group, so several queued ops of
+        # one source can run concurrently across the group.
         queue = self.queues.get(source_name)
-        if not queue or queue[0].remaining > 0:
-            return
-        task = queue.popleft()
-        self.busy[source_name] = True
-        self._start_attempt(task, now)
+        while queue and queue[0].remaining == 0:
+            slot = self._pick_slot(queue[0])
+            if slot is None:
+                return
+            task = queue.popleft()
+            task.slot_source = slot
+            self.busy[slot] = True
+            self._start_attempt(task, now)
+
+    def _pick_slot(self, task: _Task) -> str | None:
+        """Next idle, capable replica-group member, round-robin.
+
+        Breaker checks are deliberately left to :meth:`_start_attempt`:
+        ``health.allow`` consumes half-open probe slots, so it must only
+        run for the member actually chosen.
+        """
+        members = self.federation.group_of(task.planned_source)
+        if len(members) == 1:
+            member = members[0]
+            return None if self.busy.get(member, False) else member
+        start = self.rotation.get(members, 0)
+        for offset in range(len(members)):
+            member = members[(start + offset) % len(members)]
+            if self.busy.get(member, False):
+                continue
+            if not self._can_serve(member, task.op):
+                continue
+            self.rotation[members] = (start + offset + 1) % len(members)
+            return member
+        return None
 
     def _start_attempt(self, task: _Task, now: float) -> None:
         """Begin a primary-path attempt, routing around open breakers."""
         if task.first_start_s is None:
             task.first_start_s = now
-        planned = task.planned_source
-        serving = planned
-        if not self.health.allow(planned, now):
+        slot = task.slot_source
+        serving = slot
+        if not self.health.allow(slot, now):
             serving = self._substitute_target(task, now)
             if serving is None:
                 self._block(task, now)
@@ -408,7 +473,7 @@ class _Execution:
         flight whose completion drains the blocked list.
         """
         self.blocked.append(task)
-        reopens = self.health.reopens_at(task.planned_source)
+        reopens = self.health.reopens_at(task.slot_source)
         if reopens is not None:
             self._push(max(reopens, now), "dispatch", (task,))
 
@@ -423,6 +488,11 @@ class _Execution:
             if task not in self.blocked:  # re-entrant removal
                 continue
             self.blocked.remove(task)
+            if task.done:
+                # A hedge won while this task's retry sat blocked on an
+                # open breaker; re-launching would double-finish it and
+                # charge phantom failures to the hedge's source.
+                continue
             self._start_attempt(task, now)
 
     def _substitute_target(self, task: _Task, now: float) -> str | None:
@@ -435,6 +505,7 @@ class _Execution:
         """
         taken = {a.source_name for a in task.inflight}
         taken.add(task.planned_source)
+        taken.add(task.slot_source)
         for name in self.engine.substitutes_for(task.planned_source):
             if name in taken or self.busy.get(name, False):
                 continue
@@ -458,8 +529,8 @@ class _Execution:
     ) -> None:
         """Issue one wire attempt of ``task`` against source ``serving``."""
         source = self.federation.source(serving)
-        if serving != task.planned_source:
-            # The planned source's connection slot stays with the task;
+        if serving != task.slot_source:
+            # The task's own connection slot stays with it for retries;
             # a substitute's connection is held only for the attempt.
             self.busy[serving] = True
         mark = len(source.traffic.records)
@@ -548,9 +619,9 @@ class _Execution:
         attempt.cancelled = True
         self._record_span(attempt, now, AttemptFate.CANCELLED)
         self.health.abandon(attempt.source_name)
-        if attempt.source_name != attempt.task.planned_source:
+        if attempt.source_name != attempt.task.slot_source:
             self.busy[attempt.source_name] = False
-            self._try_dispatch(attempt.source_name, now)
+            self._dispatch_group(attempt.source_name, now)
 
     # ------------------------------------------------------------------
     # Completion, retries, degradation
@@ -586,7 +657,7 @@ class _Execution:
         self.health.record(
             attempt.source_name, now, ok, attempt.outcome.duration_s
         )
-        released = attempt.source_name != task.planned_source
+        released = attempt.source_name != task.slot_source
         if released:
             self.busy[attempt.source_name] = False
         if ok:
@@ -595,14 +666,14 @@ class _Execution:
             task.inflight.clear()
             status = (
                 OpStatus.OK
-                if attempt.source_name == task.planned_source
+                if attempt.source_name == task.slot_source
                 else OpStatus.RECOVERED
             )
             self._finish_remote(task, now, attempt.value, status)
         else:
             self._handle_failure(task, attempt, now)
         if released:
-            self._try_dispatch(attempt.source_name, now)
+            self._dispatch_group(attempt.source_name, now)
         if self.blocked:
             self._drain_blocked(now)
 
@@ -658,9 +729,11 @@ class _Execution:
     def _finish_remote(
         self, task: _Task, now: float, value: Any, status: OpStatus
     ) -> None:
-        source_name = task.planned_source
+        source_name = task.slot_source
         task.value = value
         task.done = True
+        if task in self.blocked:
+            self.blocked.remove(task)
         assert task.first_start_s is not None
         self.spans[task.index] = OpSpan(
             step=task.step,
@@ -675,7 +748,7 @@ class _Execution:
         self.makespan_s = max(self.makespan_s, now)
         self.busy[source_name] = False
         self._propagate(task, now)
-        self._try_dispatch(source_name, now)
+        self._dispatch_group(source_name, now)
 
     def _propagate(self, task: _Task, now: float) -> None:
         for index in task.dependents:

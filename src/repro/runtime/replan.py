@@ -132,6 +132,8 @@ class ResilientExecutor:
         max_replans: How many re-planning rounds may follow the initial
             run (0 = plain execution, no re-planning).
         min_containment: Row-containment threshold for substitutes.
+        load_balance: Spread healthy traffic across replica-group
+            members (see :class:`RuntimeEngine`).
     """
 
     def __init__(
@@ -147,6 +149,7 @@ class ResilientExecutor:
         health: HealthRegistry | None = None,
         max_replans: int = 2,
         min_containment: float = 1.0,
+        load_balance: bool = False,
     ):
         if max_replans < 0:
             raise CostModelError(
@@ -174,6 +177,7 @@ class ResilientExecutor:
             breaker=breaker,
             health=health,
             min_containment=min_containment,
+            load_balance=load_balance,
         )
 
     def run(

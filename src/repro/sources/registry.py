@@ -144,6 +144,20 @@ class Federation:
             member for member in self._replica_groups[index] if member != name
         )
 
+    def group_of(self, name: str) -> tuple[str, ...]:
+        """``name``'s full replica group, in declaration order.
+
+        Unlike :meth:`replicas_of` the source itself is included, and a
+        source outside every group yields the singleton ``(name,)`` —
+        callers walking "all members that could serve this source's
+        work" (availability math, load balancing) need no special case.
+        """
+        self.source(name)
+        index = self._replica_group_of.get(name)
+        if index is None:
+            return (name,)
+        return self._replica_groups[index]
+
     @property
     def representative_names(self) -> tuple[str, ...]:
         """One source per replica group plus every ungrouped source.

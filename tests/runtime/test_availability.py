@@ -1,0 +1,196 @@
+"""Availability-model math: hand-computed expectations and properties."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.costs.estimates import SizeEstimator
+from repro.errors import CostModelError
+from repro.plans.builder import build_filter_plan
+from repro.runtime.availability import (
+    AvailabilityModel,
+    ObservedAvailability,
+    expected_completeness,
+)
+from repro.runtime.faults import FaultInjector, FaultProfile
+from repro.runtime.health import HealthRegistry
+from repro.runtime.policy import RetryPolicy
+from repro.sources.generators import dmv_fig1, replicate_federation
+from repro.sources.statistics import ExactStatistics
+
+
+def estimator_for(federation):
+    return SizeEstimator(ExactStatistics(federation), federation.source_names)
+
+
+def hand_expected(query, source_groups, estimator, p_of):
+    """Independent reimplementation of the closed-form expectation.
+
+    ``source_groups`` maps each planned channel to the members whose
+    availability backs it; match fractions are read per group through
+    its first member (mirrors hold identical rows).
+    """
+    overall = 1.0
+    for condition in query.conditions:
+        reachable = 1.0
+        for members in source_groups:
+            reachable *= 1.0 - estimator.match_fraction(condition, members[0])
+        reachable = 1.0 - reachable
+        miss = 1.0
+        for members in source_groups:
+            down = 1.0
+            for member in members:
+                down *= 1.0 - p_of(member)
+            up = 1.0 - down
+            miss *= 1.0 - up * estimator.match_fraction(condition, members[0])
+        overall *= min(1.0, (1.0 - miss) / reachable)
+    return overall
+
+
+class TestModelMath:
+    def test_retry_folding(self):
+        model = AvailabilityModel({"R1": 0.5}, retries=2)
+        assert model.p_attempt("R1") == 0.5
+        assert model.p_success("R1") == pytest.approx(1 - 0.5**3)
+        assert model.p_success("unlisted") == 1.0
+
+    def test_from_faults_transients_fail_attempts(self):
+        faults = FaultInjector(FaultProfile.flaky(0.3), seed=0)
+        model = AvailabilityModel.from_faults(
+            faults, RetryPolicy(max_retries=1), ["R1"]
+        )
+        assert model.p_attempt("R1") == pytest.approx(0.7)
+        assert model.p_success("R1") == pytest.approx(1 - 0.3**2)
+
+    def test_from_faults_stall_depends_on_timeout(self):
+        profile = FaultProfile(stall_rate=0.5, stall_s=30.0)
+        lenient = AvailabilityModel.attempt_success(
+            profile, RetryPolicy(timeout_s=None)
+        )
+        strict = AvailabilityModel.attempt_success(
+            profile, RetryPolicy(timeout_s=10.0)
+        )
+        assert lenient == pytest.approx(1.0)  # the hang clears eventually
+        assert strict == pytest.approx(0.5)  # timeout cuts the stall off
+
+    def test_observed_shrinks_toward_prior(self):
+        health = HealthRegistry()
+        model = ObservedAvailability(
+            health, prior=AvailabilityModel(default=0.8), prior_weight=4.0
+        )
+        assert model.p_attempt("R1") == pytest.approx(0.8)  # no samples yet
+        for __ in range(4):
+            health.record("R1", now_s=0.0, ok=False, duration_s=1.0)
+        # (4 * 0.8 + 0) / (4 + 4)
+        assert model.p_attempt("R1") == pytest.approx(0.4)
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.5, float("nan")])
+    def test_bad_probability_rejected(self, bad):
+        with pytest.raises(CostModelError):
+            AvailabilityModel({"R1": bad})
+
+
+class TestHandComputedCompleteness:
+    """The 2-condition / 3-source case, worked by hand."""
+
+    def test_perfect_availability_is_complete(self):
+        federation, query = dmv_fig1()
+        plan = build_filter_plan(query, federation.source_names)
+        estimate = expected_completeness(
+            plan, federation, estimator_for(federation),
+            AvailabilityModel.perfect(),
+        )
+        assert estimate.overall == pytest.approx(1.0)
+
+    def test_no_replicas_matches_hand_formula(self):
+        federation, query = dmv_fig1()
+        estimator = estimator_for(federation)
+        plan = build_filter_plan(query, federation.source_names)
+        p = {"R1": 0.5, "R2": 0.8, "R3": 0.9}
+        model = AvailabilityModel(p)
+        estimate = expected_completeness(plan, federation, estimator, model)
+        expected = hand_expected(
+            query, [("R1",), ("R2",), ("R3",)], estimator, p.get
+        )
+        assert estimate.overall == pytest.approx(expected)
+        assert 0.0 < estimate.overall < 1.0
+        assert len(estimate.per_condition) == 2
+
+    def test_replicas_with_failover_match_hand_formula(self):
+        federation, query = dmv_fig1()
+        federation = replicate_federation(federation, 2)
+        estimator = estimator_for(federation)
+        plan = build_filter_plan(query, federation.representative_names)
+        p = {
+            "R1": 0.5, "R1~1": 0.6,
+            "R2": 0.8, "R2~1": 0.3,
+            "R3": 0.9, "R3~1": 0.9,
+        }
+        model = AvailabilityModel(p)
+        solo = expected_completeness(plan, federation, estimator, model)
+        paired = expected_completeness(
+            plan, federation, estimator, model, failover=True
+        )
+        groups_solo = [("R1",), ("R2",), ("R3",)]
+        groups_paired = [("R1", "R1~1"), ("R2", "R2~1"), ("R3", "R3~1")]
+        assert solo.overall == pytest.approx(
+            hand_expected(query, groups_solo, estimator, p.get)
+        )
+        assert paired.overall == pytest.approx(
+            hand_expected(query, groups_paired, estimator, p.get)
+        )
+        assert paired.overall > solo.overall
+
+    def test_dual_path_plan_counts_both_members(self):
+        # Planning the mirror as real work equals failover credit.
+        federation, query = dmv_fig1()
+        federation = replicate_federation(federation, 2)
+        estimator = estimator_for(federation)
+        model = AvailabilityModel(default=0.7)
+        dual = build_filter_plan(query, federation.source_names)
+        reps = build_filter_plan(query, federation.representative_names)
+        planned_both = expected_completeness(
+            dual, federation, estimator, model
+        )
+        failover = expected_completeness(
+            reps, federation, estimator, model, failover=True
+        )
+        assert planned_both.overall == pytest.approx(failover.overall)
+
+
+probabilities = st.floats(
+    min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False
+)
+
+
+class TestReplicaMonotonicity:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        base_p=st.tuples(probabilities, probabilities, probabilities),
+        mirror_p=st.tuples(probabilities, probabilities, probabilities),
+        extra_p=probabilities,
+    )
+    def test_adding_a_replica_never_decreases_completeness(
+        self, base_p, mirror_p, extra_p
+    ):
+        federation, query = dmv_fig1()
+        two = replicate_federation(federation, 2)
+        three = replicate_federation(federation, 3)
+        plan = build_filter_plan(query, two.representative_names)
+        names = ("R1", "R2", "R3")
+        attempt_p = {n: p for n, p in zip(names, base_p)}
+        attempt_p.update(
+            {f"{n}~1": p for n, p in zip(names, mirror_p)}
+        )
+        with_two = expected_completeness(
+            plan, two, estimator_for(two),
+            AvailabilityModel(attempt_p), failover=True,
+        )
+        attempt_p.update({f"{n}~2": extra_p for n in names})
+        with_three = expected_completeness(
+            plan, three, estimator_for(three),
+            AvailabilityModel(attempt_p), failover=True,
+        )
+        assert with_three.overall >= with_two.overall - 1e-12

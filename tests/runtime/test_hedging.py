@@ -188,6 +188,95 @@ class TestBreakerRerouting:
         assert "open" in engine.health.report()
 
 
+class TestLoserAccounting:
+    """Hedge losers must never leak samples into the health registry.
+
+    Regression for a double-finish bug: when a task's retry was parked
+    behind an open breaker while its hedge was still racing, a winning
+    hedge finished the task but left it on the blocked list — the next
+    drain re-launched the *finished* task, and that phantom attempt's
+    failure was recorded against the winning source's replica group.
+    """
+
+    AUDIT_PROFILE = FaultProfile(
+        transient_rate=0.35, stall_rate=0.3, stall_s=40.0
+    )
+    AUDIT_POLICY = dict(max_retries=2, timeout_s=20.0, backoff_base_s=0.1)
+
+    def run_audited(self, seed):
+        federation, query = dmv_fig1()
+        federation = replicate_federation(federation, 2)
+        plan = representative_plan(federation, query)
+        engine = RuntimeEngine(
+            federation,
+            faults=FaultInjector(self.AUDIT_PROFILE, seed=seed),
+            policy=RetryPolicy(**self.AUDIT_POLICY),
+            hedge_delay_s=1.0,
+            breaker=BreakerConfig.aggressive(),
+        )
+        return federation, engine, engine.run(plan)
+
+    def trace_stats(self, result):
+        """Per-source (attempts, failures) from non-cancelled spans."""
+        stats: dict[str, list[int]] = {}
+        for span in result.trace.remote_spans:
+            for attempt in span.attempts:
+                if attempt.fate is AttemptFate.CANCELLED:
+                    continue
+                entry = stats.setdefault(attempt.source, [0, 0])
+                entry[0] += 1
+                entry[1] += attempt.fate.failed
+        return stats
+
+    @pytest.mark.parametrize("seed", [8, 11])
+    def test_health_matches_trace_exactly(self, seed):
+        # Seeds that historically produced a phantom failure against
+        # the winning mirror (health said 3a/1f, trace said 2a/0f).
+        federation, engine, result = self.run_audited(seed)
+        stats = self.trace_stats(result)
+        for name in federation.source_names:
+            health = engine.health.health_of(name)
+            attempts, failures = stats.get(name, (0, 0))
+            assert (health.attempts, health.failures) == (
+                attempts,
+                failures,
+            ), name
+
+    @pytest.mark.parametrize("seed", [14, 15])
+    def test_blocked_retry_plus_winning_hedge_does_not_crash(self, seed):
+        # The same double-finish re-propagated a task's completion,
+        # marking a union ready before all inputs existed (seeds that
+        # historically raised TypeError deep in union_many).
+        __, __, result = self.run_audited(seed)
+        assert result.items <= DMV_FIG1_ANSWER
+
+    def test_cancelled_loser_records_no_health_sample(self, replicated):
+        # The direct satellite property: a pure stall-loser that is
+        # cancelled by a winning hedge contributes zero attempts and
+        # zero failures to its source's rolling health window.
+        federation, query = replicated
+        plan = representative_plan(federation, query)
+        engine = RuntimeEngine(
+            federation,
+            faults=FaultInjector(
+                {"R1": FaultProfile(stall_rate=1.0, stall_s=60.0)}, seed=0
+            ),
+            policy=RetryPolicy.no_retry(),
+            hedge_delay_s=1.0,
+        )
+        result = engine.run(plan)
+        cancelled = [
+            a
+            for s in result.trace.remote_spans
+            for a in s.attempts
+            if a.fate is AttemptFate.CANCELLED
+        ]
+        assert cancelled  # the stalled primaries lost their races
+        health = engine.health.health_of("R1")
+        assert health.attempts == 0
+        assert health.failures == 0
+
+
 class TestDeterminism:
     def make_engine(self, federation):
         return RuntimeEngine(

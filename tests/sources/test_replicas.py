@@ -53,6 +53,14 @@ class TestReplicaGroups:
     def test_no_groups_means_all_representatives(self, dmv):
         assert dmv.representative_names == dmv.source_names
 
+    def test_group_of_includes_self_and_singletons(self, dmv):
+        replicated = replicate_federation(dmv, 2)
+        assert replicated.group_of("R1") == ("R1", "R1~1")
+        assert replicated.group_of("R1~1") == ("R1", "R1~1")
+        assert dmv.group_of("R2") == ("R2",)
+        with pytest.raises(UnknownSourceError):
+            dmv.group_of("nope")
+
     def test_invalid_declarations_rejected(self, dmv):
         with pytest.raises(SchemaError):
             dmv.declare_replicas("R1")  # needs at least two members
