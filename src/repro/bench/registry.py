@@ -19,13 +19,19 @@ from repro.bench.extensions import (
     run_concurrent_runtime,
     run_correlation,
     run_fault_sweep,
+    run_observed_stats,
     run_overlap,
     run_phases,
     run_resilience,
     run_response_time,
     run_robust_planning,
 )
-from repro.bench.report import write_report
+from repro.bench.report import write_metrics, write_report
+from repro.obs.metrics import MetricsRegistry, traffic_metrics_observer
+from repro.sources.network import (
+    install_traffic_observer,
+    uninstall_traffic_observer,
+)
 
 #: Experiment id -> (one-line description, runner). Ids match DESIGN.md.
 EXPERIMENTS: dict[str, tuple[str, Callable[[], str]]] = {
@@ -47,6 +53,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[], str]]] = {
     "R3": ("fault sweep: completeness and retries", run_fault_sweep),
     "R4": ("resilience: hedging, breakers, replanning", run_resilience),
     "R5": ("robust planning: completeness-aware optimization", run_robust_planning),
+    "R6": ("observed statistics close the planning loop", run_observed_stats),
     "A1": ("adaptive execution vs static plans", run_adaptive),
     "C7": ("condition correlation vs independence", run_correlation),
     "C8": ("data overlap ablation", run_overlap),
@@ -55,7 +62,14 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[], str]]] = {
 
 
 def run_experiment(experiment_id: str, save: bool = True) -> str:
-    """Run one experiment by id, optionally persisting its report."""
+    """Run one experiment by id, optionally persisting its report.
+
+    When persisting, every simulated wire exchange of the experiment is
+    also folded into a metrics registry (via the process-wide traffic
+    observer), and the snapshot lands next to the report as
+    ``results/<id>.metrics.json`` — so each ``<id>.txt`` carries a
+    machine-readable account of the traffic that produced it.
+    """
     try:
         __, runner = EXPERIMENTS[experiment_id]
     except KeyError:
@@ -63,7 +77,14 @@ def run_experiment(experiment_id: str, save: bool = True) -> str:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; known: {known}"
         ) from None
-    report = runner()
-    if save:
-        write_report(experiment_id, report)
+    if not save:
+        return runner()
+    registry = MetricsRegistry()
+    install_traffic_observer(traffic_metrics_observer(registry))
+    try:
+        report = runner()
+    finally:
+        uninstall_traffic_observer()
+    write_report(experiment_id, report)
+    write_metrics(experiment_id, registry.to_json())
     return report

@@ -6,6 +6,7 @@ in CI logs, and paste into EXPERIMENTS.md unchanged.
 
 from __future__ import annotations
 
+import json
 import math
 import os
 from dataclasses import dataclass, field
@@ -100,4 +101,13 @@ def write_report(name: str, text: str) -> str:
     path = os.path.join(results_dir(), f"{name}.txt")
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(text.rstrip() + "\n")
+    return path
+
+
+def write_metrics(name: str, payload: dict) -> str:
+    """Persist a metrics snapshot next to the report it belongs to."""
+    path = os.path.join(results_dir(), f"{name}.metrics.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
     return path

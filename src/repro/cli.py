@@ -11,7 +11,11 @@ Subcommands:
   ``--replan`` to recover via replicas when the spec declares them,
   ``--robust``/``--robustness-lambda`` to plan for the faulty setting
   by expected completeness, and ``--load-balance`` to spread healthy
-  traffic across replica groups);
+  traffic across replica groups; ``--metrics``/``--profile``/
+  ``--emit-events`` print a metrics snapshot, the query profile, and
+  the structured event log, and ``--observed-stats LOG`` plans from
+  statistics mined out of a previously recorded log instead of the
+  oracle);
 * ``explain SPEC SQL`` — plan only, with per-step estimated costs;
 * ``check SPEC SQL`` — report whether the SQL matches the fusion
   pattern (the Sec. 5 detector), without executing anything;
@@ -155,6 +159,38 @@ def _build_parser() -> argparse.ArgumentParser:
                 help="spread healthy runtime traffic round-robin across "
                 "replica-group members (runtime backend)",
             )
+            sub.add_argument(
+                "--metrics",
+                nargs="?",
+                const="json",
+                choices=("json", "prom"),
+                default=None,
+                metavar="FORMAT",
+                help="print a metrics snapshot after the answer, as "
+                "deterministic JSON (default) or Prometheus text "
+                "exposition ('prom')",
+            )
+            sub.add_argument(
+                "--profile",
+                action="store_true",
+                help="print the query profile: per-step, per-source and "
+                "per-condition rollups with predicted vs observed cost",
+            )
+            sub.add_argument(
+                "--emit-events",
+                metavar="PATH",
+                default=None,
+                help="write the structured event log of the run to PATH "
+                "as JSON lines (one validated event per line)",
+            )
+            sub.add_argument(
+                "--observed-stats",
+                metavar="PATH",
+                default=None,
+                help="plan from statistics mined out of a recorded event "
+                "log (a --emit-events file from a warm-up run) instead "
+                "of the oracle",
+            )
 
     export = subparsers.add_parser(
         "export-dmv", help="write the Fig. 1 federation as a spec file"
@@ -177,6 +213,54 @@ def _command_demo() -> int:
     return 0
 
 
+def _make_recorder(metrics: str | None, profile: bool, emit_events: str | None):
+    """A Recorder when any telemetry flag asked for one, else None."""
+    if metrics is None and not profile and emit_events is None:
+        return None
+    from repro.obs import Recorder
+
+    return Recorder()
+
+
+def _load_observed_statistics(path: str | None):
+    """Mine an ObservedStatistics provider from a recorded event log."""
+    if path is None:
+        return None
+    from repro.obs import EventLog
+    from repro.sources.observed import ObservedStatistics
+
+    statistics = ObservedStatistics.from_events(EventLog.read(path))
+    print(
+        f"planning from observed statistics: "
+        f"{statistics.observations} attempts mined from {path}, "
+        f"universe ~{statistics.universe_size()}"
+    )
+    print()
+    return statistics
+
+
+def _emit_telemetry(
+    answer, recorder, metrics: str | None, profile: bool,
+    emit_events: str | None,
+) -> None:
+    """Print/persist whatever telemetry the flags asked for."""
+    if recorder is None:
+        return
+    if profile and answer.execution.profile is not None:
+        print()
+        print(answer.execution.profile.render())
+    if metrics is not None and recorder.metrics is not None:
+        print()
+        if metrics == "prom":
+            print(recorder.metrics.to_prometheus())
+        else:
+            print(recorder.metrics.to_json_text())
+    if emit_events is not None and recorder.events is not None:
+        recorder.events.write(emit_events)
+        print()
+        print(f"wrote {len(recorder.events)} events to {emit_events}")
+
+
 def _command_query(
     spec: str,
     sql: str,
@@ -193,19 +277,29 @@ def _command_query(
     robust: bool = False,
     robustness: float = 1.0,
     load_balance: bool = False,
+    metrics: str | None = None,
+    profile: bool = False,
+    emit_events: str | None = None,
+    observed_stats: str | None = None,
 ) -> int:
     federation = load_federation(spec)
+    recorder = _make_recorder(metrics, profile, emit_events)
+    statistics = _load_observed_statistics(observed_stats)
     if runtime:
         return _run_runtime(
             federation, sql, optimizer_name, fault_rate, fault_seed,
             retries, timeline, hedge_delay, breaker, replan,
             robust=robust, robustness=robustness,
             load_balance=load_balance,
+            recorder=recorder, statistics=statistics,
+            metrics=metrics, profile=profile, emit_events=emit_events,
         )
     mediator = Mediator(
         federation,
+        statistics=statistics,
         optimizer="robust" if robust else _OPTIMIZERS[optimizer_name](),
         robustness=robustness,
+        recorder=recorder,
     )
     if adaptive:
         return _run_adaptive(mediator, sql)
@@ -216,6 +310,7 @@ def _command_query(
     print()
     print("answer:", ", ".join(sorted(map(str, answer.items))) or "(empty)")
     print(answer.summary())
+    _emit_telemetry(answer, recorder, metrics, profile, emit_events)
     return 0
 
 
@@ -233,6 +328,11 @@ def _run_runtime(
     robust: bool = False,
     robustness: float = 1.0,
     load_balance: bool = False,
+    recorder=None,
+    statistics=None,
+    metrics: str | None = None,
+    profile: bool = False,
+    emit_events: str | None = None,
 ) -> int:
     from repro.runtime import (
         BreakerConfig,
@@ -249,6 +349,7 @@ def _run_runtime(
     }[breaker]
     mediator = Mediator(
         federation,
+        statistics=statistics,
         optimizer="robust" if robust else _OPTIMIZERS[optimizer_name](),
         backend="runtime",
         faults=FaultInjector(FaultProfile.flaky(fault_rate), seed=fault_seed),
@@ -258,6 +359,7 @@ def _run_runtime(
         replan=replan,
         robustness=robustness,
         load_balance=load_balance,
+        recorder=recorder,
     )
     answer = mediator.answer(sql)
     assert answer.runtime is not None
@@ -291,6 +393,7 @@ def _run_runtime(
             trace=answer.runtime.trace,
         )
         print(f"completeness: {report.summary()}")
+    _emit_telemetry(answer, recorder, metrics, profile, emit_events)
     return 0
 
 
@@ -367,6 +470,10 @@ def main(argv: list[str] | None = None) -> int:
                 robust=args.robust,
                 robustness=args.robustness_lambda,
                 load_balance=args.load_balance,
+                metrics=args.metrics,
+                profile=args.profile,
+                emit_events=args.emit_events,
+                observed_stats=args.observed_stats,
             )
         if args.command == "explain":
             return _command_explain(args.spec, args.sql, args.optimizer)

@@ -84,3 +84,7 @@ class OptimizationError(FusionError):
 
 class ExecutionError(FusionError):
     """Plan execution failed at the mediator."""
+
+
+class ObservabilityError(FusionError):
+    """Telemetry misuse: bad metric registration or an invalid event."""

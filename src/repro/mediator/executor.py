@@ -17,7 +17,7 @@ Transient failures injected by
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.errors import ExecutionError, SourceUnavailableError
 from repro.plans.operations import (
@@ -39,6 +39,10 @@ from repro.relational.algebra import (
 )
 from repro.relational.relation import Relation
 from repro.sources.registry import Federation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.profile import QueryProfile
+    from repro.obs.recorder import Recorder
 
 
 @dataclass(frozen=True)
@@ -64,10 +68,22 @@ class StepTrace:
 
 @dataclass
 class ExecutionResult:
-    """The answer plus full accounting of one plan execution."""
+    """The answer plus full accounting of one plan execution.
+
+    The resilience counters (``hedges`` … ``replans``) are zero for the
+    plain sequential executor; the runtime backend and the mediator fill
+    them in when projecting richer traces onto this type.
+    """
 
     items: frozenset[Any]
     steps: list[StepTrace] = field(default_factory=list)
+    hedges: int = 0
+    recovered: int = 0
+    degraded: int = 0
+    breaker_trips: int = 0
+    replans: int = 0
+    #: Attached by the mediator when a recorder is active.
+    profile: "QueryProfile | None" = field(default=None, repr=False)
 
     @property
     def total_cost(self) -> float:
@@ -101,13 +117,28 @@ class ExecutionResult:
         return "\n".join(lines)
 
     def summary(self) -> str:
-        """One-line digest: answer size, steps, cost, messages, retries."""
+        """One-line digest: answer size, steps, cost, messages, retries,
+        plus any hedge/recovery/degradation/breaker/replan activity."""
         retries = sum(step.retries for step in self.steps)
-        return (
+        text = (
             f"{len(self.items)} items in {len(self.steps)} steps; "
             f"cost {self.total_cost:.1f}, {self.total_messages} messages, "
             f"{retries} retries, {self.total_elapsed_s:.3f}s on the wire"
         )
+        extras = [
+            f"{count} {label}"
+            for count, label in (
+                (self.hedges, "hedges"),
+                (self.recovered, "recovered"),
+                (self.degraded, "degraded"),
+                (self.breaker_trips, "breaker trips"),
+                (self.replans, "replans"),
+            )
+            if count
+        ]
+        if extras:
+            text += "; " + ", ".join(extras)
+        return text
 
     def __repr__(self) -> str:
         return f"ExecutionResult({self.summary()})"
@@ -126,24 +157,50 @@ class Executor:
         True
     """
 
-    def __init__(self, federation: Federation, max_retries: int = 3):
+    def __init__(
+        self,
+        federation: Federation,
+        max_retries: int = 3,
+        recorder: "Recorder | None" = None,
+    ):
         self.federation = federation
         self.max_retries = max_retries
+        self.recorder = recorder
+        # Virtual clock for telemetry: the sequential executor has no
+        # event heap, so elapsed wire time accumulates step by step.
+        self._clock = 0.0
 
     def execute(self, plan: Plan) -> ExecutionResult:
         """Run ``plan`` and return its answer with per-step traces."""
         items: dict[str, frozenset[Any]] = {}
         relations: dict[str, Relation] = {}
         result = ExecutionResult(items=frozenset())
+        self._clock = 0.0
+        if self.recorder is not None:
+            self.recorder.run_started(0.0, "sequential", plan, plan.result)
 
         for index, op in enumerate(plan.operations, start=1):
             if op.remote:
                 trace = self._execute_remote(index, op, items, relations)
             else:
                 trace = self._execute_local(index, op, items, relations)
+                if self.recorder is not None:
+                    self._record_local(op, trace)
             result.steps.append(trace)
 
         result.items = items[plan.result]
+        if self.recorder is not None:
+            self.recorder.run_finished(
+                self._clock,
+                "sequential",
+                self._clock,
+                retries=sum(step.retries for step in result.steps),
+                degraded=0,
+                recovered=0,
+                hedges=0,
+                cost=result.total_cost,
+                items=len(result.items),
+            )
         return result
 
     # ------------------------------------------------------------------
@@ -183,7 +240,7 @@ class Executor:
                         f"{self.max_retries} retries: {exc}"
                     ) from exc
         new_records = source.traffic.records[mark:]
-        return StepTrace(
+        trace = StepTrace(
             step=index,
             operation=op,
             output_size=size,
@@ -191,6 +248,84 @@ class Executor:
             elapsed_s=sum(record.elapsed_s for record in new_records),
             messages=len(new_records),
             retries=retries,
+        )
+        if self.recorder is not None:
+            self._record_remote(op, trace, new_records, items)
+        return trace
+
+    # ------------------------------------------------------------------
+    # Telemetry (no-ops unless a recorder is attached)
+
+    def _record_remote(
+        self,
+        op: Operation,
+        trace: StepTrace,
+        records: list,
+        items: dict[str, frozenset[Any]],
+    ) -> None:
+        from repro.runtime.faults import AttemptFate
+        from repro.runtime.trace import AttemptSpan, OpSpan, OpStatus
+
+        assert self.recorder is not None
+        start = self._clock
+        end = start + trace.elapsed_s
+        condition = getattr(op, "condition", None)
+        condition_sql = "" if condition is None else condition.to_sql()
+        if isinstance(op, SemijoinOp):
+            self.recorder.sendset_shipped(
+                start,
+                trace.step,
+                op.source,
+                condition_sql,
+                len(items[op.input_register]),
+            )
+        span = AttemptSpan(
+            attempt=trace.retries + 1,
+            start_s=start,
+            end_s=end,
+            fate=AttemptFate.OK,
+            cost=trace.actual_cost,
+            items_sent=sum(r.items_sent for r in records),
+            items_received=sum(r.items_received for r in records),
+            rows_loaded=sum(r.rows_loaded for r in records),
+            messages=trace.messages,
+            source=op.source,  # type: ignore[attr-defined]
+        )
+        self.recorder.attempt_finished(
+            end, trace.step, op.kind.value, op.source, condition_sql, span
+        )
+        self.recorder.op_finished(
+            end,
+            OpSpan(
+                step=trace.step,
+                operation=op,
+                queued_s=start,
+                started_s=start,
+                finished_s=end,
+                attempts=(span,),
+                status=OpStatus.OK,
+                output_size=trace.output_size,
+            ),
+        )
+        self._clock = end
+
+    def _record_local(self, op: Operation, trace: StepTrace) -> None:
+        from repro.runtime.trace import OpSpan, OpStatus
+
+        assert self.recorder is not None
+        now = self._clock
+        self.recorder.op_finished(
+            now,
+            OpSpan(
+                step=trace.step,
+                operation=op,
+                queued_s=now,
+                started_s=now,
+                finished_s=now,
+                attempts=(),
+                status=OpStatus.OK,
+                output_size=trace.output_size,
+            ),
         )
 
     @staticmethod

@@ -144,6 +144,13 @@ class Mediator:
         load_balance: Spread healthy runtime traffic round-robin across
             replica-group members instead of serializing it on each
             group's representative.
+        recorder: Optional :class:`repro.obs.Recorder`.  When attached,
+            both backends emit structured events and metrics, breaker
+            transitions are observed, every answer's
+            ``execution.profile`` is filled in, and the resilience
+            counters on :class:`ExecutionResult` are populated.  ``None``
+            (the default) leaves execution byte-identical to an
+            uninstrumented mediator.
     """
 
     def __init__(
@@ -163,6 +170,7 @@ class Mediator:
         replan: int | bool = 0,
         robustness: float = 1.0,
         load_balance: bool = False,
+        recorder=None,
     ):
         if backend not in BACKENDS:
             raise ValueError(
@@ -184,7 +192,10 @@ class Mediator:
             federation, self.estimator
         )
         self.verify = verify
-        self.executor = Executor(federation, max_retries=max_retries)
+        self.recorder = recorder
+        self.executor = Executor(
+            federation, max_retries=max_retries, recorder=recorder
+        )
         self.backend = backend
         # One health registry for the whole mediator: the plain engine
         # and the re-planner's engine see the same breaker state, and
@@ -197,6 +208,7 @@ class Mediator:
             hedge_delay_s=hedge_delay_s,
             health=health,
             load_balance=load_balance,
+            recorder=recorder,
         )
         if optimizer == "robust":
             # Prior from the injected-fault statistics, sharpened live
@@ -241,6 +253,7 @@ class Mediator:
                 health=health,
                 max_replans=self.max_replans,
                 load_balance=load_balance,
+                recorder=recorder,
             )
             if self.max_replans > 0
             else None
@@ -305,6 +318,12 @@ class Mediator:
         query = self._coerce(query)
         runtime_result = None
         resilient = None
+        events_before = (
+            len(self.recorder.events)
+            if self.recorder is not None and self.recorder.events is not None
+            else 0
+        )
+        trips_before = self._breaker_trips()
         if self.backend == "runtime" and self.replanner is not None:
             resilient = self.replanner.run(query)
             optimization = resilient.rounds[0].optimization
@@ -312,7 +331,15 @@ class Mediator:
             steps = []
             for round_ in resilient.rounds:
                 steps.extend(round_.result.to_execution_result().steps)
-            execution = ExecutionResult(items=resilient.items, steps=steps)
+            traces = [r.result.trace for r in resilient.rounds]
+            execution = ExecutionResult(
+                items=resilient.items,
+                steps=steps,
+                hedges=sum(t.hedge_attempts for t in traces),
+                recovered=sum(len(t.recovered_steps) for t in traces),
+                degraded=len(traces[-1].degraded_steps),
+                replans=resilient.replans,
+            )
         elif self.backend == "runtime":
             optimization = self._optimize(query)
             runtime_result = self.runtime.run(optimization.plan)
@@ -320,6 +347,16 @@ class Mediator:
         else:
             optimization = self._optimize(query)
             execution = self.executor.execute(optimization.plan)
+        execution.breaker_trips = self._breaker_trips() - trips_before
+        if self.recorder is not None and self.recorder.events is not None:
+            from repro.obs.profile import QueryProfile
+
+            breakdown = estimate_plan_cost(
+                optimization.plan, self.cost_model, self.estimator
+            )
+            execution.profile = QueryProfile.from_events(
+                self.recorder.events.events[events_before:], breakdown
+            )
         verified = None
         if self.verify:
             expected = reference_answer(self.federation, query)
@@ -343,6 +380,13 @@ class Mediator:
             verified=verified,
             runtime=runtime_result,
             resilient=resilient,
+        )
+
+    def _breaker_trips(self) -> int:
+        """Lifetime breaker openings across the shared health registry."""
+        return sum(
+            info["times_opened"]
+            for info in self.runtime.health.snapshot().values()
         )
 
     def explain(self, query: FusionQuery | str) -> str:

@@ -1,0 +1,64 @@
+"""End-to-end telemetry for the fusion-query mediator.
+
+Execution used to be observable only through the ad-hoc ASCII renderers
+(:class:`~repro.runtime.trace.RuntimeTrace`, ``HealthRegistry.report``).
+This package makes observation a first-class subsystem with three
+complementary views, all driven by the runtime's *virtual* clock so
+every output is deterministic and replayable:
+
+* :mod:`~repro.obs.metrics` — a metrics registry (counters, gauges,
+  histograms with fixed bucket boundaries) with JSON and
+  Prometheus-text exporters;
+* :mod:`~repro.obs.events` — a structured event log: every wrapper
+  query, semijoin send-set, retry, hedge, breaker transition, and
+  re-plan round as a JSONL record with a stable, validated schema
+  (:data:`~repro.obs.events.EVENT_SCHEMA`);
+* :mod:`~repro.obs.profile` — per-step / per-source / per-condition
+  query profiles (traffic moved, items confirmed, wall-clock vs wire
+  time, predicted vs observed cost).
+
+The :class:`~repro.obs.recorder.Recorder` is the hub the engine,
+executor, health registry, and re-planner report into; with no recorder
+attached (the default) nothing is collected and traces stay
+byte-identical to the uninstrumented runtime.  The ASCII timeline is now
+a *renderer* over the event stream — :func:`~repro.obs.replay.trace_from_events`
+rebuilds a :class:`~repro.runtime.trace.RuntimeTrace` from recorded
+events, byte for byte.
+
+Closing the loop, :class:`repro.sources.observed.ObservedStatistics`
+mines these event logs for cardinalities and per-condition
+selectivities, letting a mediator plan from what it has *watched
+happen* instead of oracle ground truth.
+"""
+
+from repro.obs.events import (
+    EVENT_SCHEMA,
+    Event,
+    EventLog,
+    validate_record,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    traffic_metrics_observer,
+)
+from repro.obs.profile import QueryProfile
+from repro.obs.recorder import Recorder
+from repro.obs.replay import trace_from_events
+
+__all__ = [
+    "EVENT_SCHEMA",
+    "Event",
+    "EventLog",
+    "validate_record",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "traffic_metrics_observer",
+    "QueryProfile",
+    "Recorder",
+    "trace_from_events",
+]

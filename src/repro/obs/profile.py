@@ -1,0 +1,312 @@
+"""Query profiles: per-step / per-source / per-condition rollups.
+
+A :class:`QueryProfile` condenses one run's event stream into the three
+views an operator actually asks for after a query:
+
+* **per step** — what each plan operation cost, how long it spent on the
+  wire vs. end-to-end (queue + backoff included), and how it ended;
+* **per source** — traffic moved (messages, items shipped and received,
+  rows bulk-loaded), attempts and hedges, connection-busy seconds;
+* **per condition** — selection items fetched, semijoin binding items
+  shipped, and items *confirmed* (survivors received back) for every
+  fusion condition.
+
+When the planner's :class:`~repro.plans.cost.PlanCostBreakdown` is
+supplied, the profile also reports predicted vs. observed cost in total
+and per source — the gap that :class:`repro.sources.observed.ObservedStatistics`
+exists to close.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+from repro.obs.events import Event, EventLog
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.plans.cost import PlanCostBreakdown
+
+
+@dataclass(frozen=True)
+class StepProfile:
+    """One plan operation's observed totals."""
+
+    step: int
+    op: str
+    source: str
+    condition: str
+    attempts: int
+    cost: float
+    wire_s: float  # seconds a connection was busy on this step
+    span_s: float  # queued -> finished, backoff and queueing included
+    output: int
+    status: str
+
+
+@dataclass(frozen=True)
+class SourceProfile:
+    """One source's observed totals across the run."""
+
+    source: str
+    attempts: int
+    failures: int
+    hedges: int
+    busy_s: float
+    cost: float
+    items_sent: int
+    items_received: int
+    rows_loaded: int
+    messages: int
+
+
+@dataclass(frozen=True)
+class ConditionProfile:
+    """One fusion condition's observed totals across all sources."""
+
+    condition: str
+    sq_items: int  # items returned by selection queries
+    shipped: int  # semijoin binding items shipped to sources
+    confirmed: int  # semijoin survivors received back
+    cost: float
+
+
+@dataclass(frozen=True)
+class QueryProfile:
+    """Per-step / per-source / per-condition rollup of one run."""
+
+    steps: tuple[StepProfile, ...]
+    sources: tuple[SourceProfile, ...]
+    conditions: tuple[ConditionProfile, ...]
+    makespan_s: float
+    wire_s: float
+    total_cost: float
+    items: int
+    predicted_cost: float | None = None
+    predicted_by_source: dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Construction
+
+    @staticmethod
+    def from_events(
+        events: EventLog | Iterable[Event],
+        breakdown: "PlanCostBreakdown | None" = None,
+    ) -> "QueryProfile":
+        """Roll an event stream up into a profile.
+
+        All rounds of a resilient run are folded together: a step
+        re-planned into a later round contributes its attempts from
+        every round it appeared in.
+        """
+        all_events = list(events)
+
+        steps: list[StepProfile] = []
+        for event in all_events:
+            if event.type != "op":
+                continue
+            steps.append(
+                StepProfile(
+                    step=event["step"],
+                    op=event["op"],
+                    source=event["source"],
+                    condition=event["condition"],
+                    attempts=0,
+                    cost=0.0,
+                    wire_s=0.0,
+                    span_s=event["finished"] - event["queued"],
+                    output=event["output"],
+                    status=event["status"],
+                )
+            )
+
+        # Fold attempts into their step rows and the per-source /
+        # per-condition rollups.
+        step_index = {
+            (step.step, step.op): i for i, step in enumerate(steps)
+        }
+        source_totals: dict[str, dict[str, float]] = {}
+        condition_totals: dict[str, dict[str, float]] = {}
+
+        def bucket(table: dict, key: str) -> dict[str, float]:
+            return table.setdefault(
+                key,
+                {
+                    "attempts": 0,
+                    "failures": 0,
+                    "hedges": 0,
+                    "busy_s": 0.0,
+                    "cost": 0.0,
+                    "items_sent": 0,
+                    "items_received": 0,
+                    "rows_loaded": 0,
+                    "messages": 0,
+                    "sq_items": 0,
+                    "shipped": 0,
+                    "confirmed": 0,
+                },
+            )
+
+        wire_s = 0.0
+        for event in all_events:
+            if event.type == "sendset":
+                if event["condition"]:
+                    bucket(condition_totals, event["condition"])[
+                        "shipped"
+                    ] += event["size"]
+                continue
+            if event.type != "attempt":
+                continue
+            duration = event["end"] - event["start"]
+            wire_s += duration
+            key = (event["step"], event["op"])
+            if key in step_index:
+                old = steps[step_index[key]]
+                steps[step_index[key]] = StepProfile(
+                    step=old.step,
+                    op=old.op,
+                    source=old.source,
+                    condition=old.condition,
+                    attempts=old.attempts + 1,
+                    cost=old.cost + event["cost"],
+                    wire_s=old.wire_s + duration,
+                    span_s=old.span_s,
+                    output=old.output,
+                    status=old.status,
+                )
+            per_source = bucket(source_totals, event["source"])
+            per_source["attempts"] += 1
+            per_source["failures"] += 0 if event["fate"] == "ok" else 1
+            per_source["hedges"] += 1 if event["hedge"] else 0
+            per_source["busy_s"] += duration
+            per_source["cost"] += event["cost"]
+            per_source["items_sent"] += event["items_sent"]
+            per_source["items_received"] += event["items_received"]
+            per_source["rows_loaded"] += event["rows_loaded"]
+            per_source["messages"] += event["messages"]
+            if event["condition"] and event["fate"] == "ok":
+                per_condition = bucket(condition_totals, event["condition"])
+                per_condition["cost"] += event["cost"]
+                if event["op"] == "sq":
+                    per_condition["sq_items"] += event["items_received"]
+                elif event["op"] == "sjq":
+                    per_condition["confirmed"] += event["items_received"]
+
+        makespan = 0.0
+        items = 0
+        total_cost = 0.0
+        for event in all_events:
+            if event.type == "run_end":
+                makespan = max(makespan, event["ts"])
+                items = event["items"]
+                total_cost += event["cost"]
+
+        predicted = None
+        predicted_by_source: dict[str, float] = {}
+        if breakdown is not None:
+            predicted = breakdown.total
+            predicted_by_source = breakdown.by_source()
+
+        return QueryProfile(
+            steps=tuple(steps),
+            sources=tuple(
+                SourceProfile(
+                    source=name,
+                    attempts=int(totals["attempts"]),
+                    failures=int(totals["failures"]),
+                    hedges=int(totals["hedges"]),
+                    busy_s=totals["busy_s"],
+                    cost=totals["cost"],
+                    items_sent=int(totals["items_sent"]),
+                    items_received=int(totals["items_received"]),
+                    rows_loaded=int(totals["rows_loaded"]),
+                    messages=int(totals["messages"]),
+                )
+                for name, totals in sorted(source_totals.items())
+            ),
+            conditions=tuple(
+                ConditionProfile(
+                    condition=name,
+                    sq_items=int(totals["sq_items"]),
+                    shipped=int(totals["shipped"]),
+                    confirmed=int(totals["confirmed"]),
+                    cost=totals["cost"],
+                )
+                for name, totals in sorted(condition_totals.items())
+            ),
+            makespan_s=makespan,
+            wire_s=wire_s,
+            total_cost=total_cost,
+            items=items,
+            predicted_cost=predicted,
+            predicted_by_source=predicted_by_source,
+        )
+
+    # ------------------------------------------------------------------
+    # Rendering
+
+    def render(self) -> str:
+        """Fixed-width report in the style of :mod:`repro.bench.report`."""
+        lines = [self._headline(), ""]
+        if self.steps:
+            lines.append(
+                "step  op         source   attempts    cost  wire s"
+                "  span s  output  status"
+            )
+            for step in sorted(self.steps, key=lambda s: (s.step, s.op)):
+                lines.append(
+                    f"{step.step:>4}  {step.op:<10} {step.source or '-':<8} "
+                    f"{step.attempts:>8} {step.cost:>7.1f} "
+                    f"{step.wire_s:>7.3f} {step.span_s:>7.3f} "
+                    f"{step.output:>7}  {step.status}"
+                )
+            lines.append("")
+        if self.sources:
+            lines.append(
+                "source   attempts  fail  hedge  busy s    cost    sent"
+                "    recv    rows  msgs"
+            )
+            for src in self.sources:
+                observed = src.cost
+                note = ""
+                predicted = self.predicted_by_source.get(src.source)
+                if predicted is not None:
+                    note = f"  (predicted {predicted:.1f})"
+                lines.append(
+                    f"{src.source:<8} {src.attempts:>8} {src.failures:>5} "
+                    f"{src.hedges:>6} {src.busy_s:>7.3f} {observed:>7.1f} "
+                    f"{src.items_sent:>7} {src.items_received:>7} "
+                    f"{src.rows_loaded:>7} {src.messages:>5}{note}"
+                )
+            lines.append("")
+        if self.conditions:
+            lines.append(
+                "condition                      sq items  shipped"
+                "  confirmed    cost"
+            )
+            for cond in self.conditions:
+                lines.append(
+                    f"{cond.condition:<30} {cond.sq_items:>8} "
+                    f"{cond.shipped:>8} {cond.confirmed:>10} "
+                    f"{cond.cost:>7.1f}"
+                )
+        return "\n".join(lines).rstrip()
+
+    def _headline(self) -> str:
+        text = (
+            f"profile: {self.items} items, cost {self.total_cost:.1f}"
+        )
+        if self.predicted_cost is not None:
+            ratio = (
+                self.total_cost / self.predicted_cost
+                if self.predicted_cost
+                else float("inf")
+            )
+            text += (
+                f" (predicted {self.predicted_cost:.1f}, "
+                f"observed/predicted {ratio:.2f})"
+            )
+        text += (
+            f"; makespan {self.makespan_s:.3f}s, wire {self.wire_s:.3f}s"
+        )
+        return text

@@ -1,0 +1,302 @@
+"""The instrumentation hub the execution layers report into.
+
+A :class:`Recorder` owns (optionally) a metrics registry and an event
+log and exposes one domain-level method per observable incident; each
+call updates both sinks consistently, so engines never touch metric
+names or event schemas directly.  Everything is keyed to the virtual
+clock passed by the caller.
+
+A recorder is shared across re-plan rounds: the resilient executor bumps
+``round`` and ``clock_offset_s`` between rounds, so event timestamps
+stay monotone across a whole resilient run even though each engine round
+restarts its clock at zero.
+
+With ``Recorder()`` (no sinks requested) both a metrics registry and an
+event log are created; pass ``metrics=None`` / ``events=None`` through
+the keyword-only constructor arguments to drop one side.  The execution
+layers accept ``recorder=None`` (their default) and skip all
+instrumentation, which keeps the zero-config runtime byte-identical to
+the uninstrumented one.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.obs.events import EventLog
+from repro.obs.metrics import (
+    DURATION_BUCKETS_S,
+    SIZE_BUCKETS,
+    MetricsRegistry,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.trace import AttemptSpan, OpSpan
+
+
+_UNSET = object()
+
+
+class Recorder:
+    """Collects events and metrics from one mediator's executions."""
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry | None | object = _UNSET,
+        events: EventLog | None | object = _UNSET,
+    ):
+        self.metrics: MetricsRegistry | None = (
+            MetricsRegistry() if metrics is _UNSET else metrics  # type: ignore[assignment]
+        )
+        self.events: EventLog | None = (
+            EventLog() if events is _UNSET else events  # type: ignore[assignment]
+        )
+        #: Current re-plan round (0 = initial plan), set by the caller.
+        self.round = 0
+        #: Added to every timestamp — keeps event time monotone across
+        #: re-plan rounds whose engine clocks each restart at zero.
+        self.clock_offset_s = 0.0
+
+    # ------------------------------------------------------------------
+    # Low-level sinks
+
+    def _emit(self, now_s: float, event_type: str, **fields) -> None:
+        if self.events is not None:
+            self.events.emit(
+                self.clock_offset_s + now_s, event_type, **fields
+            )
+
+    def _now(self, now_s: float) -> float:
+        return self.clock_offset_s + now_s
+
+    # ------------------------------------------------------------------
+    # Run lifecycle
+
+    def run_started(
+        self, now_s: float, backend: str, plan, result_register: str
+    ) -> None:
+        self._emit(
+            now_s,
+            "run_start",
+            backend=backend,
+            round=self.round,
+            plan_ops=len(plan.operations),
+            remote_ops=plan.remote_op_count,
+            result=result_register,
+        )
+        if self.metrics is not None:
+            self.metrics.counter(
+                "repro_runs_total", backend=backend
+            ).inc(now_s=self._now(now_s))
+
+    def run_finished(
+        self,
+        now_s: float,
+        backend: str,
+        makespan_s: float,
+        retries: int,
+        degraded: int,
+        recovered: int,
+        hedges: int,
+        cost: float,
+        items: int,
+    ) -> None:
+        self._emit(
+            now_s,
+            "run_end",
+            backend=backend,
+            round=self.round,
+            makespan=makespan_s,
+            retries=retries,
+            degraded=degraded,
+            recovered=recovered,
+            hedges=hedges,
+            cost=cost,
+            items=items,
+        )
+        if self.metrics is not None:
+            stamp = self._now(now_s)
+            self.metrics.gauge("repro_makespan_s").set(
+                self.clock_offset_s + makespan_s, now_s=stamp
+            )
+            self.metrics.counter("repro_answer_items_total").inc(
+                items, now_s=stamp
+            )
+
+    # ------------------------------------------------------------------
+    # Wire attempts
+
+    def sendset_shipped(
+        self, now_s: float, step: int, source: str, condition: str, size: int
+    ) -> None:
+        self._emit(
+            now_s,
+            "sendset",
+            round=self.round,
+            step=step,
+            source=source,
+            condition=condition,
+            size=size,
+        )
+        if self.metrics is not None:
+            self.metrics.histogram(
+                "repro_sendset_size", buckets=SIZE_BUCKETS
+            ).observe(size, now_s=self._now(now_s))
+
+    def attempt_finished(
+        self,
+        now_s: float,
+        step: int,
+        op_kind: str,
+        planned: str,
+        condition: str,
+        span: "AttemptSpan",
+    ) -> None:
+        source = span.source or planned
+        self._emit(
+            now_s,
+            "attempt",
+            round=self.round,
+            step=step,
+            op=op_kind,
+            planned=planned,
+            source=source,
+            condition=condition,
+            attempt=span.attempt,
+            start=span.start_s,
+            end=span.end_s,
+            fate=span.fate.value,
+            hedge=span.hedge,
+            cost=span.cost,
+            items_sent=span.items_sent,
+            items_received=span.items_received,
+            rows_loaded=span.rows_loaded,
+            messages=span.messages,
+        )
+        if self.metrics is not None:
+            stamp = self._now(now_s)
+            self.metrics.counter(
+                "repro_attempts_total", source=source, fate=span.fate.value
+            ).inc(now_s=stamp)
+            self.metrics.counter(
+                "repro_wire_busy_seconds_total", source=source
+            ).inc(span.duration_s, now_s=stamp)
+            self.metrics.counter(
+                "repro_op_cost_total", source=source
+            ).inc(span.cost, now_s=stamp)
+            self.metrics.counter(
+                "repro_op_items_sent_total", source=source
+            ).inc(span.items_sent, now_s=stamp)
+            self.metrics.counter(
+                "repro_op_items_received_total", source=source
+            ).inc(span.items_received, now_s=stamp)
+            if span.rows_loaded:
+                self.metrics.counter(
+                    "repro_op_rows_loaded_total", source=source
+                ).inc(span.rows_loaded, now_s=stamp)
+            self.metrics.histogram(
+                "repro_attempt_duration_s", buckets=DURATION_BUCKETS_S
+            ).observe(span.duration_s, now_s=stamp)
+
+    def retry_scheduled(
+        self, now_s: float, step: int, source: str, retries: int, at_s: float
+    ) -> None:
+        self._emit(
+            now_s,
+            "retry",
+            round=self.round,
+            step=step,
+            source=source,
+            retries=retries,
+            at=at_s,
+        )
+        if self.metrics is not None:
+            self.metrics.counter(
+                "repro_retries_total", source=source
+            ).inc(now_s=self._now(now_s))
+
+    def hedge_launched(
+        self, now_s: float, step: int, primary: str, target: str, trigger: str
+    ) -> None:
+        self._emit(
+            now_s,
+            "hedge",
+            round=self.round,
+            step=step,
+            primary=primary,
+            target=target,
+            trigger=trigger,
+        )
+        if self.metrics is not None:
+            self.metrics.counter(
+                "repro_hedges_total", target=target, trigger=trigger
+            ).inc(now_s=self._now(now_s))
+
+    # ------------------------------------------------------------------
+    # Health / planning
+
+    def breaker_transition(
+        self, now_s: float, source: str, old_state: str, new_state: str
+    ) -> None:
+        self._emit(
+            now_s,
+            "breaker",
+            source=source,
+            **{"from": old_state, "to": new_state},
+        )
+        if self.metrics is not None:
+            self.metrics.counter(
+                "repro_breaker_transitions_total", source=source, to=new_state
+            ).inc(now_s=self._now(now_s))
+
+    def round_planned(
+        self,
+        now_s: float,
+        round_no: int,
+        optimizer: str,
+        sources: list[str],
+        masked: list[str],
+        estimated_cost: float,
+    ) -> None:
+        self._emit(
+            now_s,
+            "replan",
+            round=round_no,
+            optimizer=optimizer,
+            sources=sources,
+            masked=masked,
+            estimated_cost=estimated_cost,
+        )
+        if self.metrics is not None and round_no > 0:
+            self.metrics.counter("repro_replan_rounds_total").inc(
+                now_s=self._now(now_s)
+            )
+
+    def op_finished(self, now_s: float, span: "OpSpan") -> None:
+        op = span.operation
+        condition = getattr(op, "condition", None)
+        self._emit(
+            now_s,
+            "op",
+            round=self.round,
+            step=span.step,
+            op=op.kind.value,
+            target=op.target,
+            source=span.source,
+            remote=op.remote,
+            condition="" if condition is None else condition.to_sql(),
+            queued=span.queued_s,
+            started=span.started_s,
+            finished=span.finished_s,
+            status=span.status.value,
+            output=span.output_size,
+        )
+        if self.metrics is not None:
+            stamp = self._now(now_s)
+            self.metrics.counter(
+                "repro_ops_total", status=span.status.value
+            ).inc(now_s=stamp)
+            if op.remote:
+                self.metrics.histogram(
+                    "repro_op_queue_wait_s", buckets=DURATION_BUCKETS_S
+                ).observe(span.queue_wait_s, now_s=stamp)

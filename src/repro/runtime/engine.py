@@ -70,7 +70,7 @@ import itertools
 import math
 from collections import deque
 from dataclasses import dataclass
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.errors import CostModelError, ExecutionError, SourceUnavailableError
 from repro.mediator.executor import ExecutionResult, StepTrace
@@ -97,6 +97,9 @@ from repro.runtime.health import BreakerConfig, HealthRegistry
 from repro.runtime.policy import OnExhaust, RetryPolicy
 from repro.runtime.trace import AttemptSpan, OpSpan, OpStatus, RuntimeTrace
 from repro.sources.registry import Federation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.recorder import Recorder
 
 
 @dataclass(frozen=True)
@@ -145,7 +148,13 @@ class RuntimeResult:
             )
             for span in self.trace.spans
         ]
-        return ExecutionResult(items=self.items, steps=steps)
+        return ExecutionResult(
+            items=self.items,
+            steps=steps,
+            hedges=self.trace.hedge_attempts,
+            recovered=len(self.trace.recovered_steps),
+            degraded=len(self.trace.degraded_steps),
+        )
 
     def summary(self) -> str:
         return self.trace.summary()
@@ -182,6 +191,10 @@ class RuntimeEngine:
             replica group's members instead of serializing everything
             on the planned source (off by default — the zero-config
             engine matches the static scheduler exactly).
+        recorder: Optional :class:`repro.obs.Recorder`; when attached,
+            every attempt, send-set, retry, hedge, breaker transition,
+            and operation is reported as structured telemetry.  ``None``
+            (the default) collects nothing and changes nothing.
     """
 
     def __init__(
@@ -194,6 +207,7 @@ class RuntimeEngine:
         health: HealthRegistry | None = None,
         min_containment: float = 1.0,
         load_balance: bool = False,
+        recorder: "Recorder | None" = None,
     ):
         if hedge_delay_s is not None and not (
             math.isfinite(hedge_delay_s) and hedge_delay_s >= 0
@@ -209,6 +223,9 @@ class RuntimeEngine:
         self.health = health if health is not None else HealthRegistry(breaker)
         self.min_containment = min_containment
         self.load_balance = load_balance
+        self.recorder = recorder
+        if recorder is not None and self.health.observer is None:
+            self.health.observer = recorder.breaker_transition
         self._substitutes: dict[str, tuple[str, ...]] | None = None
 
     @property
@@ -306,6 +323,7 @@ class _Execution:
         self.faults = engine.faults
         self.policy = engine.policy
         self.health = engine.health
+        self.recorder = engine.recorder
         self.plan = plan
         self.tasks = self._build_tasks(plan)
         self.result_writer = self._final_writer(plan)
@@ -360,6 +378,10 @@ class _Execution:
     # Event loop
 
     def run(self) -> RuntimeResult:
+        if self.recorder is not None:
+            self.recorder.run_started(
+                0.0, "runtime", self.plan, self.plan.result
+            )
         for task in self.tasks:
             if task.remaining == 0:
                 self._mark_ready(task, 0.0)
@@ -380,10 +402,24 @@ class _Execution:
             )
         ordered = tuple(self.spans[i] for i in range(len(self.tasks)))
         answer = self.tasks[self.result_writer].value
-        return RuntimeResult(
+        result = RuntimeResult(
             items=frozenset() if answer is None else answer,
             trace=RuntimeTrace(spans=ordered, makespan_s=self.makespan_s),
         )
+        if self.recorder is not None:
+            trace = result.trace
+            self.recorder.run_finished(
+                self.makespan_s,
+                "runtime",
+                self.makespan_s,
+                retries=trace.total_retries,
+                degraded=len(trace.degraded_steps),
+                recovered=len(trace.recovered_steps),
+                hedges=trace.hedge_attempts,
+                cost=trace.total_cost,
+                items=len(result.items),
+            )
+        return result
 
     def _push(self, time_s: float, kind: str, payload: tuple) -> None:
         heapq.heappush(self.heap, (time_s, next(self.seq), kind, payload))
@@ -533,6 +569,17 @@ class _Execution:
             # The task's own connection slot stays with it for retries;
             # a substitute's connection is held only for the attempt.
             self.busy[serving] = True
+        if self.recorder is not None and isinstance(task.op, SemijoinOp):
+            bindings = self.tasks[
+                task.input_writer[task.op.input_register]
+            ].value
+            self.recorder.sendset_shipped(
+                now,
+                task.step,
+                serving,
+                task.op.condition.to_sql(),
+                len(bindings),
+            )
         mark = len(source.traffic.records)
         try:
             value = self._call_wrapper(task, source)
@@ -600,6 +647,10 @@ class _Execution:
         target = self._substitute_target(task, now)
         if target is None:
             return  # no idle healthy replica; the primary races alone
+        if self.recorder is not None:
+            self.recorder.hedge_launched(
+                now, task.step, attempt.source_name, target, "timer"
+            )
         self._launch(task, target, now, hedge=True)
 
     def _maybe_hedge_on_failure(self, task: _Task, now: float) -> None:
@@ -608,6 +659,10 @@ class _Execution:
             return
         target = self._substitute_target(task, now)
         if target is not None:
+            if self.recorder is not None:
+                self.recorder.hedge_launched(
+                    now, task.step, task.slot_source, target, "failure"
+                )
             self._launch(task, target, now, hedge=True)
 
     def _cancel(self, attempt: _Attempt, now: float) -> None:
@@ -631,21 +686,30 @@ class _Execution:
     ) -> None:
         task = attempt.task
         records = attempt.records
-        task.attempts.append(
-            AttemptSpan(
-                attempt=len(task.attempts) + 1,
-                start_s=attempt.start_s,
-                end_s=now,
-                fate=fate,
-                cost=sum(r.cost for r in records),
-                items_sent=sum(r.items_sent for r in records),
-                items_received=sum(r.items_received for r in records),
-                rows_loaded=sum(r.rows_loaded for r in records),
-                messages=len(records),
-                source=attempt.source_name,
-                hedge=attempt.hedge,
-            )
+        span = AttemptSpan(
+            attempt=len(task.attempts) + 1,
+            start_s=attempt.start_s,
+            end_s=now,
+            fate=fate,
+            cost=sum(r.cost for r in records),
+            items_sent=sum(r.items_sent for r in records),
+            items_received=sum(r.items_received for r in records),
+            rows_loaded=sum(r.rows_loaded for r in records),
+            messages=len(records),
+            source=attempt.source_name,
+            hedge=attempt.hedge,
         )
+        task.attempts.append(span)
+        if self.recorder is not None:
+            condition = getattr(task.op, "condition", None)
+            self.recorder.attempt_finished(
+                now,
+                task.step,
+                task.op.kind.value,
+                task.planned_source,
+                "" if condition is None else condition.to_sql(),
+                span,
+            )
 
     def _handle_complete(self, now: float, attempt: _Attempt) -> None:
         if attempt.cancelled:
@@ -695,6 +759,14 @@ class _Execution:
         assert task.first_start_s is not None
         if self.policy.may_retry(retries_used, task.first_start_s, retry_at):
             task.retry_pending = True
+            if self.recorder is not None:
+                self.recorder.retry_scheduled(
+                    now,
+                    task.step,
+                    attempt.source_name,
+                    retries_used + 1,
+                    retry_at,
+                )
             self._push(retry_at, "retry", (task,))  # connection stays held
             return
         if task.inflight:
@@ -745,6 +817,8 @@ class _Execution:
             status=status,
             output_size=len(value),
         )
+        if self.recorder is not None:
+            self.recorder.op_finished(now, self.spans[task.index])
         self.makespan_s = max(self.makespan_s, now)
         self.busy[source_name] = False
         self._propagate(task, now)
@@ -788,5 +862,7 @@ class _Execution:
             status=OpStatus.OK,
             output_size=len(value),
         )
+        if self.recorder is not None:
+            self.recorder.op_finished(now, self.spans[task.index])
         self.makespan_s = max(self.makespan_s, now)
         self._propagate(task, now)

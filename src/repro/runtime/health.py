@@ -132,16 +132,35 @@ class SourceHealth:
 
 
 class CircuitBreaker:
-    """One source's breaker state machine on the virtual clock."""
+    """One source's breaker state machine on the virtual clock.
 
-    def __init__(self, config: BreakerConfig, health: SourceHealth):
+    ``notify`` (optional) is called as ``notify(now_s, old, new)`` with
+    the state *values* on every transition — the registry uses it to
+    forward transitions to an attached telemetry observer.
+    """
+
+    def __init__(
+        self,
+        config: BreakerConfig,
+        health: SourceHealth,
+        notify=None,
+    ):
         self.config = config
         self.health = health
+        self.notify = notify
         self.state = BreakerState.CLOSED
         self.consecutive_failures = 0
         self.opened_at_s: float | None = None
         self.probes_in_flight = 0
         self.times_opened = 0
+
+    def _transition(self, now_s: float, new_state: BreakerState) -> None:
+        if new_state is self.state:
+            return
+        old = self.state
+        self.state = new_state
+        if self.notify is not None:
+            self.notify(now_s, old.value, new_state.value)
 
     @property
     def reopens_at_s(self) -> float | None:
@@ -166,7 +185,7 @@ class CircuitBreaker:
             assert reopens is not None
             if now_s + 1e-12 < reopens:
                 return False
-            self.state = BreakerState.HALF_OPEN
+            self._transition(now_s, BreakerState.HALF_OPEN)
             self.probes_in_flight = 0
         # HALF_OPEN: admit a bounded number of concurrent probes.
         if self.probes_in_flight >= self.config.half_open_probes:
@@ -179,7 +198,7 @@ class CircuitBreaker:
         self.consecutive_failures = 0
         if self.state is BreakerState.HALF_OPEN:
             self.probes_in_flight = max(0, self.probes_in_flight - 1)
-            self.state = BreakerState.CLOSED
+            self._transition(now_s, BreakerState.CLOSED)
             self.opened_at_s = None
 
     def abandon(self) -> None:
@@ -212,7 +231,7 @@ class CircuitBreaker:
         )
 
     def _trip(self, now_s: float) -> None:
-        self.state = BreakerState.OPEN
+        self._transition(now_s, BreakerState.OPEN)
         self.opened_at_s = now_s
         self.times_opened += 1
 
@@ -230,6 +249,11 @@ class HealthRegistry:
         self.config = config
         self._health: dict[str, SourceHealth] = {}
         self._breakers: dict[str, CircuitBreaker] = {}
+        #: Optional transition observer, called as
+        #: ``observer(now_s, source, old_state, new_state)`` with the
+        #: state values.  Checked at call time, so it may be attached
+        #: after breakers already exist.
+        self.observer = None
 
     @property
     def enabled(self) -> bool:
@@ -248,7 +272,14 @@ class HealthRegistry:
             return None
         breaker = self._breakers.get(source_name)
         if breaker is None:
-            breaker = CircuitBreaker(self.config, self.health_of(source_name))
+
+            def notify(now_s, old, new, name=source_name):
+                if self.observer is not None:
+                    self.observer(now_s, name, old, new)
+
+            breaker = CircuitBreaker(
+                self.config, self.health_of(source_name), notify=notify
+            )
             self._breakers[source_name] = breaker
         return breaker
 
@@ -280,6 +311,36 @@ class HealthRegistry:
     def state_of(self, source_name: str) -> BreakerState:
         breaker = self.breaker_of(source_name)
         return BreakerState.CLOSED if breaker is None else breaker.state
+
+    def snapshot(self) -> dict[str, dict]:
+        """Per-source health as plain data (tests and telemetry read
+        this instead of poking registry internals).
+
+        Keys are the sources seen so far; each value holds lifetime
+        ``attempts`` / ``successes`` / ``failures``, rolling-window
+        ``failure_rate`` and ``mean_latency_s``, total ``busy_s``, and
+        the breaker's ``state`` / ``times_opened`` (a disabled breaker
+        reads as permanently closed, never opened).
+        """
+        out: dict[str, dict] = {}
+        for name in sorted(self._health):
+            health = self._health[name]
+            breaker = self._breakers.get(name)
+            out[name] = {
+                "attempts": health.attempts,
+                "successes": health.attempts - health.failures,
+                "failures": health.failures,
+                "failure_rate": health.failure_rate,
+                "mean_latency_s": health.mean_latency_s,
+                "busy_s": health.busy_s,
+                "state": (
+                    breaker.state.value
+                    if breaker
+                    else BreakerState.CLOSED.value
+                ),
+                "times_opened": breaker.times_opened if breaker else 0,
+            }
+        return out
 
     def report(self) -> str:
         """Fixed-width per-source health table."""

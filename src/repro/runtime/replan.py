@@ -134,6 +134,9 @@ class ResilientExecutor:
         min_containment: Row-containment threshold for substitutes.
         load_balance: Spread healthy traffic across replica-group
             members (see :class:`RuntimeEngine`).
+        recorder: Optional :class:`repro.obs.Recorder` shared by every
+            round; the executor advances its round counter and clock
+            offset so event time stays monotone across re-plans.
     """
 
     def __init__(
@@ -150,6 +153,7 @@ class ResilientExecutor:
         max_replans: int = 2,
         min_containment: float = 1.0,
         load_balance: bool = False,
+        recorder=None,
     ):
         if max_replans < 0:
             raise CostModelError(
@@ -166,6 +170,7 @@ class ResilientExecutor:
         )
         self.max_replans = max_replans
         self.min_containment = min_containment
+        self.recorder = recorder
         # One engine for every round: breaker/health state must survive
         # re-planning so a replan does not re-burn budget on known-dead
         # sources.
@@ -178,6 +183,7 @@ class ResilientExecutor:
             health=health,
             min_containment=min_containment,
             load_balance=load_balance,
+            recorder=recorder,
         )
 
     def run(
@@ -197,7 +203,21 @@ class ResilientExecutor:
             optimization = self.optimizer.optimize(
                 query, tuple(active), self.cost_model, self.estimator
             )
+            if self.recorder is not None:
+                self.recorder.round = round_no
+                self.recorder.round_planned(
+                    0.0,
+                    round_no,
+                    optimization.optimizer,
+                    sorted(active),
+                    sorted(masked),
+                    optimization.estimated_cost,
+                )
             result = self.engine.run(optimization.plan)
+            if self.recorder is not None:
+                # Rounds run back to back on one clock; shift the next
+                # round's timestamps past everything this round emitted.
+                self.recorder.clock_offset_s += result.makespan_s
             round_ = ReplanRound(
                 round=round_no,
                 sources=tuple(active),

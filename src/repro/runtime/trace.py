@@ -137,10 +137,28 @@ class OpSpan:
 
 @dataclass(frozen=True)
 class RuntimeTrace:
-    """The observable record of one concurrent plan execution."""
+    """The observable record of one concurrent plan execution.
+
+    Traces come from two places: the live engine builds one as it runs,
+    and :meth:`from_events` rebuilds one from a recorded
+    :mod:`repro.obs` event stream — the ASCII renderers below are pure
+    functions of the span data, so both sources print identically.
+    """
 
     spans: tuple[OpSpan, ...]
     makespan_s: float
+
+    @staticmethod
+    def from_events(events, round_no: int | None = None) -> "RuntimeTrace":
+        """Rebuild a trace from recorded ``op``/``attempt`` events.
+
+        Delegates to :func:`repro.obs.replay.trace_from_events`
+        (imported lazily — the runtime package does not depend on
+        :mod:`repro.obs`).
+        """
+        from repro.obs.replay import trace_from_events
+
+        return trace_from_events(events, round_no=round_no)
 
     @property
     def remote_spans(self) -> tuple[OpSpan, ...]:

@@ -25,6 +25,32 @@ from typing import Iterator
 
 from repro.errors import CostModelError
 
+#: Process-wide traffic observer (see :func:`install_traffic_observer`).
+_traffic_observer = None
+
+
+def install_traffic_observer(callback) -> None:
+    """Install a process-wide callback invoked with every
+    :class:`TrafficRecord` as it is charged, on any traffic log.
+
+    :meth:`TrafficLog.charge` is the single chokepoint every simulated
+    wire exchange passes through, so one observer sees the traffic of
+    every federation in the process — the benchmark harness uses this
+    (with :func:`repro.obs.metrics.traffic_metrics_observer`) to write a
+    metrics snapshot next to each experiment report.  Only one observer
+    may be installed at a time; install over an existing one raises.
+    """
+    global _traffic_observer
+    if _traffic_observer is not None:
+        raise CostModelError("a traffic observer is already installed")
+    _traffic_observer = callback
+
+
+def uninstall_traffic_observer() -> None:
+    """Remove the installed traffic observer (no-op when none is)."""
+    global _traffic_observer
+    _traffic_observer = None
+
 
 @dataclass(frozen=True)
 class LinkProfile:
@@ -131,6 +157,8 @@ class TrafficLog:
             ),
         )
         self.records.append(record)
+        if _traffic_observer is not None:
+            _traffic_observer(record)
         return record
 
     def __iter__(self) -> Iterator[TrafficRecord]:

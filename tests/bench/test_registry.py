@@ -15,7 +15,7 @@ class TestRegistry:
         expected = {
             "F1", "F2", "F3", "F4", "F5",
             "C1", "C2", "C3", "C4", "C5", "C6", "C7", "C8",
-            "E1", "R1", "R2", "R3", "R4", "R5", "A1", "P1",
+            "E1", "R1", "R2", "R3", "R4", "R5", "R6", "A1", "P1",
         }
         assert set(EXPERIMENTS) == expected
 
@@ -33,6 +33,8 @@ class TestRegistry:
         report = run_experiment("F2", save=True)
         assert "plan classes" in report
         assert (tmp_path / "F2.txt").exists()
+        # a traffic-metrics snapshot lands next to every saved report
+        assert (tmp_path / "F2.metrics.json").exists()
 
 
 class TestHarness:

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import ExecutionError
-from repro.mediator.executor import Executor
+from repro.mediator.executor import ExecutionResult, Executor
 from repro.plans.builder import build_filter_plan, build_staged_plan, uniform_choices
 from repro.plans.operations import (
     DifferenceOp,
@@ -164,3 +164,39 @@ class TestResultSummary:
         assert "6 messages" in summary
         assert "0 retries" in summary
         assert repr(result) == f"ExecutionResult({summary})"
+
+
+class TestResilienceCounters:
+    """summary() regression: the resilience counters appended in the
+    observability pass must show up when nonzero and stay silent when
+    zero, leaving the base text untouched."""
+
+    def test_zero_counters_keep_the_base_summary(self):
+        result = ExecutionResult(items=frozenset())
+        summary = result.summary()
+        assert summary == (
+            "0 items in 0 steps; cost 0.0, 0 messages, 0 retries, "
+            "0.000s on the wire"
+        )
+
+    def test_nonzero_counters_are_appended_in_order(self):
+        result = ExecutionResult(
+            items=frozenset({"a"}),
+            hedges=2,
+            recovered=1,
+            degraded=3,
+            breaker_trips=1,
+            replans=2,
+        )
+        summary = result.summary()
+        assert summary.endswith(
+            "; 2 hedges, 1 recovered, 3 degraded, 1 breaker trips, "
+            "2 replans"
+        )
+
+    def test_partial_counters_skip_zero_entries(self):
+        result = ExecutionResult(items=frozenset(), hedges=1, replans=4)
+        summary = result.summary()
+        assert summary.endswith("; 1 hedges, 4 replans")
+        assert "degraded" not in summary
+        assert "breaker" not in summary

@@ -1,0 +1,139 @@
+"""Unit tests for the structured event log and its schema."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.events import EVENT_SCHEMA, EventLog, validate_record
+
+
+def breaker_record(**overrides):
+    record = {
+        "ts": 1.5,
+        "type": "breaker",
+        "source": "R1",
+        "from": "closed",
+        "to": "open",
+    }
+    record.update(overrides)
+    return record
+
+
+class TestValidation:
+    def test_valid_record_passes(self):
+        validate_record(breaker_record())
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ObservabilityError, match="unknown event type"):
+            validate_record(breaker_record(type="explosion"))
+
+    def test_missing_field_rejected(self):
+        record = breaker_record()
+        del record["to"]
+        with pytest.raises(ObservabilityError, match="missing"):
+            validate_record(record)
+
+    def test_unexpected_field_rejected(self):
+        with pytest.raises(ObservabilityError, match="unexpected"):
+            validate_record(breaker_record(color="red"))
+
+    def test_wrong_field_type_rejected(self):
+        with pytest.raises(ObservabilityError, match="expected str"):
+            validate_record(breaker_record(source=3))
+
+    def test_bool_is_not_an_int(self):
+        record = {
+            "ts": 0.0,
+            "type": "sendset",
+            "round": 0,
+            "step": 1,
+            "source": "R1",
+            "condition": "V = 'x'",
+            "size": True,
+        }
+        with pytest.raises(ObservabilityError, match="expected int"):
+            validate_record(record)
+
+    def test_ts_must_be_numeric(self):
+        with pytest.raises(ObservabilityError, match="ts"):
+            validate_record(breaker_record(ts="soon"))
+
+    def test_every_schema_type_names_known_field_types(self):
+        known = {"int", "float", "str", "bool", "list[str]"}
+        for fields in EVENT_SCHEMA.values():
+            assert set(fields.values()) <= known
+
+
+class TestEventLog:
+    def test_emit_validates(self):
+        log = EventLog()
+        with pytest.raises(ObservabilityError):
+            log.emit(0.0, "breaker", source="R1")
+        assert len(log) == 0
+
+    def test_canonical_key_order(self):
+        log = EventLog()
+        log.emit(0.0, "breaker", source="R1", **{"to": "open", "from": "closed"})
+        line = log.to_jsonl()
+        assert line.startswith('{"ts":0.0,"type":"breaker","from":')
+
+    def test_jsonl_roundtrip(self):
+        log = EventLog()
+        log.emit(
+            0.5,
+            "replan",
+            round=1,
+            optimizer="SJA+",
+            sources=["R1", "R2"],
+            masked=["R3"],
+            estimated_cost=42.0,
+        )
+        log.emit(1.0, "breaker", source="R3", **{"from": "open", "to": "half-open"})
+        restored = EventLog.from_jsonl(log.to_jsonl())
+        assert [e.to_record() for e in restored] == [
+            e.to_record() for e in log
+        ]
+        assert restored.to_jsonl() == log.to_jsonl()
+
+    def test_write_and_read(self, tmp_path):
+        log = EventLog()
+        log.emit(0.0, "breaker", source="R1", **{"from": "closed", "to": "open"})
+        path = str(tmp_path / "events.jsonl")
+        assert log.write(path) == path
+        assert EventLog.read(path).to_jsonl() == log.to_jsonl()
+
+    def test_from_jsonl_rejects_bad_json(self):
+        with pytest.raises(ObservabilityError, match="line 1"):
+            EventLog.from_jsonl("{not json")
+
+    def test_from_jsonl_skips_blank_lines(self):
+        log = EventLog()
+        log.emit(0.0, "breaker", source="R1", **{"from": "closed", "to": "open"})
+        restored = EventLog.from_jsonl(log.to_jsonl() + "\n\n")
+        assert len(restored) == 1
+
+    def test_of_type_filters(self):
+        log = EventLog()
+        log.emit(0.0, "breaker", source="R1", **{"from": "closed", "to": "open"})
+        log.emit(
+            0.1,
+            "retry",
+            round=0,
+            step=2,
+            source="R1",
+            retries=1,
+            at=0.5,
+        )
+        assert [e.type for e in log.of_type("retry")] == ["retry"]
+        assert len(log.of_type("retry", "breaker")) == 2
+
+    def test_event_getitem_and_get(self):
+        log = EventLog()
+        event = log.emit(
+            0.0, "breaker", source="R1", **{"from": "closed", "to": "open"}
+        )
+        assert event["ts"] == 0.0
+        assert event["type"] == "breaker"
+        assert event["source"] == "R1"
+        assert event.get("missing", "fallback") == "fallback"

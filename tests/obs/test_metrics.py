@@ -1,0 +1,146 @@
+"""Unit tests for the metrics registry and its exporters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.mediator.executor import Executor
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    SIZE_BUCKETS,
+    traffic_metrics_observer,
+)
+from repro.plans.builder import build_filter_plan
+from repro.sources.generators import dmv_fig1
+from repro.sources.network import (
+    install_traffic_observer,
+    uninstall_traffic_observer,
+)
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        counter = MetricsRegistry().counter("c_total")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == pytest.approx(3.5)
+
+    def test_negative_inc_rejected(self):
+        counter = MetricsRegistry().counter("c_total")
+        with pytest.raises(ObservabilityError, match="cannot decrease"):
+            counter.inc(-1)
+
+    def test_updated_s_tracks_virtual_clock(self):
+        counter = MetricsRegistry().counter("c_total")
+        assert counter.updated_s is None
+        counter.inc(now_s=4.25)
+        assert counter.updated_s == 4.25
+
+
+class TestGauge:
+    def test_set_and_inc(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(7.0)
+        gauge.inc(-2.0)
+        assert gauge.value == pytest.approx(5.0)
+
+
+class TestHistogram:
+    def test_bucket_assignment_and_overflow(self):
+        histogram = Histogram("h", (), buckets=(1.0, 10.0))
+        for value in (0.5, 1.0, 5.0, 100.0):
+            histogram.observe(value)
+        assert histogram.counts == [2, 1, 1]  # <=1, <=10, +Inf
+        assert histogram.cumulative() == [2, 3, 4]
+        assert histogram.count == 4
+        assert histogram.sum == pytest.approx(106.5)
+
+    def test_buckets_must_strictly_increase(self):
+        with pytest.raises(ObservabilityError, match="strictly"):
+            Histogram("h", (), buckets=(1.0, 1.0, 2.0))
+        with pytest.raises(ObservabilityError, match="strictly"):
+            Histogram("h", (), buckets=())
+
+
+class TestRegistry:
+    def test_identity_is_name_plus_labels(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", source="R1").inc()
+        registry.counter("c_total", source="R1").inc()
+        registry.counter("c_total", source="R2").inc()
+        assert registry.counter("c_total", source="R1").value == 2.0
+        assert registry.counter("c_total", source="R2").value == 1.0
+        assert len(registry) == 2
+
+    def test_label_order_is_irrelevant(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", a="1", b="2").inc()
+        assert registry.counter("c_total", b="2", a="1").value == 1.0
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("thing")
+        with pytest.raises(ObservabilityError, match="already registered"):
+            registry.gauge("thing")
+
+    def test_json_snapshot_is_deterministic(self):
+        def build() -> MetricsRegistry:
+            registry = MetricsRegistry()
+            registry.counter("z_total", source="R2").inc(3, now_s=1.0)
+            registry.counter("z_total", source="R1").inc(1, now_s=2.0)
+            registry.histogram("h_s", buckets=SIZE_BUCKETS).observe(7.0)
+            return registry
+
+        assert build().to_json_text() == build().to_json_text()
+        snapshot = build().to_json()
+        assert snapshot['z_total{source="R1"}']["value"] == 1.0
+        assert snapshot["h_s"]["kind"] == "histogram"
+
+    def test_prometheus_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", source="R1").inc(2)
+        registry.histogram("h_s", buckets=(1.0, 5.0)).observe(3.0)
+        text = registry.to_prometheus()
+        assert "# TYPE c_total counter" in text
+        assert 'c_total{source="R1"} 2' in text
+        assert 'h_s_bucket{le="1"} 0' in text
+        assert 'h_s_bucket{le="5"} 1' in text
+        assert 'h_s_bucket{le="+Inf"} 1' in text
+        assert "h_s_sum 3" in text
+        assert "h_s_count 1" in text
+
+
+class TestTrafficObserver:
+    def test_folds_every_wire_exchange(self):
+        federation, query = dmv_fig1()
+        registry = MetricsRegistry()
+        install_traffic_observer(traffic_metrics_observer(registry))
+        try:
+            federation.reset_traffic()
+            plan = build_filter_plan(query, federation.source_names)
+            Executor(federation).execute(plan)
+        finally:
+            uninstall_traffic_observer()
+        total = sum(
+            registry.counter("repro_messages_total", source=name, op="sq").value
+            for name in federation.source_names
+        )
+        assert total == federation.total_messages()
+        cost = sum(
+            registry.counter("repro_wire_cost_total", source=name).value
+            for name in federation.source_names
+        )
+        assert cost == pytest.approx(federation.total_traffic_cost())
+
+    def test_double_install_raises(self):
+        registry = MetricsRegistry()
+        install_traffic_observer(traffic_metrics_observer(registry))
+        try:
+            from repro.errors import CostModelError
+
+            with pytest.raises(CostModelError, match="already installed"):
+                install_traffic_observer(traffic_metrics_observer(registry))
+        finally:
+            uninstall_traffic_observer()

@@ -1,0 +1,190 @@
+"""End-to-end tests for the recorder: instrumented runs, determinism,
+replay byte-equality, and the profile the mediator attaches."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.mediator.session import Mediator
+from repro.obs import EventLog, Recorder
+from repro.obs.replay import trace_from_events
+from repro.optimize.sja_plus import SJAPlusOptimizer
+from repro.plans.builder import build_filter_plan
+from repro.runtime.engine import RuntimeEngine
+from repro.runtime.faults import FaultInjector, FaultProfile
+from repro.runtime.trace import RuntimeTrace
+from repro.sources.generators import dmv_fig1
+
+
+def flaky_mediator(recorder=None, **kwargs):
+    federation, query = dmv_fig1()
+    mediator = Mediator(
+        federation,
+        backend="runtime",
+        faults=FaultInjector(
+            {"R1": FaultProfile(transient_rate=0.4)}, seed=7
+        ),
+        recorder=recorder,
+        **kwargs,
+    )
+    return mediator, query
+
+
+class TestInstrumentedRuns:
+    def test_every_event_validates_against_the_schema(self):
+        recorder = Recorder()
+        mediator, query = flaky_mediator(recorder)
+        mediator.answer(query)
+        assert len(recorder.events) > 0
+        # from_jsonl re-validates every record line by line.
+        restored = EventLog.from_jsonl(recorder.events.to_jsonl())
+        assert len(restored) == len(recorder.events)
+
+    def test_run_lifecycle_events_present(self):
+        recorder = Recorder()
+        mediator, query = flaky_mediator(recorder)
+        answer = mediator.answer(query)
+        types = {event.type for event in recorder.events}
+        assert {"run_start", "attempt", "op", "run_end"} <= types
+        end = recorder.events.of_type("run_end")[-1]
+        assert end["items"] == len(answer.items)
+        assert end["backend"] == "runtime"
+
+    def test_same_seed_runs_emit_identical_jsonl(self):
+        streams = []
+        for __ in range(2):
+            recorder = Recorder()
+            mediator, query = flaky_mediator(recorder)
+            mediator.answer(query)
+            streams.append(recorder.events.to_jsonl())
+        assert streams[0] == streams[1]
+
+    def test_metrics_populated_alongside_events(self):
+        recorder = Recorder()
+        mediator, query = flaky_mediator(recorder)
+        mediator.answer(query)
+        snapshot = recorder.metrics.to_json()
+        assert 'repro_runs_total{backend="runtime"}' in snapshot
+        assert any(
+            key.startswith("repro_attempts_total") for key in snapshot
+        )
+
+    def test_recorder_with_one_sink_disabled(self):
+        events_only = Recorder(metrics=None)
+        assert events_only.metrics is None
+        assert events_only.events is not None
+        metrics_only = Recorder(events=None)
+        assert metrics_only.events is None
+        assert metrics_only.metrics is not None
+        mediator, query = flaky_mediator(events_only)
+        mediator.answer(query)
+        assert len(events_only.events) > 0
+
+
+class TestDisabledRecorderIdentity:
+    def test_uninstrumented_run_is_byte_identical(self):
+        # recorder=None (the default) must not perturb execution at all:
+        # same answer, same trace rendering, same summary.
+        outputs = []
+        for recorder in (None, Recorder()):
+            federation, query = dmv_fig1()
+            plan = build_filter_plan(query, federation.source_names)
+            engine = RuntimeEngine(
+                federation,
+                faults=FaultInjector(
+                    {"R1": FaultProfile(transient_rate=0.4)}, seed=7
+                ),
+                recorder=recorder,
+            )
+            result = engine.run(plan)
+            outputs.append(
+                (
+                    result.items,
+                    result.trace.timeline(),
+                    result.trace.utilization_report(),
+                    result.trace.summary(),
+                )
+            )
+        assert outputs[0] == outputs[1]
+
+
+class TestReplay:
+    def run_with_recorder(self):
+        recorder = Recorder()
+        federation, query = dmv_fig1()
+        plan = SJAPlusOptimizer().optimize(
+            query,
+            federation.source_names,
+            Mediator(federation).cost_model,
+            Mediator(federation).estimator,
+        ).plan
+        engine = RuntimeEngine(
+            federation,
+            faults=FaultInjector(
+                {"R1": FaultProfile(transient_rate=0.4)}, seed=7
+            ),
+            recorder=recorder,
+        )
+        return engine.run(plan), recorder
+
+    def test_timeline_reproduced_from_events(self):
+        result, recorder = self.run_with_recorder()
+        replayed = trace_from_events(recorder.events)
+        assert replayed.timeline() == result.trace.timeline()
+        assert (
+            replayed.utilization_report()
+            == result.trace.utilization_report()
+        )
+        assert replayed.summary() == result.trace.summary()
+
+    def test_trace_from_events_classmethod_delegates(self):
+        result, recorder = self.run_with_recorder()
+        replayed = RuntimeTrace.from_events(recorder.events)
+        assert replayed.timeline() == result.trace.timeline()
+
+    def test_replay_needs_op_events(self):
+        with pytest.raises(ObservabilityError, match="no 'op' events"):
+            trace_from_events(EventLog())
+
+
+class TestProfiles:
+    def test_mediator_attaches_profile(self):
+        recorder = Recorder()
+        mediator, query = flaky_mediator(recorder)
+        answer = mediator.answer(query)
+        profile = answer.execution.profile
+        assert profile is not None
+        assert profile.items == len(answer.items)
+        assert profile.predicted_cost is not None
+        text = profile.render()
+        assert text.startswith("profile:")
+        assert "observed/predicted" in text
+
+    def test_sequential_backend_is_instrumented_too(self):
+        federation, query = dmv_fig1()
+        recorder = Recorder()
+        answer = Mediator(federation, recorder=recorder).answer(query)
+        start = recorder.events.of_type("run_start")[0]
+        assert start["backend"] == "sequential"
+        assert answer.execution.profile is not None
+        EventLog.from_jsonl(recorder.events.to_jsonl())  # all valid
+
+    def test_no_recorder_no_profile(self):
+        federation, query = dmv_fig1()
+        answer = Mediator(federation).answer(query)
+        assert answer.execution.profile is None
+
+
+class TestReplanRounds:
+    def test_timestamps_monotone_across_rounds(self):
+        recorder = Recorder()
+        mediator, query = flaky_mediator(
+            recorder, breaker=True, replan=2
+        )
+        mediator.answer(query)
+        stamps = [event.ts for event in recorder.events]
+        assert stamps == sorted(stamps)
+        replans = recorder.events.of_type("replan")
+        assert replans and replans[0]["round"] == 0
+        assert replans[0]["optimizer"]

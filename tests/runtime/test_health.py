@@ -173,3 +173,59 @@ class TestHealthRegistry:
         report = registry.report()
         assert "R1" in report and "R2" in report
         assert "open" in report
+
+
+class TestSnapshot:
+    def test_snapshot_exposes_per_source_health(self):
+        registry = HealthRegistry(BreakerConfig(failure_threshold=2))
+        registry.record("R1", 0.0, ok=False, duration_s=0.1)
+        registry.record("R1", 1.0, ok=False, duration_s=0.3)
+        registry.record("R2", 0.0, ok=True, duration_s=0.2)
+        snapshot = registry.snapshot()
+        assert sorted(snapshot) == ["R1", "R2"]
+        r1 = snapshot["R1"]
+        assert r1["attempts"] == 2
+        assert r1["failures"] == 2
+        assert r1["successes"] == 0
+        assert r1["failure_rate"] == pytest.approx(1.0)
+        assert r1["busy_s"] == pytest.approx(0.4)
+        assert r1["state"] == "open"
+        assert r1["times_opened"] == 1
+        r2 = snapshot["R2"]
+        assert r2["failure_rate"] == pytest.approx(0.0)
+        assert r2["state"] == "closed"
+        assert r2["times_opened"] == 0
+
+    def test_disabled_breaker_reads_closed(self):
+        registry = HealthRegistry()
+        registry.record("R1", 0.0, ok=False, duration_s=0.1)
+        snapshot = registry.snapshot()
+        assert snapshot["R1"]["state"] == "closed"
+        assert snapshot["R1"]["times_opened"] == 0
+
+
+class TestTransitionObserver:
+    def test_observer_sees_every_transition(self):
+        seen = []
+        registry = HealthRegistry(
+            BreakerConfig(failure_threshold=1, cooldown_s=5.0)
+        )
+        registry.observer = lambda now_s, source, old, new: seen.append(
+            (now_s, source, old, new)
+        )
+        registry.record("R1", 0.0, ok=False, duration_s=0.1)  # trips
+        assert registry.allow("R1", 6.0)  # cooldown over -> half-open
+        registry.record("R1", 6.5, ok=True, duration_s=0.1)  # closes
+        assert seen == [
+            (0.0, "R1", "closed", "open"),
+            (6.0, "R1", "open", "half-open"),
+            (6.5, "R1", "half-open", "closed"),
+        ]
+
+    def test_observer_attachable_after_breaker_exists(self):
+        registry = HealthRegistry(BreakerConfig(failure_threshold=1))
+        assert registry.breaker_of("R1") is not None
+        seen = []
+        registry.observer = lambda *args: seen.append(args)
+        registry.record("R1", 0.0, ok=False, duration_s=0.1)
+        assert len(seen) == 1

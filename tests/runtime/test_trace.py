@@ -123,3 +123,120 @@ class TestRendering:
         assert "makespan" in summary
         assert "remote ops" in summary
         assert "retries" in summary
+
+
+class TestEdgeCases:
+    """Degenerate traces the renderers must survive: zero-duration
+    attempts, overlapping hedge attempts, and traces with no completed
+    or no remote operations at all."""
+
+    @staticmethod
+    def remote_span(step=1, attempts=(), status=OpStatus.OK, output=0):
+        from repro.plans.operations import LoadOp
+        from repro.runtime.trace import OpSpan
+
+        starts = [a.start_s for a in attempts] or [0.0]
+        ends = [a.end_s for a in attempts] or [0.0]
+        return OpSpan(
+            step=step,
+            operation=LoadOp(target_register=f"T_R{step}", source=f"R{step}"),
+            queued_s=min(starts),
+            started_s=min(starts),
+            finished_s=max(ends),
+            attempts=tuple(attempts),
+            status=status,
+            output_size=output,
+        )
+
+    @staticmethod
+    def attempt(start, end, fate=AttemptFate.OK, source="", hedge=False):
+        return AttemptSpan(
+            attempt=1, start_s=start, end_s=end, fate=fate, cost=1.0,
+            items_sent=0, items_received=0, rows_loaded=1, messages=1,
+            source=source, hedge=hedge,
+        )
+
+    def test_zero_duration_attempt_still_visible(self):
+        from repro.runtime.trace import RuntimeTrace
+
+        span = self.remote_span(attempts=[self.attempt(1.0, 1.0)])
+        trace = RuntimeTrace(spans=(span,), makespan_s=2.0)
+        row = trace.timeline(width=20).splitlines()[0]
+        assert "#" in row  # a zero-width attempt renders at least 1 cell
+
+    def test_zero_makespan_trace_renders(self):
+        from repro.runtime.trace import RuntimeTrace
+
+        span = self.remote_span(attempts=[self.attempt(0.0, 0.0)])
+        trace = RuntimeTrace(spans=(span,), makespan_s=0.0)
+        assert "#" in trace.timeline()
+        assert trace.per_source_utilization() == {"R1": 0.0}
+        assert "R1" in trace.utilization_report()
+
+    def test_overlapping_hedge_attempts(self):
+        from repro.runtime.trace import RuntimeTrace
+
+        primary = self.attempt(
+            0.0, 4.0, fate=AttemptFate.CANCELLED, source="R1"
+        )
+        hedge = self.attempt(2.0, 3.0, source="R1b", hedge=True)
+        span = self.remote_span(
+            attempts=[primary, hedge], status=OpStatus.OK, output=3
+        )
+        trace = RuntimeTrace(spans=(span,), makespan_s=4.0)
+        row = trace.timeline(width=8).splitlines()[0]
+        assert "c" in row and "#" in row
+        # the winning overlapped attempt overwrites the cancelled cells
+        assert span.served_by == "R1b"
+        assert span.hedged
+        busy = trace.busy_by_serving_source()
+        assert busy["R1"] == pytest.approx(4.0)
+        assert busy["R1b"] == pytest.approx(1.0)
+        report = trace.utilization_report()
+        assert "R1b" in report
+
+    def test_no_completed_attempts_degraded(self):
+        from repro.runtime.trace import RuntimeTrace
+
+        span = self.remote_span(
+            attempts=[
+                self.attempt(0.0, 1.0, fate=AttemptFate.TIMEOUT),
+                self.attempt(1.5, 2.5, fate=AttemptFate.TRANSIENT),
+            ],
+            status=OpStatus.DEGRADED,
+        )
+        trace = RuntimeTrace(spans=(span,), makespan_s=3.0)
+        timeline = trace.timeline()
+        assert "x" in timeline and "DEGRADED" in timeline
+        assert "#" not in timeline.splitlines()[0]
+        assert span.served_by == "R1"  # falls back to the planned source
+
+    def test_no_remote_operations(self):
+        from repro.plans.operations import UnionOp
+        from repro.runtime.trace import OpSpan, RuntimeTrace
+
+        local = OpSpan(
+            step=1,
+            operation=UnionOp(target_register="X1", inputs=("A", "B")),
+            queued_s=0.0,
+            started_s=0.0,
+            finished_s=0.0,
+            attempts=(),
+            status=OpStatus.OK,
+            output_size=2,
+        )
+        trace = RuntimeTrace(spans=(local,), makespan_s=0.0)
+        assert trace.timeline() == "(no remote operations)"
+        assert trace.remote_spans == ()
+        assert trace.total_cost == 0.0
+        assert "0 remote ops" in trace.summary()
+
+    def test_empty_trace(self):
+        from repro.runtime.trace import RuntimeTrace
+
+        trace = RuntimeTrace(spans=(), makespan_s=0.0)
+        assert trace.timeline() == "(no remote operations)"
+        assert trace.utilization_report().splitlines()[0].startswith(
+            "source"
+        )
+        assert trace.per_source_utilization() == {}

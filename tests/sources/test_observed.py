@@ -1,0 +1,158 @@
+"""Unit tests for log-mined statistics (repro.sources.observed)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.costs.estimates import SizeEstimator
+from repro.mediator.executor import Executor
+from repro.obs import EventLog, Recorder
+from repro.plans.builder import build_filter_plan
+from repro.relational.conditions import Comparison
+from repro.sources.generators import dmv_fig1
+from repro.sources.observed import DEFAULT_DISTINCT, ObservedStatistics
+from repro.sources.statistics import ExactStatistics
+
+
+CONDITION = Comparison("V", "=", "dui")
+
+
+def attempt(**overrides):
+    """A valid 'attempt' record with easy-to-override fields."""
+    record = {
+        "round": 0,
+        "step": 1,
+        "op": "sq",
+        "planned": "R1",
+        "source": "R1",
+        "condition": CONDITION.to_sql(),
+        "attempt": 1,
+        "start": 0.0,
+        "end": 0.1,
+        "fate": "ok",
+        "hedge": False,
+        "cost": 10.0,
+        "items_sent": 0,
+        "items_received": 0,
+        "rows_loaded": 0,
+        "messages": 1,
+    }
+    record.update(overrides)
+    return record
+
+
+def mined(*attempts) -> ObservedStatistics:
+    log = EventLog()
+    for index, fields in enumerate(attempts):
+        log.emit(float(index), "attempt", **fields)
+    return ObservedStatistics.from_events(log)
+
+
+class TestMining:
+    def test_sq_count_makes_output_size_exact(self):
+        # n = D * sel is observed directly, so sel * D reproduces it no
+        # matter what D the provider assumes (the D-free identity).
+        stats = mined(attempt(op="sq", items_received=5))
+        assert stats.observations == 1
+        assert stats.selectivity("R1", CONDITION) * stats.distinct_items(
+            "R1"
+        ) == pytest.approx(5)
+
+    def test_lq_pins_cardinality_and_distinct(self):
+        stats = mined(attempt(op="lq", rows_loaded=120, condition=""))
+        assert stats.cardinality("R1") == 120
+        assert stats.distinct_items("R1") == 120
+
+    def test_failed_attempts_are_skipped(self):
+        stats = mined(attempt(fate="timeout", items_received=99))
+        assert stats.observations == 0
+        assert stats.selectivity("R1", CONDITION) == pytest.approx(
+            stats.prior_selectivity
+        )
+
+    def test_hedge_evidence_keyed_by_planned_source(self):
+        stats = mined(
+            attempt(planned="R1", source="R1b", hedge=True, items_received=4)
+        )
+        assert "R1" in stats.sources_seen()
+        assert "R1b" not in stats.sources_seen()
+
+    def test_unknown_sources_fall_back_to_the_prior(self):
+        stats = ObservedStatistics()
+        assert stats.selectivity("ghost", CONDITION) == pytest.approx(
+            stats.prior_selectivity
+        )
+        assert stats.distinct_items("ghost") == DEFAULT_DISTINCT
+        assert stats.cardinality("ghost") == DEFAULT_DISTINCT
+
+
+class TestSemijoinEvidence:
+    def test_shrinkage_toward_the_prior(self):
+        # 10 bindings shipped, 2 survived; weight-2 prior at 0.1:
+        # match fraction = (2*0.1 + 2) / (2 + 10) = 0.1833...
+        stats = mined(
+            attempt(op="sjq", items_sent=10, items_received=2)
+        )
+        match = (2 * stats.prior_selectivity + 2) / (2 + 10)
+        expected = match * stats.universe_size() / stats.distinct_items("R1")
+        assert stats.selectivity("R1", CONDITION) == pytest.approx(expected)
+
+    def test_zero_sent_semijoins_carry_no_evidence(self):
+        stats = mined(attempt(op="sjq", items_sent=0, items_received=0))
+        assert stats.observations == 0
+
+    def test_paired_sq_and_sjq_estimate_the_universe(self):
+        # sq saw n = 5 items; sjq matched 2 of 10 shipped bindings, so
+        # n / U = 2/10 and U ~ 5 * 10 / 2 = 25.
+        stats = mined(
+            attempt(op="sq", items_received=5),
+            attempt(op="sjq", items_sent=10, items_received=2),
+        )
+        assert stats.universe_size() == 25
+
+    def test_universe_override_wins(self):
+        log = EventLog()
+        log.emit(0.0, "attempt", **attempt(op="sq", items_received=5))
+        stats = ObservedStatistics.from_events(log, universe=500)
+        assert stats.universe_size() == 500
+
+    def test_disjoint_fallback_sums_distincts(self):
+        stats = mined(
+            attempt(op="lq", planned="R1", source="R1", rows_loaded=40,
+                    condition=""),
+            attempt(op="lq", planned="R2", source="R2", rows_loaded=60,
+                    condition=""),
+        )
+        assert stats.universe_size() == 100
+
+
+class TestAgainstTheOracle:
+    def warmup(self):
+        federation, query = dmv_fig1()
+        recorder = Recorder(metrics=None)
+        plan = build_filter_plan(query, federation.source_names)
+        federation.reset_traffic()
+        Executor(federation, recorder=recorder).execute(plan)
+        return federation, query, recorder
+
+    def test_filter_warmup_reproduces_sq_output_sizes(self):
+        # After one FILTER pass every (source, condition) selection count
+        # is known exactly, so the mined estimator's sq_output_size
+        # matches the oracle's for every pair the query touches.
+        federation, query, recorder = self.warmup()
+        stats = ObservedStatistics.from_events(recorder.events)
+        names = federation.source_names
+        observed = SizeEstimator(stats, names)
+        oracle = SizeEstimator(ExactStatistics(federation), names)
+        for condition in query.conditions:
+            for name in names:
+                assert observed.sq_output_size(
+                    condition, name
+                ) == pytest.approx(oracle.sq_output_size(condition, name))
+
+    def test_report_renders(self):
+        __, __, recorder = self.warmup()
+        stats = ObservedStatistics.from_events(recorder.events)
+        text = stats.report()
+        assert text.startswith("observed statistics:")
+        assert "sq counts" in text

@@ -106,3 +106,77 @@ class TestRuntimeBackend:
         first = capsys.readouterr().out
         assert main(args) == 0
         assert capsys.readouterr().out == first
+
+
+class TestTelemetry:
+    def test_profile_flag_prints_rollups(self, spec_path, capsys):
+        assert main(["query", spec_path, DMV_SQL, "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "profile:" in out
+        assert "observed/predicted" in out
+
+    def test_no_flags_no_telemetry(self, spec_path, capsys):
+        assert main(["query", spec_path, DMV_SQL]) == 0
+        out = capsys.readouterr().out
+        assert "profile:" not in out
+        assert "repro_runs_total" not in out
+
+    def test_metrics_json(self, spec_path, capsys):
+        assert main(["query", spec_path, DMV_SQL, "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert '"repro_runs_total{backend=\\"sequential\\"}"' in out
+
+    def test_metrics_prometheus(self, spec_path, capsys):
+        assert main(
+            ["query", spec_path, DMV_SQL, "--metrics", "prom"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_runs_total counter" in out
+
+    def test_emit_events_writes_valid_jsonl(self, spec_path, tmp_path, capsys):
+        from repro.obs import EventLog
+
+        log_path = str(tmp_path / "events.jsonl")
+        assert main(
+            ["query", spec_path, DMV_SQL, "--emit-events", log_path]
+        ) == 0
+        assert "wrote" in capsys.readouterr().out
+        log = EventLog.read(log_path)  # read() re-validates every line
+        assert len(log) > 0
+        assert log.of_type("run_end")
+
+    def test_emit_events_deterministic(self, spec_path, tmp_path, capsys):
+        paths = [str(tmp_path / f"events{i}.jsonl") for i in range(2)]
+        for path in paths:
+            assert main(
+                [
+                    "query", spec_path, DMV_SQL, "--runtime",
+                    "--fault-rate", "0.4", "--fault-seed", "3",
+                    "--emit-events", path,
+                ]
+            ) == 0
+        capsys.readouterr()
+        first, second = (open(path).read() for path in paths)
+        assert first and first == second
+
+    def test_observed_stats_closes_the_loop(self, spec_path, tmp_path, capsys):
+        log_path = str(tmp_path / "warmup.jsonl")
+        assert main(
+            ["query", spec_path, DMV_SQL, "--emit-events", log_path]
+        ) == 0
+        baseline = capsys.readouterr().out
+        assert main(
+            ["query", spec_path, DMV_SQL, "--observed-stats", log_path]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "planning from observed statistics:" in out
+        # the mined statistics still pick a correct plan
+        assert "J55, T21" in out and "J55, T21" in baseline
+
+    def test_runtime_backend_telemetry(self, spec_path, capsys):
+        assert main(
+            ["query", spec_path, DMV_SQL, "--runtime", "--profile"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "profile:" in out
+        assert "makespan" in out
