@@ -1,0 +1,94 @@
+"""R7 — plan-search scaling: subset DP and B&B vs the m! sweep."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.bench.extensions import run_search_scaling
+from repro.bench.harness import kit_for_federation, make_kit
+from repro.mediator.plan_cache import PlanCache
+from repro.mediator.session import Mediator
+from repro.optimize.sja import SJAOptimizer
+from repro.sources.generators import SyntheticConfig
+
+#: Wall-clock budget for one DP optimization at m = 10 — generous next
+#: to the measured ~0.1 s, tight next to the ~7 s factorial sweep.
+DP_M10_BUDGET_S = 2.0
+
+
+@pytest.fixture(scope="module")
+def wide_kit():
+    """A 10-condition query — the arity where the m! sweep collapses."""
+    config = SyntheticConfig(n_sources=4, n_entities=120, seed=900)
+    return make_kit(config, m=10)
+
+
+def optimize(kit, strategy):
+    return SJAOptimizer(search=strategy).optimize(
+        kit.query, kit.source_names, kit.cost_model, kit.estimator
+    )
+
+
+def test_dp_search_m10(benchmark, wide_kit):
+    # The tentpole claim: subset DP visits 2^m - 1 states where the
+    # sweep visits m! orderings, and stays inside a small wall budget.
+    result = benchmark(optimize, wide_kit, "dp")
+    assert result.search_strategy == "dp"
+    assert result.subsets_considered == 2**10 - 1
+    assert math.factorial(10) / result.subsets_considered >= 100
+    assert result.elapsed_s < DP_M10_BUDGET_S
+
+
+def test_bnb_search_m10(benchmark, wide_kit):
+    # Branch-and-bound expands a fraction of even the DP lattice.
+    result = benchmark(optimize, wide_kit, "bnb")
+    assert result.search_strategy == "bnb"
+    assert 0 < result.subsets_considered < 2**10 - 1
+
+
+def test_dp_matches_exhaustive_dmv(dmv):
+    # The CI acceptance smoke: on the paper's own Fig. 1 example the DP
+    # plan must be cost-identical (not approximately — identically) to
+    # the factorial sweep's.
+    federation, query = dmv
+    kit = kit_for_federation(federation, query)
+    sweep = optimize(kit, "exhaustive")
+    dp = optimize(kit, "dp")
+    assert dp.estimated_cost == sweep.estimated_cost
+    assert sweep.plans_considered == math.factorial(len(query.conditions))
+    assert dp.plans_considered == 0
+
+
+def test_plan_cache_lookup(benchmark, medium_kit):
+    # A cache hit must be orders of magnitude cheaper than planning:
+    # it is a fingerprint computation plus an OrderedDict move-to-end.
+    mediator = Mediator(medium_kit.federation, plan_cache=PlanCache())
+    mediator.plan(medium_kit.query)  # warm the cache
+
+    result = benchmark(mediator.plan, medium_kit.query)
+    assert result.plan.operations
+    assert mediator.plan_cache.hits >= 1
+    assert mediator.plan_cache.misses == 1
+
+
+def test_r7_report(benchmark, report_runner):
+    report = report_runner(benchmark, "R7")
+    assert "retiring the m! sweep" in report
+    assert "fewer" in report
+    assert "hit rate" in report
+
+
+def test_r7_smoke_params():
+    # The CI smoke job runs the sweep at tiny parameters; keep that
+    # entry point working without touching BENCH_R7.json.
+    report = run_search_scaling(
+        ms=(3, 4),
+        n_entities=60,
+        cache_queries=2,
+        cache_repeats=2,
+        bench_json=False,
+    )
+    assert "plan search scaling" in report
+    assert "bit-for-bit" in report

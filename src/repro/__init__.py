@@ -71,8 +71,10 @@ from repro.optimize import (
     SJAPlusOptimizer,
     SJOptimizer,
     SelectivityOrderOptimizer,
+    search_ordering,
 )
 from repro.mediator.executor import Executor
+from repro.mediator.plan_cache import PlanCache
 from repro.mediator.reference import reference_answer
 from repro.mediator.session import Mediator
 from repro.mediator.adaptive import AdaptiveExecutor
@@ -142,8 +144,10 @@ __all__ = [
     "GreedySJAOptimizer",
     "SelectivityOrderOptimizer",
     "JoinOverUnionOptimizer",
+    "search_ordering",
     "Executor",
     "Mediator",
+    "PlanCache",
     "reference_answer",
     "AdaptiveExecutor",
     "response_time",

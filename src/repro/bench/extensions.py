@@ -8,7 +8,13 @@ paper's caveats invite (dependence of conditions; estimate errors).
 
 from __future__ import annotations
 
+import json
+import math
+import os
+
+from repro.bench.harness import make_kit
 from repro.bench.report import Table, join_sections
+from repro.mediator.plan_cache import PlanCache
 from repro.costs.charge import ChargeCostModel
 from repro.costs.correlation import CorrelatedSizeEstimator, CorrelationModel
 from repro.costs.estimates import SizeEstimator
@@ -962,4 +968,193 @@ def run_observed_stats(
     return join_sections(
         "=== R6: observed statistics — mine the logs, close the loop ===",
         table.render(),
+    )
+
+
+def run_search_scaling(
+    ms: tuple[int, ...] = (4, 7, 10),
+    strategies: tuple[str, ...] = ("exhaustive", "dp", "bnb", "beam"),
+    n_sources: int = 4,
+    n_entities: int = 120,
+    seed: int = 900,
+    cache_queries: int = 5,
+    cache_repeats: int = 4,
+    bench_json: bool = True,
+) -> str:
+    """R7: subset-DP plan search vs the m! sweep, plus plan-cache hit rate.
+
+    Sweeps query arity ``m`` across search strategies on one synthetic
+    federation, recording optimizer wall-clock, states considered
+    (orderings for the factorial sweep, subsets for DP/B&B/beam), and the
+    chosen plan's estimated cost.  Every exact strategy must agree with
+    the exhaustive sweep's cost bit-for-bit; beam is reported separately
+    as inexact.  A second table measures the mediator plan cache under a
+    repeated-query workload: repeats must never re-enter the optimizer.
+
+    When ``bench_json`` is true the per-cell rows are also written to
+    ``BENCH_R7.json`` in the current directory for CI trend tracking.
+    """
+    config = SyntheticConfig(
+        n_sources=n_sources, n_entities=n_entities, seed=seed
+    )
+    table = Table(
+        "plan search scaling (synthetic federation, "
+        f"n={n_sources} sources, {n_entities} entities)",
+        [
+            "m",
+            "strategy",
+            "states",
+            "optimize ms",
+            "estimated cost",
+            "vs m! sweep",
+            "exact",
+        ],
+    )
+    rows: list[dict] = []
+    worst_ratio = 0.0
+    for m in ms:
+        kit = make_kit(config, m)
+        baseline_cost: float | None = None
+        baseline_states: int | None = None
+        baseline_ms: float | None = None
+        for strategy in strategies:
+            optimizer = SJAOptimizer(search=strategy)
+            result = optimizer.optimize(
+                kit.query, kit.source_names, kit.cost_model, kit.estimator
+            )
+            states = result.plans_considered or result.subsets_considered
+            elapsed_ms = result.elapsed_s * 1e3
+            if strategy == "exhaustive":
+                baseline_cost = result.estimated_cost
+                baseline_states = states
+                baseline_ms = elapsed_ms
+            exact = result.search_strategy != "beam"
+            if exact and baseline_cost is not None:
+                if result.estimated_cost != baseline_cost:
+                    raise AssertionError(
+                        f"{strategy} at m={m} found cost "
+                        f"{result.estimated_cost!r}, exhaustive found "
+                        f"{baseline_cost!r} — exact strategies must agree"
+                    )
+            speedup = "-"
+            if strategy != "exhaustive" and baseline_states:
+                speedup = f"{baseline_states / states:.0f}x fewer"
+            table.add_row(
+                [
+                    m,
+                    result.search_strategy,
+                    states,
+                    elapsed_ms,
+                    result.estimated_cost,
+                    speedup,
+                    "yes" if exact else "no",
+                ]
+            )
+            if not exact and baseline_cost:
+                worst_ratio = max(
+                    worst_ratio, result.estimated_cost / baseline_cost
+                )
+            rows.append(
+                {
+                    "m": m,
+                    "strategy": result.search_strategy,
+                    "elapsed_s": result.elapsed_s,
+                    "plans_considered": states,
+                    "cost": result.estimated_cost,
+                }
+            )
+        if baseline_states is not None and "dp" in strategies:
+            dp_states = next(
+                r["plans_considered"]
+                for r in rows
+                if r["m"] == m and r["strategy"] == "dp"
+            )
+            if baseline_states >= math.factorial(10):
+                ratio = baseline_states / dp_states
+                if ratio < 100:
+                    raise AssertionError(
+                        f"DP considered only {ratio:.0f}x fewer states "
+                        f"than the m! sweep at m={m}; expected >= 100x"
+                    )
+        del baseline_ms
+    table.add_note(
+        "states = orderings enumerated (exhaustive) or subset-DP / "
+        "branch-and-bound states expanded (dp, bnb, beam)"
+    )
+    table.add_note(
+        "acceptance: every exact strategy matches the m! sweep's cost "
+        "bit-for-bit; DP considers >= 100x fewer states by m=10"
+    )
+    if worst_ratio:
+        table.add_note(
+            f"beam (inexact) stayed within {worst_ratio:.3f}x of optimal"
+        )
+
+    cache_table = Table(
+        "mediator plan cache under a repeated-query workload",
+        [
+            "distinct queries",
+            "lookups",
+            "optimizer calls",
+            "hits",
+            "misses",
+            "hit rate",
+        ],
+    )
+    kit = make_kit(config, 3)
+    calls = {"n": 0}
+
+    class _CountingOptimizer(SJAOptimizer):
+        def optimize(self, query, source_names, cost_model, estimator):
+            calls["n"] += 1
+            return super().optimize(
+                query, source_names, cost_model, estimator
+            )
+
+    mediator = Mediator(
+        kit.federation,
+        optimizer=_CountingOptimizer(search="dp"),
+        plan_cache=PlanCache(),
+    )
+    queries = [
+        synthetic_query(config, m=3, seed=seed + 2000 + i)
+        for i in range(cache_queries)
+    ]
+    lookups = 0
+    for _ in range(cache_repeats):
+        for query in queries:
+            mediator.plan(query)
+            lookups += 1
+    cache = mediator.plan_cache
+    if calls["n"] != len(queries):
+        raise AssertionError(
+            f"{calls['n']} optimizer calls for {len(queries)} distinct "
+            "queries — repeats must be served from the plan cache"
+        )
+    cache_table.add_row(
+        [
+            len(queries),
+            lookups,
+            calls["n"],
+            cache.hits,
+            cache.misses,
+            cache.hit_rate,
+        ]
+    )
+    cache_table.add_note(
+        "acceptance: optimizer calls == distinct queries; every repeat "
+        "is a cache hit (zero optimizer invocations)"
+    )
+    cache_table.add_note(cache.summary())
+
+    if bench_json:
+        path = os.path.join(os.getcwd(), "BENCH_R7.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(rows, fh, indent=2)
+            fh.write("\n")
+
+    return join_sections(
+        "=== R7: plan-search scaling — retiring the m! sweep ===",
+        table.render(),
+        cache_table.render(),
     )

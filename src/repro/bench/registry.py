@@ -25,6 +25,7 @@ from repro.bench.extensions import (
     run_resilience,
     run_response_time,
     run_robust_planning,
+    run_search_scaling,
 )
 from repro.bench.report import write_metrics, write_report
 from repro.obs.metrics import MetricsRegistry, traffic_metrics_observer
@@ -54,6 +55,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[], str]]] = {
     "R4": ("resilience: hedging, breakers, replanning", run_resilience),
     "R5": ("robust planning: completeness-aware optimization", run_robust_planning),
     "R6": ("observed statistics close the planning loop", run_observed_stats),
+    "R7": ("plan-search scaling: subset DP vs the m! sweep", run_search_scaling),
     "A1": ("adaptive execution vs static plans", run_adaptive),
     "C7": ("condition correlation vs independence", run_correlation),
     "C8": ("data overlap ablation", run_overlap),

@@ -38,6 +38,7 @@ from repro.optimize import (
     SJAPlusOptimizer,
     SJOptimizer,
 )
+from repro.optimize.search import DEFAULT_BEAM_WIDTH, STRATEGIES
 from repro.query.sqlparse import parse_fusion_query
 from repro.sources.generators import dmv_fig1
 
@@ -48,6 +49,19 @@ _OPTIMIZERS = {
     "sja+": SJAPlusOptimizer,
     "greedy": GreedySJAOptimizer,
 }
+
+#: Optimizers whose constructors accept search=/beam_width=.
+_SEARCHABLE = {"sj", "sja", "sja+"}
+
+
+def _make_optimizer(
+    name: str, search: str = "auto", beam_width: int = DEFAULT_BEAM_WIDTH
+):
+    """Instantiate a named optimizer, passing search knobs where they apply."""
+    factory = _OPTIMIZERS[name]
+    if name in _SEARCHABLE:
+        return factory(search=search, beam_width=beam_width)
+    return factory()
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -73,6 +87,23 @@ def _build_parser() -> argparse.ArgumentParser:
                 choices=sorted(_OPTIMIZERS),
                 default="sja+",
                 help="planning algorithm (default: sja+)",
+            )
+            sub.add_argument(
+                "--search",
+                choices=STRATEGIES,
+                default="auto",
+                help="plan-search strategy: exhaustive is the faithful "
+                "m! sweep, dp/bnb the exact subset search, beam an "
+                "inexact fallback; auto picks by query arity "
+                "(default: auto)",
+            )
+            sub.add_argument(
+                "--beam-width",
+                type=int,
+                default=DEFAULT_BEAM_WIDTH,
+                metavar="K",
+                help="beam width for --search beam "
+                f"(default: {DEFAULT_BEAM_WIDTH})",
             )
         if name == "query":
             sub.add_argument(
@@ -191,6 +222,17 @@ def _build_parser() -> argparse.ArgumentParser:
                 "log (a --emit-events file from a warm-up run) instead "
                 "of the oracle",
             )
+            sub.add_argument(
+                "--plan-cache",
+                nargs="?",
+                const=128,
+                type=int,
+                default=None,
+                metavar="N",
+                help="cache optimized plans (LRU, capacity N, default "
+                "128) keyed on query + statistics fingerprints; "
+                "repeated queries skip the optimizer",
+            )
 
     export = subparsers.add_parser(
         "export-dmv", help="write the Fig. 1 federation as a spec file"
@@ -281,6 +323,9 @@ def _command_query(
     profile: bool = False,
     emit_events: str | None = None,
     observed_stats: str | None = None,
+    search: str = "auto",
+    beam_width: int = DEFAULT_BEAM_WIDTH,
+    plan_cache: int | None = None,
 ) -> int:
     federation = load_federation(spec)
     recorder = _make_recorder(metrics, profile, emit_events)
@@ -293,13 +338,21 @@ def _command_query(
             load_balance=load_balance,
             recorder=recorder, statistics=statistics,
             metrics=metrics, profile=profile, emit_events=emit_events,
+            search=search, beam_width=beam_width, plan_cache=plan_cache,
         )
     mediator = Mediator(
         federation,
         statistics=statistics,
-        optimizer="robust" if robust else _OPTIMIZERS[optimizer_name](),
+        optimizer=(
+            "robust"
+            if robust
+            else _make_optimizer(optimizer_name, search, beam_width)
+        ),
         robustness=robustness,
         recorder=recorder,
+        plan_cache=plan_cache,
+        search=search,
+        beam_width=beam_width,
     )
     if adaptive:
         return _run_adaptive(mediator, sql)
@@ -310,6 +363,8 @@ def _command_query(
     print()
     print("answer:", ", ".join(sorted(map(str, answer.items))) or "(empty)")
     print(answer.summary())
+    if mediator.plan_cache is not None:
+        print(mediator.plan_cache.summary())
     _emit_telemetry(answer, recorder, metrics, profile, emit_events)
     return 0
 
@@ -333,6 +388,9 @@ def _run_runtime(
     metrics: str | None = None,
     profile: bool = False,
     emit_events: str | None = None,
+    search: str = "auto",
+    beam_width: int = DEFAULT_BEAM_WIDTH,
+    plan_cache: int | None = None,
 ) -> int:
     from repro.runtime import (
         BreakerConfig,
@@ -350,7 +408,11 @@ def _run_runtime(
     mediator = Mediator(
         federation,
         statistics=statistics,
-        optimizer="robust" if robust else _OPTIMIZERS[optimizer_name](),
+        optimizer=(
+            "robust"
+            if robust
+            else _make_optimizer(optimizer_name, search, beam_width)
+        ),
         backend="runtime",
         faults=FaultInjector(FaultProfile.flaky(fault_rate), seed=fault_seed),
         retry_policy=RetryPolicy(max_retries=retries),
@@ -360,6 +422,9 @@ def _run_runtime(
         robustness=robustness,
         load_balance=load_balance,
         recorder=recorder,
+        plan_cache=plan_cache,
+        search=search,
+        beam_width=beam_width,
     )
     answer = mediator.answer(sql)
     assert answer.runtime is not None
@@ -419,10 +484,17 @@ def _run_adaptive(mediator: Mediator, sql: str) -> int:
     return 0
 
 
-def _command_explain(spec: str, sql: str, optimizer_name: str) -> int:
+def _command_explain(
+    spec: str,
+    sql: str,
+    optimizer_name: str,
+    search: str = "auto",
+    beam_width: int = DEFAULT_BEAM_WIDTH,
+) -> int:
     federation = load_federation(spec)
     mediator = Mediator(
-        federation, optimizer=_OPTIMIZERS[optimizer_name]()
+        federation,
+        optimizer=_make_optimizer(optimizer_name, search, beam_width),
     )
     print(mediator.explain(sql))
     return 0
@@ -474,9 +546,18 @@ def main(argv: list[str] | None = None) -> int:
                 profile=args.profile,
                 emit_events=args.emit_events,
                 observed_stats=args.observed_stats,
+                search=args.search,
+                beam_width=args.beam_width,
+                plan_cache=args.plan_cache,
             )
         if args.command == "explain":
-            return _command_explain(args.spec, args.sql, args.optimizer)
+            return _command_explain(
+                args.spec,
+                args.sql,
+                args.optimizer,
+                search=args.search,
+                beam_width=args.beam_width,
+            )
         if args.command == "check":
             return _command_check(args.spec, args.sql)
         return _command_export_dmv(args.path)

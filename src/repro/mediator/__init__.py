@@ -6,6 +6,9 @@
   simulated network;
 * :mod:`~repro.mediator.reference` — the correctness oracle: materialize
   ``U`` and evaluate the fusion query definition directly;
+* :mod:`~repro.mediator.plan_cache` — the LRU :class:`PlanCache`
+  (canonical query fingerprint + statistics fingerprint) that lets
+  repeated fusion queries skip optimization entirely;
 * :mod:`~repro.mediator.session` — the :class:`Mediator` facade a
   downstream user talks to: register a federation, hand it SQL or a
   :class:`~repro.query.fusion.FusionQuery`, get the fused answer (and
@@ -13,6 +16,7 @@
 """
 
 from repro.mediator.executor import ExecutionResult, Executor, StepTrace
+from repro.mediator.plan_cache import PlanCache
 from repro.mediator.reference import reference_answer
 from repro.mediator.session import Mediator, MediatorAnswer
 
@@ -23,4 +27,5 @@ __all__ = [
     "reference_answer",
     "Mediator",
     "MediatorAnswer",
+    "PlanCache",
 ]

@@ -1,0 +1,144 @@
+"""Mediator-level plan cache: repeated fusion queries skip the optimizer.
+
+A fusion query's optimal plan depends only on the query itself (merge
+attribute + condition *set* — condition order is irrelevant to the plan
+space), the sources planned over, and the statistics snapshot the cost
+arithmetic read.  :class:`PlanCache` keys entries on exactly those three
+things:
+
+* a canonical **query fingerprint** — merge attribute plus the sorted
+  SQL forms of the conditions, so ``a AND b`` and ``b AND a`` share an
+  entry while any changed constant misses;
+* the planned **source tuple** — replica-group representative sets can
+  change as groups are declared;
+* a **statistics fingerprint** — providers that learn over time (e.g.
+  :class:`~repro.sources.observed.ObservedStatistics`) expose a
+  ``fingerprint()`` that changes with every refresh, so cached plans
+  computed from stale statistics are invalidated cleanly.  Providers
+  without the method are treated as immutable per instance (true for
+  :class:`~repro.sources.statistics.ExactStatistics` and friends).
+
+Eviction is LRU with a fixed capacity: heavy-traffic mediators serve a
+small working set of repeated queries (the paper's Sec. 1 motivation),
+so a bounded cache captures nearly all hits without growing without
+limit.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Sequence
+
+from repro.errors import OptimizationError
+from repro.optimize.base import OptimizationResult
+from repro.query.fusion import FusionQuery
+from repro.sources.statistics import StatisticsProvider
+
+#: Default number of plans kept (LRU beyond this).
+DEFAULT_CAPACITY = 128
+
+
+def query_fingerprint(query: FusionQuery) -> str:
+    """Canonical text form: merge attribute + sorted condition SQL."""
+    conditions = "&".join(
+        sorted(condition.to_sql() for condition in query.conditions)
+    )
+    return f"{query.merge_attribute}|{conditions}"
+
+
+def statistics_fingerprint(statistics: StatisticsProvider) -> str:
+    """The provider's own ``fingerprint()`` or an identity token."""
+    method = getattr(statistics, "fingerprint", None)
+    if callable(method):
+        return str(method())
+    return f"{type(statistics).__name__}@{id(statistics):x}"
+
+
+class PlanCache:
+    """An LRU map from (query, sources, statistics) to optimization results.
+
+    Example:
+        >>> from repro.sources.generators import dmv_fig1
+        >>> from repro.mediator.session import Mediator
+        >>> federation, query = dmv_fig1()
+        >>> mediator = Mediator(federation, plan_cache=PlanCache(capacity=8))
+        >>> first = mediator.answer(query)
+        >>> second = mediator.answer(query)   # optimizer not invoked
+        >>> mediator.plan_cache.hits, mediator.plan_cache.misses
+        (1, 1)
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise OptimizationError(
+                f"plan cache capacity must be >= 1, got {capacity}"
+            )
+        self.capacity = capacity
+        self._entries: OrderedDict[
+            tuple[str, tuple[str, ...], str], OptimizationResult
+        ] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def _key(
+        self,
+        query: FusionQuery,
+        sources: Sequence[str],
+        statistics: StatisticsProvider,
+    ) -> tuple[str, tuple[str, ...], str]:
+        return (
+            query_fingerprint(query),
+            tuple(sources),
+            statistics_fingerprint(statistics),
+        )
+
+    def get(
+        self,
+        query: FusionQuery,
+        sources: Sequence[str],
+        statistics: StatisticsProvider,
+    ) -> OptimizationResult | None:
+        """The cached result, refreshed to most-recently-used, or None."""
+        key = self._key(query, sources, statistics)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(
+        self,
+        query: FusionQuery,
+        sources: Sequence[str],
+        statistics: StatisticsProvider,
+        result: OptimizationResult,
+    ) -> None:
+        key = self._key(query, sources, statistics)
+        self._entries[key] = result
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry and reset the hit/miss counters."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 before the first lookup)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"plan cache: {len(self)}/{self.capacity} entries, "
+            f"{self.hits} hits / {self.misses} misses "
+            f"(hit rate {self.hit_rate:.0%})"
+        )

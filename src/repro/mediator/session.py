@@ -29,9 +29,11 @@ from repro.costs.estimates import SizeEstimator
 from repro.costs.model import CostModel
 from repro.errors import CostModelError, ExecutionError
 from repro.mediator.executor import ExecutionResult, Executor
+from repro.mediator.plan_cache import PlanCache
 from repro.mediator.reference import reference_answer
 from repro.optimize.base import OptimizationResult, Optimizer
 from repro.optimize.robust import RobustOptimizer
+from repro.optimize.search import DEFAULT_BEAM_WIDTH
 from repro.optimize.sja_plus import SJAPlusOptimizer
 from repro.plans.cost import estimate_plan_cost
 from repro.plans.plan import Plan
@@ -117,8 +119,19 @@ class Mediator:
             off by default because a real mediator has no oracle.
         max_retries: Per-operation retry budget for transient failures.
         cache_plans: Reuse optimization results for repeated identical
-            queries (statistics are static per mediator, so cached plans
-            never go stale).  ``clear_plan_cache()`` resets it.
+            queries (shorthand for ``plan_cache=True``).
+            ``clear_plan_cache()`` resets it.
+        plan_cache: A :class:`~repro.mediator.plan_cache.PlanCache`
+            instance, a capacity (int), or ``True`` for the default
+            capacity.  Entries are keyed on a canonical query
+            fingerprint plus the statistics provider's fingerprint, so
+            an :class:`~repro.sources.observed.ObservedStatistics`
+            refresh invalidates stale plans automatically.
+        search: Plan-search strategy (``"auto"``, ``"exhaustive"``,
+            ``"dp"``, ``"bnb"``, ``"beam"``) handed to the default
+            optimizer stack; ignored when an ``optimizer`` instance is
+            supplied (configure that instance directly).
+        beam_width: Beam width for ``search="beam"``.
         backend: ``"sequential"`` executes plans one operation at a time
             (the paper's total-work setting); ``"runtime"`` executes
             them concurrently on the discrete-event engine of
@@ -171,6 +184,9 @@ class Mediator:
         robustness: float = 1.0,
         load_balance: bool = False,
         recorder=None,
+        plan_cache: PlanCache | int | bool | None = None,
+        search: str = "auto",
+        beam_width: int = DEFAULT_BEAM_WIDTH,
     ):
         if backend not in BACKENDS:
             raise ValueError(
@@ -234,13 +250,17 @@ class Mediator:
                     or breaker is not None
                     or self.max_replans > 0
                 ),
+                search=search,
+                beam_width=beam_width,
             )
         elif isinstance(optimizer, str):
             raise ValueError(
                 f"unknown optimizer {optimizer!r}; pass an Optimizer "
                 "instance or the string 'robust'"
             )
-        self.optimizer: Optimizer = optimizer or SJAPlusOptimizer()
+        self.optimizer: Optimizer = optimizer or SJAPlusOptimizer(
+            search=search, beam_width=beam_width
+        )
         self.replanner = (
             ResilientExecutor(
                 federation,
@@ -258,9 +278,16 @@ class Mediator:
             if self.max_replans > 0
             else None
         )
-        self.cache_plans = cache_plans
-        self._plan_cache: dict[FusionQuery, OptimizationResult] = {}
-        self.plan_cache_hits = 0
+        if plan_cache is True:
+            plan_cache = PlanCache()
+        elif plan_cache is False:
+            plan_cache = None
+        elif isinstance(plan_cache, int):
+            plan_cache = PlanCache(capacity=plan_cache)
+        if plan_cache is None and cache_plans:
+            plan_cache = PlanCache()
+        self.plan_cache: PlanCache | None = plan_cache
+        self.cache_plans = plan_cache is not None
 
     # ------------------------------------------------------------------
 
@@ -281,29 +308,31 @@ class Mediator:
         query = self._coerce(query)
         return self._optimize(query)
 
+    @property
+    def plan_cache_hits(self) -> int:
+        """Lifetime cache hits (0 when no plan cache is configured)."""
+        return self.plan_cache.hits if self.plan_cache is not None else 0
+
     def _optimize(self, query: FusionQuery) -> OptimizationResult:
-        if self.cache_plans:
-            cached = self._plan_cache.get(query)
-            if cached is not None:
-                self.plan_cache_hits += 1
-                return cached
         # Plan over one representative per replica group: declared
         # mirrors hold identical rows, so querying them is pure
         # duplicated work — they serve as failover capacity instead.
+        sources = self.federation.representative_names
+        if self.plan_cache is not None:
+            cached = self.plan_cache.get(query, sources, self.statistics)
+            if cached is not None:
+                return cached
         result = self.optimizer.optimize(
-            query,
-            self.federation.representative_names,
-            self.cost_model,
-            self.estimator,
+            query, sources, self.cost_model, self.estimator
         )
-        if self.cache_plans:
-            self._plan_cache[query] = result
+        if self.plan_cache is not None:
+            self.plan_cache.put(query, sources, self.statistics, result)
         return result
 
     def clear_plan_cache(self) -> None:
         """Drop all cached plans (e.g. after swapping the cost model)."""
-        self._plan_cache.clear()
-        self.plan_cache_hits = 0
+        if self.plan_cache is not None:
+            self.plan_cache.clear()
 
     def execute(self, plan: Plan) -> ExecutionResult:
         """Execute a previously produced plan."""
@@ -397,10 +426,14 @@ class Mediator:
             result.plan, self.cost_model, self.estimator
         )
         labels = result.plan.condition_labels()
+        if result.subsets_considered and not result.plans_considered:
+            searched = f"{result.subsets_considered} subsets considered"
+        else:
+            searched = f"{result.plans_considered} plans considered"
         lines = [
             query.describe(),
             f"optimizer: {result.optimizer} "
-            f"({result.plans_considered} plans considered)",
+            f"({searched}, {result.search_strategy} search)",
         ]
         for step in breakdown.steps:
             lines.append(

@@ -15,9 +15,23 @@ baselines used in evaluation:
   — brute-force searches over the full spec spaces (validation only);
 * :class:`JoinOverUnionOptimizer` — the Sec. 5 "distribute the join over
   the union" strategy of resolution-based mediators (n^m SPJ subplans).
+
+The staged optimizers share the plan-search strategies of
+:mod:`repro.optimize.search` (``search="auto"|"exhaustive"|"dp"|"bnb"|
+"beam"``): the faithful factorial sweep at small m, the exact subset DP
+and branch-and-bound beyond it, beam search past the 2^m budget.
 """
 
 from repro.optimize.base import OptimizationResult, Optimizer
+from repro.optimize.search import (
+    DEFAULT_BEAM_WIDTH,
+    STRATEGIES,
+    MemoizedCostModel,
+    SearchOutcome,
+    beam_search,
+    resolve_strategy,
+    search_ordering,
+)
 from repro.optimize.filter import FilterOptimizer
 from repro.optimize.sj import SJOptimizer
 from repro.optimize.sja import SJAOptimizer
@@ -59,4 +73,11 @@ __all__ = [
     "RobustOptimizer",
     "RobustOptimizationResult",
     "CandidateScore",
+    "STRATEGIES",
+    "DEFAULT_BEAM_WIDTH",
+    "MemoizedCostModel",
+    "SearchOutcome",
+    "beam_search",
+    "resolve_strategy",
+    "search_ordering",
 ]

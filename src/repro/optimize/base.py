@@ -31,9 +31,18 @@ class OptimizationResult:
             accounting (the Figs. 3/4 arithmetic for the staged
             optimizers; the generic plan coster for SJA+ and baselines).
         optimizer: Name of the producing algorithm.
-        orderings_considered: How many condition orderings were examined.
-        plans_considered: How many complete plans were costed.
+        orderings_considered: How many complete condition orderings were
+            enumerated (0 when a subset-based search strategy is used —
+            those never materialize orderings).
+        plans_considered: How many complete plans were costed by
+            enumeration (matches ``orderings_considered`` for the staged
+            optimizers; 0 under subset-based strategies).
         elapsed_s: Wall-clock optimization time.
+        search_strategy: The concrete plan-search strategy that produced
+            the plan (``"exhaustive"``, ``"dp"``, ``"bnb"``, ``"beam"``
+            — never ``"auto"``).
+        subsets_considered: Subset states expanded by a subset-based
+            strategy (0 for exhaustive enumeration).
     """
 
     plan: Plan
@@ -42,12 +51,18 @@ class OptimizationResult:
     orderings_considered: int = 0
     plans_considered: int = 0
     elapsed_s: float = 0.0
+    search_strategy: str = "exhaustive"
+    subsets_considered: int = 0
 
     def summary(self) -> str:
+        if self.subsets_considered and not self.plans_considered:
+            searched = f"{self.subsets_considered} subsets considered"
+        else:
+            searched = f"{self.plans_considered} plans considered"
         return (
             f"{self.optimizer}: cost {self.estimated_cost:.1f}, "
             f"{self.plan.remote_op_count} source queries, "
-            f"{self.plans_considered} plans considered "
+            f"{searched} ({self.search_strategy}) "
             f"in {self.elapsed_s * 1e3:.2f} ms"
         )
 

@@ -21,6 +21,15 @@ can interact through the schedule — but it exposes the real tension the
 paper anticipated: filter plans finish in one parallel round while
 semijoin chains serialize on ``X_{i-1}``, so the total-work winner and
 the response-time winner often differ (benchmark R1).
+
+Makespan is *not* stage-additive (selections pipeline past stage
+boundaries in :mod:`repro.mediator.schedule`), so the subset strategies
+of :mod:`repro.optimize.search` cannot score it exactly.  For m past
+the factorial budget they search an additive *stage-frontier surrogate*
+— each stage costs the maximum per-source time it adds — and the
+surviving ordering(s) are re-scored by the true schedule.  The
+``exhaustive`` strategy (the ``auto`` default at small m) keeps exact
+true-schedule scoring for every ordering, as before.
 """
 
 from __future__ import annotations
@@ -33,6 +42,16 @@ from repro.costs.estimates import SizeEstimator
 from repro.costs.model import CostModel
 from repro.mediator.schedule import Schedule, estimated_response_time
 from repro.optimize.base import OptimizationResult, Optimizer, _Stopwatch
+from repro.optimize.search import (
+    DEFAULT_BEAM_WIDTH,
+    MemoizedCostModel,
+    SearchOutcome,
+    StagedEstimatorProblem,
+    StageOutcome,
+    beam_search,
+    resolve_strategy,
+    search_ordering,
+)
 from repro.plans.builder import (
     IntersectPolicy,
     StagedChoice,
@@ -41,6 +60,49 @@ from repro.plans.builder import (
 from repro.query.fusion import FusionQuery
 from repro.sources.capabilities import SemijoinSupport
 from repro.sources.registry import Federation
+
+
+class ResponseTimeStagedProblem(StagedEstimatorProblem):
+    """Additive surrogate for makespan: per-stage parallel frontier.
+
+    Each stage costs ``max`` over sources of the time-greedy option's
+    estimated duration — the wall-clock the stage adds if nothing
+    pipelines across its boundary.  Additive by construction, so the
+    subset strategies apply; the true schedule re-scores survivors.
+    """
+
+    def __init__(self, conditions, source_names, cost_model, estimator, optimizer):
+        super().__init__(conditions, source_names, cost_model, estimator)
+        self.optimizer = optimizer
+
+    def first_stage(self, index: int) -> StageOutcome:
+        condition = self.conditions[index]
+        frontier = 0.0
+        for source_name in self.source_names:
+            frontier = max(
+                frontier,
+                self.optimizer._selection_time(
+                    condition, source_name, self.estimator
+                ),
+            )
+        payload = tuple([StagedChoice.SELECTION] * len(self.source_names))
+        return StageOutcome(frontier, payload)
+
+    def later_stage(self, index: int, prefix_size: float) -> StageOutcome:
+        condition = self.conditions[index]
+        frontier = 0.0
+        stage_choices = []
+        for source_name in self.source_names:
+            choice, duration = self.optimizer._stage_source_timing(
+                condition,
+                source_name,
+                prefix_size,
+                self.cost_model,
+                self.estimator,
+            )
+            stage_choices.append(choice)
+            frontier = max(frontier, duration)
+        return StageOutcome(frontier, tuple(stage_choices))
 
 
 class ResponseTimeSJAOptimizer(Optimizer):
@@ -67,8 +129,15 @@ class ResponseTimeSJAOptimizer(Optimizer):
 
     name = "SJA-RT"
 
-    def __init__(self, federation: Federation):
+    def __init__(
+        self,
+        federation: Federation,
+        search: str = "auto",
+        beam_width: int = DEFAULT_BEAM_WIDTH,
+    ):
         self.federation = federation
+        self.search = search
+        self.beam_width = beam_width
         #: Makespan of the winning plan (seconds); set by optimize().
         self.last_schedule: Schedule | None = None
 
@@ -81,24 +150,64 @@ class ResponseTimeSJAOptimizer(Optimizer):
     ) -> OptimizationResult:
         self._check_inputs(query, source_names)
         m = query.arity
+        resolved = resolve_strategy(self.search, m)
         best_schedule: Schedule | None = None
         best_plan = None
         orderings = 0
+        subsets = 0
         with _Stopwatch() as watch:
-            for ordering in permutations(range(m)):
-                orderings += 1
-                plan = self._build_time_greedy_plan(
-                    query, ordering, source_names, cost_model, estimator
+            if resolved == "exhaustive":
+                for ordering in permutations(range(m)):
+                    orderings += 1
+                    plan = self._build_time_greedy_plan(
+                        query, ordering, source_names, cost_model, estimator
+                    )
+                    schedule = estimated_response_time(
+                        plan, self.federation, estimator
+                    )
+                    if (
+                        best_schedule is None
+                        or schedule.makespan_s < best_schedule.makespan_s
+                    ):
+                        best_schedule = schedule
+                        best_plan = plan
+            else:
+                # Subset search over the additive surrogate; candidates
+                # (one for dp/bnb, the survivors for beam) are re-scored
+                # by the true schedule, which pipelines across stages.
+                problem = ResponseTimeStagedProblem(
+                    query.conditions,
+                    source_names,
+                    MemoizedCostModel(cost_model),
+                    estimator,
+                    self,
                 )
-                schedule = estimated_response_time(
-                    plan, self.federation, estimator
-                )
-                if (
-                    best_schedule is None
-                    or schedule.makespan_s < best_schedule.makespan_s
-                ):
-                    best_schedule = schedule
-                    best_plan = plan
+                if resolved == "beam":
+                    candidates: tuple[SearchOutcome, ...] = beam_search(
+                        problem, m, self.beam_width
+                    )
+                else:
+                    candidates = (
+                        search_ordering(problem, m, resolved),
+                    )
+                for outcome in candidates:
+                    subsets = max(subsets, outcome.subsets_considered)
+                    plan = build_staged_plan(
+                        query,
+                        outcome.ordering,
+                        outcome.payloads,
+                        source_names,
+                        intersect_policy=IntersectPolicy.ALWAYS,
+                    )
+                    schedule = estimated_response_time(
+                        plan, self.federation, estimator
+                    )
+                    if (
+                        best_schedule is None
+                        or schedule.makespan_s < best_schedule.makespan_s
+                    ):
+                        best_schedule = schedule
+                        best_plan = plan
             assert best_plan is not None and best_schedule is not None
         self.last_schedule = best_schedule
         return OptimizationResult(
@@ -110,6 +219,8 @@ class ResponseTimeSJAOptimizer(Optimizer):
             orderings_considered=orderings,
             plans_considered=orderings,
             elapsed_s=watch.elapsed,
+            search_strategy=resolved,
+            subsets_considered=subsets,
         )
 
     # ------------------------------------------------------------------
@@ -157,16 +268,36 @@ class ResponseTimeSJAOptimizer(Optimizer):
         cost_model: CostModel,
         estimator: SizeEstimator,
     ) -> StagedChoice:
+        choice, __ = self._stage_source_timing(
+            condition, source_name, prefix_size, cost_model, estimator
+        )
+        return choice
+
+    def _selection_time(
+        self, condition, source_name: str, estimator: SizeEstimator
+    ) -> float:
         source = self.federation.source(source_name)
+        return source.link.request_time_s(
+            0, math.ceil(estimator.sq_output_size(condition, source_name))
+        )
+
+    def _stage_source_timing(
+        self,
+        condition,
+        source_name: str,
+        prefix_size: float,
+        cost_model: CostModel,
+        estimator: SizeEstimator,
+    ) -> tuple[StagedChoice, float]:
+        """Time-greedy option for one (condition, source) and its duration."""
+        source = self.federation.source(source_name)
+        selection_time = self._selection_time(condition, source_name, estimator)
         if source.capabilities.semijoin is SemijoinSupport.UNSUPPORTED:
-            return StagedChoice.SELECTION
+            return StagedChoice.SELECTION, selection_time
         if not math.isfinite(
             cost_model.sjq_cost(condition, source_name, prefix_size)
         ):
-            return StagedChoice.SELECTION
-        selection_time = source.link.request_time_s(
-            0, math.ceil(estimator.sq_output_size(condition, source_name))
-        )
+            return StagedChoice.SELECTION, selection_time
         bindings = math.ceil(prefix_size)
         received = math.ceil(
             estimator.sjq_output_size(condition, source_name, prefix_size)
@@ -178,8 +309,8 @@ class ResponseTimeSJAOptimizer(Optimizer):
             semijoin_time = source.link.request_time_s(bindings, received)
             semijoin_time += (requests - 1) * 2 * source.link.latency_s
         if selection_time <= semijoin_time:
-            return StagedChoice.SELECTION
-        return StagedChoice.SEMIJOIN
+            return StagedChoice.SELECTION, selection_time
+        return StagedChoice.SEMIJOIN, semijoin_time
 
 
 def compare_work_vs_response(

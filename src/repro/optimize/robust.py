@@ -50,6 +50,7 @@ from repro.costs.estimates import SizeEstimator
 from repro.costs.model import CostModel
 from repro.errors import CostModelError
 from repro.optimize.base import OptimizationResult, Optimizer, _Stopwatch
+from repro.optimize.search import DEFAULT_BEAM_WIDTH
 from repro.optimize.sja import SJAOptimizer
 from repro.optimize.sja_plus import SJAPlusOptimizer
 from repro.plans.builder import build_filter_plan
@@ -115,6 +116,9 @@ class RobustOptimizer(Optimizer):
             redundancy already exists at execution time.
         dual_path: Allow candidates that plan replica-group mirrors as
             real work (only relevant without failover).
+        search: Plan-search strategy for the internal SJA sweeps and the
+            default base optimizer (ignored when ``base`` is supplied).
+        beam_width: Beam width for ``search="beam"``.
     """
 
     name = "robust"
@@ -127,6 +131,8 @@ class RobustOptimizer(Optimizer):
         base: Optimizer | None = None,
         failover: bool = False,
         dual_path: bool = True,
+        search: str = "auto",
+        beam_width: int = DEFAULT_BEAM_WIDTH,
     ):
         if not (math.isfinite(robustness) and robustness >= 0):
             raise CostModelError(
@@ -135,7 +141,11 @@ class RobustOptimizer(Optimizer):
         self.federation = federation
         self.availability = availability or AvailabilityModel.perfect()
         self.robustness = robustness
-        self.base = base or SJAPlusOptimizer()
+        self.search = search
+        self.beam_width = beam_width
+        self.base = base or SJAPlusOptimizer(
+            search=search, beam_width=beam_width
+        )
         self.failover = failover
         self.dual_path = dual_path
 
@@ -195,15 +205,16 @@ class RobustOptimizer(Optimizer):
             query, source_names, cost_model, estimator
         )
         with _Stopwatch() as watch:
-            sja = SJAOptimizer()
+            sja = SJAOptimizer(search=self.search, beam_width=self.beam_width)
             # (label, plan, search stats) — the base candidate first, so
             # ties (lambda = 0, perfect availability) keep its plan.
-            candidates: list[tuple[str, Plan, int, int]] = [
+            candidates: list[tuple[str, Plan, int, int, int]] = [
                 (
                     self.base.name,
                     base_result.plan,
                     base_result.orderings_considered,
                     base_result.plans_considered,
+                    base_result.subsets_considered,
                 )
             ]
 
@@ -215,6 +226,7 @@ class RobustOptimizer(Optimizer):
                         sja_result.plan,
                         sja_result.orderings_considered,
                         sja_result.plans_considered,
+                        sja_result.subsets_considered,
                     )
                 )
                 candidates.append(
@@ -225,6 +237,7 @@ class RobustOptimizer(Optimizer):
                         ),
                         1,
                         1,
+                        0,
                     )
                 )
 
@@ -244,6 +257,7 @@ class RobustOptimizer(Optimizer):
                         expanded_base.plan,
                         expanded_base.orderings_considered,
                         expanded_base.plans_considered,
+                        expanded_base.subsets_considered,
                     )
                 )
                 add_shapes(expanded, " dual-path")
@@ -258,7 +272,7 @@ class RobustOptimizer(Optimizer):
             best_index = 0
             best_utility = math.inf
             best: tuple[float, CompletenessEstimate, float] | None = None
-            for index, (label, plan, __, __) in enumerate(candidates):
+            for index, (label, plan, *__) in enumerate(candidates):
                 cost, estimate, utility = self._score(
                     plan, cost_model, estimator, penalty
                 )
@@ -275,7 +289,7 @@ class RobustOptimizer(Optimizer):
                     best_utility = utility
                     best = (cost, estimate, utility)
             assert best is not None
-            chosen_label, chosen_plan, __, __ = candidates[best_index]
+            chosen_label, chosen_plan, *__ = candidates[best_index]
             cost, estimate, utility = best
         return RobustOptimizationResult(
             plan=chosen_plan,
@@ -284,6 +298,8 @@ class RobustOptimizer(Optimizer):
             orderings_considered=sum(c[2] for c in candidates),
             plans_considered=sum(c[3] for c in candidates),
             elapsed_s=base_result.elapsed_s + watch.elapsed,
+            search_strategy=base_result.search_strategy,
+            subsets_considered=sum(c[4] for c in candidates),
             expected_completeness=estimate.overall,
             utility=utility,
             candidates=tuple(scores),

@@ -1,0 +1,577 @@
+"""Plan-search strategies: retiring the O(m!) optimizer loops.
+
+The paper's SJ/SJA algorithms (Figs. 3-4) enumerate every condition
+ordering — ``O(m!·m·n)`` — which caps the optimizers at m ≈ 8.  But the
+staged cost recurrence has an *order-independent* state: the binding-set
+size after stage ``i`` is ``U · Π g(c)`` over the **set** of conditions
+processed so far, regardless of their order (independence assumption,
+Sec. 3).  Stage cost is therefore a function of ``(condition, preceding
+set)`` alone, and a Held-Karp-style dynamic program over condition
+subsets,
+
+    ``best[S] = min over last c ∈ S of best[S∖{c}] + stage(c, S∖{c})``
+
+explores the same plan space as the factorial sweep in ``O(2^m·m·n)``
+and returns a plan of *identical cost* (property-tested for m ≤ 6).
+
+This module provides the search machinery shared by the staged
+optimizers (:class:`~repro.optimize.sj.SJOptimizer`,
+:class:`~repro.optimize.sja.SJAOptimizer`, and — over an additive
+surrogate — :class:`~repro.optimize.response_time.
+ResponseTimeSJAOptimizer`):
+
+* ``exhaustive`` — the faithful permutation sweep, accelerated by the
+  shared subset-keyed stage memo (stage outcomes repeat across the
+  ``m!/|S|!``-fold permutations sharing a prefix set);
+* ``dp`` — the exact subset DP with choice backtracking;
+* ``bnb`` — the DP search run best-first with an *admissible* lower
+  bound: every remaining condition is costed at its cheapest per-source
+  choice under the fully shrunk prefix (the binding set only shrinks as
+  conditions are processed, and semijoin cost is monotone in the
+  binding size — the Sec. 2.4 monotonicity axiom), so pruned states can
+  never hide a cheaper plan;
+* ``beam`` — a width-``k`` beam over subset states for m past the
+  ``2^m`` budget, clearly reported as inexact;
+* ``auto`` — ``exhaustive`` for m ≤ :data:`AUTO_EXHAUSTIVE_MAX_M`
+  (keeping the paper-faithful traces and ``orderings_considered``
+  counters), ``dp`` up to :data:`AUTO_DP_MAX_M`, ``beam`` beyond.
+
+It also provides :class:`MemoizedCostModel`, a per-optimize-call memo of
+``sq_cost``/``sjq_cost`` lookups — the factorial sweep re-evaluates each
+``(condition, source)`` pair once per permutation, an ``m!``-fold
+redundancy that memoization removes without changing any chosen plan.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, replace
+from itertools import permutations
+from typing import Any, Sequence
+
+from repro.costs.estimates import SizeEstimator
+from repro.costs.model import CostModel
+from repro.errors import OptimizationError
+from repro.relational.conditions import Condition
+
+#: The strategies accepted by ``search=`` everywhere.
+STRATEGIES = ("auto", "exhaustive", "dp", "bnb", "beam")
+
+#: ``auto`` keeps the paper-faithful factorial sweep up to this arity
+#: (8! = 40320 orderings is still instant; existing ``m!`` counter
+#: assertions and byte-identical traces stay valid).
+AUTO_EXHAUSTIVE_MAX_M = 6
+
+#: ``auto`` switches from the exact subset DP to beam search past this
+#: arity (2^16 · m · n states exceed an interactive budget).
+AUTO_DP_MAX_M = 16
+
+#: Default beam width for the inexact fallback.
+DEFAULT_BEAM_WIDTH = 8
+
+#: Relative slack on branch-and-bound pruning tests.  Far above float
+#: noise (~1e-13 accumulated over a chain), far below any real cost
+#: difference — it only spares ulp-tied chains, keeping B&B's result
+#: bit-identical to the subset DP's instead of "equal up to rounding".
+BNB_PRUNE_SLACK = 1e-9
+
+
+def resolve_strategy(strategy: str, m: int) -> str:
+    """Map ``auto`` to a concrete strategy for arity ``m``."""
+    if strategy not in STRATEGIES:
+        known = ", ".join(STRATEGIES)
+        raise OptimizationError(
+            f"unknown search strategy {strategy!r}; choose from {known}"
+        )
+    if strategy != "auto":
+        return strategy
+    if m <= AUTO_EXHAUSTIVE_MAX_M:
+        return "exhaustive"
+    if m <= AUTO_DP_MAX_M:
+        return "dp"
+    return "beam"
+
+
+@dataclass(frozen=True)
+class StageOutcome:
+    """One costed stage: its cost plus the per-source evaluation payload."""
+
+    cost: float
+    payload: Any
+
+
+class StagedCostFunction(ABC):
+    """The order-independent staged recurrence behind the Fig. 3/4 loops.
+
+    Implementations answer four questions about condition *indices*
+    (positions in the query's condition tuple):
+
+    * :meth:`first_stage` — cost/payload when the condition opens the
+      plan (forced all-selection, Sec. 2.5);
+    * :meth:`later_stage` — cost/payload given the binding-set estimate
+      ``prefix_size`` left by the preceding conditions;
+    * :meth:`first_prefix` — the binding-set estimate after the opening
+      stage;
+    * :meth:`shrink` — the binding-set estimate after one more
+      condition.
+
+    Exactness of the subset DP requires exactly what the paper's own
+    per-ordering recurrence assumes: stage cost depends on the preceding
+    conditions only through ``prefix_size``, and ``shrink`` is
+    order-independent (multiplication by per-condition global
+    selectivities).  Admissibility of the branch-and-bound bound
+    additionally requires ``later_stage`` cost to be non-decreasing in
+    ``prefix_size`` (the monotonicity axiom of Sec. 2.4).
+    """
+
+    @abstractmethod
+    def first_stage(self, index: int) -> StageOutcome:
+        """Cost the condition as the plan's opening (all-selection) stage."""
+
+    @abstractmethod
+    def later_stage(self, index: int, prefix_size: float) -> StageOutcome:
+        """Cost the condition as a later stage against ``prefix_size``."""
+
+    @abstractmethod
+    def first_prefix(self, index: int) -> float:
+        """Binding-set estimate after the condition opens the plan."""
+
+    @abstractmethod
+    def shrink(self, prefix_size: float, index: int) -> float:
+        """Binding-set estimate after one more condition is processed."""
+
+
+class StagedEstimatorProblem(StagedCostFunction):
+    """Shared prefix recurrence: ``U·g(c)`` then ``·g(c)`` per stage.
+
+    Subclasses supply the stage costing; the binding-set arithmetic is
+    identical across SJ, SJA, and the response-time surrogate because
+    all three inherit the paper's independence model via the
+    :class:`~repro.costs.estimates.SizeEstimator`.
+    """
+
+    def __init__(
+        self,
+        conditions: Sequence[Condition],
+        source_names: Sequence[str],
+        cost_model: CostModel,
+        estimator: SizeEstimator,
+    ):
+        self.conditions = tuple(conditions)
+        self.source_names = tuple(source_names)
+        self.cost_model = cost_model
+        self.estimator = estimator
+
+    def first_prefix(self, index: int) -> float:
+        return self.estimator.union_selection_size(self.conditions[index])
+
+    def shrink(self, prefix_size: float, index: int) -> float:
+        return prefix_size * self.estimator.global_selectivity(
+            self.conditions[index]
+        )
+
+
+@dataclass(frozen=True)
+class SearchOutcome:
+    """The winning ordering, its per-stage payloads, and search counters.
+
+    Attributes:
+        ordering: Condition indices in stage order.
+        payloads: ``payloads[i]`` is the :class:`StageOutcome` payload of
+            stage ``i`` (per-source choices, a uniform-stage flag, ...).
+        cost: Total staged cost of the winner under the problem's own
+            arithmetic.
+        strategy: The concrete strategy that produced it (never "auto").
+        orderings_considered: Complete orderings enumerated (0 unless
+            exhaustive).
+        subsets_considered: Subset states expanded (0 for exhaustive).
+        exact: False only for beam search, which may miss the optimum.
+    """
+
+    ordering: tuple[int, ...]
+    payloads: tuple[Any, ...]
+    cost: float
+    strategy: str
+    orderings_considered: int = 0
+    subsets_considered: int = 0
+    exact: bool = True
+
+
+class _SubsetContext:
+    """Memoized prefixes and stage outcomes keyed by condition subsets.
+
+    Prefixes are built lowest-condition-first so every strategy sees the
+    *bit-identical* float for a given subset — which is what makes
+    "DP cost == exhaustive cost" an exact statement rather than an
+    up-to-rounding one.
+    """
+
+    def __init__(self, problem: StagedCostFunction, m: int):
+        self.problem = problem
+        self.m = m
+        self._prefix: dict[int, float] = {}
+        self._stage: dict[tuple[int, int], StageOutcome] = {}
+
+    def prefix_of(self, mask: int) -> float:
+        """Binding-set estimate after the conditions in ``mask``."""
+        cached = self._prefix.get(mask)
+        if cached is not None:
+            return cached
+        high = mask.bit_length() - 1
+        rest = mask ^ (1 << high)
+        if rest == 0:
+            value = self.problem.first_prefix(high)
+        else:
+            value = self.problem.shrink(self.prefix_of(rest), high)
+        self._prefix[mask] = value
+        return value
+
+    def stage(self, index: int, premask: int) -> StageOutcome:
+        """Cost condition ``index`` with ``premask`` already processed."""
+        key = (index, premask)
+        cached = self._stage.get(key)
+        if cached is not None:
+            return cached
+        if premask == 0:
+            outcome = self.problem.first_stage(index)
+        else:
+            outcome = self.problem.later_stage(index, self.prefix_of(premask))
+        self._stage[key] = outcome
+        return outcome
+
+
+# ----------------------------------------------------------------------
+# Strategies
+
+
+def _exhaustive(context: _SubsetContext, m: int) -> SearchOutcome:
+    """The faithful Fig. 3/4 sweep, with subset-memoized stage costs."""
+    best_cost = math.inf
+    best_ordering: tuple[int, ...] | None = None
+    orderings = 0
+    for ordering in permutations(range(m)):  # loop A
+        orderings += 1
+        mask = 0
+        total = 0.0
+        for index in ordering:  # loop B
+            total += context.stage(index, mask).cost
+            mask |= 1 << index
+        if best_ordering is None or total < best_cost:
+            best_cost = total
+            best_ordering = ordering
+    assert best_ordering is not None
+    return SearchOutcome(
+        ordering=best_ordering,
+        payloads=_payloads_along(context, best_ordering),
+        cost=best_cost,
+        strategy="exhaustive",
+        orderings_considered=orderings,
+    )
+
+
+def _payloads_along(
+    context: _SubsetContext, ordering: Sequence[int]
+) -> tuple[Any, ...]:
+    """Stage payloads for a known ordering (memo hits throughout)."""
+    payloads = []
+    mask = 0
+    for index in ordering:
+        payloads.append(context.stage(index, mask).payload)
+        mask |= 1 << index
+    return tuple(payloads)
+
+
+def _backtrack(
+    context: _SubsetContext, choice: list[int], full: int
+) -> tuple[int, ...]:
+    """Recover the stage order from per-subset last-condition choices."""
+    ordering: list[int] = []
+    mask = full
+    while mask:
+        index = choice[mask]
+        ordering.append(index)
+        mask ^= 1 << index
+    ordering.reverse()
+    return tuple(ordering)
+
+
+def _dp(context: _SubsetContext, m: int) -> SearchOutcome:
+    """Held-Karp subset DP: exact, O(2^m · m) stage evaluations."""
+    full = (1 << m) - 1
+    best = [math.inf] * (full + 1)
+    choice = [-1] * (full + 1)
+    best[0] = 0.0
+    for mask in range(1, full + 1):
+        remaining = mask
+        while remaining:
+            bit = remaining & -remaining
+            index = bit.bit_length() - 1
+            remaining ^= bit
+            premask = mask ^ bit
+            total = best[premask] + context.stage(index, premask).cost
+            if choice[mask] == -1 or total < best[mask]:
+                best[mask] = total
+                choice[mask] = index
+    ordering = _backtrack(context, choice, full)
+    return SearchOutcome(
+        ordering=ordering,
+        payloads=_payloads_along(context, ordering),
+        cost=best[full],
+        strategy="dp",
+        subsets_considered=full,
+    )
+
+
+def _greedy_chain(
+    context: _SubsetContext, m: int
+) -> tuple[tuple[int, ...], float]:
+    """Cheapest-next-stage greedy ordering: the B&B incumbent."""
+    mask = 0
+    total = 0.0
+    ordering: list[int] = []
+    for __ in range(m):
+        best_index = -1
+        best_cost = math.inf
+        for index in range(m):
+            if mask & (1 << index):
+                continue
+            cost = context.stage(index, mask).cost
+            if best_index == -1 or cost < best_cost:
+                best_index = index
+                best_cost = cost
+        ordering.append(best_index)
+        total += context.stage(best_index, mask).cost
+        mask |= 1 << best_index
+    return tuple(ordering), total
+
+
+def _branch_and_bound(context: _SubsetContext, m: int) -> SearchOutcome:
+    """Best-first subset search with an admissible remaining-cost bound.
+
+    The bound costs every unprocessed condition at the *fully shrunk*
+    prefix — the binding set left after all other conditions — which is
+    the smallest binding it could ever face; with stage cost monotone in
+    the binding size, the bound never exceeds the true remaining cost,
+    so pruning preserves the exact optimum.  Each stack state carries
+    its own chain, so the returned ordering always achieves the
+    returned cost.
+
+    Pruning tests carry :data:`BNB_PRUNE_SLACK` of relative slack: the
+    bound and the dominance comparisons are admissible in *real*
+    arithmetic, but float evaluation can overshoot by a few ulps, and
+    without slack an ulp-tied optimal chain can be pruned — leaving a
+    result one ulp above the subset DP's.  The slack keeps such chains
+    alive, so B&B stays bit-identical to DP and the factorial sweep.
+    """
+    full = (1 << m) - 1
+    if m == 1:
+        return replace(_dp(context, m), strategy="bnb")
+
+    def slacked(value: float) -> float:
+        return value + BNB_PRUNE_SLACK * (abs(value) + 1.0)
+
+    lower = [0.0] * m
+    for index in range(m):
+        rest = full ^ (1 << index)
+        lower[index] = context.problem.later_stage(
+            index, context.prefix_of(rest)
+        ).cost
+
+    def remaining_bound(mask: int) -> float:
+        bound = 0.0
+        missing = full ^ mask
+        while missing:
+            bit = missing & -missing
+            missing ^= bit
+            bound += lower[bit.bit_length() - 1]
+        return bound
+
+    incumbent_ordering, incumbent_cost = _greedy_chain(context, m)
+    best: dict[int, float] = {0: 0.0}
+    expanded = 0
+    # Depth-first with children visited cheapest-outlook-first: good
+    # incumbents arrive early, so later subtrees prune hard.
+    stack: list[tuple[int, float, tuple[int, ...]]] = [(0, 0.0, ())]
+    while stack:
+        mask, cost, chain = stack.pop()
+        if cost > slacked(best.get(mask, math.inf)):
+            continue  # a cheaper path to this subset was found meanwhile
+        expanded += 1
+        children: list[tuple[float, float, int, tuple[int, ...]]] = []
+        missing = full ^ mask
+        while missing:
+            bit = missing & -missing
+            missing ^= bit
+            index = bit.bit_length() - 1
+            child_mask = mask | bit
+            child_cost = cost + context.stage(index, mask).cost
+            if child_cost >= slacked(best.get(child_mask, math.inf)):
+                continue  # dominated by an earlier path to the subset
+            if child_mask == full:
+                if child_cost < incumbent_cost:
+                    incumbent_cost = child_cost
+                    incumbent_ordering = chain + (index,)
+                    best[full] = child_cost
+                continue
+            outlook = child_cost + remaining_bound(child_mask)
+            if outlook >= slacked(incumbent_cost):
+                continue  # admissible bound: cannot beat the incumbent
+            if child_cost < best.get(child_mask, math.inf):
+                best[child_mask] = child_cost
+            children.append((outlook, child_cost, child_mask, chain + (index,)))
+        # Reverse-sorted push so the cheapest outlook is popped first.
+        children.sort(reverse=True)
+        for __, child_cost, child_mask, child_chain in children:
+            stack.append((child_mask, child_cost, child_chain))
+
+    return SearchOutcome(
+        ordering=incumbent_ordering,
+        payloads=_payloads_along(context, incumbent_ordering),
+        cost=incumbent_cost,
+        strategy="bnb",
+        subsets_considered=expanded,
+    )
+
+
+def beam_search(
+    problem: StagedCostFunction, m: int, beam_width: int = DEFAULT_BEAM_WIDTH
+) -> tuple[SearchOutcome, ...]:
+    """Width-``k`` beam over subset states; returns survivors, best first.
+
+    Inexact: the optimum's prefix may be priced out of an early level.
+    Exposed separately from :func:`search_ordering` because callers with
+    a non-additive true objective (the response-time optimizer) re-rank
+    the survivors by their own ruler.
+    """
+    if beam_width < 1:
+        raise OptimizationError(
+            f"beam width must be >= 1, got {beam_width}"
+        )
+    context = _SubsetContext(problem, m)
+    level: list[tuple[float, tuple[int, ...], int]] = [(0.0, (), 0)]
+    states = 0
+    for __ in range(m):
+        frontier: dict[int, tuple[float, tuple[int, ...], int]] = {}
+        for cost, chain, mask in level:
+            for index in range(m):
+                bit = 1 << index
+                if mask & bit:
+                    continue
+                child = (
+                    cost + context.stage(index, mask).cost,
+                    chain + (index,),
+                    mask | bit,
+                )
+                held = frontier.get(mask | bit)
+                if held is None or child[0] < held[0]:
+                    frontier[mask | bit] = child
+        level = sorted(frontier.values())[:beam_width]
+        states += len(level)
+    return tuple(
+        SearchOutcome(
+            ordering=chain,
+            payloads=_payloads_along(context, chain),
+            cost=cost,
+            strategy="beam",
+            subsets_considered=states,
+            exact=False,
+        )
+        for cost, chain, __ in level
+    )
+
+
+def search_ordering(
+    problem: StagedCostFunction,
+    m: int,
+    strategy: str = "auto",
+    beam_width: int = DEFAULT_BEAM_WIDTH,
+) -> SearchOutcome:
+    """Find the cheapest condition ordering under ``problem``.
+
+    Example (two conditions, uniform costs — any ordering is optimal):
+        >>> from repro.costs.model import UniformCostModel
+        >>> from repro.costs.estimates import SizeEstimator
+        >>> from repro.sources.statistics import ExactStatistics
+        >>> from repro.sources.generators import dmv_fig1
+        >>> from repro.optimize.sja import SJAStagedProblem
+        >>> federation, query = dmv_fig1()
+        >>> estimator = SizeEstimator(ExactStatistics(federation),
+        ...                           federation.source_names)
+        >>> problem = SJAStagedProblem(query.conditions,
+        ...     federation.source_names, UniformCostModel(), estimator)
+        >>> dp = search_ordering(problem, query.arity, "dp")
+        >>> sweep = search_ordering(problem, query.arity, "exhaustive")
+        >>> dp.cost == sweep.cost
+        True
+    """
+    resolved = resolve_strategy(strategy, m)
+    if resolved == "beam":
+        return beam_search(problem, m, beam_width)[0]
+    context = _SubsetContext(problem, m)
+    if resolved == "exhaustive":
+        return _exhaustive(context, m)
+    if resolved == "dp":
+        return _dp(context, m)
+    return _branch_and_bound(context, m)
+
+
+# ----------------------------------------------------------------------
+# Memoized costing
+
+
+class MemoizedCostModel(CostModel):
+    """A per-optimize-call memo over any :class:`CostModel`.
+
+    Cost models are pure functions of their arguments (the interface
+    contract), so caching is sound: the factorial sweep asks for the
+    same ``sq_cost(c, R_j)`` once per permutation and the same
+    ``sjq_cost(c, R_j, |X|)`` once per permutation sharing a prefix set
+    — an ``m!``-fold redundancy this wrapper collapses to one evaluation
+    without changing any chosen plan (tested).
+
+    The wrapper is built fresh inside each ``optimize()`` call, so
+    nothing outlives the statistics snapshot it was computed from.
+    """
+
+    def __init__(self, inner: CostModel):
+        self.inner = inner
+        self._sq: dict[tuple[Condition, str], float] = {}
+        self._sjq: dict[tuple[Condition, str, float], float] = {}
+        self._lq: dict[str, float] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def sq_cost(self, condition: Condition, source_name: str) -> float:
+        key = (condition, source_name)
+        cached = self._sq.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        value = self.inner.sq_cost(condition, source_name)
+        self._sq[key] = value
+        return value
+
+    def sjq_cost(
+        self, condition: Condition, source_name: str, input_size: float
+    ) -> float:
+        key = (condition, source_name, input_size)
+        cached = self._sjq.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        value = self.inner.sjq_cost(condition, source_name, input_size)
+        self._sjq[key] = value
+        return value
+
+    def lq_cost(self, source_name: str) -> float:
+        cached = self._lq.get(source_name)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        value = self.inner.lq_cost(source_name)
+        self._lq[source_name] = value
+        return value

@@ -7,23 +7,63 @@ of n semijoin queries with binding set ``X_{i-1}`` and take the cheaper
 *uniform* option.  Complexity O(m!·m·n); the per-stage decision is
 locally optimal because the stage's *result set* ``X_i`` — and hence
 every later stage's binding size — is the same either way.
+
+The ordering search is delegated to :mod:`repro.optimize.search`:
+``search="auto"`` keeps the faithful factorial sweep at small m and
+switches to the exact subset DP beyond it.
 """
 
 from __future__ import annotations
 
-import math
-from itertools import permutations
 from typing import Sequence
 
 from repro.costs.estimates import SizeEstimator
 from repro.costs.model import CostModel
 from repro.optimize.base import OptimizationResult, Optimizer, _Stopwatch
+from repro.optimize.search import (
+    DEFAULT_BEAM_WIDTH,
+    MemoizedCostModel,
+    StagedEstimatorProblem,
+    StageOutcome,
+    search_ordering,
+)
 from repro.plans.builder import (
     IntersectPolicy,
     build_staged_plan,
     uniform_choices,
 )
 from repro.query.fusion import FusionQuery
+
+
+class SJStagedProblem(StagedEstimatorProblem):
+    """Fig. 3 stage costing: uniform selection-vs-semijoin per stage.
+
+    The payload of each stage is a bool — True when the stage probes
+    every source by semijoin — matching the ``semijoin_stages`` argument
+    of :func:`~repro.plans.builder.uniform_choices`.
+    """
+
+    def first_stage(self, index: int) -> StageOutcome:
+        condition = self.conditions[index]
+        cost = sum(
+            self.cost_model.sq_cost(condition, source)
+            for source in self.source_names
+        )
+        return StageOutcome(cost, False)
+
+    def later_stage(self, index: int, prefix_size: float) -> StageOutcome:
+        condition = self.conditions[index]
+        selection_cost = sum(
+            self.cost_model.sq_cost(condition, source)
+            for source in self.source_names
+        )
+        semijoin_cost = sum(
+            self.cost_model.sjq_cost(condition, source, prefix_size)
+            for source in self.source_names
+        )
+        if selection_cost < semijoin_cost:
+            return StageOutcome(selection_cost, False)
+        return StageOutcome(semijoin_cost, True)
 
 
 class SJOptimizer(Optimizer):
@@ -45,6 +85,12 @@ class SJOptimizer(Optimizer):
 
     name = "SJ"
 
+    def __init__(
+        self, search: str = "auto", beam_width: int = DEFAULT_BEAM_WIDTH
+    ):
+        self.search = search
+        self.beam_width = beam_width
+
     def optimize(
         self,
         query: FusionQuery,
@@ -55,37 +101,33 @@ class SJOptimizer(Optimizer):
         self._check_inputs(query, source_names)
         m = query.arity
         n = len(source_names)
-        best_cost = math.inf
-        best_ordering: tuple[int, ...] | None = None
-        best_stages: tuple[bool, ...] | None = None
-        orderings = 0
-
         with _Stopwatch() as watch:
-            for ordering in permutations(range(m)):  # loop A
-                orderings += 1
-                cost, stages = self._cost_ordering(
-                    query, ordering, source_names, cost_model, estimator
-                )
-                if best_ordering is None or cost < best_cost:
-                    best_cost = cost
-                    best_ordering = ordering
-                    best_stages = stages
-            assert best_ordering is not None and best_stages is not None
+            problem = SJStagedProblem(
+                query.conditions,
+                source_names,
+                MemoizedCostModel(cost_model),
+                estimator,
+            )
+            outcome = search_ordering(problem, m, self.search, self.beam_width)
             plan = build_staged_plan(
                 query,
-                best_ordering,
-                uniform_choices(m, n, best_stages),
+                outcome.ordering,
+                uniform_choices(m, n, outcome.payloads),
                 source_names,
                 intersect_policy=IntersectPolicy.AUTO,
                 description="SJ optimal semijoin plan",
             )
         return OptimizationResult(
             plan=plan,
-            estimated_cost=self._finite_or_raise(best_cost, "the best semijoin plan"),
+            estimated_cost=self._finite_or_raise(
+                outcome.cost, "the best semijoin plan"
+            ),
             optimizer=self.name,
-            orderings_considered=orderings,
-            plans_considered=orderings,
+            orderings_considered=outcome.orderings_considered,
+            plans_considered=outcome.orderings_considered,
             elapsed_s=watch.elapsed,
+            search_strategy=outcome.strategy,
+            subsets_considered=outcome.subsets_considered,
         )
 
     @staticmethod
@@ -96,7 +138,12 @@ class SJOptimizer(Optimizer):
         cost_model: CostModel,
         estimator: SizeEstimator,
     ) -> tuple[float, tuple[bool, ...]]:
-        """Cost the best uniform-choice plan for one ordering (loop B)."""
+        """Cost the best uniform-choice plan for one ordering (loop B).
+
+        Kept as the reference recurrence (the greedy optimizer reuses
+        it); :class:`SJStagedProblem` is the same arithmetic factored
+        per stage for the subset search.
+        """
         conditions = [query.conditions[index] for index in ordering]
         first = conditions[0]
         plan_cost = sum(

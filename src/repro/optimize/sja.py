@@ -8,23 +8,68 @@ then selection else semijoin``.  Despite searching a space of size
 time is the same ``O(m!·m·n)``, because per-source decisions are
 independent: the stage result ``X_i`` does not depend on how each source
 was probed.
+
+The ordering search itself is delegated to
+:mod:`repro.optimize.search`: ``search="auto"`` keeps the faithful
+factorial sweep at small m and switches to the exact subset DP beyond
+it (same plan cost, exponentially fewer states).
 """
 
 from __future__ import annotations
 
-import math
-from itertools import permutations
 from typing import Sequence
 
 from repro.costs.estimates import SizeEstimator
 from repro.costs.model import CostModel
 from repro.optimize.base import OptimizationResult, Optimizer, _Stopwatch
+from repro.optimize.search import (
+    DEFAULT_BEAM_WIDTH,
+    MemoizedCostModel,
+    StagedEstimatorProblem,
+    StageOutcome,
+    search_ordering,
+)
 from repro.plans.builder import (
     IntersectPolicy,
     StagedChoice,
     build_staged_plan,
 )
 from repro.query.fusion import FusionQuery
+
+
+class SJAStagedProblem(StagedEstimatorProblem):
+    """Fig. 4 stage costing: per-source selection-vs-semijoin choice.
+
+    The payload of each stage is the tuple of per-source
+    :class:`~repro.plans.builder.StagedChoice` decisions, ready for
+    :func:`~repro.plans.builder.build_staged_plan`.
+    """
+
+    def first_stage(self, index: int) -> StageOutcome:
+        condition = self.conditions[index]
+        cost = sum(
+            self.cost_model.sq_cost(condition, source)
+            for source in self.source_names
+        )
+        payload = tuple([StagedChoice.SELECTION] * len(self.source_names))
+        return StageOutcome(cost, payload)
+
+    def later_stage(self, index: int, prefix_size: float) -> StageOutcome:
+        condition = self.conditions[index]
+        cost = 0.0
+        stage_choices = []
+        for source in self.source_names:  # source loop
+            selection_cost = self.cost_model.sq_cost(condition, source)
+            semijoin_cost = self.cost_model.sjq_cost(
+                condition, source, prefix_size
+            )
+            if selection_cost < semijoin_cost:
+                stage_choices.append(StagedChoice.SELECTION)
+                cost += selection_cost
+            else:
+                stage_choices.append(StagedChoice.SEMIJOIN)
+                cost += semijoin_cost
+        return StageOutcome(cost, tuple(stage_choices))
 
 
 class SJAOptimizer(Optimizer):
@@ -46,11 +91,18 @@ class SJAOptimizer(Optimizer):
 
     name = "SJA"
 
-    def __init__(self, intersect_policy: IntersectPolicy = IntersectPolicy.ALWAYS):
+    def __init__(
+        self,
+        intersect_policy: IntersectPolicy = IntersectPolicy.ALWAYS,
+        search: str = "auto",
+        beam_width: int = DEFAULT_BEAM_WIDTH,
+    ):
         # Fig. 4 appends the stage-end intersection unconditionally; the
         # policy is configurable because the intersection is free and
         # some tests compare plan shapes against Fig. 2(c).
         self.intersect_policy = intersect_policy
+        self.search = search
+        self.beam_width = beam_width
 
     def optimize(
         self,
@@ -60,27 +112,20 @@ class SJAOptimizer(Optimizer):
         estimator: SizeEstimator,
     ) -> OptimizationResult:
         self._check_inputs(query, source_names)
-        m = query.arity
-        best_cost = math.inf
-        best_ordering: tuple[int, ...] | None = None
-        best_choices: tuple[tuple[StagedChoice, ...], ...] | None = None
-        orderings = 0
-
         with _Stopwatch() as watch:
-            for ordering in permutations(range(m)):  # loop A
-                orderings += 1
-                cost, choices = self._cost_ordering(
-                    query, ordering, source_names, cost_model, estimator
-                )
-                if best_ordering is None or cost < best_cost:
-                    best_cost = cost
-                    best_ordering = ordering
-                    best_choices = choices
-            assert best_ordering is not None and best_choices is not None
+            problem = SJAStagedProblem(
+                query.conditions,
+                source_names,
+                MemoizedCostModel(cost_model),
+                estimator,
+            )
+            outcome = search_ordering(
+                problem, query.arity, self.search, self.beam_width
+            )
             plan = build_staged_plan(
                 query,
-                best_ordering,
-                best_choices,
+                outcome.ordering,
+                outcome.payloads,
                 source_names,
                 intersect_policy=self.intersect_policy,
                 description="SJA optimal semijoin-adaptive plan",
@@ -88,12 +133,14 @@ class SJAOptimizer(Optimizer):
         return OptimizationResult(
             plan=plan,
             estimated_cost=self._finite_or_raise(
-                best_cost, "the best semijoin-adaptive plan"
+                outcome.cost, "the best semijoin-adaptive plan"
             ),
             optimizer=self.name,
-            orderings_considered=orderings,
-            plans_considered=orderings,
+            orderings_considered=outcome.orderings_considered,
+            plans_considered=outcome.orderings_considered,
             elapsed_s=watch.elapsed,
+            search_strategy=outcome.strategy,
+            subsets_considered=outcome.subsets_considered,
         )
 
     @staticmethod
@@ -104,7 +151,12 @@ class SJAOptimizer(Optimizer):
         cost_model: CostModel,
         estimator: SizeEstimator,
     ) -> tuple[float, tuple[tuple[StagedChoice, ...], ...]]:
-        """Cost the best per-source-choice plan for one ordering."""
+        """Cost the best per-source-choice plan for one ordering.
+
+        Kept as the reference recurrence (the greedy optimizer reuses it
+        to cost its single ordering); :class:`SJAStagedProblem` is the
+        same arithmetic factored per stage for the subset search.
+        """
         conditions = [query.conditions[index] for index in ordering]
         first = conditions[0]
         plan_cost = sum(

@@ -29,6 +29,7 @@ from repro.optimize.postopt import (
     apply_difference_pruning,
     apply_source_loading,
 )
+from repro.optimize.search import DEFAULT_BEAM_WIDTH
 from repro.optimize.sja import SJAOptimizer
 from repro.plans.cost import estimate_plan_cost
 from repro.query.fusion import FusionQuery
@@ -43,6 +44,9 @@ class SJAPlusOptimizer(Optimizer):
             greedy variant can be substituted for large ``m``).
         prune_difference: Apply the difference-pruning pass.
         load_sources: Apply the source-loading pass.
+        search: Plan-search strategy handed to the default base
+            optimizer (ignored when ``base`` is supplied).
+        beam_width: Beam width for ``search="beam"`` (ditto).
 
     Example:
         >>> from repro.sources.generators import dmv_fig1
@@ -65,8 +69,10 @@ class SJAPlusOptimizer(Optimizer):
         base: Optimizer | None = None,
         prune_difference: bool = True,
         load_sources: bool = True,
+        search: str = "auto",
+        beam_width: int = DEFAULT_BEAM_WIDTH,
     ):
-        self.base = base or SJAOptimizer()
+        self.base = base or SJAOptimizer(search=search, beam_width=beam_width)
         self.prune_difference = prune_difference
         self.load_sources = load_sources
 
@@ -99,4 +105,6 @@ class SJAPlusOptimizer(Optimizer):
             orderings_considered=base_result.orderings_considered,
             plans_considered=base_result.plans_considered + 1,
             elapsed_s=base_result.elapsed_s + watch.elapsed,
+            search_strategy=base_result.search_strategy,
+            subsets_considered=base_result.subsets_considered,
         )

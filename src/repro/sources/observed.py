@@ -80,6 +80,7 @@ class ObservedStatistics:
         #: Largest selection answer seen per source (lower bound on D_s).
         self._sq_max: dict[str, int] = {}
         self._mined = 0
+        self._version = 0
 
     # ------------------------------------------------------------------
     # Mining
@@ -118,7 +119,18 @@ class ObservedStatistics:
                 continue
             mined += 1
         self._mined += mined
+        if mined:
+            self._version += 1
         return mined
+
+    def fingerprint(self) -> str:
+        """Cache token: changes whenever new evidence is folded in.
+
+        :class:`~repro.mediator.plan_cache.PlanCache` keys entries on
+        this, so plans computed from stale statistics are invalidated by
+        the next successful :meth:`observe`.
+        """
+        return f"observed@{id(self):x}:v{self._version}"
 
     @staticmethod
     def from_events(
