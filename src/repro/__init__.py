@@ -22,7 +22,10 @@ full stack:
   (:mod:`repro.mediator`);
 * a deterministic discrete-event *concurrent* runtime with fault
   injection, retry policies, and execution tracing
-  (:mod:`repro.runtime`).
+  (:mod:`repro.runtime`);
+* a multi-query serving tier with admission control, per-tenant
+  weighted-fair scheduling, per-source connection pools, and a seeded
+  load generator (:mod:`repro.serve`).
 
 Quickstart:
     >>> import repro
@@ -99,6 +102,16 @@ from repro.runtime import (
 )
 from repro.sources.generators import replicate_federation
 from repro.io import load_federation, save_federation
+from repro.serve import (
+    ChurnWave,
+    MediatorService,
+    QueryTicket,
+    TenantSpec,
+    WorkloadReport,
+    WorkloadSpec,
+    generate_arrivals,
+    run_workload,
+)
 
 __version__ = "1.0.0"
 
@@ -173,4 +186,12 @@ __all__ = [
     "replicate_federation",
     "load_federation",
     "save_federation",
+    "MediatorService",
+    "QueryTicket",
+    "TenantSpec",
+    "ChurnWave",
+    "WorkloadSpec",
+    "WorkloadReport",
+    "generate_arrivals",
+    "run_workload",
 ]

@@ -16,6 +16,13 @@ Subcommands:
   the structured event log, and ``--observed-stats LOG`` plans from
   statistics mined out of a previously recorded log instead of the
   oracle);
+* ``workload SPEC SQL [SQL ...]`` — drive a seeded multi-query
+  workload through the serving tier (:mod:`repro.serve`): Poisson
+  arrivals over the SQL pool, weighted tenants (``--tenant
+  name:weight:quota``), admission control and per-source pools, an
+  optional mid-workload ``--churn`` wave, and either the
+  deterministic virtual clock or a real thread pool (``--mode``);
+  prints qps, p50/p95/p99 latency, shedding, and cache hits;
 * ``explain SPEC SQL`` — plan only, with per-step estimated costs;
 * ``check SPEC SQL`` — report whether the SQL matches the fusion
   pattern (the Sec. 5 detector), without executing anything;
@@ -233,6 +240,90 @@ def _build_parser() -> argparse.ArgumentParser:
                 "128) keyed on query + statistics fingerprints; "
                 "repeated queries skip the optimizer",
             )
+
+    workload = subparsers.add_parser(
+        "workload",
+        help="drive a multi-query workload through the serving tier",
+    )
+    workload.add_argument("spec", help="path to a federation spec (JSON)")
+    workload.add_argument(
+        "sql",
+        nargs="+",
+        help="fusion-query SQL pool; each arrival draws one uniformly",
+    )
+    workload.add_argument(
+        "--mode",
+        choices=("deterministic", "threads"),
+        default="deterministic",
+        help="virtual clock with byte-identical replay, or a real "
+        "thread pool (default: deterministic)",
+    )
+    workload.add_argument(
+        "--count", type=int, default=50,
+        help="number of query arrivals (default: 50)",
+    )
+    workload.add_argument(
+        "--rate-qps", type=float, default=4.0, metavar="R",
+        help="mean Poisson arrival rate (default: 4.0)",
+    )
+    workload.add_argument(
+        "--seed", type=int, default=0,
+        help="workload seed: arrivals, tenant draws, and every "
+        "query's fault stream derive from it (default: 0)",
+    )
+    workload.add_argument(
+        "--workers", type=int, default=4,
+        help="thread-pool size for --mode threads (default: 4)",
+    )
+    workload.add_argument(
+        "--pool-slots", type=int, default=2, metavar="N",
+        help="concurrent connections allowed per source (default: 2)",
+    )
+    workload.add_argument(
+        "--queue-limit", type=int, default=16, metavar="N",
+        help="admission queue depth before shedding (default: 16)",
+    )
+    workload.add_argument(
+        "--tenant",
+        action="append",
+        default=[],
+        metavar="NAME[:WEIGHT[:QUOTA]]",
+        help="add a tenant (repeatable): scheduling weight and an "
+        "optional cap on outstanding queries",
+    )
+    workload.add_argument(
+        "--churn",
+        metavar="START:END:SRC,SRC[:RATE]",
+        default=None,
+        help="a churn wave: the named sources turn flaky at RATE "
+        "(default 0.5) for arrivals inside [START, END) seconds",
+    )
+    workload.add_argument(
+        "--fault-rate", type=float, default=0.0, metavar="P",
+        help="baseline per-attempt transient-failure probability at "
+        "every source (default: 0)",
+    )
+    workload.add_argument(
+        "--breaker", action="store_true",
+        help="enable the shared circuit breakers",
+    )
+    workload.add_argument(
+        "--metrics",
+        nargs="?",
+        const="json",
+        choices=("json", "prom"),
+        default=None,
+        metavar="FORMAT",
+        help="print the serving metrics snapshot after the run",
+    )
+    workload.add_argument(
+        "--emit-events",
+        metavar="PATH",
+        default=None,
+        help="write the service event log (admission, dispatch, "
+        "completion, plus engine events under the virtual clock) "
+        "to PATH as JSON lines",
+    )
 
     export = subparsers.add_parser(
         "export-dmv", help="write the Fig. 1 federation as a spec file"
@@ -513,6 +604,118 @@ def _command_check(spec: str, sql: str) -> int:
     return 0
 
 
+def _parse_tenant(text: str):
+    """``NAME[:WEIGHT[:QUOTA]]`` -> TenantSpec."""
+    from repro.errors import CostModelError
+    from repro.serve import TenantSpec
+
+    parts = text.split(":")
+    if len(parts) > 3 or not parts[0]:
+        raise CostModelError(
+            f"bad --tenant {text!r}; expected NAME[:WEIGHT[:QUOTA]]"
+        )
+    try:
+        weight = float(parts[1]) if len(parts) > 1 and parts[1] else 1.0
+        quota = int(parts[2]) if len(parts) > 2 and parts[2] else None
+    except ValueError:
+        raise CostModelError(
+            f"bad --tenant {text!r}; expected NAME[:WEIGHT[:QUOTA]]"
+        ) from None
+    return TenantSpec(parts[0], weight=weight, quota=quota)
+
+
+def _parse_churn(text: str):
+    """``START:END:SRC,SRC[:RATE]`` -> ChurnWave."""
+    from repro.errors import CostModelError
+    from repro.serve import ChurnWave
+
+    parts = text.split(":")
+    if len(parts) not in (3, 4):
+        raise CostModelError(
+            f"bad --churn {text!r}; expected START:END:SRC,SRC[:RATE]"
+        )
+    try:
+        start_s, end_s = float(parts[0]), float(parts[1])
+        rate = float(parts[3]) if len(parts) == 4 else 0.5
+    except ValueError:
+        raise CostModelError(
+            f"bad --churn {text!r}; expected START:END:SRC,SRC[:RATE]"
+        ) from None
+    sources = tuple(s for s in parts[2].split(",") if s)
+    return ChurnWave(start_s, end_s, sources=sources, rate=rate)
+
+
+def _command_workload(args) -> int:
+    from repro.runtime.faults import FaultProfile
+    from repro.serve import (
+        MediatorService,
+        WorkloadSpec,
+        generate_arrivals,
+        percentile,
+        run_workload,
+    )
+
+    federation = load_federation(args.spec)
+    tenants = [_parse_tenant(text) for text in args.tenant] or None
+    churn = _parse_churn(args.churn) if args.churn else None
+    faults = (
+        FaultProfile.flaky(args.fault_rate) if args.fault_rate > 0 else None
+    )
+    service = MediatorService(
+        federation,
+        mode=args.mode,
+        tenants=tenants,
+        workers=args.workers,
+        pool_slots=args.pool_slots,
+        queue_limit=args.queue_limit,
+        seed=args.seed,
+        faults=faults,
+        churn=churn,
+        breaker=args.breaker,
+    )
+    spec = WorkloadSpec(
+        queries=tuple(args.sql),
+        tenants=tuple(service.tenants.values()),
+        count=args.count,
+        rate_qps=args.rate_qps,
+        seed=args.seed,
+    )
+    try:
+        report = run_workload(service, generate_arrivals(spec))
+    finally:
+        if args.mode == "threads":
+            service.close()
+    print(
+        f"workload: {args.count} arrivals at {args.rate_qps:g} q/s "
+        f"(seed {args.seed}, mode {args.mode})"
+    )
+    print(report.summary())
+    for name in sorted(report.admitted_by_tenant):
+        latencies = report.latency_by_tenant.get(name, [])
+        print(
+            f"  tenant {name}: {report.admitted_by_tenant[name]} "
+            f"admitted, p95 {percentile(latencies, 95):.3f}s"
+        )
+    for reason in sorted(report.rejected):
+        print(f"  shed ({reason}): {report.rejected[reason]}")
+    if service.plan_cache is not None:
+        print(service.plan_cache.summary())
+    if args.metrics is not None:
+        print()
+        if args.metrics == "prom":
+            print(service.metrics.to_prometheus())
+        else:
+            print(service.metrics.to_json_text())
+    if args.emit_events is not None:
+        service.recorder.events.write(args.emit_events)
+        print()
+        print(
+            f"wrote {len(service.recorder.events)} events to "
+            f"{args.emit_events}"
+        )
+    return 0
+
+
 def _command_export_dmv(path: str) -> int:
     federation, __ = dmv_fig1()
     save_federation(federation, path)
@@ -560,6 +763,8 @@ def main(argv: list[str] | None = None) -> int:
             )
         if args.command == "check":
             return _command_check(args.spec, args.sql)
+        if args.command == "workload":
+            return _command_workload(args)
         return _command_export_dmv(args.path)
     except (FusionError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -88,3 +88,61 @@ class ExecutionError(FusionError):
 
 class ObservabilityError(FusionError):
     """Telemetry misuse: bad metric registration or an invalid event."""
+
+
+class ServiceError(FusionError):
+    """Base class for errors raised by the serving tier (:mod:`repro.serve`)."""
+
+
+class AdmissionError(ServiceError):
+    """A query was refused admission — backpressure, not a bug.
+
+    Carries the tenant and a machine-readable ``reason`` so callers (and
+    the load generator) can distinguish shedding modes without string
+    matching.
+    """
+
+    reason = "rejected"
+
+    def __init__(self, tenant: str, message: str):
+        self.tenant = tenant
+        super().__init__(message)
+
+
+class QueueFullError(AdmissionError):
+    """The service's bounded run queue is full; retry later."""
+
+    reason = "queue_full"
+
+    def __init__(self, tenant: str, queued: int, limit: int):
+        super().__init__(
+            tenant,
+            f"run queue full ({queued}/{limit}); query from tenant "
+            f"{tenant!r} shed",
+        )
+
+
+class QuotaExceededError(AdmissionError):
+    """The tenant already has its full quota of outstanding queries."""
+
+    reason = "quota"
+
+    def __init__(self, tenant: str, outstanding: int, quota: int):
+        super().__init__(
+            tenant,
+            f"tenant {tenant!r} at quota ({outstanding}/{quota} "
+            "outstanding queries)",
+        )
+
+
+class ServiceClosedError(AdmissionError):
+    """The service is shutting down and accepts no new queries."""
+
+    reason = "closed"
+
+    def __init__(self, tenant: str = ""):
+        super().__init__(tenant, "service is closed")
+
+
+class UnknownTenantError(ServiceError):
+    """A query named a tenant the service was not configured with."""

@@ -22,10 +22,18 @@ Eviction is LRU with a fixed capacity: heavy-traffic mediators serve a
 small working set of repeated queries (the paper's Sec. 1 motivation),
 so a bounded cache captures nearly all hits without growing without
 limit.
+
+The cache is thread-safe: one :class:`PlanCache` is shared by every
+worker of a :class:`~repro.serve.MediatorService`, so lookups, inserts,
+LRU reshuffling, and the hit/miss counters are all guarded by an
+internal lock.  Two workers may still *optimize* the same novel query
+concurrently (both miss, both put — the second put wins harmlessly);
+the lock only guarantees the structure itself never corrupts.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Sequence
 
@@ -77,6 +85,7 @@ class PlanCache:
         self._entries: OrderedDict[
             tuple[str, tuple[str, ...], str], OptimizationResult
         ] = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
 
@@ -100,13 +109,14 @@ class PlanCache:
     ) -> OptimizationResult | None:
         """The cached result, refreshed to most-recently-used, or None."""
         key = self._key(query, sources, statistics)
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
 
     def put(
         self,
@@ -116,19 +126,22 @@ class PlanCache:
         result: OptimizationResult,
     ) -> None:
         key = self._key(query, sources, statistics)
-        self._entries[key] = result
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[key] = result
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
 
     def clear(self) -> None:
         """Drop every entry and reset the hit/miss counters."""
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     @property
     def hit_rate(self) -> float:

@@ -164,6 +164,14 @@ class Mediator:
             counters on :class:`ExecutionResult` are populated.  ``None``
             (the default) leaves execution byte-identical to an
             uninstrumented mediator.
+        health: Optional externally owned
+            :class:`~repro.runtime.health.HealthRegistry`.  When given,
+            the mediator uses it instead of creating its own — a
+            :class:`~repro.serve.MediatorService` shares one registry
+            across all workers so breaker state learned by one query
+            reroutes the next.  The ``breaker`` argument is ignored for
+            registry construction in that case (the shared registry's
+            own config wins).
     """
 
     def __init__(
@@ -187,6 +195,7 @@ class Mediator:
         plan_cache: PlanCache | int | bool | None = None,
         search: str = "auto",
         beam_width: int = DEFAULT_BEAM_WIDTH,
+        health: HealthRegistry | None = None,
     ):
         if backend not in BACKENDS:
             raise ValueError(
@@ -215,8 +224,10 @@ class Mediator:
         self.backend = backend
         # One health registry for the whole mediator: the plain engine
         # and the re-planner's engine see the same breaker state, and
-        # ``mediator.runtime.health`` is always the live view.
-        health = HealthRegistry(breaker)
+        # ``mediator.runtime.health`` is always the live view.  A
+        # serving tier passes its own registry here so breaker state
+        # learned by one query's mediator reroutes every other worker.
+        health = health if health is not None else HealthRegistry(breaker)
         self.runtime = RuntimeEngine(
             federation,
             faults=faults,

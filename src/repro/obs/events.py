@@ -128,6 +128,16 @@ EVENT_SCHEMA: dict[str, dict[str, str]] = {
         "masked": "list[str]",
         "estimated_cost": "float",
     },
+    # A serving-tier lifecycle transition of one submitted query.
+    "serve": {
+        "phase": "str",  # "admitted" | "rejected" | "dispatched" | "completed" | "failed"
+        "query": "int",  # per-service submission sequence number
+        "tenant": "str",
+        "queue_depth": "int",  # run-queue depth after the transition
+        "in_flight": "int",  # dispatched-but-unfinished after the transition
+        "detail": "str",  # rejection reason / error class ("" otherwise)
+        "latency": "float",  # submit->complete seconds (0.0 until completed)
+    },
 }
 
 

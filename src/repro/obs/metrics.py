@@ -18,6 +18,7 @@ Identity is ``(name, sorted labels)``, Prometheus-style::
 from __future__ import annotations
 
 import json
+import threading
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.errors import ObservabilityError
@@ -56,6 +57,9 @@ class _Metric:
         self.labels = labels
         #: Virtual-clock time of the last update (None = never stamped).
         self.updated_s: float | None = None
+        # Guards the value/bucket updates: one registry is shared by
+        # every worker of a serving tier, so increments must not race.
+        self._lock = threading.Lock()
 
     def _stamp(self, now_s: float | None) -> None:
         if now_s is not None:
@@ -76,8 +80,9 @@ class Counter(_Metric):
             raise ObservabilityError(
                 f"counter {self.name} cannot decrease (inc {amount})"
             )
-        self.value += amount
-        self._stamp(now_s)
+        with self._lock:
+            self.value += amount
+            self._stamp(now_s)
 
 
 class Gauge(_Metric):
@@ -90,12 +95,14 @@ class Gauge(_Metric):
         self.value = 0.0
 
     def set(self, value: float, now_s: float | None = None) -> None:
-        self.value = float(value)
-        self._stamp(now_s)
+        with self._lock:
+            self.value = float(value)
+            self._stamp(now_s)
 
     def inc(self, amount: float = 1.0, now_s: float | None = None) -> None:
-        self.value += amount
-        self._stamp(now_s)
+        with self._lock:
+            self.value += amount
+            self._stamp(now_s)
 
 
 class Histogram(_Metric):
@@ -124,10 +131,11 @@ class Histogram(_Metric):
             if value <= bound:
                 index = i
                 break
-        self.counts[index] += 1
-        self.sum += value
-        self.count += 1
-        self._stamp(now_s)
+        with self._lock:
+            self.counts[index] += 1
+            self.sum += value
+            self.count += 1
+            self._stamp(now_s)
 
     def cumulative(self) -> list[int]:
         """Cumulative counts per boundary plus the +Inf total."""
@@ -152,6 +160,10 @@ class MetricsRegistry:
     def __init__(self):
         self._metrics: dict[tuple[str, LabelItems], _Metric] = {}
         self._kinds: dict[str, str] = {}
+        # Guards registration and the exporters' iteration; individual
+        # metric updates take the metric's own lock instead, so hot
+        # inc()/observe() paths never contend on the registry.
+        self._lock = threading.RLock()
 
     def _get(
         self,
@@ -160,19 +172,20 @@ class MetricsRegistry:
         factory: Callable[[str, LabelItems], _Metric],
         kind: str,
     ) -> _Metric:
-        declared = self._kinds.get(name)
-        if declared is not None and declared != kind:
-            raise ObservabilityError(
-                f"metric {name!r} already registered as {declared}, "
-                f"requested {kind}"
-            )
-        key = (name, _label_key(labels))
-        metric = self._metrics.get(key)
-        if metric is None:
-            metric = factory(name, key[1])
-            self._metrics[key] = metric
-            self._kinds[name] = kind
-        return metric
+        with self._lock:
+            declared = self._kinds.get(name)
+            if declared is not None and declared != kind:
+                raise ObservabilityError(
+                    f"metric {name!r} already registered as {declared}, "
+                    f"requested {kind}"
+                )
+            key = (name, _label_key(labels))
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = factory(name, key[1])
+                self._metrics[key] = metric
+                self._kinds[name] = kind
+            return metric
 
     def counter(self, name: str, **labels: str) -> Counter:
         return self._get(name, labels, Counter, "counter")  # type: ignore[return-value]
@@ -197,10 +210,9 @@ class MetricsRegistry:
         return len(self._metrics)
 
     def _sorted(self) -> Iterable[_Metric]:
-        return (
-            self._metrics[key]
-            for key in sorted(self._metrics, key=lambda k: (k[0], k[1]))
-        )
+        with self._lock:
+            keys = sorted(self._metrics, key=lambda k: (k[0], k[1]))
+            return [self._metrics[key] for key in keys]
 
     # ------------------------------------------------------------------
     # Exporters

@@ -272,6 +272,93 @@ class Recorder:
                 now_s=self._now(now_s)
             )
 
+    # ------------------------------------------------------------------
+    # Serving tier (repro.serve)
+
+    def _serve(
+        self,
+        now_s: float,
+        phase: str,
+        query: int,
+        tenant: str,
+        queue_depth: int,
+        in_flight: int,
+        detail: str = "",
+        latency: float = 0.0,
+    ) -> None:
+        self._emit(
+            now_s,
+            "serve",
+            phase=phase,
+            query=query,
+            tenant=tenant,
+            queue_depth=queue_depth,
+            in_flight=in_flight,
+            detail=detail,
+            latency=latency,
+        )
+        if self.metrics is not None:
+            stamp = self._now(now_s)
+            self.metrics.gauge("repro_serve_queue_depth").set(
+                queue_depth, now_s=stamp
+            )
+            self.metrics.gauge("repro_serve_in_flight").set(
+                in_flight, now_s=stamp
+            )
+
+    def query_admitted(
+        self, now_s: float, query: int, tenant: str,
+        queue_depth: int, in_flight: int,
+    ) -> None:
+        self._serve(now_s, "admitted", query, tenant, queue_depth, in_flight)
+        if self.metrics is not None:
+            self.metrics.counter(
+                "repro_serve_admitted_total", tenant=tenant
+            ).inc(now_s=self._now(now_s))
+
+    def query_rejected(
+        self, now_s: float, query: int, tenant: str, reason: str,
+        queue_depth: int, in_flight: int,
+    ) -> None:
+        self._serve(
+            now_s, "rejected", query, tenant, queue_depth, in_flight,
+            detail=reason,
+        )
+        if self.metrics is not None:
+            self.metrics.counter(
+                "repro_serve_rejected_total", tenant=tenant, reason=reason
+            ).inc(now_s=self._now(now_s))
+
+    def query_dispatched(
+        self, now_s: float, query: int, tenant: str,
+        queue_depth: int, in_flight: int,
+    ) -> None:
+        self._serve(now_s, "dispatched", query, tenant, queue_depth, in_flight)
+
+    def query_completed(
+        self, now_s: float, query: int, tenant: str,
+        queue_depth: int, in_flight: int,
+        latency_s: float, error: str = "",
+    ) -> None:
+        self._serve(
+            now_s,
+            "failed" if error else "completed",
+            query, tenant, queue_depth, in_flight,
+            detail=error, latency=latency_s,
+        )
+        if self.metrics is not None:
+            stamp = self._now(now_s)
+            self.metrics.counter(
+                "repro_serve_completed_total",
+                tenant=tenant,
+                outcome="error" if error else "ok",
+            ).inc(now_s=stamp)
+            self.metrics.histogram(
+                "repro_serve_latency_s",
+                buckets=DURATION_BUCKETS_S,
+                tenant=tenant,
+            ).observe(latency_s, now_s=stamp)
+
     def op_finished(self, now_s: float, span: "OpSpan") -> None:
         op = span.operation
         condition = getattr(op, "condition", None)

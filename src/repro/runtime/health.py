@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import enum
 import math
+import threading
 from collections import deque
 from dataclasses import dataclass
 
@@ -243,12 +244,20 @@ class HealthRegistry:
     breaker knowledge persists across plans and re-planning rounds run
     on the same engine.  With ``config=None`` the registry still tracks
     health but every dispatch is allowed (breakers disabled).
+
+    The registry is thread-safe: a :class:`~repro.serve.MediatorService`
+    shares one registry across every worker so a breaker tripped by one
+    query reroutes the next, and ``allow``/``record`` mutate breaker
+    state.  A single reentrant lock guards the maps and every state
+    machine; individual :class:`SourceHealth`/:class:`CircuitBreaker`
+    objects are only ever touched with it held.
     """
 
     def __init__(self, config: BreakerConfig | None = None):
         self.config = config
         self._health: dict[str, SourceHealth] = {}
         self._breakers: dict[str, CircuitBreaker] = {}
+        self._lock = threading.RLock()
         #: Optional transition observer, called as
         #: ``observer(now_s, source, old_state, new_state)`` with the
         #: state values.  Checked at call time, so it may be attached
@@ -260,57 +269,64 @@ class HealthRegistry:
         return self.config is not None
 
     def health_of(self, source_name: str) -> SourceHealth:
-        health = self._health.get(source_name)
-        if health is None:
-            window = self.config.window if self.config else 20
-            health = SourceHealth(window)
-            self._health[source_name] = health
-        return health
+        with self._lock:
+            health = self._health.get(source_name)
+            if health is None:
+                window = self.config.window if self.config else 20
+                health = SourceHealth(window)
+                self._health[source_name] = health
+            return health
 
     def breaker_of(self, source_name: str) -> CircuitBreaker | None:
         if self.config is None:
             return None
-        breaker = self._breakers.get(source_name)
-        if breaker is None:
+        with self._lock:
+            breaker = self._breakers.get(source_name)
+            if breaker is None:
 
-            def notify(now_s, old, new, name=source_name):
-                if self.observer is not None:
-                    self.observer(now_s, name, old, new)
+                def notify(now_s, old, new, name=source_name):
+                    if self.observer is not None:
+                        self.observer(now_s, name, old, new)
 
-            breaker = CircuitBreaker(
-                self.config, self.health_of(source_name), notify=notify
-            )
-            self._breakers[source_name] = breaker
-        return breaker
+                breaker = CircuitBreaker(
+                    self.config, self.health_of(source_name), notify=notify
+                )
+                self._breakers[source_name] = breaker
+            return breaker
 
     def allow(self, source_name: str, now_s: float) -> bool:
-        breaker = self.breaker_of(source_name)
-        return True if breaker is None else breaker.allow(now_s)
+        with self._lock:
+            breaker = self.breaker_of(source_name)
+            return True if breaker is None else breaker.allow(now_s)
 
     def reopens_at(self, source_name: str) -> float | None:
-        breaker = self.breaker_of(source_name)
-        return None if breaker is None else breaker.reopens_at_s
+        with self._lock:
+            breaker = self.breaker_of(source_name)
+            return None if breaker is None else breaker.reopens_at_s
 
     def abandon(self, source_name: str) -> None:
         """Return a probe slot for a cancelled (raced-out) dispatch."""
-        breaker = self.breaker_of(source_name)
-        if breaker is not None:
-            breaker.abandon()
+        with self._lock:
+            breaker = self.breaker_of(source_name)
+            if breaker is not None:
+                breaker.abandon()
 
     def record(
         self, source_name: str, now_s: float, ok: bool, duration_s: float
     ) -> None:
-        breaker = self.breaker_of(source_name)
-        if breaker is None:
-            self.health_of(source_name).record(ok, duration_s)
-        elif ok:
-            breaker.record_success(now_s, duration_s)
-        else:
-            breaker.record_failure(now_s, duration_s)
+        with self._lock:
+            breaker = self.breaker_of(source_name)
+            if breaker is None:
+                self.health_of(source_name).record(ok, duration_s)
+            elif ok:
+                breaker.record_success(now_s, duration_s)
+            else:
+                breaker.record_failure(now_s, duration_s)
 
     def state_of(self, source_name: str) -> BreakerState:
-        breaker = self.breaker_of(source_name)
-        return BreakerState.CLOSED if breaker is None else breaker.state
+        with self._lock:
+            breaker = self.breaker_of(source_name)
+            return BreakerState.CLOSED if breaker is None else breaker.state
 
     def snapshot(self) -> dict[str, dict]:
         """Per-source health as plain data (tests and telemetry read
@@ -322,6 +338,10 @@ class HealthRegistry:
         the breaker's ``state`` / ``times_opened`` (a disabled breaker
         reads as permanently closed, never opened).
         """
+        with self._lock:
+            return self._snapshot_locked()
+
+    def _snapshot_locked(self) -> dict[str, dict]:
         out: dict[str, dict] = {}
         for name in sorted(self._health):
             health = self._health[name]
@@ -345,13 +365,14 @@ class HealthRegistry:
     def report(self) -> str:
         """Fixed-width per-source health table."""
         lines = ["source   attempts fail  rate   breaker    opened"]
-        for name in sorted(self._health):
-            health = self._health[name]
-            breaker = self._breakers.get(name)
-            state = breaker.state.value if breaker else "-"
-            opened = breaker.times_opened if breaker else 0
-            lines.append(
-                f"{name:<8} {health.attempts:>8} {health.failures:>4} "
-                f"{health.failure_rate:>5.0%} {state:>10} {opened:>7}"
-            )
+        with self._lock:
+            for name in sorted(self._health):
+                health = self._health[name]
+                breaker = self._breakers.get(name)
+                state = breaker.state.value if breaker else "-"
+                opened = breaker.times_opened if breaker else 0
+                lines.append(
+                    f"{name:<8} {health.attempts:>8} {health.failures:>4} "
+                    f"{health.failure_rate:>5.0%} {state:>10} {opened:>7}"
+                )
         return "\n".join(lines)

@@ -1,0 +1,49 @@
+"""repro.serve — a concurrent multi-query serving tier over the mediator.
+
+Public surface:
+
+* :class:`~repro.serve.service.MediatorService` — admit, schedule, and
+  execute many fusion queries over one federation, in a replayable
+  virtual-clock mode or a wall-clock thread-pool mode.
+* :class:`~repro.serve.tenants.TenantSpec` /
+  :class:`~repro.serve.tenants.FairScheduler` — weighted-fair
+  (stride) dispatch across tenants.
+* :class:`~repro.serve.admission.AdmissionController` — bounded run
+  queue and per-tenant quotas with typed refusals.
+* :class:`~repro.serve.pools.SourcePools` — bounded per-source
+  connection slots.
+* :mod:`~repro.serve.workload` — seeded workload generation
+  (:class:`WorkloadSpec`, :class:`ChurnWave`) and the load-generator
+  harness (:func:`run_workload`, :class:`WorkloadReport`).
+"""
+
+from repro.serve.admission import AdmissionController
+from repro.serve.pools import SourcePools
+from repro.serve.service import MediatorService, QueryTicket, derive_seed
+from repro.serve.tenants import FairScheduler, TenantSpec
+from repro.serve.workload import (
+    Arrival,
+    ChurnWave,
+    WorkloadReport,
+    WorkloadSpec,
+    generate_arrivals,
+    percentile,
+    run_workload,
+)
+
+__all__ = [
+    "AdmissionController",
+    "Arrival",
+    "ChurnWave",
+    "FairScheduler",
+    "MediatorService",
+    "QueryTicket",
+    "SourcePools",
+    "TenantSpec",
+    "WorkloadReport",
+    "WorkloadSpec",
+    "derive_seed",
+    "generate_arrivals",
+    "percentile",
+    "run_workload",
+]

@@ -1,0 +1,105 @@
+"""Admission control: a bounded run queue plus per-tenant quotas.
+
+The serving tier sheds load at the door rather than letting queues grow
+without bound (the classic recipe against congestion collapse).  An
+:class:`AdmissionController` owns no queue itself — it is the *counting*
+authority the service consults before enqueueing: one global run-queue
+limit, and per-tenant caps on outstanding (queued + running) queries.
+Refusals raise the typed errors of :mod:`repro.errors`
+(:class:`~repro.errors.QueueFullError`,
+:class:`~repro.errors.QuotaExceededError`,
+:class:`~repro.errors.ServiceClosedError`) so clients and the load
+generator can distinguish shedding modes without string matching.
+
+All counters are guarded by an internal lock, so both service modes
+(virtual-clock and thread-pool) share the same controller unchanged.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable
+
+from repro.errors import (
+    CostModelError,
+    QueueFullError,
+    QuotaExceededError,
+    ServiceClosedError,
+    UnknownTenantError,
+)
+from repro.serve.tenants import TenantSpec
+
+
+class AdmissionController:
+    """Counts queued and in-flight work; refuses what does not fit."""
+
+    def __init__(self, tenants: Iterable[TenantSpec], queue_limit: int):
+        if queue_limit < 1:
+            raise CostModelError(
+                f"queue_limit must be >= 1, got {queue_limit}"
+            )
+        self.tenants = {spec.name: spec for spec in tenants}
+        if not self.tenants:
+            raise CostModelError("admission needs at least one tenant")
+        self.queue_limit = queue_limit
+        #: Queries admitted but not yet dispatched.
+        self.queued = 0
+        #: Queries dispatched but not yet completed.
+        self.in_flight = 0
+        #: Per-tenant queued + in-flight (the quota denominator).
+        self.outstanding = {name: 0 for name in self.tenants}
+        #: Lifetime admitted count per tenant (fairness numerator).
+        self.admitted_total = {name: 0 for name in self.tenants}
+        #: Lifetime rejections by machine-readable reason.
+        self.rejected_total: dict[str, int] = {}
+        self.closed = False
+        self._lock = threading.RLock()
+
+    def admit(self, tenant: str) -> None:
+        """Admit one query for ``tenant`` or raise a typed refusal."""
+        with self._lock:
+            spec = self.tenants.get(tenant)
+            if spec is None:
+                raise UnknownTenantError(f"unknown tenant {tenant!r}")
+            if self.closed:
+                self._count_rejection("closed")
+                raise ServiceClosedError(tenant)
+            if self.queued >= self.queue_limit:
+                self._count_rejection("queue_full")
+                raise QueueFullError(tenant, self.queued, self.queue_limit)
+            if (
+                spec.quota is not None
+                and self.outstanding[tenant] >= spec.quota
+            ):
+                self._count_rejection("quota")
+                raise QuotaExceededError(
+                    tenant, self.outstanding[tenant], spec.quota
+                )
+            self.queued += 1
+            self.outstanding[tenant] += 1
+            self.admitted_total[tenant] += 1
+
+    def on_dispatch(self, tenant: str) -> None:
+        """An admitted query left the queue and started running."""
+        with self._lock:
+            self.queued -= 1
+            self.in_flight += 1
+
+    def on_complete(self, tenant: str) -> None:
+        """A running query finished (successfully or not)."""
+        with self._lock:
+            self.in_flight -= 1
+            self.outstanding[tenant] -= 1
+
+    def close(self) -> None:
+        """Refuse all future admissions (queued work still drains)."""
+        with self._lock:
+            self.closed = True
+
+    def _count_rejection(self, reason: str) -> None:
+        self.rejected_total[reason] = self.rejected_total.get(reason, 0) + 1
+
+    @property
+    def rejected(self) -> int:
+        with self._lock:
+            return sum(self.rejected_total.values())

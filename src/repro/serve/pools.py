@@ -1,0 +1,108 @@
+"""Bounded per-source connection pools for the serving tier.
+
+Autonomous sources tolerate only so many simultaneous sessions — the
+paper's cost model already charges per message precisely because source
+capacity is the scarce resource.  :class:`SourcePools` models that cap:
+each source has a fixed number of *slots*, one per concurrently
+executing query that touches it, and a query dispatches only when every
+source its plan contacts has a free slot (all-or-nothing, so a query
+never holds some slots while waiting on others — the classic
+hold-and-wait deadlock ingredient is ruled out by construction).
+
+Slot accounting is plain counters, *not* semaphores: the service makes
+every ``can_acquire``/``acquire``/``release`` call while holding its own
+condition lock, so the dispatch decision and the slot state can never
+race, and blocked workers simply wait on the condition until a
+completion frees slots.  This keeps the same code correct under both
+the virtual clock and real threads.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.errors import CostModelError, ServiceError
+
+#: Slots per source when no explicit limit is given.
+DEFAULT_SLOTS = 2
+
+
+class SourcePools:
+    """Per-source slot counters with a high-water mark.
+
+    Args:
+        slots: One limit for every source (int), or a per-source
+            ``{name: limit}`` mapping; unmapped sources fall back to
+            ``default_slots``.
+        default_slots: Fallback limit for sources absent from a
+            mapping (ignored when ``slots`` is an int).
+    """
+
+    def __init__(
+        self,
+        slots: int | Mapping[str, int] = DEFAULT_SLOTS,
+        default_slots: int = DEFAULT_SLOTS,
+    ):
+        if isinstance(slots, int):
+            self._limits: dict[str, int] = {}
+            self.default_slots = slots
+        else:
+            self._limits = dict(slots)
+            self.default_slots = default_slots
+        for name, limit in [("default_slots", self.default_slots)] + sorted(
+            self._limits.items()
+        ):
+            if not isinstance(limit, int) or limit < 1:
+                raise CostModelError(
+                    f"pool slots for {name!r} must be a positive "
+                    f"integer, got {limit!r}"
+                )
+        self._used: dict[str, int] = {}
+        #: Most slots ever held at once, per source (contention evidence).
+        self.high_water: dict[str, int] = {}
+
+    def limit(self, source: str) -> int:
+        return self._limits.get(source, self.default_slots)
+
+    def used(self, source: str) -> int:
+        return self._used.get(source, 0)
+
+    def can_acquire(self, sources: Iterable[str]) -> bool:
+        """Whether every named source has a free slot right now."""
+        return all(self.used(name) < self.limit(name) for name in sources)
+
+    def acquire(self, sources: Iterable[str]) -> None:
+        """Take one slot on every named source (caller checked first)."""
+        names = list(sources)
+        if not self.can_acquire(names):
+            raise ServiceError(
+                f"pool slots unavailable for {sorted(names)}; call "
+                "can_acquire first"
+            )
+        for name in names:
+            used = self._used.get(name, 0) + 1
+            self._used[name] = used
+            if used > self.high_water.get(name, 0):
+                self.high_water[name] = used
+
+    def release(self, sources: Iterable[str]) -> None:
+        """Return one slot on every named source."""
+        for name in sources:
+            used = self._used.get(name, 0)
+            if used < 1:
+                raise ServiceError(
+                    f"released a slot on {name!r} that was never acquired"
+                )
+            self._used[name] = used - 1
+
+    def snapshot(self) -> dict[str, dict[str, int]]:
+        """Per-source ``{used, limit, high_water}`` as plain data."""
+        names = set(self._used) | set(self._limits)
+        return {
+            name: {
+                "used": self.used(name),
+                "limit": self.limit(name),
+                "high_water": self.high_water.get(name, 0),
+            }
+            for name in sorted(names)
+        }

@@ -1,0 +1,623 @@
+"""`MediatorService`: many concurrent fusion queries over one mediator stack.
+
+The paper's mediator answers one query; a real deployment answers a
+*stream* of them, and everything interesting — breaker trips, warmed
+plans, mined statistics — only pays off when what one query learns
+benefits the next.  :class:`MediatorService` is that serving tier: it
+admits queries through an :class:`~repro.serve.admission.AdmissionController`
+(bounded run queue + per-tenant quotas), orders dispatch with a
+weighted-fair :class:`~repro.serve.tenants.FairScheduler`, gates each
+dispatch on per-source :class:`~repro.serve.pools.SourcePools` slots,
+and executes on the discrete-event runtime — while **all cross-query
+state is shared**: one :class:`~repro.runtime.health.HealthRegistry`,
+one :class:`~repro.mediator.plan_cache.PlanCache`, one statistics
+provider, and one :class:`~repro.obs.metrics.MetricsRegistry`.
+
+Two execution modes, same scheduling code:
+
+* ``"deterministic"`` — a discrete-event simulation at query
+  granularity on the virtual clock.  Submissions carry arrival times,
+  each dispatched query runs on the engine with a private
+  :class:`~repro.runtime.faults.FaultInjector` seeded from the workload
+  seed and its submission sequence number (:func:`derive_seed`), and
+  its completion is scheduled at dispatch time + engine makespan.
+  Overlap is real (in-flight counts, pool contention, queueing delay)
+  and the whole run — answers, metrics, the event stream — replays
+  byte-identically for the same seed.  This is the test oracle.
+* ``"threads"`` — a pool of worker threads, each owning a private
+  :class:`~repro.mediator.session.Mediator` (engines and their RNG
+  streams are single-owner) but sharing the registries above.  Wall
+  clock, real concurrency, measured throughput.
+
+Ownership rules for the shared state are documented in DESIGN.md; the
+short version is that every shared structure locks internally, while
+scheduler + pools + tickets are mutated only under the service's own
+condition lock.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.errors import AdmissionError, FusionError, ServiceError
+from repro.mediator.plan_cache import PlanCache
+from repro.mediator.session import Mediator
+from repro.obs.events import EventLog
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import Recorder
+from repro.query.fusion import FusionQuery
+from repro.runtime.faults import FaultInjector, FaultProfile
+from repro.runtime.health import BreakerConfig, HealthRegistry
+from repro.serve.admission import AdmissionController
+from repro.serve.pools import SourcePools
+from repro.serve.tenants import DEFAULT_TENANT, FairScheduler, TenantSpec
+from repro.serve.workload import ChurnWave
+from repro.sources.registry import Federation
+from repro.sources.statistics import ExactStatistics, StatisticsProvider
+
+#: Service execution modes.
+MODES = ("deterministic", "threads")
+
+
+def derive_seed(workload_seed: int, seq: int) -> int:
+    """Per-query fault-stream seed: stable, collision-averse, and
+    independent across submission sequence numbers."""
+    return (workload_seed * 1_000_003 + 7_919 * seq + 1) % (2**31 - 1)
+
+
+@dataclass
+class QueryTicket:
+    """One submitted query's lifecycle, visible to the caller.
+
+    Timestamps are virtual-clock seconds in deterministic mode and
+    seconds since service start in thread mode.
+    """
+
+    seq: int
+    tenant: str
+    query: FusionQuery | str = field(repr=False)
+    text: str = ""
+    submitted_s: float = 0.0
+    dispatched_s: float | None = None
+    completed_s: float | None = None
+    status: str = "queued"  # queued | running | done | failed
+    items: frozenset | None = None
+    error: str = ""
+    makespan_s: float = 0.0
+
+    @property
+    def latency_s(self) -> float:
+        """Submit-to-complete time (0.0 while still outstanding)."""
+        if self.completed_s is None:
+            return 0.0
+        return self.completed_s - self.submitted_s
+
+
+class MediatorService:
+    """A concurrent multi-query serving tier over one federation.
+
+    Args:
+        federation: The sources served.
+        mode: ``"deterministic"`` (virtual clock, replayable) or
+            ``"threads"`` (worker pool, wall clock).
+        tenants: Tenant roster (default: one unlimited ``"default"``
+            tenant with weight 1).
+        workers: Worker-thread count for thread mode.
+        queue_limit: Bounded run-queue size (admission control).
+        pool_slots: Per-source connection-pool slots (int for all
+            sources, or a ``{source: slots}`` mapping).
+        seed: Workload master seed; every query's fault stream derives
+            from it and the query's submission number.
+        faults: Baseline fault profile(s) applied to every query.
+        churn: Optional :class:`~repro.serve.workload.ChurnWave`
+            adding flakiness to queries arriving inside its window.
+        breaker: Circuit-breaker config for the *shared* health
+            registry (``True`` = defaults, ``None``/``False`` = off).
+        statistics: Shared statistics provider (default: one
+            :class:`~repro.sources.statistics.ExactStatistics`); pass
+            an :class:`~repro.sources.observed.ObservedStatistics` plus
+            ``mine_statistics=True`` to close the learning loop.
+        plan_cache: Shared plan cache — an instance, a capacity, or a
+            bool (default ``True``: caching is the point of a service).
+        mine_statistics: Feed each completed query's events back into
+            ``statistics.observe`` so later queries plan on what
+            earlier ones measured.
+        mediator_options: Extra keyword arguments forwarded to every
+            :class:`~repro.mediator.session.Mediator` (e.g.
+            ``optimizer="robust"``, ``retry_policy=...``).
+    """
+
+    def __init__(
+        self,
+        federation: Federation,
+        mode: str = "deterministic",
+        tenants: Sequence[TenantSpec] | None = None,
+        workers: int = 4,
+        queue_limit: int = 16,
+        pool_slots: int | dict[str, int] = 2,
+        seed: int = 0,
+        faults: FaultProfile | dict[str, FaultProfile] | None = None,
+        churn: ChurnWave | None = None,
+        breaker: BreakerConfig | bool | None = None,
+        statistics: StatisticsProvider | None = None,
+        plan_cache: PlanCache | int | bool | None = True,
+        mine_statistics: bool = False,
+        mediator_options: dict[str, Any] | None = None,
+    ):
+        if mode not in MODES:
+            raise ServiceError(
+                f"unknown mode {mode!r}; choose from {MODES}"
+            )
+        if workers < 1:
+            raise ServiceError(f"workers must be >= 1, got {workers}")
+        self.federation = federation
+        self.mode = mode
+        self.seed = seed
+        self.faults = faults
+        self.churn = churn
+        self.mine_statistics = mine_statistics
+        self._mediator_options = dict(mediator_options or {})
+        roster = list(tenants) if tenants else [DEFAULT_TENANT]
+        self.tenants = {spec.name: spec for spec in roster}
+        self.scheduler = FairScheduler(roster)
+        self.admission = AdmissionController(roster, queue_limit)
+        self.pools = SourcePools(pool_slots)
+        if breaker is True:
+            breaker = BreakerConfig.default()
+        elif breaker is False:
+            breaker = None
+        self.health = HealthRegistry(breaker)
+        self.statistics = statistics or ExactStatistics(federation)
+        if plan_cache is True:
+            plan_cache = PlanCache()
+        elif plan_cache is False:
+            plan_cache = None
+        elif isinstance(plan_cache, int):
+            plan_cache = PlanCache(capacity=plan_cache)
+        self.plan_cache: PlanCache | None = plan_cache
+        self.metrics = MetricsRegistry()
+        #: The service's own telemetry: serve-lifecycle events plus (in
+        #: deterministic mode) every engine event, on one stream.
+        self.recorder = Recorder(metrics=self.metrics, events=EventLog())
+        self.tickets: list[QueryTicket] = []
+        self._by_seq: dict[int, QueryTicket] = {}
+        self._seq = 0
+        self.max_in_flight = 0
+        self.completed_count = 0
+        self.failed_count = 0
+        self.now_s = 0.0
+        # Deterministic-mode machinery.
+        self._completions: list[tuple[float, int, list[str]]] = []
+        self._blocked: tuple[QueryTicket, Any] | None = None
+        self._det_mediator: Mediator | None = None
+        # Thread-mode machinery.
+        self._cond = threading.Condition()
+        self._threads: list[threading.Thread] = []
+        self._stop = False
+        self._t0 = time.monotonic()
+        if mode == "deterministic":
+            self._det_mediator = self._make_mediator(self.recorder)
+        else:
+            for index in range(workers):
+                thread = threading.Thread(
+                    target=self._worker,
+                    args=(index,),
+                    name=f"serve-worker-{index}",
+                    daemon=True,
+                )
+                self._threads.append(thread)
+                thread.start()
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+
+    def _make_mediator(self, recorder: Recorder) -> Mediator:
+        options = dict(self._mediator_options)
+        options.setdefault("backend", "runtime")
+        return Mediator(
+            self.federation,
+            statistics=self.statistics,
+            plan_cache=self.plan_cache,
+            health=self.health,
+            recorder=recorder,
+            **options,
+        )
+
+    def _injector_for(self, ticket: QueryTicket) -> FaultInjector:
+        profiles: dict[str, FaultProfile] = {}
+        default = None
+        if isinstance(self.faults, dict):
+            profiles.update(self.faults)
+        elif self.faults is not None:
+            default = self.faults
+        if self.churn is not None and self.churn.covers(ticket.submitted_s):
+            wave = self.churn.profile()
+            for name in self.churn.sources:
+                profiles[name] = wave
+        return FaultInjector(
+            profiles or None,
+            seed=derive_seed(self.seed, ticket.seq),
+            default=default,
+        )
+
+    @staticmethod
+    def _text_of(query: FusionQuery | str) -> str:
+        return query if isinstance(query, str) else query.describe()
+
+    @property
+    def queue_depth(self) -> int:
+        return self.admission.queued
+
+    @property
+    def in_flight(self) -> int:
+        return self.admission.in_flight
+
+    @property
+    def elapsed_s(self) -> float:
+        """Wall seconds since service start (thread mode's clock)."""
+        return time.monotonic() - self._t0
+
+    def submit(
+        self,
+        query: FusionQuery | str,
+        tenant: str = "default",
+        at_s: float | None = None,
+    ) -> QueryTicket:
+        """Admit one query (or raise a typed refusal) and return its
+        ticket.  ``at_s`` is the virtual arrival time (deterministic
+        mode only); omitted, the current clock is used."""
+        if self.mode == "deterministic":
+            return self._submit_deterministic(query, tenant, at_s)
+        if at_s is not None:
+            raise ServiceError("at_s is only meaningful in deterministic mode")
+        return self._submit_threads(query, tenant)
+
+    def snapshot(self) -> dict[str, Any]:
+        """Service counters as plain data (tests and the CLI read this)."""
+        return {
+            "mode": self.mode,
+            "queued": self.queue_depth,
+            "in_flight": self.in_flight,
+            "max_in_flight": self.max_in_flight,
+            "completed": self.completed_count,
+            "failed": self.failed_count,
+            "admitted": dict(self.admission.admitted_total),
+            "rejected": dict(self.admission.rejected_total),
+            "plan_cache": (
+                {
+                    "hits": self.plan_cache.hits,
+                    "misses": self.plan_cache.misses,
+                }
+                if self.plan_cache is not None
+                else None
+            ),
+            "pools": self.pools.snapshot(),
+        }
+
+    def close(self) -> None:
+        """Stop admitting; thread mode also stops workers (queued work
+        that was never dispatched is abandoned)."""
+        self.admission.close()
+        if self.mode == "threads":
+            with self._cond:
+                self._stop = True
+                self._cond.notify_all()
+            for thread in self._threads:
+                thread.join(timeout=10.0)
+
+    # ------------------------------------------------------------------
+    # Deterministic mode: discrete-event loop at query granularity
+
+    def _submit_deterministic(
+        self, query: FusionQuery | str, tenant: str, at_s: float | None
+    ) -> QueryTicket:
+        at = self.now_s if at_s is None else float(at_s)
+        if at < self.now_s - 1e-12:
+            raise ServiceError(
+                f"arrival at {at} is in the past (clock is at {self.now_s})"
+            )
+        self.advance_to(at)
+        seq = self._seq
+        self._seq += 1
+        try:
+            self.admission.admit(tenant)
+        except AdmissionError as exc:
+            self.recorder.query_rejected(
+                self.now_s, seq, tenant, exc.reason,
+                self.queue_depth, self.in_flight,
+            )
+            raise
+        ticket = QueryTicket(
+            seq=seq,
+            tenant=tenant,
+            query=query,
+            text=self._text_of(query),
+            submitted_s=self.now_s,
+        )
+        self.tickets.append(ticket)
+        self._by_seq[seq] = ticket
+        self.scheduler.push(tenant, ticket)
+        self.recorder.query_admitted(
+            self.now_s, seq, tenant, self.queue_depth, self.in_flight
+        )
+        self._pump()
+        return ticket
+
+    def advance_to(self, at_s: float) -> None:
+        """Advance the virtual clock, retiring completions on the way."""
+        while self._completions and self._completions[0][0] <= at_s + 1e-12:
+            done_at, seq, sources = heapq.heappop(self._completions)
+            self.now_s = max(self.now_s, done_at)
+            self._complete_deterministic(seq, sources, done_at)
+            self._pump()
+        self.now_s = max(self.now_s, at_s)
+
+    def run_until_idle(self) -> float:
+        """Drain every queued and in-flight query; returns the final
+        virtual time."""
+        if self.mode != "deterministic":
+            raise ServiceError("run_until_idle is deterministic-mode only")
+        while self._completions:
+            self.advance_to(self._completions[0][0])
+        if self._blocked is not None or len(self.scheduler):
+            raise ServiceError(
+                "service wedged: queued queries but nothing in flight "
+                "will ever free pool slots"
+            )
+        return self.now_s
+
+    def _pump(self) -> None:
+        """Dispatch queued queries while pool slots allow."""
+        while True:
+            if self._blocked is not None:
+                ticket, optimization = self._blocked
+                sources = sorted(optimization.plan.sources_used())
+                if not self.pools.can_acquire(sources):
+                    return
+                self._blocked = None
+                self._dispatch_deterministic(ticket, optimization, sources)
+                continue
+            popped = self.scheduler.pop()
+            if popped is None:
+                return
+            __, ticket = popped
+            assert self._det_mediator is not None
+            try:
+                optimization = self._det_mediator.plan(ticket.query)
+            except FusionError as exc:
+                self._fail_unplannable(ticket, exc)
+                continue
+            sources = sorted(optimization.plan.sources_used())
+            if not self.pools.can_acquire(sources):
+                if self.in_flight == 0:
+                    raise ServiceError(
+                        f"plan for query #{ticket.seq} needs slots on "
+                        f"{sources} that exceed the pool limits"
+                    )
+                self._blocked = (ticket, optimization)
+                return
+            self._dispatch_deterministic(ticket, optimization, sources)
+
+    def _fail_unplannable(self, ticket: QueryTicket, exc: Exception) -> None:
+        """A query that cannot even be planned completes as failed."""
+        self.admission.on_dispatch(ticket.tenant)
+        self.admission.on_complete(ticket.tenant)
+        ticket.dispatched_s = self.now_s
+        ticket.completed_s = self.now_s
+        ticket.status = "failed"
+        ticket.error = f"{type(exc).__name__}: {exc}"
+        self.failed_count += 1
+        self.recorder.query_completed(
+            self.now_s, ticket.seq, ticket.tenant,
+            self.queue_depth, self.in_flight,
+            ticket.latency_s, error=ticket.error,
+        )
+
+    def _dispatch_deterministic(
+        self, ticket: QueryTicket, optimization, sources: list[str]
+    ) -> None:
+        mediator = self._det_mediator
+        assert mediator is not None
+        dispatch_at = self.now_s
+        self.pools.acquire(sources)
+        self.admission.on_dispatch(ticket.tenant)
+        ticket.dispatched_s = dispatch_at
+        ticket.status = "running"
+        self.max_in_flight = max(self.max_in_flight, self.in_flight)
+        self.recorder.query_dispatched(
+            dispatch_at, ticket.seq, ticket.tenant,
+            self.queue_depth, self.in_flight,
+        )
+        engine = mediator.runtime
+        saved_faults = engine.faults
+        events_before = (
+            len(self.recorder.events) if self.recorder.events else 0
+        )
+        # The engine's clock restarts at zero each run; offsetting its
+        # event timestamps by the dispatch time interleaves them onto
+        # the service timeline.
+        self.recorder.clock_offset_s = dispatch_at
+        engine.faults = self._injector_for(ticket)
+        try:
+            result = engine.run(optimization.plan)
+            ticket.items = result.to_execution_result().items
+            ticket.makespan_s = result.makespan_s
+            done_at = dispatch_at + result.makespan_s
+        except FusionError as exc:
+            ticket.error = f"{type(exc).__name__}: {exc}"
+            done_at = dispatch_at
+        finally:
+            self.recorder.clock_offset_s = 0.0
+            engine.faults = saved_faults
+        if self.mine_statistics and self.recorder.events is not None:
+            observe = getattr(self.statistics, "observe", None)
+            if callable(observe):
+                observe(self.recorder.events.events[events_before:])
+        heapq.heappush(self._completions, (done_at, ticket.seq, sources))
+
+    def _complete_deterministic(
+        self, seq: int, sources: list[str], done_at: float
+    ) -> None:
+        ticket = self._by_seq[seq]
+        self.pools.release(sources)
+        self.admission.on_complete(ticket.tenant)
+        ticket.completed_s = done_at
+        if ticket.error:
+            ticket.status = "failed"
+            self.failed_count += 1
+        else:
+            ticket.status = "done"
+            self.completed_count += 1
+        self.recorder.query_completed(
+            done_at, seq, ticket.tenant,
+            self.queue_depth, self.in_flight,
+            ticket.latency_s, error=ticket.error,
+        )
+
+    # ------------------------------------------------------------------
+    # Thread mode: worker pool over shared scheduler + pools
+
+    def _submit_threads(
+        self, query: FusionQuery | str, tenant: str
+    ) -> QueryTicket:
+        with self._cond:
+            now = self.elapsed_s
+            seq = self._seq
+            self._seq += 1
+            try:
+                self.admission.admit(tenant)
+            except AdmissionError as exc:
+                self.recorder.query_rejected(
+                    now, seq, tenant, exc.reason,
+                    self.queue_depth, self.in_flight,
+                )
+                raise
+            ticket = QueryTicket(
+                seq=seq,
+                tenant=tenant,
+                query=query,
+                text=self._text_of(query),
+                submitted_s=now,
+            )
+            self.tickets.append(ticket)
+            self._by_seq[seq] = ticket
+            self.scheduler.push(tenant, ticket)
+            self.recorder.query_admitted(
+                now, seq, tenant, self.queue_depth, self.in_flight
+            )
+            self._cond.notify()
+            return ticket
+
+    def drain(self, timeout_s: float = 60.0) -> None:
+        """Block until every admitted query has completed."""
+        if self.mode != "threads":
+            raise ServiceError("drain is thread-mode only; use run_until_idle")
+        deadline = time.monotonic() + timeout_s
+        with self._cond:
+            while self.admission.queued or self.admission.in_flight:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise ServiceError(
+                        f"drain timed out after {timeout_s}s with "
+                        f"{self.admission.queued} queued, "
+                        f"{self.admission.in_flight} in flight"
+                    )
+                self._cond.wait(min(remaining, 0.1))
+
+    def _worker(self, index: int) -> None:
+        recorder = Recorder(metrics=self.metrics, events=EventLog())
+        mediator = self._make_mediator(recorder)
+        while True:
+            with self._cond:
+                popped = None
+                while True:
+                    popped = self.scheduler.pop()
+                    if popped is not None or self._stop:
+                        break
+                    self._cond.wait(0.1)
+                if popped is None:
+                    return
+                __, ticket = popped
+            # Plan outside the lock: the shared cache locks internally,
+            # and optimization is the expensive part worth overlapping.
+            try:
+                optimization = mediator.plan(ticket.query)
+                sources = sorted(optimization.plan.sources_used())
+            except FusionError as exc:
+                with self._cond:
+                    self._fail_unplannable_threads(ticket, exc)
+                    self._cond.notify_all()
+                continue
+            with self._cond:
+                while not (self.pools.can_acquire(sources) or self._stop):
+                    self._cond.wait(0.1)
+                if self._stop and not self.pools.can_acquire(sources):
+                    return
+                self.pools.acquire(sources)
+                self.admission.on_dispatch(ticket.tenant)
+                ticket.dispatched_s = self.elapsed_s
+                ticket.status = "running"
+                self.max_in_flight = max(self.max_in_flight, self.in_flight)
+                self.recorder.query_dispatched(
+                    ticket.dispatched_s, ticket.seq, ticket.tenant,
+                    self.queue_depth, self.in_flight,
+                )
+            events_before = (
+                len(recorder.events) if recorder.events is not None else 0
+            )
+            error = ""
+            items = None
+            makespan = 0.0
+            engine = mediator.runtime
+            engine.faults = self._injector_for(ticket)
+            try:
+                result = engine.run(optimization.plan)
+                items = result.to_execution_result().items
+                makespan = result.makespan_s
+            except FusionError as exc:
+                error = f"{type(exc).__name__}: {exc}"
+            if self.mine_statistics and recorder.events is not None:
+                observe = getattr(self.statistics, "observe", None)
+                if callable(observe):
+                    observe(recorder.events.events[events_before:])
+            with self._cond:
+                self.pools.release(sources)
+                self.admission.on_complete(ticket.tenant)
+                now = self.elapsed_s
+                ticket.completed_s = now
+                ticket.items = items
+                ticket.makespan_s = makespan
+                ticket.error = error
+                if error:
+                    ticket.status = "failed"
+                    self.failed_count += 1
+                else:
+                    ticket.status = "done"
+                    self.completed_count += 1
+                self.recorder.query_completed(
+                    now, ticket.seq, ticket.tenant,
+                    self.queue_depth, self.in_flight,
+                    ticket.latency_s, error=error,
+                )
+                self._cond.notify_all()
+
+    def _fail_unplannable_threads(
+        self, ticket: QueryTicket, exc: Exception
+    ) -> None:
+        self.admission.on_dispatch(ticket.tenant)
+        self.admission.on_complete(ticket.tenant)
+        now = self.elapsed_s
+        ticket.dispatched_s = now
+        ticket.completed_s = now
+        ticket.status = "failed"
+        ticket.error = f"{type(exc).__name__}: {exc}"
+        self.failed_count += 1
+        self.recorder.query_completed(
+            now, ticket.seq, ticket.tenant,
+            self.queue_depth, self.in_flight,
+            ticket.latency_s, error=ticket.error,
+        )

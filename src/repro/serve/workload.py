@@ -1,0 +1,222 @@
+"""Seeded workload generation and the load-generator harness.
+
+A workload is a Poisson arrival process over a pool of fusion-query SQL
+texts, split across weighted tenants, with an optional *churn wave* — a
+window of the workload timeline during which chosen sources turn flaky,
+modeling the fact that internet sources degrade while traffic keeps
+coming.  Everything derives from one workload seed: arrival times,
+tenant assignment, query choice, and (via
+:func:`repro.serve.service.derive_seed`) every query's private fault
+stream — so a deterministic-mode run replays byte-identically.
+
+:func:`run_workload` drives either service mode with the same arrival
+list and folds the outcome into a :class:`WorkloadReport` with the
+headline serving numbers: queries/sec, p50/p95/p99 latency, per-tenant
+admission shares, and shedding counts.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import AdmissionError, CostModelError
+from repro.runtime.faults import FaultProfile
+from repro.serve.tenants import TenantSpec
+
+
+@dataclass(frozen=True)
+class ChurnWave:
+    """A window of source flakiness crossing the workload mid-stream.
+
+    Queries whose *arrival time* falls inside ``[start_s, end_s)`` see
+    the named sources with a :meth:`~repro.runtime.faults.FaultProfile.flaky`
+    profile of the given rate.  Keying on arrival time (not dispatch
+    time) makes the affected query set identical across service modes.
+    """
+
+    start_s: float
+    end_s: float
+    sources: tuple[str, ...]
+    rate: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.start_s < self.end_s):
+            raise CostModelError(
+                f"churn window must satisfy 0 <= start < end, got "
+                f"[{self.start_s}, {self.end_s})"
+            )
+        if not self.sources:
+            raise CostModelError("churn wave needs at least one source")
+
+    def covers(self, at_s: float) -> bool:
+        return self.start_s <= at_s < self.end_s
+
+    def profile(self) -> FaultProfile:
+        return FaultProfile.flaky(self.rate)
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One generated query arrival."""
+
+    at_s: float
+    tenant: str
+    sql: str
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Everything needed to regenerate one workload exactly.
+
+    Attributes:
+        queries: Pool of fusion-query SQL texts drawn from uniformly.
+        tenants: Tenant roster; arrival tenants are drawn with
+            probability proportional to ``weight``.
+        count: Number of arrivals to generate.
+        rate_qps: Mean arrival rate (Poisson process).
+        seed: Master seed for arrival times, tenant draws, and query
+            choice.
+    """
+
+    queries: tuple[str, ...]
+    tenants: tuple[TenantSpec, ...] = (TenantSpec("default"),)
+    count: int = 50
+    rate_qps: float = 2.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.queries:
+            raise CostModelError("workload needs at least one query")
+        if self.count < 1:
+            raise CostModelError(f"count must be >= 1, got {self.count}")
+        if not self.rate_qps > 0:
+            raise CostModelError(
+                f"rate_qps must be positive, got {self.rate_qps}"
+            )
+
+
+def generate_arrivals(spec: WorkloadSpec) -> list[Arrival]:
+    """The workload's arrival list — pure function of the spec."""
+    rng = random.Random(f"workload:{spec.seed}")
+    names = [tenant.name for tenant in spec.tenants]
+    weights = [tenant.weight for tenant in spec.tenants]
+    arrivals = []
+    now = 0.0
+    for __ in range(spec.count):
+        now += rng.expovariate(spec.rate_qps)
+        tenant = rng.choices(names, weights=weights, k=1)[0]
+        sql = spec.queries[rng.randrange(len(spec.queries))]
+        arrivals.append(Arrival(at_s=round(now, 6), tenant=tenant, sql=sql))
+    return arrivals
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    if not values:
+        return 0.0
+    if not 0 <= q <= 100:
+        raise CostModelError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    rank = max(1, -(-len(ordered) * q // 100))  # ceil without floats
+    return ordered[int(rank) - 1]
+
+
+@dataclass
+class WorkloadReport:
+    """Outcome of one workload run against a service."""
+
+    mode: str
+    submitted: int
+    completed: int
+    failed: int
+    rejected: dict[str, int]
+    duration_s: float
+    latencies_s: list[float] = field(default_factory=list)
+    admitted_by_tenant: dict[str, int] = field(default_factory=dict)
+    latency_by_tenant: dict[str, list[float]] = field(default_factory=dict)
+    max_in_flight: int = 0
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
+
+    @property
+    def qps(self) -> float:
+        if self.duration_s <= 0:
+            return 0.0
+        return self.completed / self.duration_s
+
+    @property
+    def p50_s(self) -> float:
+        return percentile(self.latencies_s, 50)
+
+    @property
+    def p95_s(self) -> float:
+        return percentile(self.latencies_s, 95)
+
+    @property
+    def p99_s(self) -> float:
+        return percentile(self.latencies_s, 99)
+
+    def summary(self) -> str:
+        shed = sum(self.rejected.values())
+        return (
+            f"{self.completed}/{self.submitted} completed "
+            f"({self.failed} failed, {shed} shed) in "
+            f"{self.duration_s:.3f}s — {self.qps:.2f} q/s, latency "
+            f"p50 {self.p50_s:.3f}s / p95 {self.p95_s:.3f}s / "
+            f"p99 {self.p99_s:.3f}s, max in-flight {self.max_in_flight}"
+        )
+
+
+def run_workload(service, arrivals: Sequence[Arrival]) -> WorkloadReport:
+    """Feed an arrival list through a service and report the outcome.
+
+    Works with both modes: under the virtual clock each arrival's
+    ``at_s`` advances simulated time; under threads arrivals are
+    submitted as fast as the queue accepts them (their spacing already
+    shaped the churn assignment at generation time) and the run is
+    drained before measuring.
+    """
+    deterministic = service.mode == "deterministic"
+    rejected: dict[str, int] = {}
+    tickets = []
+    for arrival in arrivals:
+        try:
+            if deterministic:
+                ticket = service.submit(
+                    arrival.sql, tenant=arrival.tenant, at_s=arrival.at_s
+                )
+            else:
+                ticket = service.submit(arrival.sql, tenant=arrival.tenant)
+        except AdmissionError as exc:
+            rejected[exc.reason] = rejected.get(exc.reason, 0) + 1
+            continue
+        tickets.append(ticket)
+    if deterministic:
+        duration = service.run_until_idle()
+    else:
+        service.drain()
+        duration = service.elapsed_s
+    done = [t for t in tickets if t.status == "done"]
+    failed = [t for t in tickets if t.status == "failed"]
+    latency_by_tenant: dict[str, list[float]] = {}
+    for ticket in done:
+        latency_by_tenant.setdefault(ticket.tenant, []).append(
+            ticket.latency_s
+        )
+    cache = service.plan_cache
+    return WorkloadReport(
+        mode=service.mode,
+        submitted=len(arrivals),
+        completed=len(done),
+        failed=len(failed),
+        rejected=rejected,
+        duration_s=duration,
+        latencies_s=[t.latency_s for t in done],
+        admitted_by_tenant=dict(service.admission.admitted_total),
+        latency_by_tenant=latency_by_tenant,
+        max_in_flight=service.max_in_flight,
+        plan_cache_hits=cache.hits if cache is not None else 0,
+        plan_cache_misses=cache.misses if cache is not None else 0,
+    )

@@ -32,6 +32,7 @@ harmless.
 from __future__ import annotations
 
 import statistics as _statistics
+import threading
 from typing import TYPE_CHECKING, Iterable
 
 from repro.relational.conditions import Condition
@@ -81,6 +82,10 @@ class ObservedStatistics:
         self._sq_max: dict[str, int] = {}
         self._mined = 0
         self._version = 0
+        # One provider is shared by every query of a serving tier:
+        # concurrent observe() folds and planner reads must never see a
+        # half-applied batch (reentrant: accessors call each other).
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Mining
@@ -94,33 +99,34 @@ class ObservedStatistics:
         evidence about the logical source's data.
         """
         mined = 0
-        for event in events:
-            if event.type != "attempt" or event["fate"] != "ok":
-                continue
-            source = event["planned"] or event["source"]
-            op = event["op"]
-            if op == "sq":
-                key = (source, event["condition"])
-                self._sq_counts[key] = event["items_received"]
-                self._sq_max[source] = max(
-                    self._sq_max.get(source, 0), event["items_received"]
-                )
-            elif op == "sjq":
-                if event["items_sent"] <= 0:
+        with self._lock:
+            for event in events:
+                if event.type != "attempt" or event["fate"] != "ok":
                     continue
-                totals = self._sjq.setdefault(
-                    (source, event["condition"]), [0, 0]
-                )
-                totals[0] += event["items_sent"]
-                totals[1] += event["items_received"]
-            elif op == "lq":
-                self._rows[source] = event["rows_loaded"]
-            else:
-                continue
-            mined += 1
-        self._mined += mined
-        if mined:
-            self._version += 1
+                source = event["planned"] or event["source"]
+                op = event["op"]
+                if op == "sq":
+                    key = (source, event["condition"])
+                    self._sq_counts[key] = event["items_received"]
+                    self._sq_max[source] = max(
+                        self._sq_max.get(source, 0), event["items_received"]
+                    )
+                elif op == "sjq":
+                    if event["items_sent"] <= 0:
+                        continue
+                    totals = self._sjq.setdefault(
+                        (source, event["condition"]), [0, 0]
+                    )
+                    totals[0] += event["items_sent"]
+                    totals[1] += event["items_received"]
+                elif op == "lq":
+                    self._rows[source] = event["rows_loaded"]
+                else:
+                    continue
+                mined += 1
+            self._mined += mined
+            if mined:
+                self._version += 1
         return mined
 
     def fingerprint(self) -> str:
@@ -130,7 +136,8 @@ class ObservedStatistics:
         this, so plans computed from stale statistics are invalidated by
         the next successful :meth:`observe`.
         """
-        return f"observed@{id(self):x}:v{self._version}"
+        with self._lock:
+            return f"observed@{id(self):x}:v{self._version}"
 
     @staticmethod
     def from_events(

@@ -1,0 +1,137 @@
+"""Unit tests for admission control and the source pools."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    CostModelError,
+    QueueFullError,
+    QuotaExceededError,
+    ServiceClosedError,
+    ServiceError,
+    UnknownTenantError,
+)
+from repro.serve.admission import AdmissionController
+from repro.serve.pools import SourcePools
+from repro.serve.tenants import TenantSpec
+
+
+def controller(queue_limit=2, quota=None):
+    return AdmissionController(
+        [TenantSpec("a", quota=quota), TenantSpec("b")], queue_limit
+    )
+
+
+class TestAdmission:
+    def test_admits_until_queue_full(self):
+        ctrl = controller(queue_limit=2)
+        ctrl.admit("a")
+        ctrl.admit("b")
+        with pytest.raises(QueueFullError) as err:
+            ctrl.admit("a")
+        assert err.value.reason == "queue_full"
+        assert err.value.tenant == "a"
+        assert ctrl.rejected_total == {"queue_full": 1}
+
+    def test_dispatch_frees_queue_slot(self):
+        ctrl = controller(queue_limit=1)
+        ctrl.admit("a")
+        ctrl.on_dispatch("a")
+        ctrl.admit("a")  # queue slot freed by dispatch
+        assert ctrl.queued == 1
+        assert ctrl.in_flight == 1
+        assert ctrl.outstanding["a"] == 2
+
+    def test_quota_counts_outstanding_not_queued(self):
+        ctrl = controller(queue_limit=10, quota=2)
+        ctrl.admit("a")
+        ctrl.on_dispatch("a")  # running, still outstanding
+        ctrl.admit("a")
+        with pytest.raises(QuotaExceededError) as err:
+            ctrl.admit("a")
+        assert err.value.reason == "quota"
+        ctrl.on_complete("a")
+        ctrl.admit("a")  # completion released quota
+
+    def test_quota_is_per_tenant(self):
+        ctrl = controller(queue_limit=10, quota=1)
+        ctrl.admit("a")
+        with pytest.raises(QuotaExceededError):
+            ctrl.admit("a")
+        ctrl.admit("b")  # unlimited tenant unaffected
+
+    def test_unknown_tenant(self):
+        with pytest.raises(UnknownTenantError):
+            controller().admit("nope")
+
+    def test_closed_service_rejects(self):
+        ctrl = controller()
+        ctrl.close()
+        with pytest.raises(ServiceClosedError) as err:
+            ctrl.admit("a")
+        assert err.value.reason == "closed"
+        assert ctrl.rejected == 1
+
+    def test_bad_queue_limit(self):
+        with pytest.raises(CostModelError):
+            controller(queue_limit=0)
+
+    def test_admitted_totals_accumulate(self):
+        ctrl = controller(queue_limit=10)
+        for __ in range(3):
+            ctrl.admit("a")
+        ctrl.admit("b")
+        assert ctrl.admitted_total == {"a": 3, "b": 1}
+
+
+class TestSourcePools:
+    def test_uniform_limits(self):
+        pools = SourcePools(2)
+        assert pools.limit("anything") == 2
+
+    def test_per_source_limits_with_fallback(self):
+        pools = SourcePools({"R1": 1}, default_slots=3)
+        assert pools.limit("R1") == 1
+        assert pools.limit("R2") == 3
+
+    def test_bad_limits_rejected(self):
+        with pytest.raises(CostModelError):
+            SourcePools(0)
+        with pytest.raises(CostModelError):
+            SourcePools({"R1": -1})
+
+    def test_acquire_release_cycle(self):
+        pools = SourcePools(1)
+        assert pools.can_acquire(["R1", "R2"])
+        pools.acquire(["R1", "R2"])
+        assert not pools.can_acquire(["R1"])
+        assert pools.can_acquire(["R3"])
+        pools.release(["R1", "R2"])
+        assert pools.can_acquire(["R1", "R2"])
+
+    def test_all_or_nothing_check(self):
+        pools = SourcePools(1)
+        pools.acquire(["R1"])
+        # R2 is free but the batch includes busy R1.
+        assert not pools.can_acquire(["R1", "R2"])
+
+    def test_acquire_without_room_raises(self):
+        pools = SourcePools(1)
+        pools.acquire(["R1"])
+        with pytest.raises(ServiceError):
+            pools.acquire(["R1"])
+
+    def test_release_unacquired_raises(self):
+        with pytest.raises(ServiceError):
+            SourcePools(1).release(["R1"])
+
+    def test_high_water_mark(self):
+        pools = SourcePools(3)
+        pools.acquire(["R1"])
+        pools.acquire(["R1"])
+        pools.release(["R1"])
+        pools.acquire(["R1"])
+        assert pools.high_water["R1"] == 2
+        snap = pools.snapshot()
+        assert snap["R1"] == {"used": 2, "limit": 3, "high_water": 2}

@@ -1,0 +1,307 @@
+"""Integration tests for MediatorService in both execution modes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    QueueFullError,
+    QuotaExceededError,
+    ServiceClosedError,
+    ServiceError,
+    UnknownTenantError,
+)
+from repro.obs.events import EventLog
+from repro.optimize.sja_plus import SJAPlusOptimizer
+from repro.runtime.faults import FaultProfile
+from repro.serve import ChurnWave, MediatorService, TenantSpec
+from repro.sources.generators import DMV_FIG1_ANSWER, dmv_fig1
+from repro.sources.observed import ObservedStatistics
+
+DMV_SQL = (
+    "SELECT u1.L FROM U u1, U u2 "
+    "WHERE u1.L = u2.L AND u1.V = 'dui' AND u2.V = 'sp'"
+)
+
+
+class CountingOptimizer(SJAPlusOptimizer):
+    """SJA+ that counts how often the search actually runs."""
+
+    def __init__(self):
+        super().__init__()
+        self.calls = 0
+
+    def optimize(self, *args, **kwargs):
+        self.calls += 1
+        return super().optimize(*args, **kwargs)
+
+
+class TestDeterministicMode:
+    def test_single_query_answers_correctly(self, dmv_federation):
+        service = MediatorService(dmv_federation, mode="deterministic")
+        ticket = service.submit(DMV_SQL)
+        service.run_until_idle()
+        assert ticket.status == "done"
+        assert ticket.items == DMV_FIG1_ANSWER
+        assert ticket.latency_s > 0
+
+    def test_concurrent_in_flight_queries(self, dmv_federation):
+        """Four queries submitted together overlap on the virtual clock."""
+        service = MediatorService(
+            dmv_federation, mode="deterministic", pool_slots=4, queue_limit=8
+        )
+        tickets = [service.submit(DMV_SQL, at_s=0.0) for __ in range(4)]
+        service.run_until_idle()
+        assert all(t.status == "done" for t in tickets)
+        assert service.max_in_flight >= 4
+
+    def test_shared_plan_cache_skips_optimizer(self, dmv_federation):
+        """Repeated queries hit the shared cache: one optimization total."""
+        optimizer = CountingOptimizer()
+        service = MediatorService(
+            dmv_federation,
+            mode="deterministic",
+            mediator_options={"optimizer": optimizer},
+        )
+        for i in range(5):
+            service.submit(DMV_SQL, at_s=float(i))
+        service.run_until_idle()
+        assert optimizer.calls == 1
+        assert service.plan_cache.hits == 4
+        assert service.plan_cache.misses == 1
+
+    def test_shared_health_registry_accumulates_across_queries(
+        self, dmv_federation
+    ):
+        service = MediatorService(
+            dmv_federation,
+            mode="deterministic",
+            faults={"R2": FaultProfile.flaky(1.0)},
+            breaker=True,
+            seed=3,
+        )
+        assert service._det_mediator.runtime.health is service.health
+        for i in range(5):
+            service.submit(DMV_SQL, at_s=float(i * 100))
+        service.run_until_idle()
+        snap = service.health.snapshot()
+        # Evidence from several queries accumulated in one registry,
+        # and the always-failing source tripped its shared breaker.
+        assert snap["R2"]["failures"] >= 3
+        assert snap["R2"]["times_opened"] >= 1
+
+    def test_backpressure_rejects_instead_of_deadlocking(
+        self, dmv_federation
+    ):
+        service = MediatorService(
+            dmv_federation, mode="deterministic",
+            pool_slots=1, queue_limit=2,
+        )
+        admitted = [service.submit(DMV_SQL, at_s=0.0) for __ in range(3)]
+        with pytest.raises(QueueFullError):
+            service.submit(DMV_SQL, at_s=0.0)
+        service.run_until_idle()
+        assert [t.status for t in admitted] == ["done"] * 3
+        assert service.admission.rejected_total == {"queue_full": 1}
+
+    def test_quota_enforced_on_outstanding_queries(self, dmv_federation):
+        service = MediatorService(
+            dmv_federation,
+            mode="deterministic",
+            tenants=[TenantSpec("small", quota=1), TenantSpec("big")],
+            pool_slots=8,
+            queue_limit=8,
+        )
+        service.submit(DMV_SQL, tenant="small", at_s=0.0)
+        with pytest.raises(QuotaExceededError):
+            service.submit(DMV_SQL, tenant="small", at_s=0.0)
+        service.submit(DMV_SQL, tenant="big", at_s=0.0)
+        service.run_until_idle()
+        service.submit(DMV_SQL, tenant="small")  # quota released
+        service.run_until_idle()
+        assert service.completed_count == 3
+
+    def test_weighted_fairness_under_saturation(self, dmv_federation):
+        """1:3 weights dispatch ~1:3 while the queue stays saturated."""
+        service = MediatorService(
+            dmv_federation,
+            mode="deterministic",
+            tenants=[
+                TenantSpec("light", weight=1.0),
+                TenantSpec("heavy", weight=3.0),
+            ],
+            pool_slots=1,  # serialize dispatch so order is observable
+            queue_limit=32,
+        )
+        for __ in range(4):
+            service.submit(DMV_SQL, tenant="light", at_s=0.0)
+        for __ in range(12):
+            service.submit(DMV_SQL, tenant="heavy", at_s=0.0)
+        service.run_until_idle()
+        order = [
+            t.tenant
+            for t in sorted(service.tickets, key=lambda t: t.dispatched_s)
+        ]
+        window = order[:12]
+        # Expected ratio 3 heavy : 1 light, with slack for startup.
+        assert 7 <= window.count("heavy") <= 10
+        assert 2 <= window.count("light") <= 5
+
+    def test_closed_service_rejects_submissions(self, dmv_federation):
+        service = MediatorService(dmv_federation, mode="deterministic")
+        service.close()
+        with pytest.raises(ServiceClosedError):
+            service.submit(DMV_SQL)
+
+    def test_unknown_tenant_rejected(self, dmv_federation):
+        service = MediatorService(dmv_federation, mode="deterministic")
+        with pytest.raises(UnknownTenantError):
+            service.submit(DMV_SQL, tenant="nope")
+
+    def test_past_arrival_rejected(self, dmv_federation):
+        service = MediatorService(dmv_federation, mode="deterministic")
+        service.submit(DMV_SQL, at_s=5.0)
+        with pytest.raises(ServiceError):
+            service.submit(DMV_SQL, at_s=1.0)
+
+    def test_mined_statistics_learn_across_queries(self, dmv_federation):
+        statistics = ObservedStatistics()
+        service = MediatorService(
+            dmv_federation,
+            mode="deterministic",
+            statistics=statistics,
+            mine_statistics=True,
+        )
+        before = statistics.fingerprint()
+        service.submit(DMV_SQL, at_s=0.0)
+        service.run_until_idle()
+        assert statistics.observations > 0
+        assert statistics.fingerprint() != before
+
+    def test_event_stream_round_trips_through_schema(self, dmv_federation):
+        service = MediatorService(dmv_federation, mode="deterministic")
+        service.submit(DMV_SQL)
+        service.run_until_idle()
+        text = service.recorder.events.to_jsonl()
+        parsed = EventLog.from_jsonl(text)  # validates every record
+        assert parsed.to_jsonl() == text
+        phases = [e["phase"] for e in parsed.of_type("serve")]
+        assert phases == ["admitted", "dispatched", "completed"]
+
+
+def _run_replay(federation, seed):
+    service = MediatorService(
+        federation,
+        mode="deterministic",
+        seed=seed,
+        pool_slots=2,
+        queue_limit=8,
+        tenants=[TenantSpec("a", weight=1.0), TenantSpec("b", weight=3.0)],
+        faults=FaultProfile.flaky(0.2),
+        churn=ChurnWave(0.5, 2.0, sources=("R2",), rate=0.6),
+        breaker=True,
+    )
+    import random
+
+    rng = random.Random(seed)
+    clock = 0.0
+    rejections = 0
+    for __ in range(10):
+        clock += rng.expovariate(4.0)
+        tenant = "a" if rng.random() < 0.25 else "b"
+        try:
+            service.submit(DMV_SQL, tenant=tenant, at_s=clock)
+        except QueueFullError:
+            rejections += 1
+    service.run_until_idle()
+    answers = [
+        (t.seq, t.status, tuple(sorted(t.items or ())))
+        for t in service.tickets
+    ]
+    return service.recorder.events.to_jsonl(), answers, rejections
+
+
+class TestDeterministicReplay:
+    def test_same_seed_replays_byte_identically(self, dmv_federation):
+        events1, answers1, rej1 = _run_replay(dmv_federation, seed=42)
+        events2, answers2, rej2 = _run_replay(dmv_federation, seed=42)
+        assert events1 == events2
+        assert answers1 == answers2
+        assert rej1 == rej2
+
+    def test_different_seed_diverges(self, dmv_federation):
+        events1, __, __ = _run_replay(dmv_federation, seed=42)
+        events2, __, __ = _run_replay(dmv_federation, seed=43)
+        assert events1 != events2
+
+
+class TestThreadMode:
+    def test_concurrent_execution_end_to_end(self, dmv_federation):
+        service = MediatorService(
+            dmv_federation, mode="threads", workers=3,
+            pool_slots=4, queue_limit=32,
+        )
+        try:
+            tickets = [service.submit(DMV_SQL) for __ in range(9)]
+            service.drain(timeout_s=60.0)
+        finally:
+            service.close()
+        assert all(t.status == "done" for t in tickets)
+        assert all(t.items == DMV_FIG1_ANSWER for t in tickets)
+        # Shared cache: at most one optimization per distinct worker
+        # racing the first miss, then hits for everything else.
+        assert service.plan_cache.hits >= 6
+
+    def test_thread_mode_serving_metrics(self, dmv_federation):
+        service = MediatorService(
+            dmv_federation, mode="threads", workers=2, queue_limit=32
+        )
+        try:
+            for __ in range(4):
+                service.submit(DMV_SQL)
+            service.drain(timeout_s=60.0)
+        finally:
+            service.close()
+        completed = service.metrics.counter(
+            "repro_serve_completed_total", tenant="default", outcome="ok"
+        )
+        assert completed.value == 4.0
+        exported = service.metrics.to_json()
+        assert any("repro_serve_latency_s" in key for key in exported)
+
+    def test_thread_mode_backpressure(self, dmv_federation):
+        service = MediatorService(
+            dmv_federation, mode="threads", workers=1,
+            pool_slots=1, queue_limit=1,
+        )
+        try:
+            service.submit(DMV_SQL)
+            saw_rejection = False
+            for __ in range(50):
+                try:
+                    service.submit(DMV_SQL)
+                except QueueFullError:
+                    saw_rejection = True
+                    break
+            service.drain(timeout_s=60.0)
+        finally:
+            service.close()
+        assert saw_rejection
+        assert service.failed_count == 0
+
+    def test_drain_is_thread_mode_only(self, dmv_federation):
+        service = MediatorService(dmv_federation, mode="deterministic")
+        with pytest.raises(ServiceError):
+            service.drain()
+
+    def test_at_s_is_deterministic_mode_only(self, dmv_federation):
+        service = MediatorService(dmv_federation, mode="threads", workers=1)
+        try:
+            with pytest.raises(ServiceError):
+                service.submit(DMV_SQL, at_s=1.0)
+        finally:
+            service.close()
+
+    def test_unknown_mode_rejected(self, dmv_federation):
+        with pytest.raises(ServiceError):
+            MediatorService(dmv_federation, mode="asyncio")

@@ -1,0 +1,148 @@
+"""Multi-thread hammer tests for the shared cross-query state.
+
+These are the regression tests for the serving tier's prerequisite
+bugfix: `PlanCache`, `ObservedStatistics`, `MetricsRegistry`, and
+`HealthRegistry` are shared by every worker of a `MediatorService`,
+so their mutations must be internally locked.  Each test spins up
+many threads doing interleaved mutations and then checks the exact
+invariants a single-threaded run would produce.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.mediator.plan_cache import PlanCache
+from repro.obs.events import EventLog
+from repro.obs.metrics import MetricsRegistry
+from repro.runtime.health import BreakerConfig, HealthRegistry
+from repro.sources.observed import ObservedStatistics
+from repro.sources.statistics import ExactStatistics
+
+THREADS = 8
+ROUNDS = 200
+
+
+def hammer(worker):
+    """Run ``worker(index)`` on THREADS threads; re-raise any failure."""
+    errors = []
+
+    def run(index):
+        try:
+            worker(index)
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=run, args=(index,))
+        for index in range(THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+
+
+class TestPlanCacheHammer:
+    def test_concurrent_get_put_never_corrupts(self, dmv_federation, dmv_query):
+        cache = PlanCache(capacity=4)
+        statistics = ExactStatistics(dmv_federation)
+        source_sets = [
+            ("R1",), ("R2",), ("R3",),
+            ("R1", "R2"), ("R1", "R3"), ("R2", "R3"),
+            ("R1", "R2", "R3"), ("R3", "R2"),
+        ]
+
+        def worker(index):
+            for round_no in range(ROUNDS):
+                sources = source_sets[(index + round_no) % len(source_sets)]
+                cache.get(dmv_query, sources, statistics)
+                cache.put(
+                    dmv_query, sources, statistics, f"plan-{sources}"
+                )
+
+        hammer(worker)
+        assert len(cache) <= 4
+        assert cache.hits + cache.misses == THREADS * ROUNDS
+        assert 0.0 <= cache.hit_rate <= 1.0
+
+
+class TestObservedStatisticsHammer:
+    def test_concurrent_observe_and_fingerprint(self):
+        log = EventLog()
+        log.emit(
+            0.0, "attempt",
+            round=0, step=1, op="sq", planned="R1", source="R1",
+            condition="V = 'x'", attempt=1, start=0.0, end=0.1,
+            fate="ok", hedge=False, cost=1.0, items_sent=0,
+            items_received=5, rows_loaded=0, messages=2,
+        )
+        log.emit(
+            0.2, "attempt",
+            round=0, step=2, op="lq", planned="R2", source="R2",
+            condition="", attempt=1, start=0.1, end=0.2,
+            fate="ok", hedge=False, cost=2.0, items_sent=0,
+            items_received=0, rows_loaded=9, messages=1,
+        )
+        statistics = ObservedStatistics()
+
+        def worker(index):
+            for __ in range(ROUNDS):
+                mined = statistics.observe(log)
+                assert mined == 2
+                statistics.fingerprint()
+                statistics.universe_size()
+                statistics.distinct_items("R1")
+
+        hammer(worker)
+        assert statistics.observations == THREADS * ROUNDS * 2
+        version = int(statistics.fingerprint().rsplit(":v", 1)[1])
+        assert version == THREADS * ROUNDS
+
+
+class TestMetricsRegistryHammer:
+    def test_concurrent_counters_and_histograms(self):
+        registry = MetricsRegistry()
+
+        def worker(index):
+            for round_no in range(ROUNDS):
+                registry.counter("hammer_total", thread=str(index)).inc()
+                registry.counter("hammer_total", thread="shared").inc()
+                registry.gauge("hammer_depth").set(float(round_no))
+                registry.histogram("hammer_s").observe(0.1)
+                if round_no % 50 == 0:
+                    registry.to_json()
+
+        hammer(worker)
+        shared = registry.counter("hammer_total", thread="shared")
+        assert shared.value == THREADS * ROUNDS
+        histogram = registry.histogram("hammer_s")
+        assert histogram.count == THREADS * ROUNDS
+        assert sum(histogram.counts) == histogram.count
+
+
+class TestHealthRegistryHammer:
+    def test_concurrent_records_and_breaker_transitions(self):
+        registry = HealthRegistry(BreakerConfig.default())
+        sources = ["R1", "R2", "R3", "R4"]
+
+        def worker(index):
+            for round_no in range(ROUNDS):
+                source = sources[(index + round_no) % len(sources)]
+                now = float(round_no)
+                if registry.allow(source, now):
+                    ok = (index + round_no) % 3 != 0
+                    registry.record(source, now, ok, 0.05)
+                else:
+                    registry.reopens_at(source)
+                registry.state_of(source)
+                if round_no % 50 == 0:
+                    registry.snapshot()
+
+        hammer(worker)
+        snap = registry.snapshot()
+        assert set(snap) == set(sources)
+        for info in snap.values():
+            assert info["attempts"] == info["successes"] + info["failures"]

@@ -180,3 +180,69 @@ class TestTelemetry:
         out = capsys.readouterr().out
         assert "profile:" in out
         assert "makespan" in out
+
+
+class TestWorkload:
+    def test_deterministic_workload(self, spec_path, capsys):
+        assert main(
+            [
+                "workload", spec_path, DMV_SQL,
+                "--count", "8", "--rate-qps", "8", "--seed", "5",
+                "--pool-slots", "4",
+                "--tenant", "bronze:1", "--tenant", "gold:3:8",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "q/s" in out
+        assert "tenant gold:" in out
+        assert "plan cache:" in out
+
+    def test_workload_replays_byte_identically(self, spec_path, capsys):
+        outs = []
+        for __ in range(2):
+            assert main(
+                [
+                    "workload", spec_path, DMV_SQL,
+                    "--count", "6", "--seed", "9",
+                    "--fault-rate", "0.3", "--breaker",
+                    "--churn", "0.2:1.5:R2:0.6",
+                ]
+            ) == 0
+            outs.append(capsys.readouterr().out)
+        assert outs[0] == outs[1]
+
+    def test_thread_mode_workload(self, spec_path, capsys):
+        assert main(
+            [
+                "workload", spec_path, DMV_SQL,
+                "--mode", "threads", "--workers", "2",
+                "--count", "5", "--queue-limit", "32",
+            ]
+        ) == 0
+        assert "5/5 completed" in capsys.readouterr().out
+
+    def test_workload_emits_events(self, spec_path, tmp_path, capsys):
+        path = str(tmp_path / "serve-events.jsonl")
+        assert main(
+            [
+                "workload", spec_path, DMV_SQL,
+                "--count", "4", "--emit-events", path,
+            ]
+        ) == 0
+        assert "wrote" in capsys.readouterr().out
+        from repro.obs.events import EventLog
+
+        log = EventLog.read(path)  # re-validates every line
+        assert {event.type for event in log} >= {"serve", "attempt"}
+
+    def test_bad_tenant_flag_is_an_error(self, spec_path, capsys):
+        assert main(
+            ["workload", spec_path, DMV_SQL, "--tenant", "a:b:c"]
+        ) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_churn_flag_is_an_error(self, spec_path, capsys):
+        assert main(
+            ["workload", spec_path, DMV_SQL, "--churn", "oops"]
+        ) == 2
+        assert "error:" in capsys.readouterr().err

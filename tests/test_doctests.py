@@ -39,6 +39,7 @@ MODULE_NAMES = [
     "repro.runtime.policy",
     "repro.relational.relation",
     "repro.relational.schema",
+    "repro.serve.tenants",
     "repro.sources.registry",
     "repro.sources.remote",
     "repro.sources.statistics",
