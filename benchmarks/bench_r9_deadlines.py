@@ -1,0 +1,98 @@
+"""R9 — deadline-aware serving: shedding and graceful partial answers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.deadlines import run_deadlines
+from repro.bench.serving import DMV_SQL
+from repro.serve import (
+    MediatorService,
+    QueueWaitEstimator,
+    TenantSpec,
+    WorkloadSpec,
+    generate_arrivals,
+    run_workload,
+)
+
+TENANTS = [TenantSpec("bronze", weight=1.0), TenantSpec("gold", weight=3.0)]
+
+
+@pytest.fixture(scope="module")
+def overload():
+    spec = WorkloadSpec(
+        queries=(DMV_SQL,),
+        tenants=tuple(TENANTS),
+        count=24,
+        rate_qps=50.0,
+        seed=2100,
+        deadline_s=1.0,
+    )
+    return generate_arrivals(spec)
+
+
+def serve(federation, arrivals, shed_policy):
+    service = MediatorService(
+        federation,
+        mode="deterministic",
+        tenants=TENANTS,
+        pool_slots=1,
+        queue_limit=64,
+        seed=2100,
+        shed_policy=shed_policy,
+    )
+    return run_workload(service, arrivals)
+
+
+def test_deadline_workload_no_shed(benchmark, dmv, overload):
+    # Deadlines enforced but nothing refused: the budget machinery —
+    # queue-expiry sweeps, execution cuts, partial assembly — on every
+    # admitted query.
+    federation, __ = dmv
+    report = benchmark(serve, federation, overload, "none")
+    assert report.completed == len(overload)
+    assert report.partial_answers > 0
+    assert report.p95_s <= 1.0 + 0.5
+
+
+def test_deadline_workload_shedding(benchmark, dmv, overload):
+    # The full admission path: a plan-cost + queue-wait prediction per
+    # arrival, refusing what cannot finish on time.
+    federation, __ = dmv
+    report = benchmark(serve, federation, overload, "deadline")
+    assert report.shed_deadline > 0
+    assert report.deadline_misses == 0
+
+
+def test_queue_wait_estimator_throughput(benchmark):
+    # The estimator runs on every submit under shed_policy="deadline";
+    # an observe+predict cycle must be negligible next to planning.
+    estimator = QueueWaitEstimator(width=4)
+
+    def cycle():
+        for i in range(100):
+            estimator.observe("gold", 0.5 + (i % 7) * 0.05)
+            estimator.predict_completion_s(
+                "gold", backlog=i % 13, plan_makespan_s=0.8
+            )
+
+    benchmark(cycle)
+    assert estimator.mean_service_s("gold") > 0
+
+
+def test_r9_report(benchmark, report_runner):
+    report = report_runner(benchmark, "R9")
+    assert "answering on time" in report
+    assert "identical" in report
+    assert "budgeted plans" in report
+
+
+def test_r9_smoke_params():
+    # The CI smoke job runs the overload sweep at tiny parameters; keep
+    # that entry point working without touching BENCH_R9.json.
+    report = run_deadlines(
+        count=16,
+        bench_json=False,
+    )
+    assert "overload sweep" in report
+    assert "byte-identical" in report

@@ -27,6 +27,7 @@ from repro.bench.extensions import (
     run_robust_planning,
     run_search_scaling,
 )
+from repro.bench.deadlines import run_deadlines
 from repro.bench.report import write_metrics, write_report
 from repro.bench.serving import run_serving
 from repro.obs.metrics import MetricsRegistry, traffic_metrics_observer
@@ -58,6 +59,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[], str]]] = {
     "R6": ("observed statistics close the planning loop", run_observed_stats),
     "R7": ("plan-search scaling: subset DP vs the m! sweep", run_search_scaling),
     "R8": ("serving tier: concurrent multi-query workloads", run_serving),
+    "R9": ("deadline-aware serving: shedding and partial answers", run_deadlines),
     "A1": ("adaptive execution vs static plans", run_adaptive),
     "C7": ("condition correlation vs independence", run_correlation),
     "C8": ("data overlap ablation", run_overlap),

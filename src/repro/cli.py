@@ -13,16 +13,20 @@ Subcommands:
   by expected completeness, and ``--load-balance`` to spread healthy
   traffic across replica groups; ``--metrics``/``--profile``/
   ``--emit-events`` print a metrics snapshot, the query profile, and
-  the structured event log, and ``--observed-stats LOG`` plans from
+  the structured event log, ``--observed-stats LOG`` plans from
   statistics mined out of a previously recorded log instead of the
-  oracle);
+  oracle, and ``--deadline S`` bounds the whole run — at expiry the
+  best partial answer found so far is returned on time);
 * ``workload SPEC SQL [SQL ...]`` — drive a seeded multi-query
   workload through the serving tier (:mod:`repro.serve`): Poisson
   arrivals over the SQL pool, weighted tenants (``--tenant
   name:weight:quota``), admission control and per-source pools, an
   optional mid-workload ``--churn`` wave, and either the
   deterministic virtual clock or a real thread pool (``--mode``);
-  prints qps, p50/p95/p99 latency, shedding, and cache hits;
+  ``--deadline`` attaches an end-to-end deadline to every arrival,
+  ``--shed-policy`` controls latency-aware shedding, and
+  ``--planning-budget`` caps anytime planning per query; prints qps,
+  p50/p95/p99 latency, shedding, deadline outcomes, and cache hits;
 * ``explain SPEC SQL`` — plan only, with per-step estimated costs;
 * ``check SPEC SQL`` — report whether the SQL matches the fusion
   pattern (the Sec. 5 detector), without executing anything;
@@ -33,6 +37,7 @@ Subcommands:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.errors import FusionError, NotAFusionQueryError
@@ -56,6 +61,10 @@ _OPTIMIZERS = {
     "sja+": SJAPlusOptimizer,
     "greedy": GreedySJAOptimizer,
 }
+
+#: Where ``--emit-events`` lands when no path is given: under
+#: ``results/``, next to the benchmark reports, never the repo root.
+DEFAULT_EVENTS_PATH = os.path.join("results", "events.jsonl")
 
 #: Optimizers whose constructors accept search=/beam_width=.
 _SEARCHABLE = {"sj", "sja", "sja+"}
@@ -216,10 +225,23 @@ def _build_parser() -> argparse.ArgumentParser:
             )
             sub.add_argument(
                 "--emit-events",
+                nargs="?",
+                const=DEFAULT_EVENTS_PATH,
                 metavar="PATH",
                 default=None,
                 help="write the structured event log of the run to PATH "
-                "as JSON lines (one validated event per line)",
+                "as JSON lines (one validated event per line); without "
+                f"PATH, defaults to {DEFAULT_EVENTS_PATH}",
+            )
+            sub.add_argument(
+                "--deadline",
+                type=float,
+                default=None,
+                metavar="S",
+                help="end-to-end answer budget in virtual seconds "
+                "(runtime backend): at expiry in-flight work is "
+                "cancelled and the best partial answer so far is "
+                "returned, marked PARTIAL, instead of an error",
             )
             sub.add_argument(
                 "--observed-stats",
@@ -318,11 +340,42 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     workload.add_argument(
         "--emit-events",
+        nargs="?",
+        const=DEFAULT_EVENTS_PATH,
         metavar="PATH",
         default=None,
         help="write the service event log (admission, dispatch, "
         "completion, plus engine events under the virtual clock) "
-        "to PATH as JSON lines",
+        "to PATH as JSON lines; without PATH, defaults to "
+        f"{DEFAULT_EVENTS_PATH}",
+    )
+    workload.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="S",
+        help="attach an end-to-end deadline of S seconds to every "
+        "arrival: admitted queries answer by their deadline "
+        "(possibly partially), and infeasible ones are shed at "
+        "admission under --shed-policy deadline",
+    )
+    workload.add_argument(
+        "--shed-policy",
+        choices=("none", "deadline"),
+        default="deadline",
+        help="latency-aware load shedding: 'deadline' refuses "
+        "arrivals whose predicted completion already misses their "
+        "deadline; 'none' only validates deadlines "
+        "(default: deadline)",
+    )
+    workload.add_argument(
+        "--planning-budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="anytime planning: cap the optimizer at N subset "
+        "expansions per query when idle, shrinking under queue "
+        "pressure and near deadlines (default: unbounded)",
     )
 
     export = subparsers.add_parser(
@@ -372,6 +425,16 @@ def _load_observed_statistics(path: str | None):
     return statistics
 
 
+def _write_events(events, path: str) -> None:
+    """Persist an event log, creating the target directory if needed."""
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    events.write(path)
+    print()
+    print(f"wrote {len(events)} events to {path}")
+
+
 def _emit_telemetry(
     answer, recorder, metrics: str | None, profile: bool,
     emit_events: str | None,
@@ -389,9 +452,7 @@ def _emit_telemetry(
         else:
             print(recorder.metrics.to_json_text())
     if emit_events is not None and recorder.events is not None:
-        recorder.events.write(emit_events)
-        print()
-        print(f"wrote {len(recorder.events)} events to {emit_events}")
+        _write_events(recorder.events, emit_events)
 
 
 def _command_query(
@@ -417,6 +478,7 @@ def _command_query(
     search: str = "auto",
     beam_width: int = DEFAULT_BEAM_WIDTH,
     plan_cache: int | None = None,
+    deadline: float | None = None,
 ) -> int:
     federation = load_federation(spec)
     recorder = _make_recorder(metrics, profile, emit_events)
@@ -430,6 +492,7 @@ def _command_query(
             recorder=recorder, statistics=statistics,
             metrics=metrics, profile=profile, emit_events=emit_events,
             search=search, beam_width=beam_width, plan_cache=plan_cache,
+            deadline=deadline,
         )
     mediator = Mediator(
         federation,
@@ -482,6 +545,7 @@ def _run_runtime(
     search: str = "auto",
     beam_width: int = DEFAULT_BEAM_WIDTH,
     plan_cache: int | None = None,
+    deadline: float | None = None,
 ) -> int:
     from repro.runtime import (
         BreakerConfig,
@@ -517,7 +581,7 @@ def _run_runtime(
         search=search,
         beam_width=beam_width,
     )
-    answer = mediator.answer(sql)
+    answer = mediator.answer(sql, budget_s=deadline)
     assert answer.runtime is not None
     print(answer.plan.pretty())
     print()
@@ -543,6 +607,14 @@ def _run_runtime(
         print()
     print("answer:", ", ".join(sorted(map(str, answer.items))) or "(empty)")
     print(answer.summary())
+    if answer.execution.deadline_expired:
+        missing = (
+            ", ".join(answer.execution.incomplete_conditions) or "(unknown)"
+        )
+        print(
+            f"deadline {deadline:g}s hit: partial answer on time; "
+            f"conditions cut: {missing}"
+        )
     if fault_rate > 0:
         report = completeness_report(
             federation, answer.query, answer.items,
@@ -672,6 +744,8 @@ def _command_workload(args) -> int:
         faults=faults,
         churn=churn,
         breaker=args.breaker,
+        shed_policy=args.shed_policy,
+        planning_budget=args.planning_budget,
     )
     spec = WorkloadSpec(
         queries=tuple(args.sql),
@@ -679,6 +753,7 @@ def _command_workload(args) -> int:
         count=args.count,
         rate_qps=args.rate_qps,
         seed=args.seed,
+        deadline_s=args.deadline,
     )
     try:
         report = run_workload(service, generate_arrivals(spec))
@@ -698,6 +773,13 @@ def _command_workload(args) -> int:
         )
     for reason in sorted(report.rejected):
         print(f"  shed ({reason}): {report.rejected[reason]}")
+    if args.deadline is not None:
+        print(
+            f"  deadlines ({args.deadline:g}s): "
+            f"{report.shed_deadline} shed, "
+            f"{report.deadline_misses} missed, "
+            f"{report.partial_answers} partial answers"
+        )
     if service.plan_cache is not None:
         print(service.plan_cache.summary())
     if args.metrics is not None:
@@ -707,12 +789,7 @@ def _command_workload(args) -> int:
         else:
             print(service.metrics.to_json_text())
     if args.emit_events is not None:
-        service.recorder.events.write(args.emit_events)
-        print()
-        print(
-            f"wrote {len(service.recorder.events)} events to "
-            f"{args.emit_events}"
-        )
+        _write_events(service.recorder.events, args.emit_events)
     return 0
 
 
@@ -752,6 +829,7 @@ def main(argv: list[str] | None = None) -> int:
                 search=args.search,
                 beam_width=args.beam_width,
                 plan_cache=args.plan_cache,
+                deadline=args.deadline,
             )
         if args.command == "explain":
             return _command_explain(

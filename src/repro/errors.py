@@ -135,6 +135,37 @@ class QuotaExceededError(AdmissionError):
         )
 
 
+class DeadlineInfeasibleError(AdmissionError):
+    """The query's deadline cannot be met, so it is shed at admission.
+
+    Raised by latency-aware load shedding: the predicted completion time
+    (queue wait from recent per-tenant service times plus the plan's
+    predicted makespan) already misses the caller's deadline, so running
+    the query would only waste capacity that on-time queries need.  Also
+    raised for a deadline that is unusable on arrival (zero, negative,
+    or non-finite).
+    """
+
+    reason = "deadline"
+
+    def __init__(
+        self, tenant: str, deadline_s: float, predicted_s: float | None = None
+    ):
+        self.deadline_s = deadline_s
+        self.predicted_s = predicted_s
+        if predicted_s is None:
+            message = (
+                f"deadline {deadline_s!r}s is unusable for tenant "
+                f"{tenant!r} (must be finite and positive)"
+            )
+        else:
+            message = (
+                f"predicted completion {predicted_s:.3f}s misses the "
+                f"{deadline_s:.3f}s deadline for tenant {tenant!r}; shed"
+            )
+        super().__init__(tenant, message)
+
+
 class ServiceClosedError(AdmissionError):
     """The service is shutting down and accepts no new queries."""
 

@@ -82,8 +82,20 @@ class ExecutionResult:
     degraded: int = 0
     breaker_trips: int = 0
     replans: int = 0
+    #: True when the query's deadline budget expired mid-execution and
+    #: the answer is an on-time *partial* (a subset of the truth).
+    deadline_expired: bool = False
+    #: Per-condition completeness marks: the conditions (or loads) whose
+    #: contribution is missing because their operation degraded or was
+    #: cut at the deadline.  Empty means every condition fully answered.
+    incomplete_conditions: tuple[str, ...] = ()
     #: Attached by the mediator when a recorder is active.
     profile: "QueryProfile | None" = field(default=None, repr=False)
+
+    @property
+    def partial(self) -> bool:
+        """True when any condition's contribution is known-incomplete."""
+        return self.degraded > 0 or self.deadline_expired
 
     @property
     def total_cost(self) -> float:
@@ -138,6 +150,11 @@ class ExecutionResult:
         ]
         if extras:
             text += "; " + ", ".join(extras)
+        if self.deadline_expired:
+            text += (
+                "; PARTIAL (deadline): missing "
+                + (", ".join(self.incomplete_conditions) or "(unknown)")
+            )
         return text
 
     def __repr__(self) -> str:

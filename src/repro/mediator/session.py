@@ -33,7 +33,7 @@ from repro.mediator.plan_cache import PlanCache
 from repro.mediator.reference import reference_answer
 from repro.optimize.base import OptimizationResult, Optimizer
 from repro.optimize.robust import RobustOptimizer
-from repro.optimize.search import DEFAULT_BEAM_WIDTH
+from repro.optimize.search import DEFAULT_BEAM_WIDTH, PlanningBudget
 from repro.optimize.sja_plus import SJAPlusOptimizer
 from repro.plans.cost import estimate_plan_cost
 from repro.plans.plan import Plan
@@ -172,6 +172,13 @@ class Mediator:
             reroutes the next.  The ``breaker`` argument is ignored for
             registry construction in that case (the shared registry's
             own config wins).
+        planning_budget: A mutable
+            :class:`~repro.optimize.search.PlanningBudget` handed to the
+            default optimizer stack (ignored when an ``optimizer``
+            instance is supplied).  Pair it with ``search="anytime"``
+            and re-arm it before each ``plan()`` to bound optimization
+            effort per query — the serving tier does exactly this under
+            queue pressure.
     """
 
     def __init__(
@@ -196,6 +203,7 @@ class Mediator:
         search: str = "auto",
         beam_width: int = DEFAULT_BEAM_WIDTH,
         health: HealthRegistry | None = None,
+        planning_budget: "PlanningBudget | None" = None,
     ):
         if backend not in BACKENDS:
             raise ValueError(
@@ -263,6 +271,7 @@ class Mediator:
                 ),
                 search=search,
                 beam_width=beam_width,
+                planning_budget=planning_budget,
             )
         elif isinstance(optimizer, str):
             raise ValueError(
@@ -270,7 +279,7 @@ class Mediator:
                 "instance or the string 'robust'"
             )
         self.optimizer: Optimizer = optimizer or SJAPlusOptimizer(
-            search=search, beam_width=beam_width
+            search=search, beam_width=beam_width, planning_budget=planning_budget
         )
         self.replanner = (
             ResilientExecutor(
@@ -320,6 +329,11 @@ class Mediator:
         return self._optimize(query)
 
     @property
+    def planning_budget(self) -> PlanningBudget | None:
+        """The optimizer's anytime budget (None when unsupported)."""
+        return getattr(self.optimizer, "planning_budget", None)
+
+    @property
     def plan_cache_hits(self) -> int:
         """Lifetime cache hits (0 when no plan cache is configured)."""
         return self.plan_cache.hits if self.plan_cache is not None else 0
@@ -349,12 +363,23 @@ class Mediator:
         """Execute a previously produced plan."""
         return self.executor.execute(plan)
 
-    def execute_concurrent(self, plan: Plan) -> RuntimeResult:
+    def execute_concurrent(
+        self, plan: Plan, budget_s: float | None = None
+    ) -> RuntimeResult:
         """Execute a plan on the discrete-event concurrent runtime."""
-        return self.runtime.run(plan)
+        return self.runtime.run(plan, budget_s=budget_s)
 
-    def answer(self, query: FusionQuery | str) -> MediatorAnswer:
-        """Optimize, execute, and (optionally) verify one fusion query."""
+    def answer(
+        self, query: FusionQuery | str, budget_s: float | None = None
+    ) -> MediatorAnswer:
+        """Optimize, execute, and (optionally) verify one fusion query.
+
+        ``budget_s`` bounds execution virtual time (runtime backend
+        only): at expiry in-flight work is cancelled and the best
+        partial answer found so far is returned — marked via
+        ``execution.partial`` — instead of raising.  The sequential
+        backend has no clock, so the budget is ignored there.
+        """
         query = self._coerce(query)
         runtime_result = None
         resilient = None
@@ -365,9 +390,10 @@ class Mediator:
         )
         trips_before = self._breaker_trips()
         if self.backend == "runtime" and self.replanner is not None:
-            resilient = self.replanner.run(query)
+            resilient = self.replanner.run(query, budget_s=budget_s)
             optimization = resilient.rounds[0].optimization
             runtime_result = resilient.rounds[-1].result
+            last_execution = runtime_result.to_execution_result()
             steps = []
             for round_ in resilient.rounds:
                 steps.extend(round_.result.to_execution_result().steps)
@@ -377,12 +403,14 @@ class Mediator:
                 steps=steps,
                 hedges=sum(t.hedge_attempts for t in traces),
                 recovered=sum(len(t.recovered_steps) for t in traces),
-                degraded=len(traces[-1].degraded_steps),
+                degraded=last_execution.degraded,
                 replans=resilient.replans,
+                deadline_expired=resilient.deadline_expired,
+                incomplete_conditions=last_execution.incomplete_conditions,
             )
         elif self.backend == "runtime":
             optimization = self._optimize(query)
-            runtime_result = self.runtime.run(optimization.plan)
+            runtime_result = self.runtime.run(optimization.plan, budget_s=budget_s)
             execution = runtime_result.to_execution_result()
         else:
             optimization = self._optimize(query)
@@ -403,10 +431,11 @@ class Mediator:
             verified = execution.items == expected
             degraded = (
                 runtime_result is not None
-                and bool(runtime_result.degraded_steps)
+                and not runtime_result.complete
             ) or (resilient is not None and bool(resilient.masked))
-            # A degraded concurrent run is *expected* to lose answers;
-            # only an unexplained mismatch is a bug worth raising on.
+            # A degraded (or deadline-cut) concurrent run is *expected*
+            # to lose answers; only an unexplained mismatch is a bug
+            # worth raising on.
             if not verified and not degraded:
                 raise ExecutionError(
                     f"plan answer {sorted(execution.items, key=repr)} differs "

@@ -18,6 +18,7 @@ byte-identical streams.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator, Mapping
 
@@ -128,6 +129,22 @@ EVENT_SCHEMA: dict[str, dict[str, str]] = {
         "masked": "list[str]",
         "estimated_cost": "float",
     },
+    # A query was shed at admission because its deadline is infeasible.
+    "shed": {
+        "query": "int",  # per-service submission sequence number
+        "tenant": "str",
+        "reason": "str",  # "infeasible" | "invalid"
+        "predicted": "float",  # predicted completion (submit-relative s)
+        "deadline": "float",  # the query's deadline budget in seconds
+    },
+    # A query's deadline budget expired (in queue or mid-execution).
+    "deadline": {
+        "query": "int",
+        "tenant": "str",
+        "stage": "str",  # "queue" | "execution"
+        "budget": "float",  # the deadline budget in seconds
+        "overrun": "float",  # elapsed - budget at expiry (>= 0)
+    },
     # A serving-tier lifecycle transition of one submitted query.
     "serve": {
         "phase": "str",  # "admitted" | "rejected" | "dispatched" | "completed" | "failed"
@@ -233,7 +250,15 @@ class EventLog:
         return "\n".join(event.to_json() for event in self.events)
 
     def write(self, path: str) -> str:
-        """Persist as JSONL (one record per line); returns ``path``."""
+        """Persist as JSONL (one record per line); returns ``path``.
+
+        Parent directories are created on demand so the conventional
+        destination (``results/events.jsonl``) works from a fresh
+        checkout.
+        """
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
         with open(path, "w", encoding="utf-8") as handle:
             for event in self.events:
                 handle.write(event.to_json() + "\n")

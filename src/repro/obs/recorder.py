@@ -359,6 +359,70 @@ class Recorder:
                 tenant=tenant,
             ).observe(latency_s, now_s=stamp)
 
+    def query_shed(
+        self,
+        now_s: float,
+        query: int,
+        tenant: str,
+        reason: str,
+        predicted_s: float,
+        deadline_s: float,
+    ) -> None:
+        """Latency-aware shedding refused a query at admission."""
+        self._emit(
+            now_s,
+            "shed",
+            query=query,
+            tenant=tenant,
+            reason=reason,
+            predicted=predicted_s,
+            deadline=deadline_s,
+        )
+        if self.metrics is not None:
+            self.metrics.counter(
+                "repro_serve_deadline_shed_total", tenant=tenant, reason=reason
+            ).inc(now_s=self._now(now_s))
+
+    def deadline_expired(
+        self,
+        now_s: float,
+        query: int,
+        tenant: str,
+        stage: str,
+        budget_s: float,
+        overrun_s: float,
+    ) -> None:
+        """A query's deadline budget ran out in queue or mid-execution."""
+        self._emit(
+            now_s,
+            "deadline",
+            query=query,
+            tenant=tenant,
+            stage=stage,
+            budget=budget_s,
+            overrun=max(0.0, overrun_s),
+        )
+        if self.metrics is not None:
+            self.metrics.counter(
+                "repro_serve_deadline_expired_total",
+                tenant=tenant,
+                stage=stage,
+            ).inc(now_s=self._now(now_s))
+
+    def deadline_outcome(
+        self, now_s: float, tenant: str, missed: bool
+    ) -> None:
+        """Deadline met/missed tally for one completed query."""
+        if self.metrics is not None:
+            name = (
+                "repro_serve_deadline_missed_total"
+                if missed
+                else "repro_serve_deadline_met_total"
+            )
+            self.metrics.counter(name, tenant=tenant).inc(
+                now_s=self._now(now_s)
+            )
+
     def op_finished(self, now_s: float, span: "OpSpan") -> None:
         op = span.operation
         condition = getattr(op, "condition", None)

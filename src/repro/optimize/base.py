@@ -39,10 +39,13 @@ class OptimizationResult:
             optimizers; 0 under subset-based strategies).
         elapsed_s: Wall-clock optimization time.
         search_strategy: The concrete plan-search strategy that produced
-            the plan (``"exhaustive"``, ``"dp"``, ``"bnb"``, ``"beam"``
-            — never ``"auto"``).
+            the plan (``"exhaustive"``, ``"dp"``, ``"bnb"``, ``"beam"``,
+            ``"anytime"`` — never ``"auto"``).
         subsets_considered: Subset states expanded by a subset-based
             strategy (0 for exhaustive enumeration).
+        budget_exhausted: True when an ``anytime`` search hit its
+            planning budget and returned its best-so-far incumbent
+            instead of a proven optimum.
     """
 
     plan: Plan
@@ -53,16 +56,20 @@ class OptimizationResult:
     elapsed_s: float = 0.0
     search_strategy: str = "exhaustive"
     subsets_considered: int = 0
+    budget_exhausted: bool = False
 
     def summary(self) -> str:
         if self.subsets_considered and not self.plans_considered:
             searched = f"{self.subsets_considered} subsets considered"
         else:
             searched = f"{self.plans_considered} plans considered"
+        strategy = self.search_strategy
+        if self.budget_exhausted:
+            strategy += ", budget exhausted"
         return (
             f"{self.optimizer}: cost {self.estimated_cost:.1f}, "
             f"{self.plan.remote_op_count} source queries, "
-            f"{searched} ({self.search_strategy}) "
+            f"{searched} ({strategy}) "
             f"in {self.elapsed_s * 1e3:.2f} ms"
         )
 

@@ -50,7 +50,7 @@ from repro.costs.estimates import SizeEstimator
 from repro.costs.model import CostModel
 from repro.errors import CostModelError
 from repro.optimize.base import OptimizationResult, Optimizer, _Stopwatch
-from repro.optimize.search import DEFAULT_BEAM_WIDTH
+from repro.optimize.search import DEFAULT_BEAM_WIDTH, PlanningBudget
 from repro.optimize.sja import SJAOptimizer
 from repro.optimize.sja_plus import SJAPlusOptimizer
 from repro.plans.builder import build_filter_plan
@@ -119,6 +119,10 @@ class RobustOptimizer(Optimizer):
         search: Plan-search strategy for the internal SJA sweeps and the
             default base optimizer (ignored when ``base`` is supplied).
         beam_width: Beam width for ``search="beam"``.
+        planning_budget: Anytime-search budget shared by the internal
+            SJA sweeps and the default base optimizer (ignored when
+            ``base`` is supplied); exposed as ``self.planning_budget``
+            so the serving tier can re-arm it per query.
     """
 
     name = "robust"
@@ -133,6 +137,7 @@ class RobustOptimizer(Optimizer):
         dual_path: bool = True,
         search: str = "auto",
         beam_width: int = DEFAULT_BEAM_WIDTH,
+        planning_budget: "PlanningBudget | None" = None,
     ):
         if not (math.isfinite(robustness) and robustness >= 0):
             raise CostModelError(
@@ -144,10 +149,17 @@ class RobustOptimizer(Optimizer):
         self.search = search
         self.beam_width = beam_width
         self.base = base or SJAPlusOptimizer(
-            search=search, beam_width=beam_width
+            search=search,
+            beam_width=beam_width,
+            planning_budget=planning_budget,
         )
         self.failover = failover
         self.dual_path = dual_path
+
+    @property
+    def planning_budget(self) -> "PlanningBudget | None":
+        """The base optimizer's anytime budget (None when unsupported)."""
+        return getattr(self.base, "planning_budget", None)
 
     # ------------------------------------------------------------------
 
@@ -205,7 +217,11 @@ class RobustOptimizer(Optimizer):
             query, source_names, cost_model, estimator
         )
         with _Stopwatch() as watch:
-            sja = SJAOptimizer(search=self.search, beam_width=self.beam_width)
+            sja = SJAOptimizer(
+                search=self.search,
+                beam_width=self.beam_width,
+                planning_budget=self.planning_budget,
+            )
             # (label, plan, search stats) — the base candidate first, so
             # ties (lambda = 0, perfect availability) keep its plan.
             candidates: list[tuple[str, Plan, int, int, int]] = [
@@ -300,6 +316,7 @@ class RobustOptimizer(Optimizer):
             elapsed_s=base_result.elapsed_s + watch.elapsed,
             search_strategy=base_result.search_strategy,
             subsets_considered=sum(c[4] for c in candidates),
+            budget_exhausted=base_result.budget_exhausted,
             expected_completeness=estimate.overall,
             utility=utility,
             candidates=tuple(scores),

@@ -45,6 +45,7 @@ redundancy that memoization removes without changing any chosen plan.
 from __future__ import annotations
 
 import math
+import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, replace
 from itertools import permutations
@@ -56,7 +57,7 @@ from repro.errors import OptimizationError
 from repro.relational.conditions import Condition
 
 #: The strategies accepted by ``search=`` everywhere.
-STRATEGIES = ("auto", "exhaustive", "dp", "bnb", "beam")
+STRATEGIES = ("auto", "exhaustive", "dp", "bnb", "beam", "anytime")
 
 #: ``auto`` keeps the paper-faithful factorial sweep up to this arity
 #: (8! = 40320 orderings is still instant; existing ``m!`` counter
@@ -91,6 +92,69 @@ def resolve_strategy(strategy: str, m: int) -> str:
     if m <= AUTO_DP_MAX_M:
         return "dp"
     return "beam"
+
+
+class PlanningBudget:
+    """A mutable per-query budget for the ``anytime`` search strategy.
+
+    The serving tier arms one of these before every ``plan()`` call,
+    sizing it from queue pressure and the query's remaining deadline.
+    Two independent limits compose (whichever trips first wins):
+
+    * ``max_subsets`` — a *node-count* budget on branch-and-bound
+      expansions.  This is the limit deterministic mode uses: it is a
+      pure function of the search state, so same-seed runs replay
+      byte-identically no matter how fast the host machine is.
+    * ``wall_clock_s`` — an elapsed-real-time budget, for the threaded
+      backend where real latency is the thing being protected.  Never
+      use it in deterministic mode: it would make plans (and therefore
+      traces) machine-dependent.
+
+    An unarmed budget (both limits ``None``) never expires, so
+    ``search="anytime"`` without a budget is exact branch-and-bound.
+    """
+
+    def __init__(
+        self,
+        max_subsets: int | None = None,
+        wall_clock_s: float | None = None,
+    ):
+        self.arm(max_subsets=max_subsets, wall_clock_s=wall_clock_s)
+
+    def arm(
+        self,
+        max_subsets: int | None = None,
+        wall_clock_s: float | None = None,
+    ) -> "PlanningBudget":
+        """(Re)set the limits and restart the wall clock; returns self."""
+        if max_subsets is not None and max_subsets < 0:
+            raise OptimizationError(
+                f"max_subsets must be >= 0, got {max_subsets}"
+            )
+        if wall_clock_s is not None and not (
+            math.isfinite(wall_clock_s) and wall_clock_s > 0
+        ):
+            raise OptimizationError(
+                f"wall_clock_s must be finite and positive, got {wall_clock_s}"
+            )
+        self.max_subsets = max_subsets
+        self.wall_clock_s = wall_clock_s
+        self._started_at = (
+            time.perf_counter() if wall_clock_s is not None else None
+        )
+        return self
+
+    def exhausted(self, subsets_expanded: int) -> bool:
+        """True once either limit has been reached."""
+        if (
+            self.max_subsets is not None
+            and subsets_expanded >= self.max_subsets
+        ):
+            return True
+        if self.wall_clock_s is not None:
+            assert self._started_at is not None
+            return time.perf_counter() - self._started_at >= self.wall_clock_s
+        return False
 
 
 @dataclass(frozen=True)
@@ -186,7 +250,11 @@ class SearchOutcome:
         orderings_considered: Complete orderings enumerated (0 unless
             exhaustive).
         subsets_considered: Subset states expanded (0 for exhaustive).
-        exact: False only for beam search, which may miss the optimum.
+        exact: False for beam search (which may miss the optimum) and
+            for an anytime search cut off by its budget.
+        budget_exhausted: True when an anytime search returned its
+            incumbent because the planning budget expired before the
+            search space was exhausted.
     """
 
     ordering: tuple[int, ...]
@@ -196,6 +264,7 @@ class SearchOutcome:
     orderings_considered: int = 0
     subsets_considered: int = 0
     exact: bool = True
+    budget_exhausted: bool = False
 
 
 class _SubsetContext:
@@ -346,7 +415,12 @@ def _greedy_chain(
     return tuple(ordering), total
 
 
-def _branch_and_bound(context: _SubsetContext, m: int) -> SearchOutcome:
+def _branch_and_bound(
+    context: _SubsetContext,
+    m: int,
+    budget: PlanningBudget | None = None,
+    anytime: bool = False,
+) -> SearchOutcome:
     """Best-first subset search with an admissible remaining-cost bound.
 
     The bound costs every unprocessed condition at the *fully shrunk*
@@ -363,10 +437,18 @@ def _branch_and_bound(context: _SubsetContext, m: int) -> SearchOutcome:
     without slack an ulp-tied optimal chain can be pruned — leaving a
     result one ulp above the subset DP's.  The slack keeps such chains
     alive, so B&B stays bit-identical to DP and the factorial sweep.
+
+    With ``anytime`` the search carries an improving incumbent (seeded
+    by the greedy chain, so there is *always* a valid plan to return)
+    and stops expanding when ``budget`` reports itself exhausted — the
+    best plan found so far comes back flagged ``budget_exhausted``,
+    ``exact=False``.  A search that drains its stack before the budget
+    trips is exact, identical to plain B&B.
     """
     full = (1 << m) - 1
+    strategy = "anytime" if anytime else "bnb"
     if m == 1:
-        return replace(_dp(context, m), strategy="bnb")
+        return replace(_dp(context, m), strategy=strategy)
 
     def slacked(value: float) -> float:
         return value + BNB_PRUNE_SLACK * (abs(value) + 1.0)
@@ -390,10 +472,14 @@ def _branch_and_bound(context: _SubsetContext, m: int) -> SearchOutcome:
     incumbent_ordering, incumbent_cost = _greedy_chain(context, m)
     best: dict[int, float] = {0: 0.0}
     expanded = 0
+    cut_short = False
     # Depth-first with children visited cheapest-outlook-first: good
     # incumbents arrive early, so later subtrees prune hard.
     stack: list[tuple[int, float, tuple[int, ...]]] = [(0, 0.0, ())]
     while stack:
+        if budget is not None and budget.exhausted(expanded):
+            cut_short = True
+            break  # return the incumbent: best plan found in budget
         mask, cost, chain = stack.pop()
         if cost > slacked(best.get(mask, math.inf)):
             continue  # a cheaper path to this subset was found meanwhile
@@ -429,8 +515,10 @@ def _branch_and_bound(context: _SubsetContext, m: int) -> SearchOutcome:
         ordering=incumbent_ordering,
         payloads=_payloads_along(context, incumbent_ordering),
         cost=incumbent_cost,
-        strategy="bnb",
+        strategy=strategy,
         subsets_considered=expanded,
+        exact=not cut_short,
+        budget_exhausted=cut_short,
     )
 
 
@@ -486,8 +574,13 @@ def search_ordering(
     m: int,
     strategy: str = "auto",
     beam_width: int = DEFAULT_BEAM_WIDTH,
+    budget: PlanningBudget | None = None,
 ) -> SearchOutcome:
     """Find the cheapest condition ordering under ``problem``.
+
+    ``budget`` applies only to ``strategy="anytime"`` (branch-and-bound
+    with an improving incumbent): when the budget expires the best
+    ordering found so far is returned, flagged ``budget_exhausted``.
 
     Example (two conditions, uniform costs — any ordering is optimal):
         >>> from repro.costs.model import UniformCostModel
@@ -513,6 +606,8 @@ def search_ordering(
         return _exhaustive(context, m)
     if resolved == "dp":
         return _dp(context, m)
+    if resolved == "anytime":
+        return _branch_and_bound(context, m, budget=budget, anytime=True)
     return _branch_and_bound(context, m)
 
 

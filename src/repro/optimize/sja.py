@@ -25,6 +25,7 @@ from repro.optimize.base import OptimizationResult, Optimizer, _Stopwatch
 from repro.optimize.search import (
     DEFAULT_BEAM_WIDTH,
     MemoizedCostModel,
+    PlanningBudget,
     StagedEstimatorProblem,
     StageOutcome,
     search_ordering,
@@ -96,6 +97,7 @@ class SJAOptimizer(Optimizer):
         intersect_policy: IntersectPolicy = IntersectPolicy.ALWAYS,
         search: str = "auto",
         beam_width: int = DEFAULT_BEAM_WIDTH,
+        planning_budget: PlanningBudget | None = None,
     ):
         # Fig. 4 appends the stage-end intersection unconditionally; the
         # policy is configurable because the intersection is free and
@@ -103,6 +105,9 @@ class SJAOptimizer(Optimizer):
         self.intersect_policy = intersect_policy
         self.search = search
         self.beam_width = beam_width
+        # Mutable, consulted per optimize() call: the serving tier
+        # re-arms it before each plan() under search="anytime".
+        self.planning_budget = planning_budget
 
     def optimize(
         self,
@@ -120,7 +125,11 @@ class SJAOptimizer(Optimizer):
                 estimator,
             )
             outcome = search_ordering(
-                problem, query.arity, self.search, self.beam_width
+                problem,
+                query.arity,
+                self.search,
+                self.beam_width,
+                budget=self.planning_budget,
             )
             plan = build_staged_plan(
                 query,
@@ -141,6 +150,7 @@ class SJAOptimizer(Optimizer):
             elapsed_s=watch.elapsed,
             search_strategy=outcome.strategy,
             subsets_considered=outcome.subsets_considered,
+            budget_exhausted=outcome.budget_exhausted,
         )
 
     @staticmethod

@@ -29,7 +29,7 @@ from repro.optimize.postopt import (
     apply_difference_pruning,
     apply_source_loading,
 )
-from repro.optimize.search import DEFAULT_BEAM_WIDTH
+from repro.optimize.search import DEFAULT_BEAM_WIDTH, PlanningBudget
 from repro.optimize.sja import SJAOptimizer
 from repro.plans.cost import estimate_plan_cost
 from repro.query.fusion import FusionQuery
@@ -47,6 +47,10 @@ class SJAPlusOptimizer(Optimizer):
         search: Plan-search strategy handed to the default base
             optimizer (ignored when ``base`` is supplied).
         beam_width: Beam width for ``search="beam"`` (ditto).
+        planning_budget: Anytime-search budget handed to the default
+            base optimizer (ditto); also exposed as
+            ``self.planning_budget`` so the serving tier can re-arm it
+            per query.
 
     Example:
         >>> from repro.sources.generators import dmv_fig1
@@ -71,10 +75,20 @@ class SJAPlusOptimizer(Optimizer):
         load_sources: bool = True,
         search: str = "auto",
         beam_width: int = DEFAULT_BEAM_WIDTH,
+        planning_budget: "PlanningBudget | None" = None,
     ):
-        self.base = base or SJAOptimizer(search=search, beam_width=beam_width)
+        self.base = base or SJAOptimizer(
+            search=search,
+            beam_width=beam_width,
+            planning_budget=planning_budget,
+        )
         self.prune_difference = prune_difference
         self.load_sources = load_sources
+
+    @property
+    def planning_budget(self) -> "PlanningBudget | None":
+        """The base optimizer's anytime budget (None when unsupported)."""
+        return getattr(self.base, "planning_budget", None)
 
     def optimize(
         self,
@@ -107,4 +121,5 @@ class SJAPlusOptimizer(Optimizer):
             elapsed_s=base_result.elapsed_s + watch.elapsed,
             search_strategy=base_result.search_strategy,
             subsets_considered=base_result.subsets_considered,
+            budget_exhausted=base_result.budget_exhausted,
         )

@@ -119,14 +119,24 @@ class RuntimeResult:
         return self.trace.degraded_steps
 
     @property
+    def deadline_steps(self) -> tuple[int, ...]:
+        """Plan steps cut short by the query's deadline budget."""
+        return self.trace.deadline_steps
+
+    @property
     def recovered_steps(self) -> tuple[int, ...]:
         """Plan steps served by a substitute of their planned source."""
         return self.trace.recovered_steps
 
     @property
+    def deadline_expired(self) -> bool:
+        """True when the query budget expired before the plan finished."""
+        return bool(self.deadline_steps)
+
+    @property
     def complete(self) -> bool:
         """True when no operation degraded (answer is exact)."""
-        return not self.degraded_steps
+        return not (self.degraded_steps or self.deadline_steps)
 
     def to_execution_result(self) -> ExecutionResult:
         """Project onto the sequential executor's result type.
@@ -134,7 +144,11 @@ class RuntimeResult:
         Lets every consumer of :class:`ExecutionResult` (summaries,
         cost accounting, schedule cross-validation) read a concurrent
         run unchanged.  ``elapsed_s`` counts connection-busy time only
-        (attempt durations, not backoff waits).
+        (attempt durations, not backoff waits).  Operations lost — to a
+        spent retry budget or to the query deadline — surface as
+        ``incomplete_conditions``, one mark per affected condition, so a
+        partial answer carries a machine-readable account of what it is
+        missing.
         """
         steps = [
             StepTrace(
@@ -148,12 +162,27 @@ class RuntimeResult:
             )
             for span in self.trace.spans
         ]
+        incomplete: list[str] = []
+        for span in self.trace.spans:
+            if span.status not in (OpStatus.DEGRADED, OpStatus.DEADLINE):
+                continue
+            condition = getattr(span.operation, "condition", None)
+            mark = (
+                f"load {span.source}"
+                if condition is None
+                else condition.to_sql()
+            )
+            if mark not in incomplete:
+                incomplete.append(mark)
         return ExecutionResult(
             items=self.items,
             steps=steps,
             hedges=self.trace.hedge_attempts,
             recovered=len(self.trace.recovered_steps),
-            degraded=len(self.trace.degraded_steps),
+            degraded=len(self.trace.degraded_steps)
+            + len(self.trace.deadline_steps),
+            deadline_expired=self.deadline_expired,
+            incomplete_conditions=tuple(incomplete),
         )
 
     def summary(self) -> str:
@@ -241,9 +270,25 @@ class RuntimeEngine:
             )
         return self._substitutes.get(source_name, ())
 
-    def run(self, plan: Plan) -> RuntimeResult:
-        """Execute ``plan`` concurrently and return answer + trace."""
-        return _Execution(self, plan).run()
+    def run(self, plan: Plan, budget_s: float | None = None) -> RuntimeResult:
+        """Execute ``plan`` concurrently and return answer + trace.
+
+        ``budget_s`` is the query's remaining deadline budget in virtual
+        time.  When it expires mid-run the engine cancels every in-flight
+        attempt, substitutes empty results for the unfinished remote
+        operations (status :attr:`OpStatus.DEADLINE`), evaluates the
+        remaining local operations (instantaneous), and returns a
+        *partial* answer — a subset of the true answer, never a superset,
+        because fusion plans only union and intersect item sets.  Retry
+        backoff and hedge timers are clamped so neither can be scheduled
+        past the budget.  A budget that is already spent (``<= 0``)
+        degrades everything without touching the wire.
+        """
+        if budget_s is not None and not math.isfinite(budget_s):
+            raise CostModelError(
+                f"budget_s must be finite or None, got {budget_s}"
+            )
+        return _Execution(self, plan, budget_s).run()
 
 
 class _Task:
@@ -317,7 +362,12 @@ class _Attempt:
 class _Execution:
     """One plan run: the event heap, queues, and handlers."""
 
-    def __init__(self, engine: RuntimeEngine, plan: Plan):
+    def __init__(
+        self,
+        engine: RuntimeEngine,
+        plan: Plan,
+        budget_s: float | None = None,
+    ):
         self.engine = engine
         self.federation = engine.federation
         self.faults = engine.faults
@@ -325,6 +375,8 @@ class _Execution:
         self.health = engine.health
         self.recorder = engine.recorder
         self.plan = plan
+        self.budget_s = budget_s
+        self.expired = False
         self.tasks = self._build_tasks(plan)
         self.result_writer = self._final_writer(plan)
         # Per-source FIFO of task indices in plan order; the head may
@@ -382,9 +434,21 @@ class _Execution:
             self.recorder.run_started(
                 0.0, "runtime", self.plan, self.plan.result
             )
-        for task in self.tasks:
-            if task.remaining == 0:
-                self._mark_ready(task, 0.0)
+        if self.budget_s is not None and self.budget_s <= 0:
+            # Budget already spent: degrade everything without ever
+            # touching the wire.
+            self._handle_deadline(0.0)
+        else:
+            if self.budget_s is not None:
+                # Seq ``inf`` orders the expiry *after* every other
+                # event at the same instant: a deadline exactly at
+                # completion time counts as met.
+                heapq.heappush(
+                    self.heap, (self.budget_s, math.inf, "deadline", ())
+                )
+            for task in self.tasks:
+                if task.remaining == 0:
+                    self._mark_ready(task, 0.0)
         while self.heap:
             now, __, kind, payload = heapq.heappop(self.heap)
             if kind == "complete":
@@ -393,6 +457,8 @@ class _Execution:
                 self._handle_retry(now, payload[0])
             elif kind == "hedge":
                 self._handle_hedge(now, *payload)
+            elif kind == "deadline":
+                self._handle_deadline(now)
             else:  # "dispatch": an open breaker's cooldown elapsed
                 self._handle_dispatch_wake(now, payload[0])
         unfinished = [t.step for t in self.tasks if not t.done]
@@ -413,7 +479,8 @@ class _Execution:
                 "runtime",
                 self.makespan_s,
                 retries=trace.total_retries,
-                degraded=len(trace.degraded_steps),
+                degraded=len(trace.degraded_steps)
+                + len(trace.deadline_steps),
                 recovered=len(trace.recovered_steps),
                 hedges=trace.hedge_attempts,
                 cost=trace.total_cost,
@@ -443,6 +510,8 @@ class _Execution:
             self._try_dispatch(member, now)
 
     def _try_dispatch(self, source_name: str, now: float) -> None:
+        if self.expired:
+            return  # past the deadline; nothing new goes on the wire
         if not self.engine.load_balance:
             if self.busy.get(source_name, False):
                 return
@@ -609,15 +678,17 @@ class _Execution:
         else:
             task.primary_attempts += 1
         self._push(now + outcome.duration_s, "complete", (attempt,))
+        hedge_at = now + (self.engine.hedge_delay_s or 0.0)
         if (
             not hedge
             and self.engine.hedge_delay_s is not None
             and not task.hedged
             and self.engine.hedge_delay_s < outcome.duration_s
+            # Clamp to the query budget: a hedge armed at or past the
+            # deadline could only ever be cancelled.
+            and (self.budget_s is None or hedge_at < self.budget_s)
         ):
-            self._push(
-                now + self.engine.hedge_delay_s, "hedge", (task, attempt)
-            )
+            self._push(hedge_at, "hedge", (task, attempt))
 
     def _call_wrapper(self, task: _Task, source) -> Any:
         op = task.op
@@ -644,6 +715,8 @@ class _Execution:
             or attempt not in task.inflight
         ):
             return
+        if self.budget_s is not None and now >= self.budget_s:
+            return  # no budget left for speculation
         target = self._substitute_target(task, now)
         if target is None:
             return  # no idle healthy replica; the primary races alone
@@ -657,6 +730,8 @@ class _Execution:
         """First-failure trigger: hedge immediately instead of waiting."""
         if self.engine.hedge_delay_s is None or task.hedged:
             return
+        if self.budget_s is not None and now >= self.budget_s:
+            return  # no budget left for speculation
         target = self._substitute_target(task, now)
         if target is not None:
             if self.recorder is not None:
@@ -753,9 +828,22 @@ class _Execution:
             return
         self._maybe_hedge_on_failure(task, now)
         retries_used = task.primary_attempts - 1
-        retry_at = now + self.policy.backoff_s(
-            retries_used + 1, key=task.op.target, seed=self.faults.seed
+        remaining = None if self.budget_s is None else self.budget_s - now
+        wait = self.policy.clamped_backoff_s(
+            retries_used + 1,
+            remaining,
+            key=task.op.target,
+            seed=self.faults.seed,
         )
+        if wait is None:
+            # The backoff sleep alone would cross the query deadline:
+            # degrade now instead of sleeping into the expiry.
+            if task.inflight:
+                task.exhausted = True
+                return
+            self._give_up_deadline(task, now)
+            return
+        retry_at = now + wait
         assert task.first_start_s is not None
         if self.policy.may_retry(retries_used, task.first_start_s, retry_at):
             task.retry_pending = True
@@ -779,6 +867,43 @@ class _Execution:
         if task.done:
             return  # a hedge won during the backoff
         self._start_attempt(task, now)
+
+    def _give_up_deadline(self, task: _Task, now: float) -> None:
+        """Degrade an operation the *query* deadline stopped.
+
+        Unlike :meth:`_give_up` this never raises, whatever the policy's
+        ``on_exhaust`` says: a deadline asks for the best partial answer
+        available on time, not for an error.
+        """
+        self._finish_remote(
+            task, now, self._degraded_value(task), OpStatus.DEADLINE
+        )
+
+    def _handle_deadline(self, now: float) -> None:
+        """The query budget expired: cancel, degrade, answer partially.
+
+        Every in-flight attempt is cancelled (its traffic stays
+        charged), every unfinished remote operation finishes with an
+        empty value and status :attr:`OpStatus.DEADLINE`, and the local
+        operations downstream evaluate instantaneously over whatever
+        made it — so the answer is a well-formed subset of the truth.
+        """
+        if all(task.done for task in self.tasks):
+            return  # the plan beat the deadline; nothing to cut
+        self.expired = True
+        self.heap.clear()  # pending retries/hedges/wakes are moot
+        self.blocked.clear()
+        for task in self.tasks:
+            if task.done:
+                continue
+            for attempt in list(task.inflight):
+                self._cancel(attempt, now)
+            task.inflight.clear()
+            if not task.op.remote:
+                continue  # locals evaluate via propagation below
+            if task.first_start_s is None:
+                task.first_start_s = now  # never reached the wire
+            self._give_up_deadline(task, now)
 
     def _give_up(self, task: _Task, now: float) -> None:
         if self.policy.on_exhaust is OnExhaust.FAIL:

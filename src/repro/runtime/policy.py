@@ -128,6 +128,33 @@ class RetryPolicy:
             wait *= 1.0 + self.backoff_jitter * (2.0 * u - 1.0)
         return wait
 
+    def clamped_backoff_s(
+        self,
+        retry_number: int,
+        remaining_s: float | None,
+        *,
+        key: str = "",
+        seed: int = 0,
+    ) -> float | None:
+        """Backoff wait clamped to the caller's remaining query budget.
+
+        Exponential backoff is oblivious to any *query-level* deadline:
+        left unclamped, the sleeps alone can overshoot a budget that the
+        attempts themselves would have respected.  Given the remaining
+        budget this returns ``min(backoff, remaining)``, or ``None`` when
+        no usable time is left (the retry would start at or after the
+        deadline and could only be cancelled).  ``remaining_s=None``
+        means "no query budget" and degrades to :meth:`backoff_s`.
+        """
+        wait = self.backoff_s(retry_number, key=key, seed=seed)
+        if remaining_s is None:
+            return wait
+        if wait >= remaining_s:
+            # Sleeping would consume the whole remainder: the retry
+            # would wake at (or past) the deadline with nothing left.
+            return None
+        return min(wait, remaining_s)
+
     def may_retry(
         self, retries_done: int, first_start_s: float, retry_at_s: float
     ) -> bool:

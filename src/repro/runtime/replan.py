@@ -93,6 +93,11 @@ class ResilientResult:
         return self.rounds[-1].result.complete
 
     @property
+    def deadline_expired(self) -> bool:
+        """True when any round was cut short by the query budget."""
+        return any(r.result.deadline_expired for r in self.rounds)
+
+    @property
     def makespan_s(self) -> float:
         """Total virtual time: rounds run back to back on one clock."""
         return sum(r.result.makespan_s for r in self.rounds)
@@ -190,8 +195,16 @@ class ResilientExecutor:
         self,
         query: FusionQuery,
         source_names: Sequence[str] | None = None,
+        budget_s: float | None = None,
     ) -> ResilientResult:
-        """Execute ``query``, re-planning around dead sources as needed."""
+        """Execute ``query``, re-planning around dead sources as needed.
+
+        When ``budget_s`` is given it bounds the *whole* resilient run:
+        rounds share one clock, so each round's engine budget is the
+        original budget minus the virtual time earlier rounds consumed,
+        and re-planning stops once the budget is exhausted (the partial
+        answer accumulated so far is returned on time instead).
+        """
         query.validate_against_schema(self.federation.schema)
         if source_names is None:
             active = list(self.federation.representative_names)
@@ -199,6 +212,7 @@ class ResilientExecutor:
             active = list(source_names)
         masked: list[str] = []
         rounds: list[ReplanRound] = []
+        remaining_s = budget_s
         for round_no in range(self.max_replans + 1):
             optimization = self.optimizer.optimize(
                 query, tuple(active), self.cost_model, self.estimator
@@ -213,11 +227,13 @@ class ResilientExecutor:
                     sorted(masked),
                     optimization.estimated_cost,
                 )
-            result = self.engine.run(optimization.plan)
+            result = self.engine.run(optimization.plan, budget_s=remaining_s)
             if self.recorder is not None:
                 # Rounds run back to back on one clock; shift the next
                 # round's timestamps past everything this round emitted.
                 self.recorder.clock_offset_s += result.makespan_s
+            if remaining_s is not None:
+                remaining_s -= result.makespan_s
             round_ = ReplanRound(
                 round=round_no,
                 sources=tuple(active),
@@ -227,6 +243,8 @@ class ResilientExecutor:
             rounds.append(round_)
             if result.complete:
                 break
+            if remaining_s is not None and remaining_s <= 0:
+                break  # budget spent; return the partial union on time
             changed = False
             for dead in round_.dead_sources:
                 if dead not in masked:

@@ -34,6 +34,7 @@ class OpStatus(enum.Enum):
     OK = "ok"
     DEGRADED = "degraded"  # retry budget exhausted; empty result substituted
     RECOVERED = "recovered"  # served by a replica after the planned source failed
+    DEADLINE = "deadline"  # query budget expired; empty result substituted
 
 
 @dataclass(frozen=True)
@@ -126,6 +127,8 @@ class OpSpan:
             flags += f" [{self.retries} retries]"
         if self.status is OpStatus.DEGRADED:
             flags += " [DEGRADED]"
+        if self.status is OpStatus.DEADLINE:
+            flags += " [DEADLINE]"
         if self.status is OpStatus.RECOVERED:
             flags += f" [RECOVERED via {self.served_by}]"
         return (
@@ -168,6 +171,13 @@ class RuntimeTrace:
     def degraded_steps(self) -> tuple[int, ...]:
         return tuple(
             s.step for s in self.spans if s.status is OpStatus.DEGRADED
+        )
+
+    @property
+    def deadline_steps(self) -> tuple[int, ...]:
+        """Steps cut short because the query's deadline budget expired."""
+        return tuple(
+            s.step for s in self.spans if s.status is OpStatus.DEADLINE
         )
 
     @property
@@ -259,6 +269,8 @@ class RuntimeTrace:
                     cells[i] = mark
             if span.status is OpStatus.DEGRADED:
                 note = " DEGRADED"
+            elif span.status is OpStatus.DEADLINE:
+                note = " DEADLINE"
             elif span.status is OpStatus.RECOVERED:
                 note = f" RECOVERED<-{span.served_by}"
             else:
@@ -270,7 +282,7 @@ class RuntimeTrace:
         lines.append(
             f"{'makespan'.ljust(label_width)}  {self.makespan_s:.3f}s, "
             f"{self.total_retries} retries, "
-            f"{len(self.degraded_steps)} degraded"
+            f"{len(self.degraded_steps) + len(self.deadline_steps)} degraded"
         )
         return "\n".join(lines)
 
@@ -309,6 +321,8 @@ class RuntimeTrace:
             f"{len(self.degraded_steps)} degraded, "
             f"cost {self.total_cost:.1f}"
         )
+        if self.deadline_steps:
+            text += f", {len(self.deadline_steps)} cut at deadline"
         if self.recovered_steps or self.hedge_attempts:
             text += (
                 f", {len(self.recovered_steps)} recovered, "

@@ -9,7 +9,11 @@ Public surface:
   :class:`~repro.serve.tenants.FairScheduler` — weighted-fair
   (stride) dispatch across tenants.
 * :class:`~repro.serve.admission.AdmissionController` — bounded run
-  queue and per-tenant quotas with typed refusals.
+  queue, per-tenant quotas, and latency-aware deadline shedding with
+  typed refusals.
+* :mod:`~repro.serve.deadline` — end-to-end query deadlines
+  (:class:`Deadline`) and the queue-wait/completion predictor
+  (:class:`QueueWaitEstimator`) behind ``shed_policy="deadline"``.
 * :class:`~repro.serve.pools.SourcePools` — bounded per-source
   connection slots.
 * :mod:`~repro.serve.workload` — seeded workload generation
@@ -18,6 +22,12 @@ Public surface:
 """
 
 from repro.serve.admission import AdmissionController
+from repro.serve.deadline import (
+    SHED_POLICIES,
+    Deadline,
+    QueueWaitEstimator,
+    valid_deadline,
+)
 from repro.serve.pools import SourcePools
 from repro.serve.service import MediatorService, QueryTicket, derive_seed
 from repro.serve.tenants import FairScheduler, TenantSpec
@@ -35,9 +45,12 @@ __all__ = [
     "AdmissionController",
     "Arrival",
     "ChurnWave",
+    "Deadline",
     "FairScheduler",
     "MediatorService",
     "QueryTicket",
+    "QueueWaitEstimator",
+    "SHED_POLICIES",
     "SourcePools",
     "TenantSpec",
     "WorkloadReport",
@@ -46,4 +59,5 @@ __all__ = [
     "generate_arrivals",
     "percentile",
     "run_workload",
+    "valid_deadline",
 ]

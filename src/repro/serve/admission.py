@@ -22,11 +22,13 @@ from typing import Iterable
 
 from repro.errors import (
     CostModelError,
+    DeadlineInfeasibleError,
     QueueFullError,
     QuotaExceededError,
     ServiceClosedError,
     UnknownTenantError,
 )
+from repro.serve.deadline import valid_deadline
 from repro.serve.tenants import TenantSpec
 
 
@@ -55,8 +57,23 @@ class AdmissionController:
         self.closed = False
         self._lock = threading.RLock()
 
-    def admit(self, tenant: str) -> None:
-        """Admit one query for ``tenant`` or raise a typed refusal."""
+    def admit(
+        self,
+        tenant: str,
+        deadline_s: float | None = None,
+        predicted_s: float | None = None,
+    ) -> None:
+        """Admit one query for ``tenant`` or raise a typed refusal.
+
+        ``deadline_s`` is the query's end-to-end budget; an unusable
+        value (zero, negative, non-finite) is refused outright.
+        ``predicted_s`` is the service's predicted completion time for
+        this query — when it already exceeds the deadline the query is
+        *shed*: admitting it would only burn source charge on an answer
+        the client has stopped waiting for
+        (:class:`~repro.errors.DeadlineInfeasibleError`, counted under
+        reason ``"deadline"``).
+        """
         with self._lock:
             spec = self.tenants.get(tenant)
             if spec is None:
@@ -75,6 +92,15 @@ class AdmissionController:
                 raise QuotaExceededError(
                     tenant, self.outstanding[tenant], spec.quota
                 )
+            if deadline_s is not None:
+                if not valid_deadline(deadline_s):
+                    self._count_rejection("deadline")
+                    raise DeadlineInfeasibleError(tenant, deadline_s)
+                if predicted_s is not None and predicted_s > deadline_s:
+                    self._count_rejection("deadline")
+                    raise DeadlineInfeasibleError(
+                        tenant, deadline_s, predicted_s
+                    )
             self.queued += 1
             self.outstanding[tenant] += 1
             self.admitted_total[tenant] += 1

@@ -1,0 +1,157 @@
+"""Deadlines and latency-aware load shedding for the serving tier.
+
+A client asking a fusion query over internet sources cares about *when*
+the answer arrives at least as much as how complete it is — the paper's
+charge model prices messages precisely because wide-area round trips
+dominate.  This module gives the serving tier the vocabulary for that:
+
+* :class:`Deadline` — one query's time budget, anchored at submission
+  on whichever clock the service runs (virtual or wall).
+* :class:`QueueWaitEstimator` — rolling per-tenant service-time
+  statistics that turn queue depth into a *predicted completion time*,
+  so admission can shed queries that would miss their deadline anyway
+  (latency-aware shedding) instead of only refusing when the queue is
+  physically full.
+
+Shedding on predicted lateness is the serving-tier analogue of the
+optimizer's cost-based pruning: both refuse work whose price is known
+before paying it.  The prediction deliberately combines two signals —
+the *observed* mean service time of recent queries (captures faults,
+retries, pool contention the plan cannot see) and the *planned* makespan
+of this query's own plan (captures that queries differ in shape) — and
+takes the max, so a cheap query behind a slow tenant history is not
+over-shed and an expensive query is not under-shed by a cheap history.
+
+Everything here is pure bookkeeping on floats: no clocks are read and
+no randomness is drawn, so deterministic-mode runs replay byte-
+identically with deadlines enabled.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import CostModelError
+
+#: Admission shedding policies: ``"none"`` only validates deadlines,
+#: ``"deadline"`` additionally sheds queries whose predicted completion
+#: already misses their deadline at submit time.
+SHED_POLICIES = ("none", "deadline")
+
+#: Completions within this slack of the deadline count as met — a query
+#: finishing *exactly* at its deadline answered on time.
+DEADLINE_SLACK_S = 1e-9
+
+
+def valid_deadline(deadline_s: float) -> bool:
+    """A usable deadline is finite and strictly positive."""
+    return (
+        isinstance(deadline_s, (int, float))
+        and math.isfinite(deadline_s)
+        and deadline_s > 0
+    )
+
+
+@dataclass(frozen=True)
+class Deadline:
+    """One query's end-to-end time budget.
+
+    Attributes:
+        submitted_s: Submission instant on the service clock.
+        budget_s: Seconds the client is willing to wait after that.
+    """
+
+    submitted_s: float
+    budget_s: float
+
+    def __post_init__(self) -> None:
+        if not valid_deadline(self.budget_s):
+            raise CostModelError(
+                f"deadline budget must be finite and positive, "
+                f"got {self.budget_s!r}"
+            )
+
+    @property
+    def expires_at_s(self) -> float:
+        return self.submitted_s + self.budget_s
+
+    def remaining_s(self, now_s: float) -> float:
+        """Budget left at ``now_s`` (negative once expired)."""
+        return self.expires_at_s - now_s
+
+    def expired(self, now_s: float) -> bool:
+        """True strictly *after* the expiry instant — an event landing
+        exactly on the deadline still counts as on time."""
+        return now_s > self.expires_at_s + DEADLINE_SLACK_S
+
+
+class QueueWaitEstimator:
+    """Predict completion time from recent service times + queue state.
+
+    Keeps a rolling window of observed per-query service times (dispatch
+    to completion), per tenant with a global fallback while a tenant has
+    no history.  The prediction for a newly arriving query is::
+
+        wait    = backlog * mean_service / width     # queue drain time
+        service = max(tenant_mean, plan_makespan)    # this query's own run
+        predicted_completion = wait + service
+
+    where ``width`` is the service's effective parallelism (worker count
+    in thread mode, per-source pool slots under the virtual clock) and
+    ``backlog`` counts queries already queued or in flight.  This is the
+    standard M/G/k waiting heuristic, biased conservative: under
+    overload the backlog term dominates and grows linearly, which is
+    exactly when shedding must kick in.
+
+    Args:
+        width: Effective parallelism used to divide the backlog.
+        window: Observations retained per tenant (and globally).
+    """
+
+    def __init__(self, width: int = 1, window: int = 32):
+        if width < 1:
+            raise CostModelError(f"width must be >= 1, got {width}")
+        if window < 1:
+            raise CostModelError(f"window must be >= 1, got {window}")
+        self.width = width
+        self.window = window
+        self._by_tenant: dict[str, deque[float]] = {}
+        self._global: deque[float] = deque(maxlen=window)
+        self.observed = 0
+
+    def observe(self, tenant: str, service_s: float) -> None:
+        """Record one completed query's dispatch-to-completion time."""
+        if not (math.isfinite(service_s) and service_s >= 0):
+            return
+        bucket = self._by_tenant.get(tenant)
+        if bucket is None:
+            bucket = self._by_tenant[tenant] = deque(maxlen=self.window)
+        bucket.append(service_s)
+        self._global.append(service_s)
+        self.observed += 1
+
+    def mean_service_s(self, tenant: str) -> float:
+        """Mean recent service time for ``tenant`` (global fallback,
+        0.0 before any observation at all)."""
+        bucket = self._by_tenant.get(tenant)
+        if bucket:
+            return sum(bucket) / len(bucket)
+        if self._global:
+            return sum(self._global) / len(self._global)
+        return 0.0
+
+    def predict_completion_s(
+        self,
+        tenant: str,
+        backlog: int,
+        plan_makespan_s: float | None = None,
+    ) -> float:
+        """Seconds from now until a query arriving now would complete."""
+        mean = self.mean_service_s(tenant)
+        wait = max(0, backlog) * mean / self.width
+        own = mean
+        if plan_makespan_s is not None and math.isfinite(plan_makespan_s):
+            own = max(own, plan_makespan_s)
+        return wait + own

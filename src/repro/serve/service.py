@@ -43,16 +43,29 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
-from repro.errors import AdmissionError, FusionError, ServiceError
+from repro.errors import (
+    AdmissionError,
+    DeadlineInfeasibleError,
+    FusionError,
+    ServiceError,
+)
 from repro.mediator.plan_cache import PlanCache
+from repro.mediator.schedule import estimated_response_time
 from repro.mediator.session import Mediator
 from repro.obs.events import EventLog
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.recorder import Recorder
+from repro.optimize.search import PlanningBudget
 from repro.query.fusion import FusionQuery
 from repro.runtime.faults import FaultInjector, FaultProfile
 from repro.runtime.health import BreakerConfig, HealthRegistry
 from repro.serve.admission import AdmissionController
+from repro.serve.deadline import (
+    SHED_POLICIES,
+    Deadline,
+    QueueWaitEstimator,
+    valid_deadline,
+)
 from repro.serve.pools import SourcePools
 from repro.serve.tenants import DEFAULT_TENANT, FairScheduler, TenantSpec
 from repro.serve.workload import ChurnWave
@@ -88,6 +101,15 @@ class QueryTicket:
     items: frozenset | None = None
     error: str = ""
     makespan_s: float = 0.0
+    #: End-to-end deadline budget in seconds (None = no deadline).
+    deadline_s: float | None = None
+    #: True when the answer is a graceful partial (degraded sources or
+    #: a deadline cut) — every returned item is still correct.
+    partial: bool = False
+    #: Conditions whose union was cut short (SQL text, for clients).
+    incomplete_conditions: tuple[str, ...] = ()
+    #: True when anytime planning hit its budget for this query.
+    planning_budget_exhausted: bool = False
 
     @property
     def latency_s(self) -> float:
@@ -95,6 +117,14 @@ class QueryTicket:
         if self.completed_s is None:
             return 0.0
         return self.completed_s - self.submitted_s
+
+    @property
+    def deadline_missed(self) -> bool:
+        """True when a deadlined query completed after its budget
+        (finishing exactly on the deadline counts as met)."""
+        if self.deadline_s is None or self.completed_s is None:
+            return False
+        return self.latency_s > self.deadline_s + 1e-9
 
 
 class MediatorService:
@@ -129,6 +159,23 @@ class MediatorService:
         mediator_options: Extra keyword arguments forwarded to every
             :class:`~repro.mediator.session.Mediator` (e.g.
             ``optimizer="robust"``, ``retry_policy=...``).
+        shed_policy: ``"deadline"`` (default) sheds deadlined queries at
+            admission when their predicted completion — queue-wait from
+            the :class:`~repro.serve.deadline.QueueWaitEstimator` plus
+            this query's planned makespan — already misses the deadline;
+            ``"none"`` only validates deadlines and lets everything
+            queue.  Queries without a deadline are never shed by either
+            policy.
+        planning_budget: Per-query anytime-planning budget: the base
+            number of branch-and-bound subset expansions the optimizer
+            may spend on one query when the service is otherwise idle.
+            Under queue pressure (and with little deadline remaining)
+            the armed budget shrinks, so planning gets out of the way
+            exactly when latency matters; the ticket's
+            ``planning_budget_exhausted`` flag records a cut-short
+            search.  Enables ``search="anytime"`` on every mediator
+            unless ``mediator_options`` picks a search explicitly.
+            ``None`` (default) leaves planning unbounded.
     """
 
     def __init__(
@@ -147,6 +194,8 @@ class MediatorService:
         plan_cache: PlanCache | int | bool | None = True,
         mine_statistics: bool = False,
         mediator_options: dict[str, Any] | None = None,
+        shed_policy: str = "deadline",
+        planning_budget: int | None = None,
     ):
         if mode not in MODES:
             raise ServiceError(
@@ -154,6 +203,15 @@ class MediatorService:
             )
         if workers < 1:
             raise ServiceError(f"workers must be >= 1, got {workers}")
+        if shed_policy not in SHED_POLICIES:
+            raise ServiceError(
+                f"unknown shed_policy {shed_policy!r}; "
+                f"choose from {SHED_POLICIES}"
+            )
+        if planning_budget is not None and planning_budget < 1:
+            raise ServiceError(
+                f"planning_budget must be >= 1, got {planning_budget}"
+            )
         self.federation = federation
         self.mode = mode
         self.seed = seed
@@ -166,6 +224,15 @@ class MediatorService:
         self.scheduler = FairScheduler(roster)
         self.admission = AdmissionController(roster, queue_limit)
         self.pools = SourcePools(pool_slots)
+        self.shed_policy = shed_policy
+        self.planning_budget = planning_budget
+        # Effective parallelism for the queue-wait prediction: worker
+        # count under threads; under the virtual clock overlap is
+        # bounded by per-source pool slots instead.
+        width = workers if mode == "threads" else self.pools.default_slots
+        self.wait_estimator = QueueWaitEstimator(width=width)
+        self.deadline_met_count = 0
+        self.deadline_miss_count = 0
         if breaker is True:
             breaker = BreakerConfig.default()
         elif breaker is False:
@@ -218,6 +285,14 @@ class MediatorService:
     def _make_mediator(self, recorder: Recorder) -> Mediator:
         options = dict(self._mediator_options)
         options.setdefault("backend", "runtime")
+        if self.planning_budget is not None:
+            options.setdefault("search", "anytime")
+            # Every mediator owns a private (mutable) budget — thread
+            # workers re-arm theirs without racing each other.
+            options.setdefault(
+                "planning_budget",
+                PlanningBudget(max_subsets=self.planning_budget),
+            )
         return Mediator(
             self.federation,
             statistics=self.statistics,
@@ -225,6 +300,52 @@ class MediatorService:
             health=self.health,
             recorder=recorder,
             **options,
+        )
+
+    def _arm_planning(
+        self, mediator: Mediator, ticket: QueryTicket, now_s: float
+    ) -> None:
+        """Re-arm the mediator's anytime budget for one query.
+
+        The base subset budget shrinks hyperbolically with queue depth
+        (planning time is exactly what a backed-up service cannot
+        spare) and halves again once less than half the query's
+        deadline remains.  Both signals are deterministic under the
+        virtual clock, so replay stays byte-identical.
+        """
+        budget = mediator.planning_budget
+        if budget is None or self.planning_budget is None:
+            return
+        subsets = max(1, self.planning_budget // (1 + self.queue_depth))
+        if ticket.deadline_s is not None:
+            remaining = ticket.submitted_s + ticket.deadline_s - now_s
+            if remaining < 0.5 * ticket.deadline_s:
+                subsets = max(1, subsets // 2)
+        budget.arm(max_subsets=subsets)
+
+    def _predict_completion_s(
+        self, tenant: str, query: FusionQuery | str
+    ) -> float:
+        """Predicted completion time for a query arriving now.
+
+        Combines the queue-wait estimate from observed service times
+        with this query's own planned makespan (deterministic mode
+        only: planning at admission is cheap there because the shared
+        plan cache will reuse the result at dispatch).
+        """
+        plan_makespan = None
+        mediator = self._det_mediator
+        if mediator is not None:
+            try:
+                optimization = mediator.plan(query)
+                plan_makespan = estimated_response_time(
+                    optimization.plan, self.federation, mediator.estimator
+                ).makespan_s
+            except FusionError:
+                plan_makespan = None  # unplannable; fails post-admission
+        backlog = self.queue_depth + self.in_flight
+        return self.wait_estimator.predict_completion_s(
+            tenant, backlog, plan_makespan
         )
 
     def _injector_for(self, ticket: QueryTicket) -> FaultInjector:
@@ -248,6 +369,77 @@ class MediatorService:
     def _text_of(query: FusionQuery | str) -> str:
         return query if isinstance(query, str) else query.describe()
 
+    def _record_shed(
+        self,
+        now_s: float,
+        seq: int,
+        tenant: str,
+        exc: AdmissionError,
+        deadline_s: float | None,
+    ) -> None:
+        """Emit the richer ``shed`` event for deadline refusals."""
+        if not isinstance(exc, DeadlineInfeasibleError):
+            return
+        self.recorder.query_shed(
+            now_s,
+            seq,
+            tenant,
+            reason="invalid" if exc.predicted_s is None else "infeasible",
+            predicted_s=exc.predicted_s or 0.0,
+            deadline_s=deadline_s if deadline_s is not None else 0.0,
+        )
+
+    def _expired_in_queue(self, ticket: QueryTicket, now_s: float) -> bool:
+        """True (and the ticket completed as an empty partial) when the
+        deadline ran out while the query was still queued.
+
+        The client's budget is gone: dispatching now would spend source
+        charge on an answer nobody is waiting for, so the query
+        completes immediately with the gracefully degraded result —
+        an empty (trivially correct) item set marked partial.
+        """
+        if ticket.deadline_s is None:
+            return False
+        deadline = Deadline(ticket.submitted_s, ticket.deadline_s)
+        if not deadline.expired(now_s):
+            return False
+        self.admission.on_dispatch(ticket.tenant)
+        self.admission.on_complete(ticket.tenant)
+        ticket.dispatched_s = now_s
+        ticket.completed_s = now_s
+        ticket.status = "done"
+        ticket.items = frozenset()
+        ticket.partial = True
+        self.completed_count += 1
+        self.recorder.deadline_expired(
+            now_s,
+            ticket.seq,
+            ticket.tenant,
+            stage="queue",
+            budget_s=ticket.deadline_s,
+            overrun_s=now_s - deadline.expires_at_s,
+        )
+        self.recorder.query_completed(
+            now_s, ticket.seq, ticket.tenant,
+            self.queue_depth, self.in_flight,
+            ticket.latency_s, error="",
+        )
+        self._note_deadline_outcome(ticket, now_s)
+        return True
+
+    def _note_deadline_outcome(
+        self, ticket: QueryTicket, now_s: float
+    ) -> None:
+        """Met/missed accounting for one completed deadlined query."""
+        if ticket.deadline_s is None:
+            return
+        missed = ticket.deadline_missed
+        if missed:
+            self.deadline_miss_count += 1
+        else:
+            self.deadline_met_count += 1
+        self.recorder.deadline_outcome(now_s, ticket.tenant, missed)
+
     @property
     def queue_depth(self) -> int:
         return self.admission.queued
@@ -266,15 +458,25 @@ class MediatorService:
         query: FusionQuery | str,
         tenant: str = "default",
         at_s: float | None = None,
+        deadline_s: float | None = None,
     ) -> QueryTicket:
         """Admit one query (or raise a typed refusal) and return its
         ticket.  ``at_s`` is the virtual arrival time (deterministic
-        mode only); omitted, the current clock is used."""
+        mode only); omitted, the current clock is used.
+
+        ``deadline_s`` is the end-to-end answer budget, measured from
+        submission.  An unusable deadline (zero, negative, non-finite)
+        raises :class:`~repro.errors.DeadlineInfeasibleError`
+        immediately; under ``shed_policy="deadline"`` so does one the
+        service predicts it cannot meet.  An admitted deadlined query
+        always gets an answer by its deadline — possibly a *partial*
+        one (``ticket.partial``) listing what was cut in
+        ``ticket.incomplete_conditions`` — never an exception."""
         if self.mode == "deterministic":
-            return self._submit_deterministic(query, tenant, at_s)
+            return self._submit_deterministic(query, tenant, at_s, deadline_s)
         if at_s is not None:
             raise ServiceError("at_s is only meaningful in deterministic mode")
-        return self._submit_threads(query, tenant)
+        return self._submit_threads(query, tenant, deadline_s)
 
     def snapshot(self) -> dict[str, Any]:
         """Service counters as plain data (tests and the CLI read this)."""
@@ -287,6 +489,8 @@ class MediatorService:
             "failed": self.failed_count,
             "admitted": dict(self.admission.admitted_total),
             "rejected": dict(self.admission.rejected_total),
+            "deadline_met": self.deadline_met_count,
+            "deadline_missed": self.deadline_miss_count,
             "plan_cache": (
                 {
                     "hits": self.plan_cache.hits,
@@ -313,7 +517,11 @@ class MediatorService:
     # Deterministic mode: discrete-event loop at query granularity
 
     def _submit_deterministic(
-        self, query: FusionQuery | str, tenant: str, at_s: float | None
+        self,
+        query: FusionQuery | str,
+        tenant: str,
+        at_s: float | None,
+        deadline_s: float | None,
     ) -> QueryTicket:
         at = self.now_s if at_s is None else float(at_s)
         if at < self.now_s - 1e-12:
@@ -323,13 +531,23 @@ class MediatorService:
         self.advance_to(at)
         seq = self._seq
         self._seq += 1
+        predicted = None
+        if (
+            deadline_s is not None
+            and self.shed_policy == "deadline"
+            and valid_deadline(deadline_s)
+        ):
+            predicted = self._predict_completion_s(tenant, query)
         try:
-            self.admission.admit(tenant)
+            self.admission.admit(
+                tenant, deadline_s=deadline_s, predicted_s=predicted
+            )
         except AdmissionError as exc:
             self.recorder.query_rejected(
                 self.now_s, seq, tenant, exc.reason,
                 self.queue_depth, self.in_flight,
             )
+            self._record_shed(self.now_s, seq, tenant, exc, deadline_s)
             raise
         ticket = QueryTicket(
             seq=seq,
@@ -337,6 +555,7 @@ class MediatorService:
             query=query,
             text=self._text_of(query),
             submitted_s=self.now_s,
+            deadline_s=deadline_s,
         )
         self.tickets.append(ticket)
         self._by_seq[seq] = ticket
@@ -375,6 +594,9 @@ class MediatorService:
         while True:
             if self._blocked is not None:
                 ticket, optimization = self._blocked
+                if self._expired_in_queue(ticket, self.now_s):
+                    self._blocked = None
+                    continue
                 sources = sorted(optimization.plan.sources_used())
                 if not self.pools.can_acquire(sources):
                     return
@@ -385,12 +607,16 @@ class MediatorService:
             if popped is None:
                 return
             __, ticket = popped
+            if self._expired_in_queue(ticket, self.now_s):
+                continue
             assert self._det_mediator is not None
+            self._arm_planning(self._det_mediator, ticket, self.now_s)
             try:
                 optimization = self._det_mediator.plan(ticket.query)
             except FusionError as exc:
                 self._fail_unplannable(ticket, exc)
                 continue
+            ticket.planning_budget_exhausted = optimization.budget_exhausted
             sources = sorted(optimization.plan.sources_used())
             if not self.pools.can_acquire(sources):
                 if self.in_flight == 0:
@@ -442,10 +668,20 @@ class MediatorService:
         # the service timeline.
         self.recorder.clock_offset_s = dispatch_at
         engine.faults = self._injector_for(ticket)
+        budget_s = None
+        if ticket.deadline_s is not None:
+            budget_s = max(
+                0.0, ticket.submitted_s + ticket.deadline_s - dispatch_at
+            )
+        deadline_cut = False
         try:
-            result = engine.run(optimization.plan)
-            ticket.items = result.to_execution_result().items
+            result = engine.run(optimization.plan, budget_s=budget_s)
+            execution = result.to_execution_result()
+            ticket.items = execution.items
+            ticket.partial = execution.partial
+            ticket.incomplete_conditions = execution.incomplete_conditions
             ticket.makespan_s = result.makespan_s
+            deadline_cut = result.deadline_expired
             done_at = dispatch_at + result.makespan_s
         except FusionError as exc:
             ticket.error = f"{type(exc).__name__}: {exc}"
@@ -453,6 +689,17 @@ class MediatorService:
         finally:
             self.recorder.clock_offset_s = 0.0
             engine.faults = saved_faults
+        if deadline_cut:
+            assert ticket.deadline_s is not None
+            self.recorder.deadline_expired(
+                done_at,
+                ticket.seq,
+                ticket.tenant,
+                stage="execution",
+                budget_s=ticket.deadline_s,
+                overrun_s=done_at
+                - (ticket.submitted_s + ticket.deadline_s),
+            )
         if self.mine_statistics and self.recorder.events is not None:
             observe = getattr(self.statistics, "observe", None)
             if callable(observe):
@@ -472,29 +719,46 @@ class MediatorService:
         else:
             ticket.status = "done"
             self.completed_count += 1
+        self.wait_estimator.observe(ticket.tenant, ticket.makespan_s)
         self.recorder.query_completed(
             done_at, seq, ticket.tenant,
             self.queue_depth, self.in_flight,
             ticket.latency_s, error=ticket.error,
         )
+        self._note_deadline_outcome(ticket, done_at)
 
     # ------------------------------------------------------------------
     # Thread mode: worker pool over shared scheduler + pools
 
     def _submit_threads(
-        self, query: FusionQuery | str, tenant: str
+        self, query: FusionQuery | str, tenant: str, deadline_s: float | None
     ) -> QueryTicket:
         with self._cond:
             now = self.elapsed_s
             seq = self._seq
             self._seq += 1
+            predicted = None
+            if (
+                deadline_s is not None
+                and self.shed_policy == "deadline"
+                and valid_deadline(deadline_s)
+            ):
+                # No per-plan makespan here: thread workers own the
+                # mediators, so admission predicts from observed
+                # service times alone.
+                predicted = self.wait_estimator.predict_completion_s(
+                    tenant, self.queue_depth + self.in_flight
+                )
             try:
-                self.admission.admit(tenant)
+                self.admission.admit(
+                    tenant, deadline_s=deadline_s, predicted_s=predicted
+                )
             except AdmissionError as exc:
                 self.recorder.query_rejected(
                     now, seq, tenant, exc.reason,
                     self.queue_depth, self.in_flight,
                 )
+                self._record_shed(now, seq, tenant, exc, deadline_s)
                 raise
             ticket = QueryTicket(
                 seq=seq,
@@ -502,6 +766,7 @@ class MediatorService:
                 query=query,
                 text=self._text_of(query),
                 submitted_s=now,
+                deadline_s=deadline_s,
             )
             self.tickets.append(ticket)
             self._by_seq[seq] = ticket
@@ -542,8 +807,12 @@ class MediatorService:
                 if popped is None:
                     return
                 __, ticket = popped
+                if self._expired_in_queue(ticket, self.elapsed_s):
+                    self._cond.notify_all()
+                    continue
             # Plan outside the lock: the shared cache locks internally,
             # and optimization is the expensive part worth overlapping.
+            self._arm_planning(mediator, ticket, self.elapsed_s)
             try:
                 optimization = mediator.plan(ticket.query)
                 sources = sorted(optimization.plan.sources_used())
@@ -552,6 +821,7 @@ class MediatorService:
                     self._fail_unplannable_threads(ticket, exc)
                     self._cond.notify_all()
                 continue
+            ticket.planning_budget_exhausted = optimization.budget_exhausted
             with self._cond:
                 while not (self.pools.can_acquire(sources) or self._stop):
                     self._cond.wait(0.1)
@@ -572,11 +842,27 @@ class MediatorService:
             error = ""
             items = None
             makespan = 0.0
+            partial = False
+            incomplete: tuple[str, ...] = ()
+            deadline_cut = False
             engine = mediator.runtime
             engine.faults = self._injector_for(ticket)
+            budget_s = None
+            if ticket.deadline_s is not None:
+                assert ticket.dispatched_s is not None
+                budget_s = max(
+                    0.0,
+                    ticket.submitted_s
+                    + ticket.deadline_s
+                    - ticket.dispatched_s,
+                )
             try:
-                result = engine.run(optimization.plan)
-                items = result.to_execution_result().items
+                result = engine.run(optimization.plan, budget_s=budget_s)
+                execution = result.to_execution_result()
+                items = execution.items
+                partial = execution.partial
+                incomplete = execution.incomplete_conditions
+                deadline_cut = result.deadline_expired
                 makespan = result.makespan_s
             except FusionError as exc:
                 error = f"{type(exc).__name__}: {exc}"
@@ -591,6 +877,8 @@ class MediatorService:
                 ticket.completed_s = now
                 ticket.items = items
                 ticket.makespan_s = makespan
+                ticket.partial = partial
+                ticket.incomplete_conditions = incomplete
                 ticket.error = error
                 if error:
                     ticket.status = "failed"
@@ -598,11 +886,23 @@ class MediatorService:
                 else:
                     ticket.status = "done"
                     self.completed_count += 1
+                self.wait_estimator.observe(ticket.tenant, makespan)
+                if deadline_cut:
+                    assert ticket.deadline_s is not None
+                    self.recorder.deadline_expired(
+                        now,
+                        ticket.seq,
+                        ticket.tenant,
+                        stage="execution",
+                        budget_s=ticket.deadline_s,
+                        overrun_s=ticket.latency_s - ticket.deadline_s,
+                    )
                 self.recorder.query_completed(
                     now, ticket.seq, ticket.tenant,
                     self.queue_depth, self.in_flight,
                     ticket.latency_s, error=error,
                 )
+                self._note_deadline_outcome(ticket, now)
                 self._cond.notify_all()
 
     def _fail_unplannable_threads(

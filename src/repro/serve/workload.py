@@ -23,6 +23,7 @@ from typing import Sequence
 
 from repro.errors import AdmissionError, CostModelError
 from repro.runtime.faults import FaultProfile
+from repro.serve.deadline import valid_deadline
 from repro.serve.tenants import TenantSpec
 
 
@@ -64,6 +65,7 @@ class Arrival:
     at_s: float
     tenant: str
     sql: str
+    deadline_s: float | None = None
 
 
 @dataclass(frozen=True)
@@ -78,6 +80,8 @@ class WorkloadSpec:
         rate_qps: Mean arrival rate (Poisson process).
         seed: Master seed for arrival times, tenant draws, and query
             choice.
+        deadline_s: End-to-end answer deadline attached to every
+            arrival (``None`` = no deadlines).
     """
 
     queries: tuple[str, ...]
@@ -85,6 +89,7 @@ class WorkloadSpec:
     count: int = 50
     rate_qps: float = 2.0
     seed: int = 0
+    deadline_s: float | None = None
 
     def __post_init__(self) -> None:
         if not self.queries:
@@ -94,6 +99,13 @@ class WorkloadSpec:
         if not self.rate_qps > 0:
             raise CostModelError(
                 f"rate_qps must be positive, got {self.rate_qps}"
+            )
+        if self.deadline_s is not None and not valid_deadline(
+            self.deadline_s
+        ):
+            raise CostModelError(
+                f"deadline_s must be finite and positive, "
+                f"got {self.deadline_s}"
             )
 
 
@@ -108,7 +120,14 @@ def generate_arrivals(spec: WorkloadSpec) -> list[Arrival]:
         now += rng.expovariate(spec.rate_qps)
         tenant = rng.choices(names, weights=weights, k=1)[0]
         sql = spec.queries[rng.randrange(len(spec.queries))]
-        arrivals.append(Arrival(at_s=round(now, 6), tenant=tenant, sql=sql))
+        arrivals.append(
+            Arrival(
+                at_s=round(now, 6),
+                tenant=tenant,
+                sql=sql,
+                deadline_s=spec.deadline_s,
+            )
+        )
     return arrivals
 
 
@@ -139,12 +158,30 @@ class WorkloadReport:
     max_in_flight: int = 0
     plan_cache_hits: int = 0
     plan_cache_misses: int = 0
+    deadline_misses: int = 0
+    partial_answers: int = 0
 
     @property
     def qps(self) -> float:
         if self.duration_s <= 0:
             return 0.0
         return self.completed / self.duration_s
+
+    @property
+    def shed_queue(self) -> int:
+        """Arrivals refused because the run queue was full."""
+        return self.rejected.get("queue_full", 0)
+
+    @property
+    def shed_quota(self) -> int:
+        """Arrivals refused by a per-tenant quota."""
+        return self.rejected.get("quota", 0)
+
+    @property
+    def shed_deadline(self) -> int:
+        """Arrivals shed because their deadline was unusable or
+        predicted infeasible."""
+        return self.rejected.get("deadline", 0)
 
     @property
     def p50_s(self) -> float:
@@ -160,13 +197,20 @@ class WorkloadReport:
 
     def summary(self) -> str:
         shed = sum(self.rejected.values())
-        return (
+        text = (
             f"{self.completed}/{self.submitted} completed "
             f"({self.failed} failed, {shed} shed) in "
             f"{self.duration_s:.3f}s — {self.qps:.2f} q/s, latency "
             f"p50 {self.p50_s:.3f}s / p95 {self.p95_s:.3f}s / "
             f"p99 {self.p99_s:.3f}s, max in-flight {self.max_in_flight}"
         )
+        if self.shed_deadline or self.deadline_misses or self.partial_answers:
+            text += (
+                f"; deadlines: {self.shed_deadline} shed, "
+                f"{self.deadline_misses} missed, "
+                f"{self.partial_answers} partial answers"
+            )
+        return text
 
 
 def run_workload(service, arrivals: Sequence[Arrival]) -> WorkloadReport:
@@ -185,10 +229,17 @@ def run_workload(service, arrivals: Sequence[Arrival]) -> WorkloadReport:
         try:
             if deterministic:
                 ticket = service.submit(
-                    arrival.sql, tenant=arrival.tenant, at_s=arrival.at_s
+                    arrival.sql,
+                    tenant=arrival.tenant,
+                    at_s=arrival.at_s,
+                    deadline_s=arrival.deadline_s,
                 )
             else:
-                ticket = service.submit(arrival.sql, tenant=arrival.tenant)
+                ticket = service.submit(
+                    arrival.sql,
+                    tenant=arrival.tenant,
+                    deadline_s=arrival.deadline_s,
+                )
         except AdmissionError as exc:
             rejected[exc.reason] = rejected.get(exc.reason, 0) + 1
             continue
@@ -219,4 +270,6 @@ def run_workload(service, arrivals: Sequence[Arrival]) -> WorkloadReport:
         max_in_flight=service.max_in_flight,
         plan_cache_hits=cache.hits if cache is not None else 0,
         plan_cache_misses=cache.misses if cache is not None else 0,
+        deadline_misses=sum(1 for t in done if t.deadline_missed),
+        partial_answers=sum(1 for t in done if t.partial),
     )

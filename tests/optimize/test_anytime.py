@@ -1,0 +1,141 @@
+"""The anytime search strategy and its planning budget.
+
+Contract: an *unbudgeted* anytime search is just branch-and-bound and
+must match the subset-DP optimum bit for bit.  Under a budget it may
+stop early, but then it must still return a valid complete ordering,
+flag ``budget_exhausted``, and — because ``max_subsets`` is a pure
+function of the search state — behave identically on every run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import OptimizationError
+from repro.optimize.robust import RobustOptimizer
+from repro.optimize.search import PlanningBudget, search_ordering
+from repro.optimize.sja import SJAOptimizer
+from repro.optimize.sja_plus import SJAPlusOptimizer
+from tests.optimize.test_search import synthetic_problem
+
+
+def optimize_kit(m=5):
+    problem, query, federation, cost_model, estimator = synthetic_problem(m=m)
+    return problem, query, federation, cost_model, estimator
+
+
+class TestBudget:
+    def test_unarmed_budget_never_expires(self):
+        budget = PlanningBudget()
+        assert not budget.exhausted(10**9)
+
+    def test_node_budget_trips_on_count(self):
+        budget = PlanningBudget(max_subsets=5)
+        assert not budget.exhausted(4)
+        assert budget.exhausted(5)
+        assert budget.exhausted(6)
+
+    def test_rearm_resets_the_limits(self):
+        budget = PlanningBudget(max_subsets=1)
+        assert budget.exhausted(1)
+        budget.arm(max_subsets=100)
+        assert not budget.exhausted(1)
+        budget.arm()
+        assert not budget.exhausted(10**9)
+
+    def test_invalid_limits_rejected(self):
+        with pytest.raises(OptimizationError):
+            PlanningBudget(max_subsets=-1)
+        with pytest.raises(OptimizationError):
+            PlanningBudget(wall_clock_s=0.0)
+        with pytest.raises(OptimizationError):
+            PlanningBudget(wall_clock_s=float("inf"))
+
+
+class TestAnytimeSearch:
+    def test_unbudgeted_anytime_matches_dp_exactly(self):
+        problem, __, __, __, __ = optimize_kit(m=5)
+        dp = search_ordering(problem, 5, strategy="dp")
+        anytime = search_ordering(problem, 5, strategy="anytime")
+        assert anytime.cost == dp.cost
+        assert not anytime.budget_exhausted
+
+    def test_tiny_budget_returns_valid_flagged_ordering(self):
+        problem, __, __, __, __ = optimize_kit(m=5)
+        budget = PlanningBudget(max_subsets=2)
+        outcome = search_ordering(
+            problem, 5, strategy="anytime", budget=budget
+        )
+        assert outcome.budget_exhausted
+        assert sorted(outcome.ordering) == list(range(5))
+        assert len(outcome.payloads) == 5
+
+    def test_budgeted_cost_never_beats_the_optimum(self):
+        problem, __, __, __, __ = optimize_kit(m=5)
+        optimum = search_ordering(problem, 5, strategy="dp").cost
+        for max_subsets in (1, 2, 8, 64):
+            budget = PlanningBudget(max_subsets=max_subsets)
+            outcome = search_ordering(
+                problem, 5, strategy="anytime", budget=budget
+            )
+            assert outcome.cost >= optimum
+
+    def test_budgeted_search_is_deterministic(self):
+        problem, __, __, __, __ = optimize_kit(m=5)
+        results = []
+        for __ in range(3):
+            budget = PlanningBudget(max_subsets=3)
+            outcome = search_ordering(
+                problem, 5, strategy="anytime", budget=budget
+            )
+            results.append((outcome.ordering, outcome.cost))
+        assert results[0] == results[1] == results[2]
+
+
+class TestOptimizerPropagation:
+    def test_sja_exposes_and_obeys_the_budget(self):
+        __, query, federation, cost_model, estimator = optimize_kit(m=5)
+        budget = PlanningBudget(max_subsets=2)
+        optimizer = SJAOptimizer(search="anytime", planning_budget=budget)
+        assert optimizer.planning_budget is budget
+        result = optimizer.optimize(
+            query, federation.source_names, cost_model, estimator
+        )
+        assert result.budget_exhausted
+        assert result.search_strategy == "anytime"
+
+    def test_sja_plus_delegates_budget_to_base(self):
+        __, query, federation, cost_model, estimator = optimize_kit(m=5)
+        budget = PlanningBudget(max_subsets=2)
+        optimizer = SJAPlusOptimizer(
+            search="anytime", planning_budget=budget
+        )
+        assert optimizer.planning_budget is budget
+        result = optimizer.optimize(
+            query, federation.source_names, cost_model, estimator
+        )
+        assert result.budget_exhausted
+
+    def test_robust_delegates_budget_to_base(self):
+        __, query, federation, cost_model, estimator = optimize_kit(m=5)
+        budget = PlanningBudget(max_subsets=2)
+        optimizer = RobustOptimizer(
+            federation, search="anytime", planning_budget=budget
+        )
+        assert optimizer.planning_budget is budget
+        result = optimizer.optimize(
+            query, federation.source_names, cost_model, estimator
+        )
+        assert result.budget_exhausted
+
+    def test_summary_flags_exhaustion(self):
+        __, query, federation, cost_model, estimator = optimize_kit(m=5)
+        exact = SJAOptimizer(search="dp").optimize(
+            query, federation.source_names, cost_model, estimator
+        )
+        assert not exact.budget_exhausted
+        assert "budget exhausted" not in exact.summary()
+        budgeted = SJAOptimizer(
+            search="anytime", planning_budget=PlanningBudget(max_subsets=2)
+        ).optimize(query, federation.source_names, cost_model, estimator)
+        assert "budget exhausted" in budgeted.summary()
