@@ -1,0 +1,58 @@
+"""R10 — untrusted answers: verification, voting, and quarantine."""
+
+from __future__ import annotations
+
+from repro.bench.untrusted import run_untrusted
+from repro.runtime.verify import AnswerVerifier
+
+
+def test_sanitize_throughput(benchmark, dmv):
+    # The sanitize path runs on every delivered answer; validating a
+    # tampered item set must be negligible next to the wire exchange.
+    federation, __ = dmv
+    verifier = AnswerVerifier(federation, mode="sanitize")
+    dirty = tuple(f"L{i:03d}" for i in range(40)) + (
+        b"\x00garbage",
+        "L001",
+        "L002",
+        b"\xffmore",
+    )
+
+    def sanitize():
+        value, report = verifier.check("R1", dirty)
+        return report
+
+    report = benchmark(sanitize)
+    assert report.corrupt == 2
+    assert report.duplicates == 2
+
+
+def test_vote_throughput(benchmark, dmv):
+    # A three-voter majority over mid-size answers.
+    federation, __ = dmv
+    verifier = AnswerVerifier(federation, mode="vote")
+    honest = frozenset(f"L{i:03d}" for i in range(50))
+    stale = (honest - frozenset(f"L{i:03d}" for i in range(10))) | {
+        "Lzz1",
+        "Lzz2",
+    }
+    answers = [("R1", honest), ("R1~1", stale), ("R1~2", honest)]
+
+    result = benchmark(verifier.vote, answers)
+    assert result.kept == honest
+    assert result.spurious == {"R1~1": 2}
+
+
+def test_r10_report(benchmark, report_runner):
+    report = report_runner(benchmark, "R10")
+    assert "verification and quarantine" in report
+    assert "identical" in report
+    assert "majority outvotes" in report
+
+
+def test_r10_smoke_params():
+    # The CI smoke job runs the sweep at reduced parameters; keep that
+    # entry point working without touching BENCH_R10.json.
+    report = run_untrusted(queries=5, bench_json=False)
+    assert "stale-replica" in report
+    assert "quarantine" in report

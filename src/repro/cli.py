@@ -11,7 +11,11 @@ Subcommands:
   ``--replan`` to recover via replicas when the spec declares them,
   ``--robust``/``--robustness-lambda`` to plan for the faulty setting
   by expected completeness, and ``--load-balance`` to spread healthy
-  traffic across replica groups; ``--metrics``/``--profile``/
+  traffic across replica groups; ``--data-faults`` tampers with
+  delivered payloads (truncated/stale/duplicate/corrupt), ``--verify``
+  sanitizes or cross-replica-votes every answer, and ``--quarantine``
+  takes sources with collapsing data quality out of rotation;
+  ``--metrics``/``--profile``/
   ``--emit-events`` print a metrics snapshot, the query profile, and
   the structured event log, ``--observed-stats LOG`` plans from
   statistics mined out of a previously recorded log instead of the
@@ -147,6 +151,32 @@ def _build_parser() -> argparse.ArgumentParser:
                 type=int,
                 default=0,
                 help="seed for fault injection (default: 0)",
+            )
+            sub.add_argument(
+                "--data-faults",
+                metavar="SPEC",
+                default=None,
+                help="tamper with delivered payloads (runtime backend): "
+                "a comma list of [SRC:]KIND=RATE entries with KIND in "
+                "{truncated,stale,duplicate,corrupt} (or any "
+                "DataFaultProfile field, e.g. stale_fraction); "
+                "'stale=0.3' hits every source, 'R1~1:corrupt=1' only "
+                "the named one",
+            )
+            sub.add_argument(
+                "--verify",
+                choices=("off", "sanitize", "vote"),
+                default="off",
+                help="answer verification (runtime backend): 'sanitize' "
+                "drops schema-violating values and duplicates, 'vote' "
+                "additionally cross-checks replica-group answers and "
+                "keeps the majority (default: off)",
+            )
+            sub.add_argument(
+                "--quarantine",
+                action="store_true",
+                help="take sources whose data-quality score collapses "
+                "out of rotation (runtime backend; pairs with --verify)",
             )
             sub.add_argument(
                 "--retries",
@@ -330,6 +360,25 @@ def _build_parser() -> argparse.ArgumentParser:
         help="enable the shared circuit breakers",
     )
     workload.add_argument(
+        "--data-faults",
+        metavar="SPEC",
+        default=None,
+        help="tamper with delivered payloads: a comma list of "
+        "[SRC:]KIND=RATE entries, KIND in {truncated,stale,"
+        "duplicate,corrupt}; see the query subcommand",
+    )
+    workload.add_argument(
+        "--verify",
+        choices=("off", "sanitize", "vote"),
+        default="off",
+        help="answer verification for every query (default: off)",
+    )
+    workload.add_argument(
+        "--quarantine", action="store_true",
+        help="quarantine sources whose data-quality score collapses "
+        "(shared across queries and tenants)",
+    )
+    workload.add_argument(
         "--metrics",
         nargs="?",
         const="json",
@@ -479,10 +528,22 @@ def _command_query(
     beam_width: int = DEFAULT_BEAM_WIDTH,
     plan_cache: int | None = None,
     deadline: float | None = None,
+    data_faults: str | None = None,
+    verify: str = "off",
+    quarantine: bool = False,
 ) -> int:
     federation = load_federation(spec)
     recorder = _make_recorder(metrics, profile, emit_events)
     statistics = _load_observed_statistics(observed_stats)
+    if not runtime and (
+        data_faults is not None or verify != "off" or quarantine
+    ):
+        from repro.errors import CostModelError
+
+        raise CostModelError(
+            "--data-faults/--verify/--quarantine need the runtime "
+            "backend; add --runtime"
+        )
     if runtime:
         return _run_runtime(
             federation, sql, optimizer_name, fault_rate, fault_seed,
@@ -493,6 +554,7 @@ def _command_query(
             metrics=metrics, profile=profile, emit_events=emit_events,
             search=search, beam_width=beam_width, plan_cache=plan_cache,
             deadline=deadline,
+            data_faults=data_faults, verify=verify, quarantine=quarantine,
         )
     mediator = Mediator(
         federation,
@@ -546,7 +608,12 @@ def _run_runtime(
     beam_width: int = DEFAULT_BEAM_WIDTH,
     plan_cache: int | None = None,
     deadline: float | None = None,
+    data_faults: str | None = None,
+    verify: str = "off",
+    quarantine: bool = False,
 ) -> int:
+    from dataclasses import replace as dc_replace
+
     from repro.runtime import (
         BreakerConfig,
         FaultInjector,
@@ -560,6 +627,17 @@ def _run_runtime(
         "default": BreakerConfig.default(),
         "aggressive": BreakerConfig.aggressive(),
     }[breaker]
+    base_profile = FaultProfile.flaky(fault_rate)
+    profiles: dict | FaultProfile = base_profile
+    if data_faults is not None:
+        parsed = _parse_data_faults(data_faults)
+        if isinstance(parsed, dict):
+            profiles = {
+                name: dc_replace(base_profile, data=data)
+                for name, data in parsed.items()
+            }
+        else:
+            profiles = dc_replace(base_profile, data=parsed)
     mediator = Mediator(
         federation,
         statistics=statistics,
@@ -569,7 +647,11 @@ def _run_runtime(
             else _make_optimizer(optimizer_name, search, beam_width)
         ),
         backend="runtime",
-        faults=FaultInjector(FaultProfile.flaky(fault_rate), seed=fault_seed),
+        faults=FaultInjector(
+            profiles, seed=fault_seed, default=base_profile
+        ),
+        verify=verify if verify != "off" else False,
+        quarantine=quarantine or None,
         retry_policy=RetryPolicy(max_retries=retries),
         hedge_delay_s=hedge_delay,
         breaker=breaker_config,
@@ -607,6 +689,10 @@ def _run_runtime(
         print()
     print("answer:", ", ".join(sorted(map(str, answer.items))) or "(empty)")
     print(answer.summary())
+    if verify != "off":
+        quarantined = sorted(mediator.runtime.health.quarantined_names())
+        if quarantined:
+            print("quarantined:", ", ".join(quarantined))
     if answer.execution.deadline_expired:
         missing = (
             ", ".join(answer.execution.incomplete_conditions) or "(unknown)"
@@ -676,6 +762,63 @@ def _command_check(spec: str, sql: str) -> int:
     return 0
 
 
+#: Shorthand keys for --data-faults entries -> DataFaultProfile fields.
+_DATA_FAULT_KEYS = {
+    "truncated": "truncated_rate",
+    "stale": "stale_rate",
+    "duplicate": "duplicate_rate",
+    "corrupt": "corrupt_rate",
+}
+
+
+def _parse_data_faults(text: str):
+    """``[SRC:]KIND=RATE,...`` -> DataFaultProfile or {source: profile}."""
+    from repro.errors import CostModelError
+    from repro.runtime.faults import DataFaultProfile
+
+    def bad(entry: str) -> CostModelError:
+        return CostModelError(
+            f"bad --data-faults entry {entry!r}; expected [SRC:]KIND=RATE "
+            f"with KIND in {sorted(_DATA_FAULT_KEYS)} or a "
+            "DataFaultProfile field name"
+        )
+
+    per_source: dict[str, dict[str, float]] = {}
+    baseline: dict[str, float] = {}
+    for entry in text.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        source, __, body = entry.rpartition(":")
+        kind, separator, value = body.partition("=")
+        if not separator:
+            raise bad(entry)
+        field_name = _DATA_FAULT_KEYS.get(kind.strip(), kind.strip())
+        try:
+            rate = float(value)
+        except ValueError:
+            raise bad(entry) from None
+        fields = per_source.setdefault(source, {}) if source else baseline
+        fields[field_name] = rate
+    if per_source and baseline:
+        raise CostModelError(
+            "--data-faults mixes global and per-source entries; name a "
+            "source on every entry (SRC:KIND=RATE) or on none"
+        )
+
+    def build(fields: dict[str, float]) -> DataFaultProfile:
+        try:
+            return DataFaultProfile(**fields)
+        except TypeError:
+            raise CostModelError(
+                f"unknown --data-faults field among {sorted(fields)}"
+            ) from None
+
+    if per_source:
+        return {name: build(fields) for name, fields in per_source.items()}
+    return build(baseline)
+
+
 def _parse_tenant(text: str):
     """``NAME[:WEIGHT[:QUOTA]]`` -> TenantSpec."""
     from repro.errors import CostModelError
@@ -733,6 +876,11 @@ def _command_workload(args) -> int:
     faults = (
         FaultProfile.flaky(args.fault_rate) if args.fault_rate > 0 else None
     )
+    data_faults = (
+        _parse_data_faults(args.data_faults)
+        if args.data_faults is not None
+        else None
+    )
     service = MediatorService(
         federation,
         mode=args.mode,
@@ -743,7 +891,10 @@ def _command_workload(args) -> int:
         seed=args.seed,
         faults=faults,
         churn=churn,
+        data_faults=data_faults,
         breaker=args.breaker,
+        verify=args.verify,
+        quarantine=args.quarantine,
         shed_policy=args.shed_policy,
         planning_budget=args.planning_budget,
     )
@@ -782,6 +933,10 @@ def _command_workload(args) -> int:
         )
     if service.plan_cache is not None:
         print(service.plan_cache.summary())
+    if args.quarantine:
+        quarantined = sorted(service.health.quarantined_names())
+        if quarantined:
+            print("  quarantined:", ", ".join(quarantined))
     if args.metrics is not None:
         print()
         if args.metrics == "prom":
@@ -830,6 +985,9 @@ def main(argv: list[str] | None = None) -> int:
                 beam_width=args.beam_width,
                 plan_cache=args.plan_cache,
                 deadline=args.deadline,
+                data_faults=args.data_faults,
+                verify=args.verify,
+                quarantine=args.quarantine,
             )
         if args.command == "explain":
             return _command_explain(

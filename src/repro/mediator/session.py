@@ -43,8 +43,13 @@ from repro.relational.relation import Relation
 from repro.runtime.availability import AvailabilityModel, ObservedAvailability
 from repro.runtime.engine import RuntimeEngine, RuntimeResult
 from repro.runtime.faults import FaultInjector
-from repro.runtime.health import BreakerConfig, HealthRegistry
+from repro.runtime.health import (
+    BreakerConfig,
+    HealthRegistry,
+    QuarantineConfig,
+)
 from repro.runtime.policy import RetryPolicy
+from repro.runtime.verify import validate_mode
 from repro.runtime.replan import ResilientExecutor, ResilientResult
 from repro.sources.registry import Federation
 from repro.sources.statistics import ExactStatistics, StatisticsProvider
@@ -117,6 +122,21 @@ class Mediator:
             materialized-U oracle and a mismatch raises
             :class:`~repro.errors.ExecutionError` — invaluable in tests,
             off by default because a real mediator has no oracle.
+            Alternatively one of the oracle-free *answer verification*
+            modes of :mod:`repro.runtime.verify` — ``"sanitize"``
+            (schema-validate and dedup every delivered answer) or
+            ``"vote"`` (sanitize plus cross-replica majority voting) —
+            applied by the runtime backend's engine as answers arrive;
+            ``"off"`` is equivalent to False.
+        quarantine: Data-quality quarantine for the runtime backend:
+            ``True`` means
+            :meth:`~repro.runtime.health.QuarantineConfig.default`, a
+            :class:`~repro.runtime.health.QuarantineConfig` instance
+            for custom thresholds, ``None`` / ``False`` disables.
+            Sources whose verified answers keep failing checks are
+            refused service until the cooldown (if any) elapses;
+            ignored when an external ``health`` registry is supplied
+            (its own config wins).
         max_retries: Per-operation retry budget for transient failures.
         cache_plans: Reuse optimization results for repeated identical
             queries (shorthand for ``plan_cache=True``).
@@ -187,7 +207,7 @@ class Mediator:
         statistics: StatisticsProvider | None = None,
         cost_model: CostModel | None = None,
         optimizer: Optimizer | str | None = None,
-        verify: bool = False,
+        verify: bool | str = False,
         max_retries: int = 3,
         cache_plans: bool = False,
         backend: str = "sequential",
@@ -204,6 +224,7 @@ class Mediator:
         beam_width: int = DEFAULT_BEAM_WIDTH,
         health: HealthRegistry | None = None,
         planning_budget: "PlanningBudget | None" = None,
+        quarantine: QuarantineConfig | bool | None = None,
     ):
         if backend not in BACKENDS:
             raise ValueError(
@@ -213,6 +234,16 @@ class Mediator:
             breaker = BreakerConfig.default()
         elif breaker is False:
             breaker = None
+        if quarantine is True:
+            quarantine = QuarantineConfig.default()
+        elif quarantine is False:
+            quarantine = None
+        if isinstance(verify, str):
+            # An answer-verification mode, not the oracle check.
+            self.verify_mode = validate_mode(verify)
+            verify = False
+        else:
+            self.verify_mode = "off"
         self.max_replans = 2 if replan is True else int(replan)
         if self.max_replans < 0:
             raise CostModelError(
@@ -235,7 +266,11 @@ class Mediator:
         # ``mediator.runtime.health`` is always the live view.  A
         # serving tier passes its own registry here so breaker state
         # learned by one query's mediator reroutes every other worker.
-        health = health if health is not None else HealthRegistry(breaker)
+        health = (
+            health
+            if health is not None
+            else HealthRegistry(breaker, quarantine)
+        )
         self.runtime = RuntimeEngine(
             federation,
             faults=faults,
@@ -243,6 +278,7 @@ class Mediator:
             hedge_delay_s=hedge_delay_s,
             health=health,
             load_balance=load_balance,
+            verify=self.verify_mode,
             recorder=recorder,
         )
         if optimizer == "robust":
@@ -293,6 +329,7 @@ class Mediator:
                 health=health,
                 max_replans=self.max_replans,
                 load_balance=load_balance,
+                verify=self.verify_mode,
                 recorder=recorder,
             )
             if self.max_replans > 0

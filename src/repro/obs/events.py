@@ -94,6 +94,24 @@ EVENT_SCHEMA: dict[str, dict[str, str]] = {
         "from": "str",  # BreakerState value
         "to": "str",
     },
+    # The answer verifier found issues in one delivered answer.
+    "quality": {
+        "step": "int",
+        "source": "str",
+        "delivered": "int",  # tuples as delivered (duplicates included)
+        "kept": "int",  # tuples that survived verification
+        "corrupt": "int",  # schema/type-violating values dropped
+        "duplicates": "int",  # duplicate tuples collapsed
+        "conflicts": "int",  # values outvoted in a cross-replica vote
+        "score": "float",  # the source's quality score after this answer
+    },
+    # A source entered or left data-quality quarantine.
+    "quarantine": {
+        "source": "str",
+        "action": "str",  # "enter" | "exit"
+        "score": "float",  # quality score at the transition
+        "answers": "int",  # verified answers the score is based on
+    },
     # One plan operation produced its value (remote or local).
     "op": {
         "round": "int",

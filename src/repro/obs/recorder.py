@@ -249,6 +249,66 @@ class Recorder:
                 "repro_breaker_transitions_total", source=source, to=new_state
             ).inc(now_s=self._now(now_s))
 
+    def answer_verified(self, now_s, step, report, score) -> None:
+        """One answer passed through the verifier (``report`` is a
+        :class:`~repro.runtime.verify.AnswerReport`).
+
+        Metrics count every verified answer; a ``quality`` event is
+        emitted only when the answer had detectable issues, so clean
+        runs do not bloat the log.
+        """
+        if self.metrics is not None:
+            outcome = "clean" if report.clean else "tainted"
+            self.metrics.counter(
+                "repro_verify_answers_total",
+                source=report.source,
+                outcome=outcome,
+            ).inc(now_s=self._now(now_s))
+            for reason, count in (
+                ("corrupt", report.corrupt),
+                ("duplicate", report.duplicates),
+                ("conflict", report.conflicts),
+            ):
+                if count:
+                    self.metrics.counter(
+                        "repro_verify_values_dropped_total",
+                        source=report.source,
+                        reason=reason,
+                    ).inc(count, now_s=self._now(now_s))
+            self.metrics.gauge(
+                "repro_verify_quality_score", source=report.source
+            ).set(score, now_s=self._now(now_s))
+        if not report.clean:
+            self._emit(
+                now_s,
+                "quality",
+                step=step,
+                source=report.source,
+                delivered=report.delivered,
+                kept=report.kept,
+                corrupt=report.corrupt,
+                duplicates=report.duplicates,
+                conflicts=report.conflicts,
+                score=score,
+            )
+
+    def quarantine_changed(
+        self, now_s, source: str, action: str, score: float, answers: int
+    ) -> None:
+        """A source entered or left data-quality quarantine."""
+        self._emit(
+            now_s,
+            "quarantine",
+            source=source,
+            action=action,
+            score=score,
+            answers=answers,
+        )
+        if self.metrics is not None and action == "enter":
+            self.metrics.counter(
+                "repro_verify_quarantines_total", source=source
+            ).inc(now_s=self._now(now_s))
+
     def round_planned(
         self,
         now_s: float,

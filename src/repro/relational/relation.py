@@ -132,6 +132,23 @@ class Relation:
         return Relation(name, schema, rows)
 
     @staticmethod
+    def unchecked(
+        name: str, schema: Schema, rows: Iterable[Row]
+    ) -> "Relation":
+        """Build a relation *without* validating its rows.
+
+        Exists solely so the fault injector can simulate sources that
+        return schema-violating payloads; everything that constructs
+        real data must go through ``__init__``.
+        """
+        relation = object.__new__(Relation)
+        relation.name = name
+        relation.schema = schema
+        relation._rows = tuple(tuple(row) for row in rows)
+        relation._items = None
+        return relation
+
+    @staticmethod
     def from_dicts(
         name: str, schema: Schema, dicts: Iterable[dict[str, Any]]
     ) -> "Relation":

@@ -16,6 +16,14 @@ health tracking and circuit breakers (:mod:`~repro.runtime.health`),
 hedged dispatch onto substitutable sources (engine options), and
 in-flight re-planning around dead sources
 (:mod:`~repro.runtime.replan`).
+
+Faults are not only wire-level: the injector can also tamper with the
+*payload* of a successful answer (truncation, stale snapshots,
+duplicates, corrupt values — :class:`~repro.runtime.faults.DataFaultProfile`),
+and the answer-verification layer (:mod:`~repro.runtime.verify`)
+validates, sanitizes, and cross-replica-votes those answers, feeding a
+per-source quality score that can quarantine a lying source
+(:class:`~repro.runtime.health.QuarantineConfig`).
 """
 
 from repro.runtime.availability import (
@@ -29,6 +37,9 @@ from repro.runtime.engine import RuntimeEngine, RuntimeResult
 from repro.runtime.faults import (
     AttemptFate,
     AttemptOutcome,
+    DataFate,
+    DataFaultProfile,
+    DataTamper,
     FaultInjector,
     FaultProfile,
 )
@@ -36,7 +47,9 @@ from repro.runtime.health import (
     BreakerConfig,
     BreakerState,
     CircuitBreaker,
+    DataQuality,
     HealthRegistry,
+    QuarantineConfig,
     SourceHealth,
 )
 from repro.runtime.policy import (
@@ -51,6 +64,13 @@ from repro.runtime.replan import (
     ResilientResult,
 )
 from repro.runtime.trace import AttemptSpan, OpSpan, OpStatus, RuntimeTrace
+from repro.runtime.verify import (
+    VERIFY_MODES,
+    AnswerReport,
+    AnswerVerifier,
+    VoteResult,
+    validate_mode,
+)
 
 __all__ = [
     "RuntimeEngine",
@@ -59,6 +79,16 @@ __all__ = [
     "FaultProfile",
     "AttemptFate",
     "AttemptOutcome",
+    "DataFate",
+    "DataFaultProfile",
+    "DataTamper",
+    "AnswerVerifier",
+    "AnswerReport",
+    "VoteResult",
+    "VERIFY_MODES",
+    "validate_mode",
+    "QuarantineConfig",
+    "DataQuality",
     "RetryPolicy",
     "OnExhaust",
     "CompletenessReport",

@@ -33,7 +33,9 @@ Two ingredients:
   for ``c``, ``m_cg`` is the probability a random universe item matches
   ``c`` at group ``g`` (mirrors hold identical rows, so the group's
   representative speaks for all members), ``p_g`` is the probability at
-  least one usable member of ``g`` answers, and ``g(c)`` is the same
+  least one usable member of ``g`` answers *with intact data* (wire
+  success times the member's expected verified-delivery fraction,
+  :meth:`AvailabilityModel.p_delivery`), and ``g(c)`` is the same
   expression with every group perfectly available — the fault-free
   recall.  Conditions multiply (the optimizer's own independence
   assumption), giving the plan's overall expected completeness.
@@ -88,11 +90,22 @@ class AvailabilityModel:
     folds in the retry budget (``retries``), since one engine operation
     gets ``1 + retries`` independent tries before it degrades.
 
+    Orthogonal to *answering* is *answering honestly*: a source whose
+    payloads are truncated, stale, or corrupt delivers an operation that
+    "succeeds" yet loses verified tuples.  :meth:`p_delivery` captures
+    that second axis — the expected fraction of a delivered answer that
+    survives verification — so the completeness estimator can charge
+    expected truncation against a channel even when the wire is perfect.
+
     Args:
         attempt_p: Per-source probability that a single attempt
             succeeds; sources absent from the mapping use ``default``.
         default: Attempt success probability for unlisted sources.
         retries: Retry budget the executor grants each operation.
+        delivery: Per-source expected fraction of answer tuples that
+            survive verification; unlisted sources use
+            ``default_delivery``.
+        default_delivery: Delivery fraction for unlisted sources.
 
     Example:
         >>> model = AvailabilityModel({"R1": 0.5}, retries=1)
@@ -109,6 +122,8 @@ class AvailabilityModel:
         attempt_p: Mapping[str, float] | None = None,
         default: float = 1.0,
         retries: int = 0,
+        delivery: Mapping[str, float] | None = None,
+        default_delivery: float = 1.0,
     ):
         self._attempt_p = {
             name: _check_probability(f"attempt_p[{name!r}]", p)
@@ -120,6 +135,13 @@ class AvailabilityModel:
                 f"retries must be an integer >= 0, got {retries!r}"
             )
         self.retries = retries
+        self._delivery = {
+            name: _check_probability(f"delivery[{name!r}]", p)
+            for name, p in (delivery or {}).items()
+        }
+        self.default_delivery = _check_probability(
+            "default_delivery", default_delivery
+        )
 
     def p_attempt(self, source_name: str) -> float:
         """Probability one attempt against ``source_name`` succeeds."""
@@ -129,6 +151,15 @@ class AvailabilityModel:
         """Probability one *operation* succeeds within its retry budget."""
         miss = 1.0 - self.p_attempt(source_name)
         return 1.0 - miss ** (1 + self.retries)
+
+    def p_delivery(self, source_name: str) -> float:
+        """Expected fraction of the answer that survives verification.
+
+        Retries do not help here: a source serving a stale or truncated
+        snapshot serves the same snapshot on the retry, so the delivery
+        fraction is charged once per operation, not per attempt.
+        """
+        return self._delivery.get(source_name, self.default_delivery)
 
     def describe(self) -> str:
         parts = ", ".join(
@@ -179,13 +210,29 @@ class AvailabilityModel:
         are a per-source mapping); every other source falls back to the
         injector's default profile.
         """
-        default = cls.attempt_success(faults.profile_for(""), policy)
+        def delivery_of(profile: FaultProfile) -> float:
+            return (
+                1.0 if profile.data is None else profile.data.expected_delivery
+            )
+
+        default_profile = faults.profile_for("")
+        default = cls.attempt_success(default_profile, policy)
         attempt_p = {
             name: cls.attempt_success(faults.profile_for(name), policy)
             for name in source_names
         }
+        delivery = {
+            name: delivery_of(faults.profile_for(name))
+            for name in source_names
+        }
         retries = policy.max_retries if policy is not None else 0
-        return cls(attempt_p, default=default, retries=retries)
+        return cls(
+            attempt_p,
+            default=default,
+            retries=retries,
+            delivery=delivery,
+            default_delivery=delivery_of(default_profile),
+        )
 
 
 class ObservedAvailability(AvailabilityModel):
@@ -236,6 +283,14 @@ class ObservedAvailability(AvailabilityModel):
         return (self.prior_weight * self.prior.p_attempt(source_name) + successes) / (
             self.prior_weight + stats.attempts
         )
+
+    def p_delivery(self, source_name: str) -> float:
+        quality = self.health.quality_of(source_name)
+        kept = quality.items_kept
+        delivered = quality.items_delivered
+        return (
+            self.prior_weight * self.prior.p_delivery(source_name) + kept
+        ) / (self.prior_weight + delivered)
 
 
 # ----------------------------------------------------------------------
@@ -351,7 +406,13 @@ def expected_completeness(
                         usable.append(member)
             group_miss = 1.0
             for member in usable:
-                group_miss *= 1.0 - availability.p_success(member)
+                # A member contributes only what it both serves (wire
+                # success within the retry budget) and delivers intact
+                # (its answers' expected verified fraction).
+                group_miss *= 1.0 - (
+                    availability.p_success(member)
+                    * availability.p_delivery(member)
+                )
             p_group = 1.0 - group_miss
             match = estimator.match_fraction(condition, planned[0])
             expected_miss *= 1.0 - p_group * match

@@ -93,9 +93,15 @@ from repro.relational.algebra import (
 )
 from repro.relational.relation import Relation
 from repro.runtime.faults import AttemptFate, AttemptOutcome, FaultInjector
-from repro.runtime.health import BreakerConfig, HealthRegistry
+from repro.runtime.health import (
+    BreakerConfig,
+    BreakerState,
+    HealthRegistry,
+    QuarantineConfig,
+)
 from repro.runtime.policy import OnExhaust, RetryPolicy
 from repro.runtime.trace import AttemptSpan, OpSpan, OpStatus, RuntimeTrace
+from repro.runtime.verify import AnswerReport, AnswerVerifier, validate_mode
 from repro.sources.registry import Federation
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -220,6 +226,18 @@ class RuntimeEngine:
             replica group's members instead of serializing everything
             on the planned source (off by default — the zero-config
             engine matches the static scheduler exactly).
+        verify: Answer-verification mode — ``"off"`` (trust every
+            payload; byte-identical to the pre-verification engine),
+            ``"sanitize"`` (schema-validate and dedup every delivered
+            answer), or ``"vote"`` (sanitize plus cross-replica
+            majority confirmation within replica groups).  See
+            :mod:`repro.runtime.verify`.
+        quarantine: Optional :class:`QuarantineConfig`; when set (and a
+            fresh registry is built here) sources whose data-quality
+            score drops below the threshold are quarantined — refused
+            like an open breaker, but on *quality* rather than errors.
+            Ignored when ``health`` passes in a shared registry, whose
+            own quarantine config wins.
         recorder: Optional :class:`repro.obs.Recorder`; when attached,
             every attempt, send-set, retry, hedge, breaker transition,
             and operation is reported as structured telemetry.  ``None``
@@ -236,6 +254,8 @@ class RuntimeEngine:
         health: HealthRegistry | None = None,
         min_containment: float = 1.0,
         load_balance: bool = False,
+        verify: str = "off",
+        quarantine: QuarantineConfig | None = None,
         recorder: "Recorder | None" = None,
     ):
         if hedge_delay_s is not None and not (
@@ -245,16 +265,27 @@ class RuntimeEngine:
                 f"hedge_delay_s must be finite and non-negative, "
                 f"got {hedge_delay_s}"
             )
+        validate_mode(verify)
         self.federation = federation
         self.faults = faults or FaultInjector.none()
         self.policy = policy or RetryPolicy.default()
         self.hedge_delay_s = hedge_delay_s
-        self.health = health if health is not None else HealthRegistry(breaker)
+        self.health = (
+            health
+            if health is not None
+            else HealthRegistry(breaker, quarantine)
+        )
         self.min_containment = min_containment
         self.load_balance = load_balance
+        self.verify = verify
+        self.verifier = (
+            AnswerVerifier(federation, verify) if verify != "off" else None
+        )
         self.recorder = recorder
         if recorder is not None and self.health.observer is None:
             self.health.observer = recorder.breaker_transition
+        if recorder is not None and self.health.quality_observer is None:
+            self.health.quality_observer = recorder.quarantine_changed
         self._substitutes: dict[str, tuple[str, ...]] | None = None
 
     @property
@@ -298,7 +329,8 @@ class _Task:
         "index", "op", "input_writer", "remaining", "dependents",
         "value", "queued_s", "first_start_s", "attempts", "done",
         "inflight", "hedged", "primary_attempts", "retry_pending",
-        "exhausted", "slot_source",
+        "exhausted", "slot_source", "answers", "confirm_tried",
+        "final_status", "slot_released",
     )
 
     def __init__(self, index: int, op: Operation):
@@ -321,6 +353,15 @@ class _Task:
         self.primary_attempts = 0
         self.retry_pending = False
         self.exhausted = False
+        # Verification state: sanitized answers collected so far as
+        # ``(source, cleaned_value, report)``, the confirm targets
+        # already tried, and the status the primary answer earned.
+        self.answers: list[tuple[str, Any, AnswerReport]] = []
+        self.confirm_tried: set[str] = set()
+        self.final_status: OpStatus | None = None
+        # True once the task gave its connection slot back early (it
+        # parked waiting for a busy replica to confirm its answer).
+        self.slot_released = False
 
     @property
     def step(self) -> int:
@@ -336,7 +377,7 @@ class _Attempt:
 
     __slots__ = (
         "task", "source_name", "start_s", "outcome", "value", "records",
-        "hedge", "cancelled",
+        "hedge", "confirm", "cancelled",
     )
 
     def __init__(
@@ -348,6 +389,7 @@ class _Attempt:
         value: Any,
         records: list,
         hedge: bool,
+        confirm: bool = False,
     ):
         self.task = task
         self.source_name = source_name
@@ -356,6 +398,7 @@ class _Attempt:
         self.value = value
         self.records = records
         self.hedge = hedge
+        self.confirm = confirm
         self.cancelled = False
 
 
@@ -393,6 +436,9 @@ class _Execution:
         # Tasks whose dispatch is refused by an open breaker with no
         # healthy substitute; re-tried on every state change.
         self.blocked: list[_Task] = []
+        # Tasks whose answer awaits a cross-replica confirmation from a
+        # member that is currently busy; re-tried whenever a slot frees.
+        self.confirm_waiting: list[_Task] = []
         self.heap: list[tuple[float, int, str, tuple]] = []
         self.seq = itertools.count()
         self.spans: dict[int, OpSpan] = {}
@@ -505,9 +551,11 @@ class _Execution:
         """Dispatch from every queue a freed slot could now serve."""
         if not self.engine.load_balance:
             self._try_dispatch(source_name, now)
-            return
-        for member in self.federation.group_of(source_name):
-            self._try_dispatch(member, now)
+        else:
+            for member in self.federation.group_of(source_name):
+                self._try_dispatch(member, now)
+        if self.confirm_waiting:
+            self._drain_confirms(now)
 
     def _try_dispatch(self, source_name: str, now: float) -> None:
         if self.expired:
@@ -553,6 +601,15 @@ class _Execution:
                 continue
             if not self._can_serve(member, task.op):
                 continue
+            # Quarantine is stable state (unlike half-open probes, the
+            # check has no side effect), so refuse the slot here: a
+            # quarantined slot would shadow the healthy planned source
+            # from the substitute search and strand the task.
+            if (
+                self.health.state_of(member)
+                is BreakerState.QUARANTINED
+            ):
+                continue
             self.rotation[members] = (start + offset + 1) % len(members)
             return member
         return None
@@ -575,12 +632,34 @@ class _Execution:
 
         An OPEN breaker has a known re-probe time: schedule a wake
         there.  A HALF_OPEN breaker at its probe limit has an attempt in
-        flight whose completion drains the blocked list.
+        flight whose completion drains the blocked list.  A QUARANTINED
+        slot wakes at its cooldown expiry; with a sticky quarantine and
+        every alternative idle-but-refused there is nothing left to
+        wait for, so the task degrades rather than deadlocks (the
+        re-planning layer can still reroute it).
         """
         self.blocked.append(task)
         reopens = self.health.reopens_at(task.slot_source)
         if reopens is not None:
             self._push(max(reopens, now), "dispatch", (task,))
+            return
+        if (
+            self.health.state_of(task.slot_source)
+            is not BreakerState.QUARANTINED
+        ):
+            return
+        lifts = self.health.quarantine_lifts_at(task.slot_source)
+        if lifts is not None:
+            self._push(max(lifts, now), "dispatch", (task,))
+        elif not self._server_may_free(task):
+            self.blocked.remove(task)
+            self._give_up(task, now)
+
+    def _server_may_free(self, task: _Task) -> bool:
+        """Whether a currently-busy source might later serve ``task``."""
+        candidates = [task.planned_source, task.slot_source]
+        candidates.extend(self.engine.substitutes_for(task.planned_source))
+        return any(self.busy.get(name, False) for name in candidates)
 
     def _handle_dispatch_wake(self, now: float, task: _Task) -> None:
         if task.done or task not in self.blocked:
@@ -630,7 +709,12 @@ class _Execution:
         return True
 
     def _launch(
-        self, task: _Task, serving: str, now: float, hedge: bool
+        self,
+        task: _Task,
+        serving: str,
+        now: float,
+        hedge: bool,
+        confirm: bool = False,
     ) -> None:
         """Issue one wire attempt of ``task`` against source ``serving``."""
         source = self.federation.source(serving)
@@ -671,16 +755,27 @@ class _Execution:
             outcome = AttemptOutcome(AttemptFate.TIMEOUT, timeout)
         if outcome.fate.failed:
             value = None
-        attempt = _Attempt(task, serving, now, outcome, value, records, hedge)
+        else:
+            # A delivered payload may still be wrong: the injector's
+            # data-fault stream (a sibling of the wire stream, so wire
+            # fates are untouched) can truncate, stale-swap, duplicate,
+            # or corrupt it before the engine ever sees it.
+            value, __ = self.faults.tamper(
+                serving, value, pool=self._stale_pool(task, source)
+            )
+        attempt = _Attempt(
+            task, serving, now, outcome, value, records, hedge, confirm
+        )
         task.inflight.append(attempt)
         if hedge:
             task.hedged = True
-        else:
+        elif not confirm:
             task.primary_attempts += 1
         self._push(now + outcome.duration_s, "complete", (attempt,))
         hedge_at = now + (self.engine.hedge_delay_s or 0.0)
         if (
             not hedge
+            and not confirm
             and self.engine.hedge_delay_s is not None
             and not task.hedged
             and self.engine.hedge_delay_s < outcome.duration_s
@@ -700,6 +795,28 @@ class _Execution:
         if isinstance(op, LoadOp):
             return source.load()
         raise ExecutionError(f"unknown remote operation {op!r}")  # pragma: no cover
+
+    def _stale_pool(self, task: _Task, source) -> frozenset:
+        """Candidate spurious items for a stale item-set answer.
+
+        A stale selection may claim any item the source holds; a stale
+        semijoin may (wrongly) confirm any item it was asked about.
+        Loads mutate rows inside the injector instead, so they need no
+        pool.
+        """
+        profile = self.faults.profile_for(source.name).data
+        if profile is None or profile.stale_rate == 0.0:
+            return frozenset()
+        op = task.op
+        if isinstance(op, SemijoinOp):
+            bindings = self.tasks[task.input_writer[op.input_register]].value
+            return frozenset(bindings)
+        if isinstance(op, SelectionOp):
+            table = getattr(source, "table", None)
+            if table is None:
+                return frozenset()
+            return table.relation.items()
+        return frozenset()
 
     # ------------------------------------------------------------------
     # Hedging
@@ -773,6 +890,7 @@ class _Execution:
             messages=len(records),
             source=attempt.source_name,
             hedge=attempt.hedge,
+            confirm=attempt.confirm,
         )
         task.attempts.append(span)
         if self.recorder is not None:
@@ -803,18 +921,204 @@ class _Execution:
             for other in list(task.inflight):
                 self._cancel(other, now)
             task.inflight.clear()
-            status = (
-                OpStatus.OK
-                if attempt.source_name == task.slot_source
-                else OpStatus.RECOVERED
-            )
-            self._finish_remote(task, now, attempt.value, status)
+            if not attempt.confirm:
+                task.final_status = (
+                    OpStatus.OK
+                    if attempt.source_name == task.slot_source
+                    else OpStatus.RECOVERED
+                )
+            self._accept_answer(task, attempt, now)
+        elif attempt.confirm:
+            self._confirm_failed(task, now)
         else:
             self._handle_failure(task, attempt, now)
         if released:
             self._dispatch_group(attempt.source_name, now)
         if self.blocked:
             self._drain_blocked(now)
+
+    def _accept_answer(
+        self, task: _Task, attempt: _Attempt, now: float
+    ) -> None:
+        """One delivered answer: verify it, maybe confirm, maybe finish."""
+        verifier = self.engine.verifier
+        assert task.final_status is not None
+        if verifier is None:
+            value = attempt.value
+            if isinstance(value, tuple):
+                # verify="off": tampered payloads flow through untouched
+                # (duplicates collapse in the set, spurious items stay).
+                value = frozenset(value)
+            self._finish_remote(task, now, value, task.final_status)
+            return
+        cleaned, report = verifier.check(attempt.source_name, attempt.value)
+        task.answers.append((attempt.source_name, cleaned, report))
+        if verifier.votes and self._wants_confirmation(task, now):
+            if self._start_confirmation(task, now):
+                return
+        self._finish_verified(task, now)
+
+    def _wants_confirmation(self, task: _Task, now: float) -> bool:
+        """Whether vote mode should fetch another replica's answer.
+
+        Two answers normally suffice; a third member is consulted only
+        to break a disagreement, so a lone stale replica is outvoted
+        rather than merely intersected away.
+        """
+        if self.expired or (
+            self.budget_s is not None and now >= self.budget_s
+        ):
+            return False
+        count = len(task.answers)
+        if count >= 3:
+            return False
+        if count == 1:
+            return True
+        verifier = self.engine.verifier
+        assert verifier is not None
+        return verifier.claims(task.answers[0][1]) != verifier.claims(
+            task.answers[1][1]
+        )
+
+    def _start_confirmation(self, task: _Task, now: float) -> bool:
+        """Launch (or queue) a cross-replica confirmation fetch.
+
+        Returns True when the task is now waiting on another answer:
+        either a confirm attempt went on the wire, or every untried
+        member is busy, in which case the task parks until one frees —
+        releasing its own connection slot first, so two group members
+        waiting on each other can never deadlock.
+        """
+        target = self._confirm_target(task, now)
+        if target is not None:
+            task.confirm_tried.add(target)
+            self._launch(task, target, now, hedge=False, confirm=True)
+            return True
+        if self._confirm_pending(task):
+            if task not in self.confirm_waiting:
+                self.confirm_waiting.append(task)
+            self._release_slot(task, now)
+            return True
+        return False
+
+    def _confirm_pending(self, task: _Task) -> bool:
+        """An untried capable group member exists but is busy right now."""
+        have = {source for source, __, __ in task.answers}
+        have |= task.confirm_tried
+        return any(
+            member not in have
+            and self.busy.get(member, False)
+            and self._can_serve(member, task.op)
+            for member in self.federation.group_of(task.planned_source)
+        )
+
+    def _release_slot(self, task: _Task, now: float) -> None:
+        """Give a parked task's connection slot back to its group."""
+        if task.slot_released:
+            return
+        task.slot_released = True
+        self.busy[task.slot_source] = False
+        self._dispatch_group(task.slot_source, now)
+
+    def _drain_confirms(self, now: float) -> None:
+        """A slot freed: retry every parked confirmation fetch."""
+        if self.expired:
+            return  # the deadline handler finishes parked tasks itself
+        for task in list(self.confirm_waiting):
+            if task not in self.confirm_waiting:  # re-entrant removal
+                continue
+            if task.done:  # pragma: no cover - defensive
+                self.confirm_waiting.remove(task)
+                continue
+            target = self._confirm_target(task, now)
+            if target is not None:
+                self.confirm_waiting.remove(task)
+                task.confirm_tried.add(target)
+                self._launch(task, target, now, hedge=False, confirm=True)
+            elif not self._confirm_pending(task):
+                # The member it waited for came back unusable (e.g. it
+                # got quarantined meanwhile): vote over what we have.
+                self.confirm_waiting.remove(task)
+                self._finish_verified(task, now)
+
+    def _confirm_target(self, task: _Task, now: float) -> str | None:
+        """Next untried, idle, capable replica-group member, if any."""
+        have = {source for source, __, __ in task.answers}
+        have |= task.confirm_tried
+        for member in self.federation.group_of(task.planned_source):
+            if member in have:
+                continue
+            if member != task.slot_source and self.busy.get(member, False):
+                continue
+            if not self._can_serve(member, task.op):
+                continue
+            if not self.health.allow(member, now):
+                continue
+            return member
+        return None
+
+    def _confirm_failed(self, task: _Task, now: float) -> None:
+        """A confirmation fetch failed on the wire: try the next member.
+
+        Confirm attempts never consume the primary retry budget — the
+        answer is already in hand; when the group runs out of members
+        the vote simply proceeds over what was collected.
+        """
+        if task.done:
+            return  # pragma: no cover - defensive
+        if not self.expired and (
+            self.budget_s is None or now < self.budget_s
+        ):
+            if self._start_confirmation(task, now):
+                return
+        self._finish_verified(task, now)
+
+    def _finish_verified(self, task: _Task, now: float) -> None:
+        """Vote (if answers allow), charge quality, finish the task."""
+        verifier = self.engine.verifier
+        assert verifier is not None and task.answers
+        assert task.final_status is not None
+        if len(task.answers) == 1:
+            source, value, report = task.answers[0]
+            self._report_quality(task, source, report, now)
+            self._finish_remote(task, now, value, task.final_status)
+            return
+        outcome = verifier.vote(
+            [(source, value) for source, value, __ in task.answers]
+        )
+        # A two-way disagreement has no majority: intersecting is safe,
+        # but blame would charge the honest member exactly as much as
+        # the liar, so conflicts are attributed only when three or more
+        # answers give a real majority to judge against.
+        attributable = len(task.answers) >= 3
+        for source, __, report in task.answers:
+            conflicts = 0
+            if attributable:
+                conflicts = outcome.spurious.get(
+                    source, 0
+                ) + outcome.missing.get(source, 0)
+            self._report_quality(
+                task, source, report.with_conflicts(conflicts), now
+            )
+        self._finish_remote(task, now, outcome.kept, task.final_status)
+
+    def _report_quality(
+        self, task: _Task, source: str, report: AnswerReport, now: float
+    ) -> None:
+        self.health.record_quality(
+            source,
+            now,
+            clean=report.clean,
+            delivered=report.delivered,
+            kept=report.kept,
+        )
+        if self.recorder is not None:
+            self.recorder.answer_verified(
+                now,
+                task.step,
+                report,
+                self.health.quality_score(source),
+            )
 
     def _handle_failure(
         self, task: _Task, attempt: _Attempt, now: float
@@ -903,7 +1207,13 @@ class _Execution:
                 continue  # locals evaluate via propagation below
             if task.first_start_s is None:
                 task.first_start_s = now  # never reached the wire
-            self._give_up_deadline(task, now)
+            if task.answers:
+                # A verified answer was already in hand, only its
+                # cross-replica confirmation was cut short: finish with
+                # the best verified value rather than nothing.
+                self._finish_verified(task, now)
+            else:
+                self._give_up_deadline(task, now)
 
     def _give_up(self, task: _Task, now: float) -> None:
         if self.policy.on_exhaust is OnExhaust.FAIL:
@@ -931,6 +1241,8 @@ class _Execution:
         task.done = True
         if task in self.blocked:
             self.blocked.remove(task)
+        if task in self.confirm_waiting:
+            self.confirm_waiting.remove(task)
         assert task.first_start_s is not None
         self.spans[task.index] = OpSpan(
             step=task.step,
@@ -945,6 +1257,11 @@ class _Execution:
         if self.recorder is not None:
             self.recorder.op_finished(now, self.spans[task.index])
         self.makespan_s = max(self.makespan_s, now)
+        if task.slot_released:
+            # The slot went back to the group when the task parked for
+            # confirmation; it may be serving someone else by now.
+            self._propagate(task, now)
+            return
         self.busy[source_name] = False
         self._propagate(task, now)
         self._dispatch_group(source_name, now)

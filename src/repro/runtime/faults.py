@@ -16,9 +16,21 @@ per source through a :class:`FaultProfile`:
 * **hard outages** — absolute windows of virtual time during which every
   request to the source fails fast (connection refused).
 
+On top of the wire-level fates, a :class:`DataFaultProfile` describes
+*payload-level* faults: answers that arrive on time but are wrong.
+A delivered answer may be ``TRUNCATED`` (a seeded fraction of tuples
+silently dropped), ``STALE`` (the source serves a divergent stale
+snapshot: some true tuples missing, some spurious ones present),
+``DUPLICATE`` (tuples delivered more than once), or ``CORRUPT``
+(schema/type-violating values).  These are the untrusted-source
+failure modes of Dong et al.'s data-fusion setting; the
+:mod:`repro.runtime.verify` subsystem detects and repairs them.
+
 All randomness is drawn from per-source streams seeded from one master
 seed, so a run is reproducible regardless of how the event loop
-interleaves sources.
+interleaves sources.  Data-fault draws use a *sibling* stream
+(``"{seed}:{source}:data"``), so enabling payload faults never shifts
+the wire-level outcome stream.
 """
 
 from __future__ import annotations
@@ -29,6 +41,7 @@ import random
 from dataclasses import dataclass
 
 from repro.errors import CostModelError
+from repro.relational.relation import Relation
 from repro.sources.network import LinkProfile
 
 
@@ -56,6 +69,139 @@ class AttemptOutcome:
     duration_s: float
 
 
+class DataFate(enum.Enum):
+    """How a *delivered* payload was tampered with (if at all)."""
+
+    TRUNCATED = "truncated"
+    STALE = "stale"
+    DUPLICATE = "duplicate"
+    CORRUPT = "corrupt"
+
+
+@dataclass(frozen=True)
+class DataTamper:
+    """What the injector did to one delivered payload.
+
+    Attributes:
+        fate: The payload fate, or ``None`` for a clean delivery.
+        dropped: True tuples silently removed.
+        added: Spurious tuples introduced (stale divergence).
+        duplicated: Extra duplicate copies delivered.
+        corrupted: Values replaced with schema-violating garbage.
+        diverged: Rows whose non-merge values were swapped (stale
+            snapshots of loaded relations).
+    """
+
+    fate: DataFate | None = None
+    dropped: int = 0
+    added: int = 0
+    duplicated: int = 0
+    corrupted: int = 0
+    diverged: int = 0
+
+    @property
+    def tampered(self) -> bool:
+        return self.fate is not None
+
+
+_CLEAN = DataTamper()
+
+
+@dataclass(frozen=True)
+class DataFaultProfile:
+    """Payload-fault behaviour of one source.
+
+    Rates are per *delivered* answer; at most one data fate applies to
+    any single answer, checked in the fixed order stale, corrupt,
+    truncated, duplicate.  Fractions say how much of the answer each
+    fate touches.
+
+    Attributes:
+        truncated_rate: Probability a delivered answer is missing a
+            ``truncated_fraction`` of its tuples.
+        stale_rate: Probability the answer is a divergent stale
+            snapshot: a ``stale_fraction`` of true tuples missing and a
+            comparable number of spurious tuples present.
+        duplicate_rate: Probability a ``duplicate_fraction`` of tuples
+            are delivered twice.
+        corrupt_rate: Probability a ``corrupt_fraction`` of values are
+            replaced with schema/type-violating garbage.
+    """
+
+    truncated_rate: float = 0.0
+    truncated_fraction: float = 0.5
+    stale_rate: float = 0.0
+    stale_fraction: float = 0.5
+    duplicate_rate: float = 0.0
+    duplicate_fraction: float = 0.5
+    corrupt_rate: float = 0.0
+    corrupt_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        for name in (
+            "truncated_rate",
+            "stale_rate",
+            "duplicate_rate",
+            "corrupt_rate",
+        ):
+            rate = getattr(self, name)
+            if not (math.isfinite(rate) and 0.0 <= rate <= 1.0):
+                raise CostModelError(f"{name} must be in [0, 1], got {rate}")
+        for name in (
+            "truncated_fraction",
+            "stale_fraction",
+            "duplicate_fraction",
+            "corrupt_fraction",
+        ):
+            fraction = getattr(self, name)
+            if not (math.isfinite(fraction) and 0.0 < fraction <= 1.0):
+                raise CostModelError(
+                    f"{name} must be in (0, 1], got {fraction}"
+                )
+
+    @property
+    def healthy(self) -> bool:
+        """True when this profile can never tamper with a payload."""
+        return (
+            self.truncated_rate == 0.0
+            and self.stale_rate == 0.0
+            and self.duplicate_rate == 0.0
+            and self.corrupt_rate == 0.0
+        )
+
+    @property
+    def expected_delivery(self) -> float:
+        """Expected fraction of true tuples that survive delivery.
+
+        Duplicates do not lose tuples; truncation, stale divergence and
+        corruption each lose their fraction at their rate.  Used by
+        :class:`~repro.runtime.availability.AvailabilityModel` to charge
+        expected truncation against ``expected_completeness``.
+        """
+        survival = 1.0
+        survival *= 1.0 - self.truncated_rate * self.truncated_fraction
+        survival *= 1.0 - self.stale_rate * self.stale_fraction
+        survival *= 1.0 - self.corrupt_rate * self.corrupt_fraction
+        return survival
+
+    @staticmethod
+    def none() -> "DataFaultProfile":
+        """A source that never tampers with its answers."""
+        return DataFaultProfile()
+
+    @staticmethod
+    def stale_replica(
+        rate: float, fraction: float = 0.5
+    ) -> "DataFaultProfile":
+        """A replica serving a divergent stale snapshot at ``rate``."""
+        return DataFaultProfile(stale_rate=rate, stale_fraction=fraction)
+
+    @staticmethod
+    def corrupting(rate: float, fraction: float = 0.5) -> "DataFaultProfile":
+        """A source emitting type-violating values at ``rate``."""
+        return DataFaultProfile(corrupt_rate=rate, corrupt_fraction=fraction)
+
+
 @dataclass(frozen=True)
 class FaultProfile:
     """Failure behaviour of one source.
@@ -71,6 +217,8 @@ class FaultProfile:
         slowdown_factor: Duration multiplier for slowed attempts.
         outages: ``(start_s, end_s)`` windows of virtual time during
             which every attempt fails fast.
+        data: Optional payload-fault behaviour — answers that arrive
+            but are truncated, stale, duplicated, or corrupt.
     """
 
     transient_rate: float = 0.0
@@ -79,6 +227,7 @@ class FaultProfile:
     slowdown_rate: float = 0.0
     slowdown_factor: float = 4.0
     outages: tuple[tuple[float, float], ...] = ()
+    data: DataFaultProfile | None = None
 
     def __post_init__(self) -> None:
         for name in ("transient_rate", "stall_rate", "slowdown_rate"):
@@ -99,13 +248,20 @@ class FaultProfile:
                 raise CostModelError(f"invalid outage window {window!r}")
 
     @property
-    def healthy(self) -> bool:
-        """True when this profile can never perturb an attempt."""
+    def wire_healthy(self) -> bool:
+        """True when this profile can never perturb an attempt's wire fate."""
         return (
             self.transient_rate == 0.0
             and self.stall_rate == 0.0
             and self.slowdown_rate == 0.0
             and not self.outages
+        )
+
+    @property
+    def healthy(self) -> bool:
+        """True when this profile can never perturb an attempt."""
+        return self.wire_healthy and (
+            self.data is None or self.data.healthy
         )
 
     def in_outage(self, now_s: float) -> bool:
@@ -157,10 +313,16 @@ class FaultInjector:
             self._profiles = dict(profiles)
         self.seed = seed
         self._streams: dict[str, random.Random] = {}
+        self._data_streams: dict[str, random.Random] = {}
         self.attempts = 0
-        self.injected: dict[AttemptFate, int] = {
-            fate: 0 for fate in AttemptFate if fate.failed
+        # One bucket per kind of *injected* perturbation.  Cancellations
+        # are a hedging artifact of the engine, not an injected fault,
+        # so they have no bucket here.
+        self.injected: dict[str, int] = {
+            kind: 0
+            for kind in ("transient", "outage", "stall", "slowdown")
         }
+        self.injected.update({fate.value: 0 for fate in DataFate})
 
     @staticmethod
     def none() -> "FaultInjector":
@@ -195,10 +357,10 @@ class FaultInjector:
         """
         self.attempts += 1
         profile = self.profile_for(source_name)
-        if profile.healthy:
+        if profile.wire_healthy:
             return AttemptOutcome(AttemptFate.OK, base_duration_s)
         if profile.in_outage(now_s):
-            self.injected[AttemptFate.OUTAGE] += 1
+            self.injected["outage"] += 1
             return AttemptOutcome(AttemptFate.OUTAGE, link.latency_s)
         stream = self._stream(source_name)
         # Fixed draw order keeps streams aligned across configurations.
@@ -206,26 +368,224 @@ class FaultInjector:
         u_stall = stream.random()
         u_slow = stream.random()
         if u_transient < profile.transient_rate:
-            self.injected[AttemptFate.TRANSIENT] += 1
+            self.injected["transient"] += 1
             return AttemptOutcome(
                 AttemptFate.TRANSIENT, link.request_time_s(0, 0)
             )
         duration = base_duration_s
         if u_stall < profile.stall_rate:
+            self.injected["stall"] += 1
             duration += profile.stall_s
         if u_slow < profile.slowdown_rate:
+            self.injected["slowdown"] += 1
             duration *= profile.slowdown_factor
         return AttemptOutcome(AttemptFate.OK, duration)
+
+    # ------------------------------------------------------------------
+    # Payload-level fates
+
+    def _data_stream(self, source_name: str) -> random.Random:
+        stream = self._data_streams.get(source_name)
+        if stream is None:
+            # A sibling of the wire stream: enabling data faults must
+            # never shift a source's wire-level outcomes.
+            stream = random.Random(f"{self.seed}:{source_name}:data")
+            self._data_streams[source_name] = stream
+        return stream
+
+    def tamper(
+        self,
+        source_name: str,
+        value: "Relation | frozenset",
+        *,
+        pool: frozenset = frozenset(),
+    ) -> "tuple[Relation | frozenset | tuple, DataTamper]":
+        """Maybe tamper with one *delivered* payload.
+
+        ``value`` is an answer that already survived the wire — an item
+        set (selection/semijoin) or a :class:`Relation` (load).
+        ``pool`` supplies candidate spurious items for stale item-set
+        answers (the source's items that did *not* match).  Returns the
+        payload as the source actually serves it plus a
+        :class:`DataTamper` report; tampered item sets come back as a
+        tuple because duplicates are meaningful.
+        """
+        profile = self.profile_for(source_name).data
+        if profile is None or profile.healthy:
+            return value, _CLEAN
+        stream = self._data_stream(source_name)
+        # Fixed draw order, one uniform per fate, every delivery.
+        u_stale = stream.random()
+        u_corrupt = stream.random()
+        u_truncated = stream.random()
+        u_duplicate = stream.random()
+        fate: DataFate | None = None
+        if u_stale < profile.stale_rate:
+            fate = DataFate.STALE
+        elif u_corrupt < profile.corrupt_rate:
+            fate = DataFate.CORRUPT
+        elif u_truncated < profile.truncated_rate:
+            fate = DataFate.TRUNCATED
+        elif u_duplicate < profile.duplicate_rate:
+            fate = DataFate.DUPLICATE
+        if fate is None:
+            return value, _CLEAN
+        if isinstance(value, Relation):
+            payload, tamper = self._tamper_relation(
+                stream, profile, fate, value
+            )
+        else:
+            payload, tamper = self._tamper_items(
+                stream, profile, fate, value, pool
+            )
+        if tamper.tampered:
+            self.injected[tamper.fate.value] += 1
+        return payload, tamper
+
+    @staticmethod
+    def _touch(n: int, fraction: float) -> int:
+        """How many of ``n`` tuples a fate touches (at least one)."""
+        return max(1, round(n * fraction)) if n else 0
+
+    @staticmethod
+    def _corrupt_value(stream: random.Random) -> bytes:
+        # bytes are rejected by every DataType, so a corrupt value is
+        # detectable against any declared schema.
+        return f"corrupt#{stream.getrandbits(32):08x}".encode("ascii")
+
+    def _tamper_items(
+        self,
+        stream: random.Random,
+        profile: DataFaultProfile,
+        fate: DataFate,
+        items: frozenset,
+        pool: frozenset,
+    ) -> "tuple[frozenset | tuple, DataTamper]":
+        ordered = sorted(items, key=repr)
+        n = len(ordered)
+        if fate is DataFate.TRUNCATED:
+            drop = self._touch(n, profile.truncated_fraction)
+            if not drop:
+                return items, _CLEAN
+            doomed = set(stream.sample(range(n), drop))
+            kept = tuple(
+                item for i, item in enumerate(ordered) if i not in doomed
+            )
+            return kept, DataTamper(fate, dropped=drop)
+        if fate is DataFate.STALE:
+            spurious = sorted(pool - items, key=repr)
+            drop = self._touch(n, profile.stale_fraction)
+            add = min(
+                len(spurious), self._touch(max(n, 1), profile.stale_fraction)
+            )
+            if not drop and not add:
+                return items, _CLEAN
+            doomed = set(stream.sample(range(n), drop)) if drop else set()
+            kept = [
+                item for i, item in enumerate(ordered) if i not in doomed
+            ]
+            kept.extend(stream.sample(spurious, add))
+            return tuple(kept), DataTamper(fate, dropped=drop, added=add)
+        if fate is DataFate.CORRUPT:
+            bad = self._touch(n, profile.corrupt_fraction)
+            if not bad:
+                return items, _CLEAN
+            doomed = set(stream.sample(range(n), bad))
+            payload = tuple(
+                self._corrupt_value(stream) if i in doomed else item
+                for i, item in enumerate(ordered)
+            )
+            return payload, DataTamper(fate, corrupted=bad)
+        dup = self._touch(n, profile.duplicate_fraction)
+        if not dup:
+            return items, _CLEAN
+        extras = stream.sample(ordered, dup)
+        return tuple(ordered) + tuple(extras), DataTamper(
+            fate, duplicated=dup
+        )
+
+    def _tamper_relation(
+        self,
+        stream: random.Random,
+        profile: DataFaultProfile,
+        fate: DataFate,
+        relation: Relation,
+    ) -> "tuple[Relation, DataTamper]":
+        rows = relation.rows
+        n = len(rows)
+        schema = relation.schema
+        if fate is DataFate.TRUNCATED:
+            drop = self._touch(n, profile.truncated_fraction)
+            if not drop:
+                return relation, _CLEAN
+            doomed = set(stream.sample(range(n), drop))
+            kept = [row for i, row in enumerate(rows) if i not in doomed]
+            return (
+                Relation(relation.name, schema, kept),
+                DataTamper(fate, dropped=drop),
+            )
+        if fate is DataFate.STALE:
+            # A stale snapshot: pairs of rows have swapped their
+            # non-merge values, so downstream selections admit rows
+            # they should not and miss rows they should keep.
+            pairs = self._touch(n, profile.stale_fraction)
+            if n < 2 or not pairs:
+                return relation, _CLEAN
+            pairs = min(pairs, n // 2)
+            chosen = stream.sample(range(n), 2 * pairs)
+            mutated = [list(row) for row in rows]
+            merge = schema.merge_position
+            swap_at = [
+                pos for pos in range(len(schema.names)) if pos != merge
+            ]
+            for k in range(pairs):
+                a, b = chosen[2 * k], chosen[2 * k + 1]
+                for pos in swap_at:
+                    mutated[a][pos], mutated[b][pos] = (
+                        mutated[b][pos],
+                        mutated[a][pos],
+                    )
+            return (
+                Relation(relation.name, schema, map(tuple, mutated)),
+                DataTamper(fate, diverged=2 * pairs),
+            )
+        if fate is DataFate.CORRUPT:
+            bad = self._touch(n, profile.corrupt_fraction)
+            if not bad:
+                return relation, _CLEAN
+            doomed = set(stream.sample(range(n), bad))
+            merge = schema.merge_position
+            mutated = []
+            for i, row in enumerate(rows):
+                if i in doomed:
+                    row = (
+                        row[:merge]
+                        + (self._corrupt_value(stream),)
+                        + row[merge + 1 :]
+                    )
+                mutated.append(row)
+            return (
+                Relation.unchecked(relation.name, schema, mutated),
+                DataTamper(fate, corrupted=bad),
+            )
+        dup = self._touch(n, profile.duplicate_fraction)
+        if not dup:
+            return relation, _CLEAN
+        extras = stream.sample(rows, dup)
+        return (
+            Relation(relation.name, schema, tuple(rows) + tuple(extras)),
+            DataTamper(fate, duplicated=dup),
+        )
 
     def summary(self) -> str:
         """One-line account of what was injected."""
         injected = sum(self.injected.values())
         parts = ", ".join(
-            f"{count} {fate.value}"
-            for fate, count in self.injected.items()
+            f"{count} {kind}"
+            for kind, count in self.injected.items()
             if count
         )
         return (
-            f"{self.attempts} attempts, {injected} injected failures"
+            f"{self.attempts} attempts, {injected} injected faults"
             + (f" ({parts})" if parts else "")
         )

@@ -14,6 +14,15 @@ classic remedy is a *circuit breaker* per source.  A
   attempts are let through.  A probe success closes the breaker, a
   probe failure re-opens it for another cooldown.
 
+Breakers only see *wire* failures — a source that answers promptly with
+stale or corrupt data looks perfectly healthy to them.  The registry
+therefore also keeps a per-source **data-quality score** fed by the
+answer verifier (:mod:`repro.runtime.verify`): the shrunk fraction of
+recent answers that arrived clean.  When the score drops below a
+:class:`QuarantineConfig` threshold the source enters a fourth state,
+**QUARANTINED** — every dispatch is refused (like OPEN, but tripped on
+quality, not errors) until an optional cooldown elapses.
+
 Everything is driven by the engine's virtual clock and the seeded fault
 streams — no wall-clock, no hidden randomness — so runs with breakers
 enabled replay byte-identically.
@@ -89,6 +98,107 @@ class BreakerState(enum.Enum):
     CLOSED = "closed"
     OPEN = "open"
     HALF_OPEN = "half-open"
+    #: Refused on *data quality*, not wire errors; registry-level.
+    QUARANTINED = "quarantined"
+
+
+@dataclass(frozen=True)
+class QuarantineConfig:
+    """When bad data — not wire failures — takes a source out of rotation.
+
+    Attributes:
+        quality_threshold: Quarantine trips once the shrunk clean-answer
+            fraction falls below this.
+        min_volume: Verified answers required (since the last release)
+            before the score may trip.
+        cooldown_s: Virtual time a quarantined source sits out before
+            being allowed back; ``None`` quarantines for the rest of
+            the run.
+        prior_weight: Pseudo-count of clean answers blended into the
+            score, so one bad answer from a cold source does not
+            instantly quarantine it.
+    """
+
+    quality_threshold: float = 0.8
+    min_volume: int = 3
+    cooldown_s: float | None = None
+    prior_weight: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not (
+            math.isfinite(self.quality_threshold)
+            and 0.0 < self.quality_threshold <= 1.0
+        ):
+            raise CostModelError(
+                "quality_threshold must be in (0, 1], got "
+                f"{self.quality_threshold}"
+            )
+        if not isinstance(self.min_volume, int) or self.min_volume < 1:
+            raise CostModelError(
+                f"min_volume must be a positive integer, got {self.min_volume!r}"
+            )
+        if self.cooldown_s is not None and not (
+            math.isfinite(self.cooldown_s) and self.cooldown_s >= 0
+        ):
+            raise CostModelError(
+                f"cooldown_s must be finite and non-negative, got {self.cooldown_s}"
+            )
+        if not (math.isfinite(self.prior_weight) and self.prior_weight >= 0):
+            raise CostModelError(
+                f"prior_weight must be finite and non-negative, got {self.prior_weight}"
+            )
+
+    @staticmethod
+    def default() -> "QuarantineConfig":
+        return QuarantineConfig()
+
+
+class DataQuality:
+    """Per-source data-quality counters fed by the answer verifier.
+
+    ``mark``/``clean_mark`` snapshot the counters at the last quarantine
+    release, so the trip rule judges a released source on what it has
+    served *since* coming back, not on its whole history.
+    """
+
+    def __init__(self) -> None:
+        self.answers = 0
+        self.clean = 0
+        self.items_delivered = 0
+        self.items_kept = 0
+        self.times_quarantined = 0
+        self.mark = 0
+        self.clean_mark = 0
+
+    def record(self, clean: bool, delivered: int, kept: int) -> None:
+        self.answers += 1
+        if clean:
+            self.clean += 1
+        self.items_delivered += delivered
+        self.items_kept += kept
+
+    @property
+    def tainted(self) -> int:
+        return self.answers - self.clean
+
+    @property
+    def volume(self) -> int:
+        """Verified answers since the last quarantine release."""
+        return self.answers - self.mark
+
+    def score(self, prior_weight: float) -> float:
+        """Shrunk clean-answer fraction since the last release."""
+        if prior_weight + self.volume == 0:
+            return 1.0
+        clean = self.clean - self.clean_mark
+        return (prior_weight + clean) / (prior_weight + self.volume)
+
+    @property
+    def delivery_fraction(self) -> float:
+        """Lifetime fraction of delivered tuples that survived checks."""
+        if self.items_delivered == 0:
+            return 1.0
+        return self.items_kept / self.items_delivered
 
 
 class SourceHealth:
@@ -253,20 +363,35 @@ class HealthRegistry:
     objects are only ever touched with it held.
     """
 
-    def __init__(self, config: BreakerConfig | None = None):
+    def __init__(
+        self,
+        config: BreakerConfig | None = None,
+        quarantine: QuarantineConfig | None = None,
+    ):
         self.config = config
+        self.quarantine = quarantine
         self._health: dict[str, SourceHealth] = {}
         self._breakers: dict[str, CircuitBreaker] = {}
+        self._quality: dict[str, DataQuality] = {}
+        self._quarantined: dict[str, float] = {}
         self._lock = threading.RLock()
         #: Optional transition observer, called as
         #: ``observer(now_s, source, old_state, new_state)`` with the
         #: state values.  Checked at call time, so it may be attached
         #: after breakers already exist.
         self.observer = None
+        #: Optional quarantine observer, called as
+        #: ``quality_observer(now_s, source, action, score, answers)``
+        #: with action ``"enter"`` or ``"exit"``.
+        self.quality_observer = None
 
     @property
     def enabled(self) -> bool:
         return self.config is not None
+
+    @property
+    def quarantine_enabled(self) -> bool:
+        return self.quarantine is not None
 
     def health_of(self, source_name: str) -> SourceHealth:
         with self._lock:
@@ -294,8 +419,115 @@ class HealthRegistry:
                 self._breakers[source_name] = breaker
             return breaker
 
+    def quality_of(self, source_name: str) -> DataQuality:
+        with self._lock:
+            quality = self._quality.get(source_name)
+            if quality is None:
+                quality = DataQuality()
+                self._quality[source_name] = quality
+            return quality
+
+    def record_quality(
+        self,
+        source_name: str,
+        now_s: float,
+        *,
+        clean: bool,
+        delivered: int = 0,
+        kept: int = 0,
+    ) -> None:
+        """Fold one verified answer into the source's quality score.
+
+        Called by the answer verifier for every checked answer; may trip
+        the registry-level quarantine when the score crosses the
+        configured threshold.
+        """
+        with self._lock:
+            quality = self.quality_of(source_name)
+            quality.record(clean, delivered, kept)
+            config = self.quarantine
+            if config is None or source_name in self._quarantined:
+                return
+            if quality.volume < config.min_volume:
+                return
+            if quality.score(config.prior_weight) < config.quality_threshold:
+                self._enter_quarantine(source_name, now_s)
+
+    def _enter_quarantine(self, source_name: str, now_s: float) -> None:
+        quality = self.quality_of(source_name)
+        breaker = self._breakers.get(source_name)
+        old = breaker.state if breaker else BreakerState.CLOSED
+        self._quarantined[source_name] = now_s
+        quality.times_quarantined += 1
+        if self.observer is not None:
+            self.observer(
+                now_s, source_name, old.value, BreakerState.QUARANTINED.value
+            )
+        if self.quality_observer is not None:
+            assert self.quarantine is not None
+            self.quality_observer(
+                now_s,
+                source_name,
+                "enter",
+                quality.score(self.quarantine.prior_weight),
+                quality.volume,
+            )
+
+    def _release_quarantine(self, source_name: str, now_s: float) -> None:
+        quality = self.quality_of(source_name)
+        del self._quarantined[source_name]
+        # Judge the source afresh on what it serves after coming back.
+        quality.mark = quality.answers
+        quality.clean_mark = quality.clean
+        breaker = self._breakers.get(source_name)
+        new = breaker.state if breaker else BreakerState.CLOSED
+        if self.observer is not None:
+            self.observer(
+                now_s, source_name, BreakerState.QUARANTINED.value, new.value
+            )
+        if self.quality_observer is not None:
+            assert self.quarantine is not None
+            self.quality_observer(
+                now_s,
+                source_name,
+                "exit",
+                quality.score(self.quarantine.prior_weight),
+                quality.volume,
+            )
+
+    def quality_score(self, source_name: str) -> float:
+        """The source's current shrunk clean-answer fraction."""
+        with self._lock:
+            quality = self._quality.get(source_name)
+            if quality is None:
+                return 1.0
+            prior = self.quarantine.prior_weight if self.quarantine else 2.0
+            return quality.score(prior)
+
+    def quarantined_names(self) -> tuple[str, ...]:
+        """Currently quarantined sources, sorted."""
+        with self._lock:
+            return tuple(sorted(self._quarantined))
+
+    def quarantine_lifts_at(self, source_name: str) -> float | None:
+        """When the quarantine ends (None if not quarantined or sticky)."""
+        with self._lock:
+            since = self._quarantined.get(source_name)
+            if since is None or self.quarantine is None:
+                return None
+            if self.quarantine.cooldown_s is None:
+                return math.inf
+            return since + self.quarantine.cooldown_s
+
     def allow(self, source_name: str, now_s: float) -> bool:
         with self._lock:
+            since = self._quarantined.get(source_name)
+            if since is not None:
+                assert self.quarantine is not None
+                cooldown = self.quarantine.cooldown_s
+                if cooldown is None or now_s + 1e-12 < since + cooldown:
+                    return False
+                self._release_quarantine(source_name, now_s)
             breaker = self.breaker_of(source_name)
             return True if breaker is None else breaker.allow(now_s)
 
@@ -325,6 +557,8 @@ class HealthRegistry:
 
     def state_of(self, source_name: str) -> BreakerState:
         with self._lock:
+            if source_name in self._quarantined:
+                return BreakerState.QUARANTINED
             breaker = self.breaker_of(source_name)
             return BreakerState.CLOSED if breaker is None else breaker.state
 
@@ -343,9 +577,17 @@ class HealthRegistry:
 
     def _snapshot_locked(self) -> dict[str, dict]:
         out: dict[str, dict] = {}
-        for name in sorted(self._health):
-            health = self._health[name]
+        prior = self.quarantine.prior_weight if self.quarantine else 2.0
+        for name in sorted(set(self._health) | set(self._quality)):
+            health = self._health.get(name) or SourceHealth()
             breaker = self._breakers.get(name)
+            quality = self._quality.get(name)
+            if name in self._quarantined:
+                state = BreakerState.QUARANTINED
+            elif breaker:
+                state = breaker.state
+            else:
+                state = BreakerState.CLOSED
             out[name] = {
                 "attempts": health.attempts,
                 "successes": health.attempts - health.failures,
@@ -353,26 +595,37 @@ class HealthRegistry:
                 "failure_rate": health.failure_rate,
                 "mean_latency_s": health.mean_latency_s,
                 "busy_s": health.busy_s,
-                "state": (
-                    breaker.state.value
-                    if breaker
-                    else BreakerState.CLOSED.value
-                ),
+                "state": state.value,
                 "times_opened": breaker.times_opened if breaker else 0,
+                "answers": quality.answers if quality else 0,
+                "tainted": quality.tainted if quality else 0,
+                "quality_score": quality.score(prior) if quality else 1.0,
+                "times_quarantined": (
+                    quality.times_quarantined if quality else 0
+                ),
             }
         return out
 
     def report(self) -> str:
         """Fixed-width per-source health table."""
-        lines = ["source   attempts fail  rate   breaker    opened"]
+        lines = [
+            "source   attempts fail  rate   breaker    opened quality"
+        ]
         with self._lock:
-            for name in sorted(self._health):
-                health = self._health[name]
+            prior = self.quarantine.prior_weight if self.quarantine else 2.0
+            for name in sorted(set(self._health) | set(self._quality)):
+                health = self._health.get(name) or SourceHealth()
                 breaker = self._breakers.get(name)
-                state = breaker.state.value if breaker else "-"
+                quality = self._quality.get(name)
+                if name in self._quarantined:
+                    state = BreakerState.QUARANTINED.value
+                else:
+                    state = breaker.state.value if breaker else "-"
                 opened = breaker.times_opened if breaker else 0
+                score = f"{quality.score(prior):>6.0%}" if quality else "     -"
                 lines.append(
                     f"{name:<8} {health.attempts:>8} {health.failures:>4} "
-                    f"{health.failure_rate:>5.0%} {state:>10} {opened:>7}"
+                    f"{health.failure_rate:>5.0%} {state:>10} {opened:>7} "
+                    f"{score}"
                 )
         return "\n".join(lines)

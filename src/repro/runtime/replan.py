@@ -41,7 +41,12 @@ from repro.optimize.sja_plus import SJAPlusOptimizer
 from repro.query.fusion import FusionQuery
 from repro.runtime.engine import RuntimeEngine, RuntimeResult
 from repro.runtime.faults import FaultInjector
-from repro.runtime.health import BreakerConfig, HealthRegistry
+from repro.runtime.health import (
+    BreakerConfig,
+    BreakerState,
+    HealthRegistry,
+    QuarantineConfig,
+)
 from repro.runtime.policy import RetryPolicy
 from repro.runtime.trace import OpStatus
 from repro.sources.registry import Federation
@@ -158,6 +163,8 @@ class ResilientExecutor:
         max_replans: int = 2,
         min_containment: float = 1.0,
         load_balance: bool = False,
+        verify: str = "off",
+        quarantine: QuarantineConfig | None = None,
         recorder=None,
     ):
         if max_replans < 0:
@@ -188,6 +195,8 @@ class ResilientExecutor:
             health=health,
             min_containment=min_containment,
             load_balance=load_balance,
+            verify=verify,
+            quarantine=quarantine,
             recorder=recorder,
         )
 
@@ -213,6 +222,11 @@ class ResilientExecutor:
         masked: list[str] = []
         rounds: list[ReplanRound] = []
         remaining_s = budget_s
+        # The shared health registry may already be quarantining sources
+        # (tripped by earlier queries); never plan onto them.
+        for name in self.engine.health.quarantined_names():
+            if name in active:
+                self._mask_source(name, active, masked)
         for round_no in range(self.max_replans + 1):
             optimization = self.optimizer.optimize(
                 query, tuple(active), self.cost_model, self.estimator
@@ -246,15 +260,14 @@ class ResilientExecutor:
             if remaining_s is not None and remaining_s <= 0:
                 break  # budget spent; return the partial union on time
             changed = False
-            for dead in round_.dead_sources:
-                if dead not in masked:
-                    masked.append(dead)
-                if dead in active:
-                    active.remove(dead)
-                    changed = True
-                replacement = self._replacement(dead, active, masked)
-                if replacement is not None:
-                    active.append(replacement)
+            unusable = list(round_.dead_sources)
+            # A round may also have quarantined a source on data
+            # quality; replan around it exactly like a dead one.
+            for name in self.engine.health.quarantined_names():
+                if name in active and name not in unusable:
+                    unusable.append(name)
+            for dead in unusable:
+                if self._mask_source(dead, active, masked):
                     changed = True
             if not active or not changed:
                 break  # nothing left to reroute to; keep what we have
@@ -262,13 +275,35 @@ class ResilientExecutor:
             query=query, rounds=tuple(rounds), masked=tuple(masked)
         )
 
+    def _mask_source(
+        self, dead: str, active: list[str], masked: list[str]
+    ) -> bool:
+        """Remove ``dead`` from planning, swapping in a substitute."""
+        changed = False
+        if dead not in masked:
+            masked.append(dead)
+        if dead in active:
+            active.remove(dead)
+            changed = True
+        replacement = self._replacement(dead, active, masked)
+        if replacement is not None:
+            active.append(replacement)
+            changed = True
+        return changed
+
     def _replacement(
         self, dead: str, active: list[str], masked: list[str]
     ) -> str | None:
-        """Best substitute for ``dead`` not already planned or dead."""
+        """Best substitute for ``dead`` not already planned, dead, or
+        quarantined."""
         for name in self.federation.substitutes_for(
             dead, min_containment=self.min_containment
         ):
             if name not in active and name not in masked:
+                if (
+                    self.engine.health.state_of(name)
+                    is BreakerState.QUARANTINED
+                ):
+                    continue
                 return name
         return None

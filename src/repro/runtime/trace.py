@@ -55,6 +55,9 @@ class AttemptSpan:
     source: str = ""
     #: True for speculative duplicates launched by hedged dispatch.
     hedge: bool = False
+    #: True for cross-replica confirmation fetches launched by the
+    #: answer verifier's ``vote`` mode.
+    confirm: bool = False
 
     @property
     def duration_s(self) -> float:
@@ -80,8 +83,16 @@ class OpSpan:
 
     @property
     def retries(self) -> int:
-        """Primary-path re-attempts (hedge duplicates are not retries)."""
-        return max(0, sum(1 for a in self.attempts if not a.hedge) - 1)
+        """Primary-path re-attempts.
+
+        Hedge duplicates and verification confirm-fetches are extra
+        reads of the same answer, not retries of a failed one.
+        """
+        return max(
+            0,
+            sum(1 for a in self.attempts if not a.hedge and not a.confirm)
+            - 1,
+        )
 
     @property
     def busy_s(self) -> float:

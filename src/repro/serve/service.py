@@ -41,6 +41,7 @@ import heapq
 import threading
 import time
 from dataclasses import dataclass, field
+from dataclasses import replace as dc_replace
 from typing import Any, Sequence
 
 from repro.errors import (
@@ -57,8 +58,17 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.recorder import Recorder
 from repro.optimize.search import PlanningBudget
 from repro.query.fusion import FusionQuery
-from repro.runtime.faults import FaultInjector, FaultProfile
-from repro.runtime.health import BreakerConfig, HealthRegistry
+from repro.runtime.faults import (
+    DataFaultProfile,
+    FaultInjector,
+    FaultProfile,
+)
+from repro.runtime.health import (
+    BreakerConfig,
+    HealthRegistry,
+    QuarantineConfig,
+)
+from repro.runtime.verify import validate_mode
 from repro.serve.admission import AdmissionController
 from repro.serve.deadline import (
     SHED_POLICIES,
@@ -145,8 +155,22 @@ class MediatorService:
         faults: Baseline fault profile(s) applied to every query.
         churn: Optional :class:`~repro.serve.workload.ChurnWave`
             adding flakiness to queries arriving inside its window.
+        data_faults: Payload-level tampering merged into every query's
+            injector — one
+            :class:`~repro.runtime.faults.DataFaultProfile` for all
+            sources, or a ``{source: profile}`` mapping.  Like wire
+            faults, the tamper streams derive from the workload seed
+            and the submission number, so runs replay byte-identically.
         breaker: Circuit-breaker config for the *shared* health
             registry (``True`` = defaults, ``None``/``False`` = off).
+        verify: Answer-verification mode forwarded to every mediator —
+            ``"off"`` (default), ``"sanitize"``, or ``"vote"``; see
+            :mod:`repro.runtime.verify`.
+        quarantine: Data-quality quarantine config for the shared
+            health registry (``True`` = defaults, ``None``/``False`` =
+            off).  Because the registry is shared, one query's vote
+            evidence quarantines the lying source for *every* tenant's
+            subsequent queries.
         statistics: Shared statistics provider (default: one
             :class:`~repro.sources.statistics.ExactStatistics`); pass
             an :class:`~repro.sources.observed.ObservedStatistics` plus
@@ -173,8 +197,14 @@ class MediatorService:
             the armed budget shrinks, so planning gets out of the way
             exactly when latency matters; the ticket's
             ``planning_budget_exhausted`` flag records a cut-short
-            search.  Enables ``search="anytime"`` on every mediator
-            unless ``mediator_options`` picks a search explicitly.
+            search.  In thread mode the armed budget additionally
+            carries a wall-clock limit sized from the measured
+            optimizer latency (an EWMA over completed ``plan()``
+            calls), so real planning time — not just node counts — is
+            bounded; deterministic mode never arms wall clocks, which
+            would make replay machine-dependent.  Enables
+            ``search="anytime"`` on every mediator unless
+            ``mediator_options`` picks a search explicitly.
             ``None`` (default) leaves planning unbounded.
     """
 
@@ -189,7 +219,10 @@ class MediatorService:
         seed: int = 0,
         faults: FaultProfile | dict[str, FaultProfile] | None = None,
         churn: ChurnWave | None = None,
+        data_faults: DataFaultProfile | dict[str, DataFaultProfile] | None = None,
         breaker: BreakerConfig | bool | None = None,
+        verify: str = "off",
+        quarantine: QuarantineConfig | bool | None = None,
         statistics: StatisticsProvider | None = None,
         plan_cache: PlanCache | int | bool | None = True,
         mine_statistics: bool = False,
@@ -217,6 +250,8 @@ class MediatorService:
         self.seed = seed
         self.faults = faults
         self.churn = churn
+        self.data_faults = data_faults
+        self.verify = validate_mode(verify)
         self.mine_statistics = mine_statistics
         self._mediator_options = dict(mediator_options or {})
         roster = list(tenants) if tenants else [DEFAULT_TENANT]
@@ -237,7 +272,11 @@ class MediatorService:
             breaker = BreakerConfig.default()
         elif breaker is False:
             breaker = None
-        self.health = HealthRegistry(breaker)
+        if quarantine is True:
+            quarantine = QuarantineConfig.default()
+        elif quarantine is False:
+            quarantine = None
+        self.health = HealthRegistry(breaker, quarantine)
         self.statistics = statistics or ExactStatistics(federation)
         if plan_cache is True:
             plan_cache = PlanCache()
@@ -265,6 +304,9 @@ class MediatorService:
         self._cond = threading.Condition()
         self._threads: list[threading.Thread] = []
         self._stop = False
+        # EWMA of measured optimizer latency (thread mode only; guarded
+        # by _cond) — sizes the wall-clock planning budget.
+        self._plan_latency_ewma: float | None = None
         self._t0 = time.monotonic()
         if mode == "deterministic":
             self._det_mediator = self._make_mediator(self.recorder)
@@ -285,6 +327,8 @@ class MediatorService:
     def _make_mediator(self, recorder: Recorder) -> Mediator:
         options = dict(self._mediator_options)
         options.setdefault("backend", "runtime")
+        if self.verify != "off":
+            options.setdefault("verify", self.verify)
         if self.planning_budget is not None:
             options.setdefault("search", "anytime")
             # Every mediator owns a private (mutable) budget — thread
@@ -312,6 +356,14 @@ class MediatorService:
         spare) and halves again once less than half the query's
         deadline remains.  Both signals are deterministic under the
         virtual clock, so replay stays byte-identical.
+
+        Thread mode additionally arms ``wall_clock_s`` from the
+        measured optimizer latency: twice the EWMA of completed
+        ``plan()`` calls, scaled by the same pressure ratio as the
+        subset budget and floored at 10 ms so a run of plan-cache hits
+        cannot starve the next cold search.  Deterministic mode never
+        arms wall clocks — elapsed real time would make plans (and
+        traces) machine-dependent.
         """
         budget = mediator.planning_budget
         if budget is None or self.planning_budget is None:
@@ -321,7 +373,30 @@ class MediatorService:
             remaining = ticket.submitted_s + ticket.deadline_s - now_s
             if remaining < 0.5 * ticket.deadline_s:
                 subsets = max(1, subsets // 2)
-        budget.arm(max_subsets=subsets)
+        wall_clock_s = None
+        if self.mode == "threads":
+            with self._cond:
+                ewma = self._plan_latency_ewma
+            if ewma is not None:
+                pressure = subsets / self.planning_budget
+                wall_clock_s = max(0.01, 2.0 * ewma * pressure)
+        budget.arm(max_subsets=subsets, wall_clock_s=wall_clock_s)
+
+    #: Smoothing factor for the plan-latency EWMA.
+    _PLAN_LATENCY_ALPHA = 0.3
+
+    def _observe_plan_latency(self, latency_s: float) -> None:
+        """Feed one measured ``plan()`` latency into the EWMA that
+        sizes thread-mode wall-clock planning budgets."""
+        with self._cond:
+            prev = self._plan_latency_ewma
+            if prev is None:
+                self._plan_latency_ewma = latency_s
+            else:
+                alpha = self._PLAN_LATENCY_ALPHA
+                self._plan_latency_ewma = (
+                    alpha * latency_s + (1.0 - alpha) * prev
+                )
 
     def _predict_completion_s(
         self, tenant: str, query: FusionQuery | str
@@ -359,6 +434,16 @@ class MediatorService:
             wave = self.churn.profile()
             for name in self.churn.sources:
                 profiles[name] = wave
+        if isinstance(self.data_faults, dict):
+            for name, data in self.data_faults.items():
+                base = profiles.get(name) or default or FaultProfile.none()
+                profiles[name] = dc_replace(base, data=data)
+        elif self.data_faults is not None:
+            data = self.data_faults
+            default = dc_replace(default or FaultProfile.none(), data=data)
+            for name, profile in profiles.items():
+                if profile.data is None:
+                    profiles[name] = dc_replace(profile, data=data)
         return FaultInjector(
             profiles or None,
             seed=derive_seed(self.seed, ticket.seq),
@@ -813,6 +898,7 @@ class MediatorService:
             # Plan outside the lock: the shared cache locks internally,
             # and optimization is the expensive part worth overlapping.
             self._arm_planning(mediator, ticket, self.elapsed_s)
+            plan_t0 = time.monotonic()
             try:
                 optimization = mediator.plan(ticket.query)
                 sources = sorted(optimization.plan.sources_used())
@@ -821,6 +907,8 @@ class MediatorService:
                     self._fail_unplannable_threads(ticket, exc)
                     self._cond.notify_all()
                 continue
+            finally:
+                self._observe_plan_latency(time.monotonic() - plan_t0)
             ticket.planning_budget_exhausted = optimization.budget_exhausted
             with self._cond:
                 while not (self.pools.can_acquire(sources) or self._stop):

@@ -1,0 +1,193 @@
+"""Engine-level tests for verified execution and quarantine.
+
+The scenario throughout: a 2- or 3-way replicated DMV federation whose
+mirrors (``R*~1``) serve stale snapshots and corrupt values, executed
+on FILTER plans with load balancing so both group members actually
+carry traffic (chain plans route one op per group and the rotation
+would keep every mirror idle).
+"""
+
+from __future__ import annotations
+
+from repro.plans.builder import build_filter_plan
+from repro.runtime.engine import RuntimeEngine
+from repro.runtime.faults import (
+    DataFaultProfile,
+    FaultInjector,
+    FaultProfile,
+)
+from repro.runtime.health import BreakerState, QuarantineConfig
+from repro.sources.generators import (
+    DMV_FIG1_ANSWER,
+    dmv_fig1,
+    replicate_federation,
+)
+
+#: Stale most of the time; always corrupting otherwise.  (Fates are
+#: exclusive, stale first — a stale_rate of 1.0 would starve corrupt.)
+LIAR = DataFaultProfile(stale_rate=0.6, corrupt_rate=1.0)
+
+
+def make_engine(
+    verify: str = "off",
+    seed: int = 11,
+    replicas: int = 2,
+    data: DataFaultProfile = LIAR,
+    quarantine: QuarantineConfig | None = None,
+):
+    federation, query = dmv_fig1()
+    federation = replicate_federation(federation, replicas)
+    profiles = {
+        f"R{i}~1": FaultProfile(data=data) for i in (1, 2, 3)
+    }
+    engine = RuntimeEngine(
+        federation,
+        faults=FaultInjector(profiles, seed=seed),
+        load_balance=True,
+        verify=verify,
+        quarantine=quarantine,
+    )
+    plan = build_filter_plan(query, federation.representative_names)
+    return engine, plan
+
+
+def sweep(engine, plan, runs: int = 6):
+    """Repeated runs on one engine; per-run (spurious, missing) counts."""
+    outcomes = []
+    for __ in range(runs):
+        result = engine.run(plan)
+        items = frozenset(result.items)
+        outcomes.append(
+            (len(items - DMV_FIG1_ANSWER), len(DMV_FIG1_ANSWER - items))
+        )
+    return outcomes
+
+
+class TestVerifyOff:
+    def test_off_admits_spurious_tuples(self):
+        engine, plan = make_engine(verify="off")
+        outcomes = sweep(engine, plan)
+        assert sum(spurious for spurious, __ in outcomes) > 0
+
+    def test_off_leaves_no_quality_evidence(self):
+        engine, plan = make_engine(verify="off")
+        sweep(engine, plan, runs=2)
+        assert engine.health.quality_of("R1~1").answers == 0
+        assert engine.health.quarantined_names() == ()
+
+    def test_off_runs_replay_deterministically(self):
+        def trace():
+            engine, plan = make_engine(verify="off")
+            return [engine.run(plan).trace for __ in range(3)]
+
+        assert trace() == trace()
+
+
+class TestSanitize:
+    def test_sanitize_never_admits_corrupt_bytes(self):
+        engine, plan = make_engine(verify="sanitize")
+        for __ in range(6):
+            result = engine.run(plan)
+            assert not any(
+                isinstance(item, bytes) for item in result.items
+            )
+
+    def test_sanitize_cannot_catch_stale_values(self):
+        # Stale tuples are plausibly typed; sanitize admits them.
+        engine, plan = make_engine(verify="sanitize")
+        outcomes = sweep(engine, plan)
+        assert sum(spurious for spurious, __ in outcomes) > 0
+
+    def test_corrupt_taint_trips_quarantine_without_votes(self):
+        engine, plan = make_engine(
+            verify="sanitize", quarantine=QuarantineConfig()
+        )
+        sweep(engine, plan, runs=6)
+        assert engine.health.quarantined_names() != ()
+        for name in engine.health.quarantined_names():
+            assert name.endswith("~1")
+
+
+class TestVote:
+    def test_vote_admits_zero_spurious(self):
+        engine, plan = make_engine(verify="vote")
+        outcomes = sweep(engine, plan)
+        assert all(spurious == 0 for spurious, __ in outcomes)
+
+    def test_confirm_wait_completes_without_deadlock(self):
+        # Both group members run as concurrent primaries under load
+        # balance; confirmation fetches must park and drain, never
+        # deadlock two members waiting on each other's slots.
+        engine, plan = make_engine(verify="vote")
+        for __ in range(6):
+            result = engine.run(plan)
+            assert result.complete or result.items <= DMV_FIG1_ANSWER
+
+    def test_two_way_disagreement_blames_nobody(self):
+        # With only two voters there is no majority: charging conflicts
+        # would hit the honest member as hard as the liar.  Stale-only
+        # mirrors leave no self-evident taint, so nothing may trip.
+        stale_only = DataFaultProfile(stale_rate=1.0)
+        engine, plan = make_engine(
+            verify="vote", data=stale_only,
+            quarantine=QuarantineConfig(),
+        )
+        sweep(engine, plan, runs=6)
+        assert engine.health.quarantined_names() == ()
+        # Honest primaries keep a perfect score.
+        for name in ("R1", "R2", "R3"):
+            assert engine.health.quality_score(name) == 1.0
+
+    def test_quarantine_recovers_completeness(self):
+        engine, plan = make_engine(
+            verify="vote", quarantine=QuarantineConfig()
+        )
+        outcomes = sweep(engine, plan, runs=8)
+        assert engine.health.quarantined_names() != ()
+        # Once the liars are out of rotation, the honest members serve
+        # the full answer again.
+        assert outcomes[-1] == (0, 0)
+
+    def test_quarantined_member_gets_no_traffic(self):
+        engine, plan = make_engine(
+            verify="vote", quarantine=QuarantineConfig()
+        )
+        sweep(engine, plan, runs=8)
+        quarantined = set(engine.health.quarantined_names())
+        assert quarantined
+        result = engine.run(plan)
+        served = {
+            attempt.source
+            for span in result.trace.remote_spans
+            for attempt in span.attempts
+        }
+        assert not served & quarantined
+
+    def test_state_of_reports_quarantined(self):
+        engine, plan = make_engine(
+            verify="vote", quarantine=QuarantineConfig()
+        )
+        sweep(engine, plan, runs=8)
+        name = engine.health.quarantined_names()[0]
+        assert engine.health.state_of(name) is BreakerState.QUARANTINED
+        # cooldown_s=None means the quarantine is sticky forever.
+        assert not engine.health.allow(name, 1e9)
+
+
+class TestThreeWayMajority:
+    def test_majority_serves_full_answer_from_first_run(self):
+        engine, plan = make_engine(verify="vote", replicas=3)
+        outcomes = sweep(engine, plan)
+        assert all(outcome == (0, 0) for outcome in outcomes)
+
+    def test_outvoted_liar_is_blamed_and_quarantined(self):
+        engine, plan = make_engine(
+            verify="vote", replicas=3, quarantine=QuarantineConfig()
+        )
+        sweep(engine, plan, runs=6)
+        quarantined = set(engine.health.quarantined_names())
+        assert quarantined
+        assert all(name.endswith("~1") for name in quarantined)
+        # Honest members stay clean.
+        for name in ("R1", "R2", "R3"):
+            assert engine.health.quality_score(name) == 1.0

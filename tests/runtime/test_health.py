@@ -229,3 +229,101 @@ class TestTransitionObserver:
         registry.observer = lambda *args: seen.append(args)
         registry.record("R1", 0.0, ok=False, duration_s=0.1)
         assert len(seen) == 1
+
+
+class TestQuarantine:
+    """Registry-level data-quality quarantine."""
+
+    def registry(self, **kwargs) -> HealthRegistry:
+        from repro.runtime.health import QuarantineConfig
+
+        return HealthRegistry(None, QuarantineConfig(**kwargs))
+
+    def taint(self, registry, name, count, now_s=0.0):
+        for __ in range(count):
+            registry.record_quality(
+                name, now_s, clean=False, delivered=4, kept=2
+            )
+
+    def test_config_validation(self):
+        from repro.runtime.health import QuarantineConfig
+
+        for kwargs in (
+            {"quality_threshold": 0.0},
+            {"quality_threshold": 1.5},
+            {"min_volume": 0},
+            {"cooldown_s": -1.0},
+            {"prior_weight": float("nan")},
+        ):
+            with pytest.raises(CostModelError):
+                QuarantineConfig(**kwargs)
+
+    def test_clean_answers_never_quarantine(self):
+        registry = self.registry()
+        for __ in range(20):
+            registry.record_quality(
+                "R1", 0.0, clean=True, delivered=4, kept=4
+            )
+        assert registry.quarantined_names() == ()
+        assert registry.quality_score("R1") == 1.0
+
+    def test_persistent_taint_trips_after_min_volume(self):
+        registry = self.registry(min_volume=3)
+        self.taint(registry, "R1", 2)
+        assert registry.quarantined_names() == ()  # volume too low
+        self.taint(registry, "R1", 1)
+        assert registry.quarantined_names() == ("R1",)
+        assert registry.state_of("R1") is BreakerState.QUARANTINED
+
+    def test_prior_shields_a_cold_source(self):
+        # One bad answer against a prior of two clean pseudo-answers
+        # keeps the score at 2/3 >= a 0.6 threshold.
+        registry = self.registry(
+            min_volume=1, prior_weight=2.0, quality_threshold=0.6
+        )
+        self.taint(registry, "R1", 1)
+        assert registry.quarantined_names() == ()
+        self.taint(registry, "R1", 1)  # 2/4 = 0.5 < 0.6
+        assert registry.quarantined_names() == ("R1",)
+
+    def test_sticky_quarantine_never_lifts(self):
+        import math
+
+        registry = self.registry(cooldown_s=None)
+        self.taint(registry, "R1", 5)
+        assert registry.quarantine_lifts_at("R1") == math.inf
+        assert not registry.allow("R1", 1e12)
+
+    def test_cooldown_releases_and_rejudges_afresh(self):
+        registry = self.registry(cooldown_s=30.0, min_volume=3)
+        self.taint(registry, "R1", 5, now_s=0.0)
+        assert not registry.allow("R1", 10.0)
+        assert registry.quarantine_lifts_at("R1") == 30.0
+        assert registry.allow("R1", 30.0)
+        assert registry.quarantined_names() == ()
+        # Released: judged on post-release volume, not history.
+        quality = registry.quality_of("R1")
+        assert quality.volume == 0
+        assert registry.quality_score("R1") == 1.0
+        assert quality.times_quarantined == 1
+
+    def test_quality_observer_sees_enter_and_exit(self):
+        registry = self.registry(cooldown_s=10.0, min_volume=3)
+        seen = []
+        registry.quality_observer = (
+            lambda now, name, action, score, answers: seen.append(
+                (now, name, action)
+            )
+        )
+        self.taint(registry, "R1", 4, now_s=1.0)
+        registry.allow("R1", 20.0)
+        assert [entry[2] for entry in seen] == ["enter", "exit"]
+        assert seen[0][1] == "R1"
+
+    def test_snapshot_and_report_show_quality(self):
+        registry = self.registry()
+        self.taint(registry, "R1", 4)
+        snapshot = registry.snapshot()["R1"]
+        assert snapshot["state"] == "quarantined"
+        report = registry.report()
+        assert "quarantined" in report

@@ -1,0 +1,145 @@
+"""Unit tests for answer verification (sanitize + vote)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.relational.relation import Relation
+from repro.relational.schema import dmv_schema
+from repro.runtime.verify import (
+    VERIFY_MODES,
+    AnswerVerifier,
+    validate_mode,
+)
+
+
+@pytest.fixture
+def verifier(dmv_federation):
+    return AnswerVerifier(dmv_federation, mode="sanitize")
+
+
+@pytest.fixture
+def voter(dmv_federation):
+    return AnswerVerifier(dmv_federation, mode="vote")
+
+
+class TestModes:
+    def test_modes_are_closed(self):
+        assert VERIFY_MODES == ("off", "sanitize", "vote")
+        for mode in VERIFY_MODES:
+            assert validate_mode(mode) == mode
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ExecutionError):
+            validate_mode("paranoid")
+
+    def test_off_never_builds_a_verifier(self, dmv_federation):
+        with pytest.raises(ExecutionError):
+            AnswerVerifier(dmv_federation, mode="off")
+
+    def test_votes_property(self, verifier, voter):
+        assert not verifier.votes
+        assert voter.votes
+
+
+class TestSanitize:
+    def test_clean_items_pass_unchanged(self, verifier):
+        items = frozenset({"J55", "T21"})
+        value, report = verifier.check("R1", items)
+        assert value == items
+        assert report.clean
+        assert report.delivered == report.kept == 2
+
+    def test_corrupt_bytes_dropped(self, verifier):
+        value, report = verifier.check(
+            "R1", ("J55", b"corrupt#00", "T21", b"corrupt#01")
+        )
+        assert value == frozenset({"J55", "T21"})
+        assert report.corrupt == 2
+        assert not report.clean
+
+    def test_duplicates_collapsed(self, verifier):
+        value, report = verifier.check("R1", ("J55", "J55", "T21"))
+        assert value == frozenset({"J55", "T21"})
+        assert report.duplicates == 1
+
+    def test_relations_are_bags_only_schema_violations_drop(self, verifier):
+        schema = dmv_schema()
+        rows = [
+            ("J55", "dui", 1990),
+            ("J55", "dui", 1990),  # a legitimate duplicate row
+            (b"corrupt#02", "sp", 1991),
+        ]
+        relation = Relation.unchecked("R", schema, rows)
+        value, report = verifier.check("R1", relation)
+        assert len(value.rows) == 2
+        assert report.corrupt == 1
+        assert report.duplicates == 0
+
+    def test_report_with_conflicts_accumulates(self, verifier):
+        __, report = verifier.check("R1", ("J55",))
+        charged = report.with_conflicts(3)
+        assert charged.conflicts == 3
+        assert charged.issues == 3
+        assert not charged.clean
+
+
+class TestVote:
+    def test_needs_two_answers(self, voter):
+        with pytest.raises(ExecutionError):
+            voter.vote([("R1", frozenset({"J55"}))])
+
+    def test_two_voters_intersect(self, voter):
+        result = voter.vote(
+            [
+                ("R1", frozenset({"J55", "T21"})),
+                ("R1~1", frozenset({"J55", "XXX"})),
+            ]
+        )
+        assert result.kept == frozenset({"J55"})
+        assert not result.unanimous
+        assert result.spurious == {"R1": 1, "R1~1": 1}
+        # The intersection is a subset of every claim, so nobody
+        # "missed" a kept value — disputes show up as spurious only.
+        assert result.missing == {}
+
+    def test_majority_outvotes_lone_liar(self, voter):
+        honest = frozenset({"J55", "T21"})
+        result = voter.vote(
+            [
+                ("R1", honest),
+                ("R1~1", frozenset({"J55", "XXX"})),
+                ("R1~2", honest),
+            ]
+        )
+        assert result.kept == honest
+        assert result.spurious == {"R1~1": 1}
+        assert result.missing == {"R1~1": 1}
+
+    def test_unanimous_vote_blames_nobody(self, voter):
+        answer = frozenset({"J55"})
+        result = voter.vote([("R1", answer), ("R1~1", answer)])
+        assert result.unanimous
+        assert result.kept == answer
+        assert not result.spurious
+        assert not result.missing
+
+    def test_relations_vote_by_row_sets(self, voter):
+        schema = dmv_schema()
+        honest_rows = [("J55", "dui", 1990), ("T21", "sp", 1991)]
+        stale_rows = [("J55", "dui", 1990), ("T21", "sp", 1888)]
+        honest = Relation("R", schema, honest_rows)
+        stale = Relation("R", schema, stale_rows)
+        result = voter.vote(
+            [("R1", honest), ("R1~1", stale), ("R1~2", honest)]
+        )
+        assert isinstance(result.kept, Relation)
+        assert set(result.kept.rows) == set(honest_rows)
+        assert result.spurious == {"R1~1": 1}
+
+    def test_claims_of_relation_and_items(self, voter):
+        schema = dmv_schema()
+        relation = Relation("R", schema, [("J55", "dui", 1990)])
+        assert voter.claims(relation) == frozenset({("J55", "dui", 1990)})
+        assert voter.claims(("J55", "J55")) == frozenset({"J55"})

@@ -14,7 +14,12 @@ from repro.errors import (
 from repro.obs.events import EventLog
 from repro.optimize.sja_plus import SJAPlusOptimizer
 from repro.runtime.faults import FaultProfile
-from repro.serve import ChurnWave, MediatorService, TenantSpec
+from repro.serve import (
+    ChurnWave,
+    MediatorService,
+    QueryTicket,
+    TenantSpec,
+)
 from repro.sources.generators import DMV_FIG1_ANSWER, dmv_fig1
 from repro.sources.observed import ObservedStatistics
 
@@ -305,3 +310,148 @@ class TestThreadMode:
     def test_unknown_mode_rejected(self, dmv_federation):
         with pytest.raises(ServiceError):
             MediatorService(dmv_federation, mode="asyncio")
+
+
+class TestUntrustedServing:
+    """Data faults + verification + quarantine through the service."""
+
+    def make_service(self, **kwargs):
+        from repro.optimize import FilterOptimizer
+        from repro.runtime.faults import DataFaultProfile
+        from repro.sources.generators import replicate_federation
+
+        federation, __ = dmv_fig1()
+        federation = replicate_federation(federation, 2)
+        liar = DataFaultProfile(stale_rate=0.6, corrupt_rate=1.0)
+        service = MediatorService(
+            federation,
+            mode="deterministic",
+            data_faults={f"R{i}~1": liar for i in (1, 2, 3)},
+            mediator_options={
+                "optimizer": FilterOptimizer(),
+                "load_balance": True,
+                "replan": 2,
+            },
+            **kwargs,
+        )
+        return service
+
+    def test_verified_service_quarantines_liars_for_all_queries(self):
+        service = self.make_service(verify="vote", quarantine=True)
+        tickets = []
+        for step in range(8):
+            tickets.append(service.submit(DMV_SQL, at_s=float(step)))
+            service.run_until_idle()
+        assert all(t.status == "done" for t in tickets)
+        quarantined = set(service.health.quarantined_names())
+        assert quarantined
+        assert all(name.endswith("~1") for name in quarantined)
+        # Post-quarantine queries come back complete and exact.
+        assert tickets[-1].items == DMV_FIG1_ANSWER
+
+    def test_unverified_service_leaves_no_quality_evidence(self):
+        service = self.make_service()
+        for step in range(4):
+            service.submit(DMV_SQL, at_s=float(step))
+        service.run_until_idle()
+        assert service.health.quarantined_names() == ()
+        assert service.health.quality_of("R1~1").answers == 0
+
+    def test_per_source_data_faults_merge_into_wire_profiles(self):
+        from repro.runtime.faults import DataFaultProfile
+
+        service = self.make_service(
+            faults={"R1~1": FaultProfile.flaky(0.2)}
+        )
+        ticket = QueryTicket(seq=0, tenant="default", query=DMV_SQL)
+        injector = service._injector_for(ticket)
+        tampered = injector.profile_for("R1~1")
+        assert tampered.transient_rate == 0.2
+        assert isinstance(tampered.data, DataFaultProfile)
+        assert injector.profile_for("R2~1").data is not None
+        assert injector.profile_for("R1").data is None
+
+
+class TestPlanningWallClock:
+    """Satellite: thread mode arms wall clocks from measured latency."""
+
+    def arm(self, service, deadline_s=None):
+        from repro.obs import Recorder
+
+        mediator = service._make_mediator(Recorder())
+        ticket = QueryTicket(
+            seq=0, tenant="default", query=DMV_SQL,
+            submitted_s=0.0, deadline_s=deadline_s,
+        )
+        service._arm_planning(mediator, ticket, now_s=0.0)
+        return mediator.planning_budget
+
+    def test_thread_mode_arms_wall_clock_from_ewma(self, dmv_federation):
+        service = MediatorService(
+            dmv_federation, mode="threads", planning_budget=64
+        )
+        try:
+            service._observe_plan_latency(0.05)
+            budget = self.arm(service)
+            assert budget.wall_clock_s is not None
+            # Full pressure (empty queue): twice the observed EWMA.
+            assert budget.wall_clock_s == pytest.approx(0.1)
+        finally:
+            service.close()
+
+    def test_wall_clock_floor_survives_cache_hits(self, dmv_federation):
+        service = MediatorService(
+            dmv_federation, mode="threads", planning_budget=64
+        )
+        try:
+            for __ in range(20):
+                service._observe_plan_latency(1e-6)
+            budget = self.arm(service)
+            assert budget.wall_clock_s == 0.01
+        finally:
+            service.close()
+
+    def test_unmeasured_thread_mode_arms_subsets_only(self, dmv_federation):
+        service = MediatorService(
+            dmv_federation, mode="threads", planning_budget=64
+        )
+        try:
+            budget = self.arm(service)
+            assert budget.max_subsets == 64
+            assert budget.wall_clock_s is None
+        finally:
+            service.close()
+
+    def test_deterministic_mode_never_arms_wall_clock(self, dmv_federation):
+        service = MediatorService(
+            dmv_federation, mode="deterministic", planning_budget=64
+        )
+        service._observe_plan_latency(0.05)
+        budget = self.arm(service)
+        assert budget.max_subsets == 64
+        assert budget.wall_clock_s is None
+
+    def test_ewma_tracks_observed_latencies(self, dmv_federation):
+        service = MediatorService(
+            dmv_federation, mode="threads", planning_budget=64
+        )
+        try:
+            service._observe_plan_latency(0.10)
+            service._observe_plan_latency(0.20)
+            # alpha = 0.3: 0.7 * 0.10 + 0.3 * 0.20
+            assert service._plan_latency_ewma == pytest.approx(0.13)
+        finally:
+            service.close()
+
+    def test_thread_mode_measures_latency_end_to_end(self, dmv_federation):
+        service = MediatorService(
+            dmv_federation, mode="threads", planning_budget=64, workers=2
+        )
+        try:
+            ticket = service.submit(DMV_SQL)
+            service.drain(timeout_s=30.0)
+            assert ticket.items == DMV_FIG1_ANSWER
+            assert service._plan_latency_ewma is not None
+            assert service._plan_latency_ewma > 0.0
+        finally:
+            service.close()

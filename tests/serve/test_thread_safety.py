@@ -15,7 +15,11 @@ import threading
 from repro.mediator.plan_cache import PlanCache
 from repro.obs.events import EventLog
 from repro.obs.metrics import MetricsRegistry
-from repro.runtime.health import BreakerConfig, HealthRegistry
+from repro.runtime.health import (
+    BreakerConfig,
+    BreakerState,
+    HealthRegistry,
+)
 from repro.sources.observed import ObservedStatistics
 from repro.sources.statistics import ExactStatistics
 
@@ -146,3 +150,54 @@ class TestHealthRegistryHammer:
         assert set(snap) == set(sources)
         for info in snap.values():
             assert info["attempts"] == info["successes"] + info["failures"]
+
+
+class TestQuarantineHammer:
+    def test_concurrent_quality_records_and_quarantine(self):
+        from repro.runtime.health import QuarantineConfig
+
+        registry = HealthRegistry(
+            None,
+            QuarantineConfig(
+                quality_threshold=0.8, min_volume=3, cooldown_s=None
+            ),
+        )
+        # Half the sources always lie, half never do; every thread
+        # hammers all of them plus the read paths.
+        liars = ["L1", "L2"]
+        honest = ["H1", "H2"]
+
+        def worker(index):
+            for round_no in range(ROUNDS):
+                now = float(round_no)
+                for name in honest:
+                    registry.record_quality(
+                        name, now, clean=True, delivered=4, kept=4
+                    )
+                for name in liars:
+                    registry.record_quality(
+                        name, now, clean=False, delivered=4, kept=2
+                    )
+                for name in honest + liars:
+                    registry.allow(name, now)
+                    registry.quality_score(name)
+                    registry.state_of(name)
+                if round_no % 50 == 0:
+                    registry.quarantined_names()
+                    registry.snapshot()
+
+        hammer(worker)
+        total = THREADS * ROUNDS
+        for name in honest:
+            quality = registry.quality_of(name)
+            assert quality.answers == total
+            assert quality.clean == total
+            assert registry.quality_score(name) == 1.0
+            assert registry.state_of(name) is not BreakerState.QUARANTINED
+        for name in liars:
+            quality = registry.quality_of(name)
+            assert quality.answers == total
+            assert quality.clean == 0
+            assert registry.state_of(name) is BreakerState.QUARANTINED
+            assert not registry.allow(name, 1e12)
+        assert set(registry.quarantined_names()) == set(liars)
