@@ -1,0 +1,97 @@
+"""R11 — causal tracing: span analysis and Chrome export kernels."""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench.tracing import run_tracing
+from repro.obs.spans import (
+    Span,
+    SpanLog,
+    analyze_log,
+    derive_trace_id,
+    validate_chrome_trace,
+)
+
+
+def _synthetic_log(traces: int = 50, ops: int = 6) -> SpanLog:
+    # A forest shaped like real serve traces: the seven fixed
+    # serve-level spans plus an op chain under the execute span.
+    log = SpanLog()
+    for index in range(traces):
+        trace = derive_trace_id(97, index)
+        start = index * 10.0
+        serve = [
+            ("query", 1, 0, start, start + 9.0),
+            ("admission", 2, 1, start, start),
+            ("queue", 3, 1, start, start + 1.0),
+            ("plan", 4, 1, start + 1.0, start + 1.0),
+            ("pool", 5, 1, start + 1.0, start + 2.0),
+            ("execute", 6, 1, start + 2.0, start + 9.0),
+            ("merge", 7, 1, start + 9.0, start + 9.0),
+        ]
+        for name, span_id, parent, begin, end in serve:
+            log.add(
+                Span(
+                    trace_id=trace,
+                    span_id=span_id,
+                    parent_id=parent or None,
+                    name=name,
+                    category="serve" if span_id != 1 else "query",
+                    start_s=begin,
+                    end_s=end,
+                )
+            )
+        at = start + 2.0
+        for op in range(ops):
+            log.add(
+                Span(
+                    trace_id=trace,
+                    span_id=8 + op,
+                    parent_id=6,
+                    name=f"op R{op}",
+                    category="op",
+                    start_s=at,
+                    end_s=at + 1.0,
+                    attributes={"kind": "remote", "wire_s": 0.8},
+                )
+            )
+            at += 1.0
+    return log
+
+
+def test_analyze_log_throughput(benchmark):
+    # Critical-path analysis runs once per completed query in the
+    # serving tier; tiling 50 traces must be interactive-fast.
+    log = _synthetic_log()
+
+    paths = benchmark(analyze_log, log)
+    assert len(paths) == 50
+    for path in paths.values():
+        assert abs(path.total_s - 9.0) < 1e-9
+
+
+def test_chrome_export_throughput(benchmark):
+    # The --trace-export path: serialize + schema-validate the forest.
+    log = _synthetic_log()
+
+    def export():
+        return validate_chrome_trace(json.loads(log.to_chrome_json()))
+
+    spans = benchmark(export)
+    assert spans == len(log)
+
+
+def test_r11_report(benchmark, report_runner):
+    report = report_runner(benchmark, "R11")
+    assert "naming the bottleneck" in report
+    assert "identical" in report
+    assert "exec.wire" in report
+
+
+def test_r11_smoke_params():
+    # The CI smoke job runs the sweep at reduced parameters; keep that
+    # entry point working without touching BENCH_R11.json.
+    report = run_tracing(count=24, bench_json=False)
+    assert "dominant p99 phase" in report
+    assert "byte-identical" in report

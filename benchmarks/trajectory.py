@@ -1,0 +1,129 @@
+"""Aggregate the serving-era BENCH_*.json trend files (R7 - R11).
+
+Each serving experiment writes per-scenario rows to ``BENCH_<id>.json``
+at the repo root for CI trend tracking.  The rows share two normalized
+keys — ``bench`` (the experiment id) and ``scenario`` (a short label
+unique within the experiment) — plus experiment-specific metrics.
+This module folds them into one trajectory file,
+``BENCH_TRAJECTORY.json``, keyed ``bench/scenario``, so a dashboard or
+a diff across commits sees every tracked scenario in one place.
+
+Run as a script from the repo root::
+
+    PYTHONPATH=src python benchmarks/trajectory.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+#: The experiments whose row files the trajectory folds together.
+TRACKED_BENCHES: tuple[str, ...] = ("R7", "R8", "R9", "R10", "R11")
+
+#: The headline metric quoted per experiment in the summary line
+#: (every other metric still lands in the aggregated rows).
+HEADLINE_METRIC: dict[str, str] = {
+    "R7": "plans_considered",
+    "R8": "p95_s",
+    "R9": "p95_s",
+    "R10": "spurious",
+    "R11": "latency_burn_rate",
+}
+
+
+def load_rows(root: str = ".") -> list[dict]:
+    """Read every present ``BENCH_<id>.json`` and validate its rows.
+
+    Missing files are skipped (an experiment may not have run yet);
+    present files must hold a list of dicts each carrying the
+    normalized ``bench`` and ``scenario`` keys.
+    """
+    rows: list[dict] = []
+    for bench in TRACKED_BENCHES:
+        path = os.path.join(root, f"BENCH_{bench}.json")
+        if not os.path.exists(path):
+            continue
+        with open(path, encoding="utf-8") as fh:
+            data = json.load(fh)
+        if not isinstance(data, list):
+            raise ValueError(f"{path}: expected a list of rows")
+        for index, row in enumerate(data):
+            if not isinstance(row, dict):
+                raise ValueError(f"{path}[{index}]: expected an object")
+            for key in ("bench", "scenario"):
+                if key not in row:
+                    raise ValueError(
+                        f"{path}[{index}]: missing normalized key "
+                        f"{key!r}"
+                    )
+            if row["bench"] != bench:
+                raise ValueError(
+                    f"{path}[{index}]: bench {row['bench']!r} does not "
+                    f"match its file ({bench})"
+                )
+            rows.append(row)
+    return rows
+
+
+def aggregate(rows: list[dict]) -> dict:
+    """Fold normalized rows into the trajectory document.
+
+    Returns ``{"benches": {...}, "scenarios": {...}}`` where
+    ``scenarios`` maps ``bench/scenario`` to its full row and
+    ``benches`` maps each experiment to its scenario count and
+    headline metric values.
+    """
+    scenarios: dict[str, dict] = {}
+    benches: dict[str, dict] = {}
+    for row in rows:
+        key = f"{row['bench']}/{row['scenario']}"
+        if key in scenarios:
+            raise ValueError(f"duplicate scenario key {key!r}")
+        scenarios[key] = row
+        summary = benches.setdefault(
+            row["bench"], {"scenarios": 0, "headline": {}}
+        )
+        summary["scenarios"] += 1
+        metric = HEADLINE_METRIC.get(row["bench"])
+        if metric is not None and metric in row:
+            summary["headline"][row["scenario"]] = row[metric]
+    return {"benches": benches, "scenarios": scenarios}
+
+
+def write_trajectory(root: str = ".") -> str:
+    """Aggregate whatever row files exist under ``root`` and write
+    ``BENCH_TRAJECTORY.json`` next to them; returns the path."""
+    document = aggregate(load_rows(root))
+    path = os.path.join(root, "BENCH_TRAJECTORY.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def main(argv: list[str] | None = None) -> int:
+    root = (argv or sys.argv[1:] or ["."])[0]
+    path = write_trajectory(root)
+    document = json.load(open(path, encoding="utf-8"))
+    for bench in TRACKED_BENCHES:
+        summary = document["benches"].get(bench)
+        if summary is None:
+            print(f"{bench}: no rows (BENCH_{bench}.json absent)")
+            continue
+        metric = HEADLINE_METRIC.get(bench, "-")
+        print(
+            f"{bench}: {summary['scenarios']} scenarios, "
+            f"headline {metric}: "
+            + ", ".join(
+                f"{name}={value}"
+                for name, value in summary["headline"].items()
+            )
+        )
+    print(f"wrote {path} ({len(document['scenarios'])} scenarios)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

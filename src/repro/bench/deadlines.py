@@ -192,6 +192,7 @@ def run_deadlines(
         )
         rows.append(
             {
+                "bench": "R9",
                 "scenario": name,
                 "shed_policy": policy,
                 "submitted": report.submitted,

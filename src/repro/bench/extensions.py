@@ -1056,6 +1056,8 @@ def run_search_scaling(
                 )
             rows.append(
                 {
+                    "bench": "R7",
+                    "scenario": f"m={m} {result.search_strategy}",
                     "m": m,
                     "strategy": result.search_strategy,
                     "elapsed_s": result.elapsed_s,

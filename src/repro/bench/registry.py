@@ -30,6 +30,7 @@ from repro.bench.extensions import (
 from repro.bench.deadlines import run_deadlines
 from repro.bench.report import write_metrics, write_report
 from repro.bench.serving import run_serving
+from repro.bench.tracing import run_tracing
 from repro.bench.untrusted import run_untrusted
 from repro.obs.metrics import MetricsRegistry, traffic_metrics_observer
 from repro.sources.network import (
@@ -62,6 +63,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[], str]]] = {
     "R8": ("serving tier: concurrent multi-query workloads", run_serving),
     "R9": ("deadline-aware serving: shedding and partial answers", run_deadlines),
     "R10": ("untrusted answers: verification and quarantine", run_untrusted),
+    "R11": ("causal tracing: critical-path attribution and SLO burn", run_tracing),
     "A1": ("adaptive execution vs static plans", run_adaptive),
     "C7": ("condition correlation vs independence", run_correlation),
     "C8": ("data overlap ablation", run_overlap),

@@ -169,7 +169,8 @@ def run_serving(
         )
         rows.append(
             {
-                "scenario": name,
+                "bench": "R8",
+                "scenario": f"{name}, {mode}",
                 "mode": mode,
                 "submitted": report.submitted,
                 "completed": report.completed,

@@ -77,6 +77,8 @@ def _sweep(
         items = frozenset(answer.items)
         rows.append(
             {
+                "bench": "R10",
+                "scenario": f"{verify} q{number}",
                 "mode": verify,
                 "query": number,
                 "spurious": len(items - truth),

@@ -70,6 +70,9 @@ _OPTIMIZERS = {
 #: ``results/``, next to the benchmark reports, never the repo root.
 DEFAULT_EVENTS_PATH = os.path.join("results", "events.jsonl")
 
+#: Where ``--trace-export`` lands when no path is given.
+DEFAULT_TRACE_PATH = os.path.join("results", "trace.json")
+
 #: Optimizers whose constructors accept search=/beam_width=.
 _SEARCHABLE = {"sj", "sja", "sja+"}
 
@@ -425,6 +428,25 @@ def _build_parser() -> argparse.ArgumentParser:
         help="anytime planning: cap the optimizer at N subset "
         "expansions per query when idle, shrinking under queue "
         "pressure and near deadlines (default: unbounded)",
+    )
+    workload.add_argument(
+        "--trace-export",
+        nargs="?",
+        const=DEFAULT_TRACE_PATH,
+        metavar="PATH",
+        default=None,
+        help="write the run's span forest as Chrome trace-event JSON "
+        "(loadable in Perfetto / chrome://tracing) to PATH; without "
+        f"PATH, defaults to {DEFAULT_TRACE_PATH}",
+    )
+    workload.add_argument(
+        "--slo",
+        metavar="SPEC",
+        default=None,
+        help="evaluate service-level objectives after the run: a "
+        "comma-separated list of latency:<threshold_s>:<objective> "
+        "and completeness:<objective> terms, e.g. "
+        "'latency:2.0:0.95,completeness:0.99'",
     )
 
     export = subparsers.add_parser(
@@ -933,6 +955,13 @@ def _command_workload(args) -> int:
         )
     if service.plan_cache is not None:
         print(service.plan_cache.summary())
+    if service.spans is not None:
+        print(report.phase_breakdown())
+    if args.slo is not None:
+        from repro.obs.slo import SLOMonitor, parse_slo_spec
+
+        monitor = SLOMonitor(parse_slo_spec(args.slo))
+        print(SLOMonitor.render(monitor.evaluate(service.metrics)))
     if args.quarantine:
         quarantined = sorted(service.health.quarantined_names())
         if quarantined:
@@ -945,6 +974,15 @@ def _command_workload(args) -> int:
             print(service.metrics.to_json_text())
     if args.emit_events is not None:
         _write_events(service.recorder.events, args.emit_events)
+    if args.trace_export is not None:
+        if service.spans is None:
+            print("trace export: tracing is off, nothing to write")
+        else:
+            service.spans.write_chrome_trace(args.trace_export)
+            print(
+                f"wrote {args.trace_export} "
+                f"({len(service.spans)} spans)"
+            )
     return 0
 
 

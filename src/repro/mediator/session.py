@@ -345,6 +345,10 @@ class Mediator:
             plan_cache = PlanCache()
         self.plan_cache: PlanCache | None = plan_cache
         self.cache_plans = plan_cache is not None
+        # Single-shot answer() calls get deterministic trace ids derived
+        # from this sequence when span recording is on and the caller
+        # supplied none (a serving tier always derives its own).
+        self._answer_seq = 0
 
     # ------------------------------------------------------------------
 
@@ -407,7 +411,10 @@ class Mediator:
         return self.runtime.run(plan, budget_s=budget_s)
 
     def answer(
-        self, query: FusionQuery | str, budget_s: float | None = None
+        self,
+        query: FusionQuery | str,
+        budget_s: float | None = None,
+        trace_id: str | None = None,
     ) -> MediatorAnswer:
         """Optimize, execute, and (optionally) verify one fusion query.
 
@@ -416,8 +423,31 @@ class Mediator:
         partial answer found so far is returned — marked via
         ``execution.partial`` — instead of raising.  The sequential
         backend has no clock, so the budget is ignored there.
+
+        ``trace_id`` labels the recorded span tree when the recorder
+        has a span log attached; with none supplied a deterministic id
+        is derived from this mediator's answer sequence
+        (:func:`repro.obs.spans.derive_trace_id` with seed 0), so
+        repeated same-seed runs replay byte-identical traces.
         """
         query = self._coerce(query)
+        started_trace = False
+        if self.recorder is not None and self.recorder.spans is not None:
+            if trace_id is None:
+                from repro.obs.spans import derive_trace_id
+
+                trace_id = derive_trace_id(0, self._answer_seq)
+            started_trace = self.recorder.start_trace(trace_id)
+        self._answer_seq += 1
+        try:
+            return self._answer(query, budget_s)
+        finally:
+            if started_trace:
+                self.recorder.end_trace()
+
+    def _answer(
+        self, query: FusionQuery, budget_s: float | None
+    ) -> MediatorAnswer:
         runtime_result = None
         resilient = None
         events_before = (

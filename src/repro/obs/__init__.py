@@ -15,7 +15,14 @@ every output is deterministic and replayable:
   (:data:`~repro.obs.events.EVENT_SCHEMA`);
 * :mod:`~repro.obs.profile` — per-step / per-source / per-condition
   query profiles (traffic moved, items confirmed, wall-clock vs wire
-  time, predicted vs observed cost).
+  time, predicted vs observed cost);
+* :mod:`~repro.obs.spans` — causal span trees: every query carries a
+  deterministic trace id, its phases (admission, queue, plan, pool,
+  execute, merge) and engine operations become hierarchical spans
+  exportable as Chrome trace-event JSON, and a critical-path analyzer
+  attributes end-to-end latency to phases exactly;
+* :mod:`~repro.obs.slo` — service-level objectives (latency,
+  completeness) scored over the registry with error-budget burn rates.
 
 The :class:`~repro.obs.recorder.Recorder` is the hub the engine,
 executor, health registry, and re-planner report into; with no recorder
@@ -47,6 +54,23 @@ from repro.obs.metrics import (
 from repro.obs.profile import QueryProfile
 from repro.obs.recorder import Recorder
 from repro.obs.replay import trace_from_events
+from repro.obs.slo import (
+    SLOMonitor,
+    SLOSpec,
+    SLOStatus,
+    parse_slo_spec,
+)
+from repro.obs.spans import (
+    CriticalPath,
+    PhaseSlice,
+    Span,
+    SpanLog,
+    analyze_log,
+    analyze_trace,
+    derive_trace_id,
+    top_contributors,
+    validate_chrome_trace,
+)
 
 __all__ = [
     "EVENT_SCHEMA",
@@ -61,4 +85,17 @@ __all__ = [
     "QueryProfile",
     "Recorder",
     "trace_from_events",
+    "SLOMonitor",
+    "SLOSpec",
+    "SLOStatus",
+    "parse_slo_spec",
+    "CriticalPath",
+    "PhaseSlice",
+    "Span",
+    "SpanLog",
+    "analyze_log",
+    "analyze_trace",
+    "derive_trace_id",
+    "top_contributors",
+    "validate_chrome_trace",
 ]

@@ -163,6 +163,33 @@ EVENT_SCHEMA: dict[str, dict[str, str]] = {
         "budget": "float",  # the deadline budget in seconds
         "overrun": "float",  # elapsed - budget at expiry (>= 0)
     },
+    # The serving tier planned one admitted query (cache hit or miss).
+    "plan": {
+        "query": "int",  # per-service submission sequence number
+        "tenant": "str",
+        "trace": "str",  # the query's deterministic trace id
+        "cache": "str",  # "hit" | "miss" | "off"
+        "strategy": "str",  # OptimizationResult.search_strategy
+        "subsets": "int",  # subsets considered by this optimization
+        "elapsed": "float",  # wall planning seconds (0.0 on the virtual clock)
+        "exhausted": "bool",  # anytime budget cut the search short
+    },
+    # Critical-path latency attribution of one completed query: the
+    # per-phase seconds tile [submit, complete] exactly, so
+    # queue + plan + pool + exec_* + merge == total (one sum per query).
+    "phases": {
+        "query": "int",
+        "tenant": "str",
+        "trace": "str",
+        "queue": "float",
+        "plan": "float",
+        "pool": "float",
+        "exec_wait": "float",  # engine-side source-connection wait
+        "exec_wire": "float",  # attempt time on the wire
+        "exec_backoff": "float",  # retry backoff gaps
+        "merge": "float",  # local set-algebra + answer assembly
+        "total": "float",  # end-to-end latency (== the sum above)
+    },
     # A serving-tier lifecycle transition of one submitted query.
     "serve": {
         "phase": "str",  # "admitted" | "rejected" | "dispatched" | "completed" | "failed"

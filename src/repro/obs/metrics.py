@@ -40,10 +40,25 @@ def _label_key(labels: dict[str, str]) -> LabelItems:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Prometheus exposition-format escaping for label values.
+
+    The text format requires backslash, double-quote, and line-feed to
+    be escaped inside quoted label values; anything else passes
+    through.  Without this, a label value containing e.g. a SQL snippet
+    with quotes produced unparseable exposition text.
+    """
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _label_text(labels: LabelItems) -> str:
     if not labels:
         return ""
-    inner = ",".join(f'{name}="{value}"' for name, value in labels)
+    inner = ",".join(
+        f'{name}="{_escape_label_value(value)}"' for name, value in labels
+    )
     return "{" + inner + "}"
 
 
@@ -145,6 +160,68 @@ class Histogram(_Metric):
             total += count
             out.append(total)
         return out
+
+    def fraction_le(self, value: float) -> float:
+        """Estimated fraction of observations ``<= value``.
+
+        Linear interpolation inside the containing bucket (each
+        bucket's lower edge is the previous boundary, 0.0 for the
+        first), matching the assumptions of
+        ``histogram_quantile``-style estimation.  Returns 0.0 for an
+        empty histogram.
+        """
+        with self._lock:
+            counts = list(self.counts)
+            total = self.count
+        if total == 0:
+            return 0.0
+        below = 0
+        lower = 0.0
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                width = bound - lower
+                inside = counts[i]
+                fraction = 1.0 if width <= 0 else (value - lower) / width
+                return (below + inside * min(1.0, max(0.0, fraction))) / total
+            below += counts[i]
+            lower = bound
+        return 1.0  # beyond the last finite boundary
+
+    def quantile(self, q: float) -> float:
+        """Interpolated quantile estimate from the cumulative buckets.
+
+        ``q`` is a fraction in [0, 1] (0.5 = p50, 0.99 = p99).  The
+        estimate interpolates linearly within the bucket containing the
+        target rank; ranks falling in the +Inf bucket clamp to the last
+        finite boundary (the histogram cannot resolve beyond it).
+        Deterministic: depends only on bucket counts.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ObservabilityError(
+                f"quantile must be in [0, 1], got {q}"
+            )
+        with self._lock:
+            counts = list(self.counts)
+            total = self.count
+        if total == 0:
+            return 0.0
+        rank = q * total
+        below = 0
+        lower = 0.0
+        for i, bound in enumerate(self.buckets):
+            inside = counts[i]
+            if below + inside >= rank and inside > 0:
+                fraction = (rank - below) / inside
+                return lower + (bound - lower) * min(1.0, max(0.0, fraction))
+            below += inside
+            lower = bound
+        return self.buckets[-1]
+
+    def quantiles(
+        self, qs: Sequence[float] = (0.50, 0.95, 0.99)
+    ) -> tuple[float, ...]:
+        """Interpolated p50/p95/p99 (by default) in one call."""
+        return tuple(self.quantile(q) for q in qs)
 
 
 class MetricsRegistry:

@@ -29,12 +29,54 @@ from repro.obs.metrics import (
     SIZE_BUCKETS,
     MetricsRegistry,
 )
+from repro.obs.spans import (
+    ADMISSION_SPAN_ID,
+    EXECUTE_SPAN_ID,
+    FIRST_ENGINE_SPAN_ID,
+    MERGE_SPAN_ID,
+    PLAN_SPAN_ID,
+    POOL_SPAN_ID,
+    QUEUE_SPAN_ID,
+    ROOT_SPAN_ID,
+    Span,
+    SpanLog,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.runtime.trace import AttemptSpan, OpSpan
 
 
 _UNSET = object()
+
+
+class _ActiveTrace:
+    """Span-allocation state for the query currently executing.
+
+    Owned by exactly one recorder at a time (the engine runs
+    synchronously inside ``start_trace`` / ``end_trace``), so no lock:
+    span *ids* are allocated here deterministically in event order,
+    while the shared :class:`~repro.obs.spans.SpanLog` locks appends.
+    """
+
+    def __init__(self, trace_id: str):
+        self.trace_id = trace_id
+        self._next_id = FIRST_ENGINE_SPAN_ID
+        #: (round, step) -> pre-allocated op span id (attempt/retry
+        #: spans arrive before their op span is materialized; re-plan
+        #: rounds restart step numbering, so the round disambiguates).
+        self._op_ids: dict[tuple[int, int], int] = {}
+
+    def allocate(self) -> int:
+        span_id = self._next_id
+        self._next_id += 1
+        return span_id
+
+    def op_span_id(self, key: tuple[int, int]) -> int:
+        span_id = self._op_ids.get(key)
+        if span_id is None:
+            span_id = self.allocate()
+            self._op_ids[key] = span_id
+        return span_id
 
 
 class Recorder:
@@ -44,6 +86,7 @@ class Recorder:
         self,
         metrics: MetricsRegistry | None | object = _UNSET,
         events: EventLog | None | object = _UNSET,
+        spans: SpanLog | None = None,
     ):
         self.metrics: MetricsRegistry | None = (
             MetricsRegistry() if metrics is _UNSET else metrics  # type: ignore[assignment]
@@ -51,11 +94,15 @@ class Recorder:
         self.events: EventLog | None = (
             EventLog() if events is _UNSET else events  # type: ignore[assignment]
         )
+        #: Optional span sink — a service shares one log across all of
+        #: its recorders; ``None`` disables span recording entirely.
+        self.spans: SpanLog | None = spans
         #: Current re-plan round (0 = initial plan), set by the caller.
         self.round = 0
         #: Added to every timestamp — keeps event time monotone across
         #: re-plan rounds whose engine clocks each restart at zero.
         self.clock_offset_s = 0.0
+        self._trace: _ActiveTrace | None = None
 
     # ------------------------------------------------------------------
     # Low-level sinks
@@ -68,6 +115,53 @@ class Recorder:
 
     def _now(self, now_s: float) -> float:
         return self.clock_offset_s + now_s
+
+    # ------------------------------------------------------------------
+    # Trace context (span recording)
+
+    def start_trace(self, trace_id: str) -> bool:
+        """Begin recording engine spans under ``trace_id``.
+
+        Returns ``True`` when a context was opened; a no-op (``False``)
+        when span recording is off or a trace is already active, so
+        nested layers (mediator around engine) compose without
+        double-starting.
+        """
+        if self.spans is None or self._trace is not None:
+            return False
+        self._trace = _ActiveTrace(trace_id)
+        return True
+
+    def end_trace(self) -> None:
+        self._trace = None
+
+    def _span(
+        self,
+        name: str,
+        category: str,
+        start_s: float,
+        end_s: float,
+        parent_id: int | None,
+        span_id: int | None = None,
+        **attributes,
+    ) -> None:
+        """Append one engine span under the active trace (offset into
+        the service timeline), if tracing is on."""
+        trace = self._trace
+        if self.spans is None or trace is None:
+            return
+        self.spans.add(
+            Span(
+                trace_id=trace.trace_id,
+                span_id=trace.allocate() if span_id is None else span_id,
+                parent_id=parent_id,
+                name=name,
+                category=category,
+                start_s=self.clock_offset_s + start_s,
+                end_s=self.clock_offset_s + end_s,
+                attributes=attributes,
+            )
+        )
 
     # ------------------------------------------------------------------
     # Run lifecycle
@@ -142,6 +236,16 @@ class Recorder:
             self.metrics.histogram(
                 "repro_sendset_size", buckets=SIZE_BUCKETS
             ).observe(size, now_s=self._now(now_s))
+        if self._trace is not None:
+            self._span(
+                "sendset",
+                "execute",
+                now_s,
+                now_s,
+                self._trace.op_span_id((self.round, step)),
+                source=source,
+                size=size,
+            )
 
     def attempt_finished(
         self,
@@ -197,6 +301,19 @@ class Recorder:
             self.metrics.histogram(
                 "repro_attempt_duration_s", buckets=DURATION_BUCKETS_S
             ).observe(span.duration_s, now_s=stamp)
+        if self._trace is not None:
+            self._span(
+                "attempt",
+                "execute",
+                span.start_s,
+                span.end_s,
+                self._trace.op_span_id((self.round, step)),
+                attempt=span.attempt,
+                source=source,
+                fate=span.fate.value,
+                hedge=span.hedge,
+                cost=span.cost,
+            )
 
     def retry_scheduled(
         self, now_s: float, step: int, source: str, retries: int, at_s: float
@@ -214,6 +331,19 @@ class Recorder:
             self.metrics.counter(
                 "repro_retries_total", source=source
             ).inc(now_s=self._now(now_s))
+        if self._trace is not None:
+            # The backoff window is blocked time on the op's critical
+            # path; recording it as a span lets the analyzer classify
+            # it separately from wire time.
+            self._span(
+                "backoff",
+                "execute",
+                now_s,
+                at_s,
+                self._trace.op_span_id((self.round, step)),
+                source=source,
+                retries=retries,
+            )
 
     def hedge_launched(
         self, now_s: float, step: int, primary: str, target: str, trigger: str
@@ -231,6 +361,17 @@ class Recorder:
             self.metrics.counter(
                 "repro_hedges_total", target=target, trigger=trigger
             ).inc(now_s=self._now(now_s))
+        if self._trace is not None:
+            self._span(
+                "hedge",
+                "execute",
+                now_s,
+                now_s,
+                self._trace.op_span_id((self.round, step)),
+                primary=primary,
+                target=target,
+                trigger=trigger,
+            )
 
     # ------------------------------------------------------------------
     # Health / planning
@@ -248,6 +389,16 @@ class Recorder:
             self.metrics.counter(
                 "repro_breaker_transitions_total", source=source, to=new_state
             ).inc(now_s=self._now(now_s))
+        if self._trace is not None:
+            self._span(
+                "breaker",
+                "execute",
+                now_s,
+                now_s,
+                EXECUTE_SPAN_ID,
+                source=source,
+                **{"from": old_state, "to": new_state},
+            )
 
     def answer_verified(self, now_s, step, report, score) -> None:
         """One answer passed through the verifier (``report`` is a
@@ -291,6 +442,18 @@ class Recorder:
                 conflicts=report.conflicts,
                 score=score,
             )
+        if self._trace is not None:
+            self._span(
+                "verify",
+                "execute",
+                now_s,
+                now_s,
+                self._trace.op_span_id((self.round, step)),
+                source=report.source,
+                outcome="clean" if report.clean else "tainted",
+                kept=report.kept,
+                dropped=report.delivered - report.kept,
+            )
 
     def quarantine_changed(
         self, now_s, source: str, action: str, score: float, answers: int
@@ -308,6 +471,16 @@ class Recorder:
             self.metrics.counter(
                 "repro_verify_quarantines_total", source=source
             ).inc(now_s=self._now(now_s))
+        if self._trace is not None:
+            self._span(
+                "quarantine",
+                "execute",
+                now_s,
+                now_s,
+                EXECUTE_SPAN_ID,
+                source=source,
+                action=action,
+            )
 
     def round_planned(
         self,
@@ -399,6 +572,7 @@ class Recorder:
         self, now_s: float, query: int, tenant: str,
         queue_depth: int, in_flight: int,
         latency_s: float, error: str = "",
+        partial: bool = False,
     ) -> None:
         self._serve(
             now_s,
@@ -413,11 +587,193 @@ class Recorder:
                 tenant=tenant,
                 outcome="error" if error else "ok",
             ).inc(now_s=stamp)
+            if partial and not error:
+                # Completeness SLOs read this next to the ok counter.
+                self.metrics.counter(
+                    "repro_serve_partial_total", tenant=tenant
+                ).inc(now_s=stamp)
             self.metrics.histogram(
                 "repro_serve_latency_s",
                 buckets=DURATION_BUCKETS_S,
                 tenant=tenant,
             ).observe(latency_s, now_s=stamp)
+
+    # ------------------------------------------------------------------
+    # Causal tracing (repro.obs.spans)
+
+    def query_planned(
+        self,
+        now_s: float,
+        query: int,
+        tenant: str,
+        trace_id: str,
+        cache: str,
+        strategy: str,
+        subsets: int,
+        elapsed_s: float,
+        exhausted: bool,
+    ) -> None:
+        """The serving tier planned one admitted query."""
+        self._emit(
+            now_s,
+            "plan",
+            query=query,
+            tenant=tenant,
+            trace=trace_id,
+            cache=cache,
+            strategy=strategy,
+            subsets=subsets,
+            elapsed=elapsed_s,
+            exhausted=exhausted,
+        )
+        if self.metrics is not None:
+            stamp = self._now(now_s)
+            self.metrics.counter(
+                "repro_serve_plans_total", cache=cache
+            ).inc(now_s=stamp)
+            self.metrics.histogram(
+                "repro_plan_latency_s", buckets=DURATION_BUCKETS_S
+            ).observe(elapsed_s, now_s=stamp)
+
+    def query_trace(
+        self,
+        trace_id: str,
+        query: int,
+        tenant: str,
+        status: str,
+        submitted_s: float,
+        planned_s: float,
+        plan_elapsed_s: float,
+        dispatched_s: float,
+        finished_s: float,
+        completed_s: float,
+        cache: str = "off",
+        strategy: str = "",
+    ) -> None:
+        """Materialize the serving-tier spans of one finished query.
+
+        Called once, at completion, when every phase boundary is known;
+        the engine spans recorded during execution already parent under
+        the fixed ``EXECUTE_SPAN_ID``.  The six phase spans tile
+        ``[submitted, completed]`` exactly: admission (instantaneous),
+        queue wait, planning, pool acquisition, execution, and the
+        final merge/bookkeeping gap.
+        """
+        if self.spans is None:
+            return
+        plan_end = min(planned_s + plan_elapsed_s, dispatched_s)
+        add = self.spans.add
+
+        def span(
+            span_id: int,
+            parent_id: int | None,
+            name: str,
+            category: str,
+            start_s: float,
+            end_s: float,
+            **attributes,
+        ) -> None:
+            add(
+                Span(
+                    trace_id=trace_id,
+                    span_id=span_id,
+                    parent_id=parent_id,
+                    name=name,
+                    category=category,
+                    start_s=start_s,
+                    end_s=end_s,
+                    attributes=attributes,
+                )
+            )
+
+        span(
+            ROOT_SPAN_ID,
+            None,
+            "query",
+            "serve",
+            submitted_s,
+            completed_s,
+            query=query,
+            tenant=tenant,
+            status=status,
+        )
+        span(
+            ADMISSION_SPAN_ID,
+            ROOT_SPAN_ID,
+            "admission",
+            "serve",
+            submitted_s,
+            submitted_s,
+        )
+        span(
+            QUEUE_SPAN_ID, ROOT_SPAN_ID, "queue", "serve",
+            submitted_s, planned_s,
+        )
+        span(
+            PLAN_SPAN_ID,
+            ROOT_SPAN_ID,
+            "plan",
+            "plan",
+            planned_s,
+            plan_end,
+            cache=cache,
+            strategy=strategy,
+        )
+        span(
+            POOL_SPAN_ID, ROOT_SPAN_ID, "pool", "serve",
+            plan_end, dispatched_s,
+        )
+        span(
+            EXECUTE_SPAN_ID,
+            ROOT_SPAN_ID,
+            "execute",
+            "execute",
+            dispatched_s,
+            finished_s,
+        )
+        span(
+            MERGE_SPAN_ID, ROOT_SPAN_ID, "merge", "serve",
+            finished_s, completed_s,
+        )
+
+    def query_phases(
+        self,
+        now_s: float,
+        query: int,
+        tenant: str,
+        trace_id: str,
+        phases: dict[str, float],
+        total_s: float,
+    ) -> None:
+        """Critical-path attribution of one completed query.
+
+        ``phases`` is the analyzer's by-phase dict (see
+        :data:`repro.obs.spans.PHASES`); the event schema folds the
+        (always instantaneous) admission phase into the queue field.
+        """
+        self._emit(
+            now_s,
+            "phases",
+            query=query,
+            tenant=tenant,
+            trace=trace_id,
+            queue=phases.get("admission", 0.0) + phases.get("queue", 0.0),
+            plan=phases.get("plan", 0.0),
+            pool=phases.get("pool", 0.0),
+            exec_wait=phases.get("exec.wait", 0.0),
+            exec_wire=phases.get("exec.wire", 0.0),
+            exec_backoff=phases.get("exec.backoff", 0.0),
+            merge=phases.get("merge", 0.0),
+            total=total_s,
+        )
+        if self.metrics is not None:
+            stamp = self._now(now_s)
+            for phase, seconds in sorted(phases.items()):
+                self.metrics.histogram(
+                    "repro_serve_phase_latency_s",
+                    buckets=DURATION_BUCKETS_S,
+                    phase=phase,
+                ).observe(seconds, now_s=stamp)
 
     def query_shed(
         self,
@@ -511,3 +867,22 @@ class Recorder:
                 self.metrics.histogram(
                     "repro_op_queue_wait_s", buckets=DURATION_BUCKETS_S
                 ).observe(span.queue_wait_s, now_s=stamp)
+        if self._trace is not None:
+            # Uses the id pre-allocated when the op's first attempt (or
+            # sendset/retry) referenced this step, so children emitted
+            # earlier already parent correctly.
+            self._span(
+                "op",
+                "execute",
+                span.queued_s,
+                span.finished_s,
+                EXECUTE_SPAN_ID,
+                span_id=self._trace.op_span_id((self.round, span.step)),
+                step=span.step,
+                op=op.kind.value,
+                source=span.source,
+                remote=op.remote,
+                started=self.clock_offset_s + span.started_s,
+                status=span.status.value,
+                output=span.output_size,
+            )

@@ -1,0 +1,239 @@
+"""Service-level objectives over the metrics registry.
+
+An :class:`SLOMonitor` turns the serving tier's raw metrics into the
+operator's view: *are we meeting our objectives, and how fast are we
+burning the error budget?*  Two objective kinds:
+
+* **latency** — "a fraction ``objective`` of completed queries answer
+  within ``threshold_s``", evaluated from the ``repro_serve_latency_s``
+  histograms via interpolated cumulative-bucket counts
+  (:meth:`~repro.obs.metrics.Histogram.fraction_le`);
+* **completeness** — "a fraction ``objective`` of completed queries
+  return the full (non-partial, non-error) answer", evaluated from the
+  ``repro_serve_completed_total`` / ``repro_serve_partial_total``
+  counters.
+
+Evaluation writes ``repro_slo_*`` gauges back into the registry
+(compliance, burn rate, remaining error budget — all labeled by SLO
+name) so the objectives export to Prometheus next to the raw series,
+and renders a deterministic text report for ``workload --slo``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+#: Objective kinds the monitor evaluates.
+SLO_KINDS = ("latency", "completeness")
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """One objective: a target fraction of good events.
+
+    ``threshold_s`` is only meaningful for ``kind="latency"``.
+    """
+
+    name: str
+    kind: str
+    objective: float
+    threshold_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in SLO_KINDS:
+            raise ObservabilityError(
+                f"unknown SLO kind {self.kind!r}; choose from {SLO_KINDS}"
+            )
+        if not 0.0 < self.objective < 1.0:
+            raise ObservabilityError(
+                f"SLO objective must be in (0, 1), got {self.objective}"
+            )
+        if self.kind == "latency" and not self.threshold_s > 0:
+            raise ObservabilityError(
+                f"latency SLO needs a positive threshold, "
+                f"got {self.threshold_s}"
+            )
+
+
+@dataclass(frozen=True)
+class SLOStatus:
+    """One objective's standing over the evaluated window."""
+
+    spec: SLOSpec
+    good: float
+    total: float
+
+    @property
+    def compliance(self) -> float:
+        """Observed good fraction (1.0 when nothing happened yet)."""
+        if self.total <= 0:
+            return 1.0
+        return self.good / self.total
+
+    @property
+    def error_budget(self) -> float:
+        """Allowed bad fraction: ``1 - objective``."""
+        return 1.0 - self.spec.objective
+
+    @property
+    def burn_rate(self) -> float:
+        """Observed bad fraction over the allowed bad fraction.
+
+        1.0 means the budget is being spent exactly as provisioned;
+        above 1.0 the budget runs out before the window does.
+        """
+        return (1.0 - self.compliance) / self.error_budget
+
+    @property
+    def budget_remaining(self) -> float:
+        """Fraction of the error budget left (clamped at 0)."""
+        return max(0.0, 1.0 - self.burn_rate)
+
+    @property
+    def met(self) -> bool:
+        return self.compliance >= self.spec.objective - 1e-12
+
+    def describe(self) -> str:
+        target = (
+            f"<= {self.spec.threshold_s:g}s"
+            if self.spec.kind == "latency"
+            else "full answers"
+        )
+        return (
+            f"{self.spec.name}: {self.compliance * 100:.2f}% {target} "
+            f"(objective {self.spec.objective * 100:g}%, "
+            f"burn rate {self.burn_rate:.2f}x, "
+            f"budget remaining {self.budget_remaining * 100:.0f}%) "
+            f"[{'OK' if self.met else 'VIOLATED'}]"
+        )
+
+
+def parse_slo_spec(text: str) -> list[SLOSpec]:
+    """Parse the CLI's ``--slo`` syntax into specs.
+
+    Comma-separated objectives: ``latency:<threshold_s>:<objective>``
+    or ``completeness:<objective>``, e.g.
+    ``latency:1.0:0.95,completeness:0.99``.
+    """
+    specs: list[SLOSpec] = []
+    for index, part in enumerate(filter(None, text.split(","))):
+        pieces = part.strip().split(":")
+        kind = pieces[0].strip()
+        try:
+            if kind == "latency" and len(pieces) == 3:
+                threshold, objective = float(pieces[1]), float(pieces[2])
+                specs.append(
+                    SLOSpec(
+                        name=f"latency_p{objective * 100:g}_{threshold:g}s",
+                        kind="latency",
+                        objective=objective,
+                        threshold_s=threshold,
+                    )
+                )
+                continue
+            if kind == "completeness" and len(pieces) == 2:
+                objective = float(pieces[1])
+                specs.append(
+                    SLOSpec(
+                        name=f"completeness_{objective * 100:g}",
+                        kind="completeness",
+                        objective=objective,
+                    )
+                )
+                continue
+        except ValueError as exc:
+            raise ObservabilityError(
+                f"bad --slo component {part!r}: {exc}"
+            ) from exc
+        raise ObservabilityError(
+            f"bad --slo component {part!r}; expected "
+            "latency:<threshold_s>:<objective> or "
+            "completeness:<objective>"
+        )
+    if not specs:
+        raise ObservabilityError("--slo needs at least one objective")
+    return specs
+
+
+class SLOMonitor:
+    """Evaluates objectives against a live metrics registry."""
+
+    def __init__(self, specs: list[SLOSpec]):
+        if not specs:
+            raise ObservabilityError("SLOMonitor needs at least one SLOSpec")
+        names = [spec.name for spec in specs]
+        if len(set(names)) != len(names):
+            raise ObservabilityError(f"duplicate SLO names in {names}")
+        self.specs = list(specs)
+
+    # -- metric scraping ------------------------------------------------
+
+    @staticmethod
+    def _latency_counts(
+        registry: MetricsRegistry, threshold_s: float
+    ) -> tuple[float, float]:
+        good = total = 0.0
+        for metric in registry._sorted():
+            if metric.name != "repro_serve_latency_s" or not isinstance(
+                metric, Histogram
+            ):
+                continue
+            good += metric.fraction_le(threshold_s) * metric.count
+            total += metric.count
+        return good, total
+
+    @staticmethod
+    def _completeness_counts(
+        registry: MetricsRegistry,
+    ) -> tuple[float, float]:
+        ok = errors = partial = 0.0
+        for metric in registry._sorted():
+            labels = dict(metric.labels)
+            if metric.name == "repro_serve_completed_total":
+                if labels.get("outcome") == "ok":
+                    ok += metric.value
+                else:
+                    errors += metric.value
+            elif metric.name == "repro_serve_partial_total":
+                partial += metric.value
+        total = ok + errors
+        return max(0.0, ok - partial), total
+
+    # -- evaluation -----------------------------------------------------
+
+    def evaluate(
+        self, registry: MetricsRegistry, now_s: float | None = None
+    ) -> list[SLOStatus]:
+        """Score every objective and record ``repro_slo_*`` gauges."""
+        statuses: list[SLOStatus] = []
+        for spec in self.specs:
+            if spec.kind == "latency":
+                good, total = self._latency_counts(registry, spec.threshold_s)
+            else:
+                good, total = self._completeness_counts(registry)
+            status = SLOStatus(spec=spec, good=good, total=total)
+            statuses.append(status)
+            registry.gauge("repro_slo_compliance", slo=spec.name).set(
+                status.compliance, now_s=now_s
+            )
+            registry.gauge("repro_slo_burn_rate", slo=spec.name).set(
+                status.burn_rate, now_s=now_s
+            )
+            registry.gauge("repro_slo_budget_remaining", slo=spec.name).set(
+                status.budget_remaining, now_s=now_s
+            )
+        return statuses
+
+    @staticmethod
+    def render(statuses: list[SLOStatus]) -> str:
+        lines = ["SLO report:"]
+        for status in statuses:
+            lines.append(f"  {status.describe()}")
+        violated = [s for s in statuses if not s.met]
+        lines.append(
+            f"  {len(statuses) - len(violated)}/{len(statuses)} objectives met"
+        )
+        return "\n".join(lines)

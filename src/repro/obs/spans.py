@@ -1,0 +1,558 @@
+"""Causal span trees: per-query traces, Chrome export, critical paths.
+
+Every query served by :class:`~repro.serve.service.MediatorService` (and
+every single-shot :meth:`~repro.mediator.session.Mediator.answer`) gets a
+deterministic ``trace_id`` — :func:`derive_trace_id` mixes the workload
+seed with the submission sequence number, so a deterministic-mode run
+replays its whole span forest byte-identically — and a hierarchical
+span tree recorded through the :class:`~repro.obs.recorder.Recorder`:
+
+* serving-tier phases: ``admission``, ``queue``, ``plan`` (plan-cache
+  hit/miss and search strategy as attributes), ``pool`` acquisition,
+  ``execute``, and the final ``merge``;
+* engine children under ``execute``: one ``op`` span per plan operation
+  (queued → finished) with ``attempt`` / ``sendset`` / ``backoff`` /
+  ``hedge`` / ``verify`` children, plus ``breaker`` and ``quarantine``
+  transition markers.
+
+The :class:`SpanLog` is the storage: thread-safe, append-only, exported
+either as Chrome trace-event JSON (:meth:`SpanLog.to_chrome_json`,
+loadable in Perfetto — each query is one track) or walked by the
+critical-path analyzer (:func:`analyze_trace`), which tiles a query's
+end-to-end latency into :class:`PhaseSlice` segments whose durations sum
+*exactly* to the measured latency — the property CI asserts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Mapping
+
+from repro.errors import ObservabilityError
+
+#: Serving-tier span ids are fixed per trace, so the serving layer can
+#: parent engine spans under ``execute`` before the serve spans are
+#: materialized (they are only emitted once the query completes and all
+#: phase boundaries are known).
+ROOT_SPAN_ID = 1
+ADMISSION_SPAN_ID = 2
+QUEUE_SPAN_ID = 3
+PLAN_SPAN_ID = 4
+POOL_SPAN_ID = 5
+EXECUTE_SPAN_ID = 6
+MERGE_SPAN_ID = 7
+#: First id handed to dynamically allocated engine spans.
+FIRST_ENGINE_SPAN_ID = 8
+
+#: Phase vocabulary of the critical-path analyzer, in timeline order.
+PHASES = (
+    "admission",
+    "queue",
+    "plan",
+    "pool",
+    "exec.wait",
+    "exec.wire",
+    "exec.backoff",
+    "merge",
+)
+
+_TRACE_MIX_A = 0x9E3779B97F4A7C15
+_TRACE_MIX_B = 0xBF58476D1CE4E5B9
+_TRACE_MIX_C = 0x94D049BB133111EB
+_MASK64 = (1 << 64) - 1
+
+
+def derive_trace_id(workload_seed: int, seq: int) -> str:
+    """Deterministic 64-bit trace id from workload seed + sequence.
+
+    A splitmix-style integer hash: stable across runs and platforms,
+    collision-averse across both arguments, and cheap.  Same seed and
+    sequence number always name the same trace, which is what makes
+    deterministic-mode trace replay byte-identical.
+    """
+    value = (workload_seed * _TRACE_MIX_A + seq * _TRACE_MIX_B + _TRACE_MIX_C) & _MASK64
+    value = ((value ^ (value >> 30)) * _TRACE_MIX_B) & _MASK64
+    value = ((value ^ (value >> 27)) * _TRACE_MIX_C) & _MASK64
+    value ^= value >> 31
+    return f"{value:016x}"
+
+
+@dataclass(frozen=True)
+class Span:
+    """One node of a query's span tree.
+
+    Times are service-timeline seconds (virtual clock in deterministic
+    mode, seconds since service start under threads).  ``parent_id`` is
+    ``None`` only for the root ``query`` span.
+    """
+
+    trace_id: str
+    span_id: int
+    parent_id: int | None
+    name: str
+    category: str
+    start_s: float
+    end_s: float
+    attributes: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.end_s < self.start_s - 1e-9:
+            raise ObservabilityError(
+                f"span {self.name!r} ends ({self.end_s}) before it "
+                f"starts ({self.start_s})"
+            )
+
+    @property
+    def duration_s(self) -> float:
+        return max(0.0, self.end_s - self.start_s)
+
+
+class SpanLog:
+    """Thread-safe append-only store for finished spans.
+
+    One log is shared by every recorder of a service (deterministic
+    mode has a single recorder; thread mode gives each worker its own
+    recorder but they all append here), so the lock is load-bearing.
+    Append order is deterministic under the virtual clock; the Chrome
+    exporter additionally sorts within each trace so the bytes do not
+    depend on insertion interleaving in thread mode.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._spans: list[Span] = []
+        #: trace_id -> first-seen index, for stable track numbering.
+        self._trace_order: dict[str, int] = {}
+
+    def add(self, span: Span) -> Span:
+        with self._lock:
+            if span.trace_id not in self._trace_order:
+                self._trace_order[span.trace_id] = len(self._trace_order)
+            self._spans.append(span)
+        return span
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    def __iter__(self) -> Iterator[Span]:
+        with self._lock:
+            return iter(list(self._spans))
+
+    @property
+    def spans(self) -> list[Span]:
+        with self._lock:
+            return list(self._spans)
+
+    def trace_ids(self) -> list[str]:
+        """Trace ids in first-seen order."""
+        with self._lock:
+            return sorted(self._trace_order, key=self._trace_order.__getitem__)
+
+    def for_trace(self, trace_id: str) -> list[Span]:
+        with self._lock:
+            return [s for s in self._spans if s.trace_id == trace_id]
+
+    # ------------------------------------------------------------------
+    # Chrome trace-event export (Perfetto-loadable)
+
+    def to_chrome_trace(self) -> dict[str, Any]:
+        """The span forest as a Chrome trace-event JSON object.
+
+        One ``pid`` for the whole service; one ``tid`` (track) per
+        trace in first-submitted order, named by its trace id; every
+        span a complete (``"ph": "X"``) event with microsecond
+        timestamps.  Span identity and parentage ride in ``args`` so
+        the tree survives the format round trip.
+        """
+        events: list[dict[str, Any]] = []
+        with self._lock:
+            order = dict(self._trace_order)
+            spans = list(self._spans)
+        for trace_id in sorted(order, key=order.__getitem__):
+            events.append(
+                {
+                    "ph": "M",
+                    "pid": 1,
+                    "tid": order[trace_id] + 1,
+                    "name": "thread_name",
+                    "args": {"name": f"trace {trace_id}"},
+                }
+            )
+        for span in sorted(
+            spans,
+            key=lambda s: (order[s.trace_id], s.start_s, s.span_id),
+        ):
+            args: dict[str, Any] = {
+                "trace_id": span.trace_id,
+                "span_id": span.span_id,
+                "parent_id": span.parent_id,
+            }
+            for key in sorted(span.attributes):
+                args[key] = span.attributes[key]
+            events.append(
+                {
+                    "ph": "X",
+                    "pid": 1,
+                    "tid": order[span.trace_id] + 1,
+                    "name": span.name,
+                    "cat": span.category,
+                    "ts": round(span.start_s * 1e6, 3),
+                    "dur": round(span.duration_s * 1e6, 3),
+                    "args": args,
+                }
+            )
+        return {"displayTimeUnit": "ms", "traceEvents": events}
+
+    def to_chrome_json(self) -> str:
+        """Deterministic bytes: same seed, same trace, same string."""
+        return json.dumps(
+            self.to_chrome_trace(), sort_keys=True, separators=(",", ":")
+        )
+
+    def write_chrome_trace(self, path: str) -> str:
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_chrome_json() + "\n")
+        return path
+
+
+#: Required keys (and Python types) of an exported complete-span event —
+#: the span schema CI validates exported traces against.
+CHROME_EVENT_SCHEMA: dict[str, type | tuple[type, ...]] = {
+    "ph": str,
+    "pid": int,
+    "tid": int,
+    "name": str,
+    "cat": str,
+    "ts": (int, float),
+    "dur": (int, float),
+    "args": dict,
+}
+
+
+def validate_chrome_trace(data: Mapping[str, Any]) -> int:
+    """Validate an exported Chrome trace against the span schema.
+
+    Checks the envelope, every complete event's fields and types, span
+    identity in ``args``, and that every non-root span's parent exists
+    within its trace.  Returns the number of spans validated; raises
+    :class:`~repro.errors.ObservabilityError` on the first violation.
+    """
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        raise ObservabilityError("trace JSON must carry a traceEvents list")
+    by_trace: dict[str, set[int]] = {}
+    complete: list[Mapping[str, Any]] = []
+    for event in events:
+        phase = event.get("ph")
+        if phase == "M":
+            continue
+        if phase != "X":
+            raise ObservabilityError(f"unexpected event phase {phase!r}")
+        for key, expected in CHROME_EVENT_SCHEMA.items():
+            if key not in event:
+                raise ObservabilityError(f"span event missing {key!r}")
+            if not isinstance(event[key], expected) or isinstance(
+                event[key], bool
+            ):
+                raise ObservabilityError(
+                    f"span event field {key!r} has wrong type "
+                    f"{type(event[key]).__name__}"
+                )
+        args = event["args"]
+        trace_id = args.get("trace_id")
+        span_id = args.get("span_id")
+        if not isinstance(trace_id, str) or not isinstance(span_id, int):
+            raise ObservabilityError(
+                "span args must carry trace_id (str) and span_id (int)"
+            )
+        if event["dur"] < 0:
+            raise ObservabilityError(f"span {span_id} has negative duration")
+        by_trace.setdefault(trace_id, set()).add(span_id)
+        complete.append(event)
+    for event in complete:
+        args = event["args"]
+        parent = args.get("parent_id")
+        if parent is None:
+            continue
+        if parent not in by_trace[args["trace_id"]]:
+            raise ObservabilityError(
+                f"span {args['span_id']} of trace {args['trace_id']} "
+                f"references missing parent {parent}"
+            )
+    return len(complete)
+
+
+# ----------------------------------------------------------------------
+# Critical-path analysis
+
+
+@dataclass(frozen=True)
+class PhaseSlice:
+    """One segment of a query's blocking chain."""
+
+    phase: str
+    start_s: float
+    end_s: float
+    detail: str = ""
+
+    @property
+    def duration_s(self) -> float:
+        return max(0.0, self.end_s - self.start_s)
+
+
+@dataclass(frozen=True)
+class CriticalPath:
+    """A query's end-to-end latency, tiled into blocking segments.
+
+    The slices partition ``[submit, complete]`` with no gaps and no
+    overlap, so ``sum(slice durations) == total_s`` exactly (up to
+    float associativity) — the invariant the acceptance tests check.
+    """
+
+    trace_id: str
+    slices: tuple[PhaseSlice, ...]
+
+    @property
+    def total_s(self) -> float:
+        if not self.slices:
+            return 0.0
+        return self.slices[-1].end_s - self.slices[0].start_s
+
+    def by_phase(self) -> dict[str, float]:
+        """Seconds attributed to each phase (every phase listed)."""
+        totals = {phase: 0.0 for phase in PHASES}
+        for piece in self.slices:
+            totals[piece.phase] = totals.get(piece.phase, 0.0) + piece.duration_s
+        return totals
+
+    def dominant_phase(self) -> str:
+        totals = self.by_phase()
+        return max(PHASES, key=lambda phase: (totals.get(phase, 0.0),))
+
+
+_EPS = 1e-9
+
+
+def _chain_ops(op_spans: list[Span]) -> list[Span]:
+    """The blocking chain through the engine's op spans, latest first.
+
+    An op span runs ``[queued, finished]`` with ``started`` in its
+    attributes.  Under the discrete-event clock an op becomes ready at
+    the instant its last input finished, so the predecessor of a chain
+    op is exactly the op whose ``finished`` equals its ``queued``; ties
+    resolve deterministically by (end, step).
+    """
+    if not op_spans:
+        return []
+    ordered = sorted(
+        op_spans,
+        key=lambda s: (s.end_s, s.attributes.get("step", 0)),
+    )
+    chain = [ordered[-1]]
+    # Zero-duration ops sharing an instant would chain to each other
+    # forever; a visited set makes the walk terminate unconditionally.
+    seen = {id(ordered[-1])}
+    while True:
+        current = chain[-1]
+        candidates = [
+            span
+            for span in ordered
+            if id(span) not in seen
+            and abs(span.end_s - current.start_s) <= _EPS
+            and span.start_s <= current.start_s + _EPS
+        ]
+        if not candidates:
+            break
+        chain.append(candidates[-1])
+        seen.add(id(candidates[-1]))
+    return chain
+
+
+def _merge_intervals(
+    intervals: list[tuple[float, float]],
+) -> list[tuple[float, float]]:
+    merged: list[tuple[float, float]] = []
+    for start, end in sorted(intervals):
+        if merged and start <= merged[-1][1] + _EPS:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def _op_slices(op: Span, children: list[Span]) -> list[PhaseSlice]:
+    """Tile one chain op's ``[queued, finished]`` window into phases.
+
+    ``[queued, started]`` is engine-side source wait; inside
+    ``[started, finished]`` time covered by an attempt is wire time,
+    time covered by a scheduled backoff is backoff, and anything else
+    (e.g. parked on a confirmation) is wait.  Local (merge) ops are
+    instantaneous and classify as ``merge``.
+    """
+    detail = str(op.attributes.get("source", "") or op.name)
+    started = float(op.attributes.get("started", op.start_s))
+    if not op.attributes.get("remote", True):
+        return [PhaseSlice("merge", op.start_s, op.end_s, detail=op.name)]
+    slices: list[PhaseSlice] = []
+    if started > op.start_s + _EPS:
+        slices.append(
+            PhaseSlice("exec.wait", op.start_s, started, detail=detail)
+        )
+    wire = _merge_intervals(
+        [
+            (max(started, child.start_s), min(op.end_s, child.end_s))
+            for child in children
+            if child.name == "attempt" and child.end_s > started
+        ]
+    )
+    backoff = _merge_intervals(
+        [
+            (max(started, child.start_s), min(op.end_s, child.end_s))
+            for child in children
+            if child.name == "backoff" and child.end_s > started
+        ]
+    )
+    cursor = started
+    points = sorted(
+        {started, op.end_s}
+        | {t for pair in wire for t in pair}
+        | {t for pair in backoff for t in pair}
+    )
+    for left, right in zip(points, points[1:]):
+        if right <= cursor + _EPS or right > op.end_s + _EPS:
+            continue
+        mid = (left + right) / 2.0
+        if any(s - _EPS <= mid <= e + _EPS for s, e in wire):
+            phase = "exec.wire"
+        elif any(s - _EPS <= mid <= e + _EPS for s, e in backoff):
+            phase = "exec.backoff"
+        else:
+            phase = "exec.wait"
+        if slices and slices[-1].phase == phase and slices[-1].detail == detail:
+            slices[-1] = PhaseSlice(phase, slices[-1].start_s, right, detail)
+        else:
+            slices.append(PhaseSlice(phase, left, right, detail))
+        cursor = right
+    if cursor < op.end_s - _EPS:
+        slices.append(PhaseSlice("exec.wait", cursor, op.end_s, detail=detail))
+    return slices
+
+
+def analyze_trace(spans: Iterable[Span]) -> CriticalPath | None:
+    """Walk one trace's blocking chain into a :class:`CriticalPath`.
+
+    Returns ``None`` when the trace has no root span (nothing to
+    attribute).  The serving-tier spans tile ``[submit, dispatch]`` by
+    construction; inside ``execute`` the chain of op spans is walked
+    back from the last-finishing operation, each link split into
+    wait/wire/backoff segments.  Any unattributed remainder becomes an
+    ``exec.wait`` slice, so the tiling — and the sum — is exact even
+    for traces with unusual shapes.
+    """
+    spans = list(spans)
+    by_id = {span.span_id: span for span in spans}
+    root = by_id.get(ROOT_SPAN_ID)
+    if root is None or root.name != "query":
+        return None
+    slices: list[PhaseSlice] = []
+
+    def serve_slice(span_id: int, phase: str) -> None:
+        span = by_id.get(span_id)
+        if span is not None and span.duration_s > _EPS:
+            slices.append(PhaseSlice(phase, span.start_s, span.end_s))
+
+    serve_slice(ADMISSION_SPAN_ID, "admission")
+    serve_slice(QUEUE_SPAN_ID, "queue")
+    serve_slice(PLAN_SPAN_ID, "plan")
+    serve_slice(POOL_SPAN_ID, "pool")
+    execute = by_id.get(EXECUTE_SPAN_ID)
+    if execute is not None and execute.duration_s > _EPS:
+        op_spans = [
+            span
+            for span in spans
+            if span.category == "execute" and span.name == "op"
+        ]
+        children: dict[int, list[Span]] = {}
+        for span in spans:
+            if span.parent_id is not None:
+                children.setdefault(span.parent_id, []).append(span)
+        exec_slices: list[PhaseSlice] = []
+        for op in reversed(_chain_ops(op_spans)):
+            exec_slices.extend(_op_slices(op, children.get(op.span_id, [])))
+        # Tile gaps (chain not reaching the dispatch instant, or ops
+        # finishing before the engine's final clock tick) as wait.
+        tiled: list[PhaseSlice] = []
+        cursor = execute.start_s
+        for piece in exec_slices:
+            if piece.start_s > cursor + _EPS:
+                tiled.append(PhaseSlice("exec.wait", cursor, piece.start_s))
+            clipped_start = max(piece.start_s, cursor)
+            clipped_end = min(piece.end_s, execute.end_s)
+            if clipped_end > clipped_start + _EPS or (
+                piece.phase == "merge" and clipped_end >= clipped_start
+            ):
+                tiled.append(
+                    PhaseSlice(
+                        piece.phase, clipped_start, clipped_end, piece.detail
+                    )
+                )
+                cursor = clipped_end
+        if cursor < execute.end_s - _EPS:
+            tiled.append(PhaseSlice("exec.wait", cursor, execute.end_s))
+        slices.extend(tiled)
+    serve_slice(MERGE_SPAN_ID, "merge")
+    # Exact tiling of [submit, complete]: clamp boundaries so adjacent
+    # slices always touch — rounding never creates gaps or overlaps.
+    tiled: list[PhaseSlice] = []
+    cursor = root.start_s
+    for piece in slices:
+        start = cursor
+        end = max(start, min(piece.end_s, root.end_s))
+        tiled.append(PhaseSlice(piece.phase, start, end, piece.detail))
+        cursor = end
+    if cursor < root.end_s - _EPS or not tiled:
+        tiled.append(PhaseSlice("exec.wait", cursor, root.end_s))
+    else:
+        last = tiled[-1]
+        tiled[-1] = PhaseSlice(last.phase, last.start_s, root.end_s, last.detail)
+    return CriticalPath(trace_id=root.trace_id, slices=tuple(tiled))
+
+
+def analyze_log(log: SpanLog) -> dict[str, CriticalPath]:
+    """Critical paths for every trace in the log, in trace order."""
+    spans_by_trace: dict[str, list[Span]] = {}
+    for span in log.spans:
+        spans_by_trace.setdefault(span.trace_id, []).append(span)
+    out: dict[str, CriticalPath] = {}
+    for trace_id in log.trace_ids():
+        path = analyze_trace(spans_by_trace.get(trace_id, []))
+        if path is not None:
+            out[trace_id] = path
+    return out
+
+
+def top_contributors(
+    paths: Iterable[CriticalPath], limit: int = 5
+) -> list[tuple[str, float]]:
+    """The heaviest (phase, detail) contributors across many queries.
+
+    Aggregates blocked seconds by ``phase[@detail]`` label and returns
+    the ``limit`` largest — the "where did the p99 go" table of the
+    workload report.
+    """
+    totals: dict[str, float] = {}
+    for path in paths:
+        for piece in path.slices:
+            label = piece.phase
+            if piece.detail:
+                label = f"{piece.phase}@{piece.detail}"
+            totals[label] = totals.get(label, 0.0) + piece.duration_s
+    ranked = sorted(totals.items(), key=lambda item: (-item[1], item[0]))
+    return [(label, total) for label, total in ranked[:limit] if total > 0.0]

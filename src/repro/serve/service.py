@@ -56,6 +56,7 @@ from repro.mediator.session import Mediator
 from repro.obs.events import EventLog
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.recorder import Recorder
+from repro.obs.spans import SpanLog, analyze_trace, derive_trace_id
 from repro.optimize.search import PlanningBudget
 from repro.query.fusion import FusionQuery
 from repro.runtime.faults import (
@@ -120,6 +121,22 @@ class QueryTicket:
     incomplete_conditions: tuple[str, ...] = ()
     #: True when anytime planning hit its budget for this query.
     planning_budget_exhausted: bool = False
+    #: Deterministic trace id ("" when the service runs with tracing
+    #: off); same workload seed + seq always names the same trace.
+    trace_id: str = ""
+    #: When the service planned this query (None until planned).
+    planned_s: float | None = None
+    #: Planning time: 0.0 on the virtual clock, wall seconds in
+    #: thread mode.
+    plan_elapsed_s: float = 0.0
+    #: Whether planning hit the shared plan cache (None: never planned
+    #: or no cache configured).
+    plan_cache_hit: bool | None = None
+    #: The concrete search strategy that produced the plan.
+    search_strategy: str = ""
+    #: Critical-path seconds per phase (see repro.obs.spans.PHASES),
+    #: filled at completion when tracing is on; sums to ``latency_s``.
+    phases: dict[str, float] = field(default_factory=dict)
 
     @property
     def latency_s(self) -> float:
@@ -206,6 +223,15 @@ class MediatorService:
             ``search="anytime"`` on every mediator unless
             ``mediator_options`` picks a search explicitly.
             ``None`` (default) leaves planning unbounded.
+        tracing: Record a causal span tree for every query (default
+            on): a deterministic per-query ``trace_id``
+            (:func:`~repro.obs.spans.derive_trace_id` over the workload
+            seed and submission number), serving-tier phase spans, and
+            the engine's op/attempt/backoff children, all in
+            ``service.spans`` — exportable as Chrome trace-event JSON
+            and walked by the critical-path analyzer into
+            ``ticket.phases``.  ``False`` skips span collection (and
+            the ``plan`` / ``phases`` events) entirely.
     """
 
     def __init__(
@@ -229,6 +255,7 @@ class MediatorService:
         mediator_options: dict[str, Any] | None = None,
         shed_policy: str = "deadline",
         planning_budget: int | None = None,
+        tracing: bool = True,
     ):
         if mode not in MODES:
             raise ServiceError(
@@ -286,9 +313,15 @@ class MediatorService:
             plan_cache = PlanCache(capacity=plan_cache)
         self.plan_cache: PlanCache | None = plan_cache
         self.metrics = MetricsRegistry()
+        #: One span log for the whole service (every recorder appends
+        #: here; see DESIGN.md for the ownership rules), or None with
+        #: tracing off.
+        self.spans: SpanLog | None = SpanLog() if tracing else None
         #: The service's own telemetry: serve-lifecycle events plus (in
         #: deterministic mode) every engine event, on one stream.
-        self.recorder = Recorder(metrics=self.metrics, events=EventLog())
+        self.recorder = Recorder(
+            metrics=self.metrics, events=EventLog(), spans=self.spans
+        )
         self.tickets: list[QueryTicket] = []
         self._by_seq: dict[int, QueryTicket] = {}
         self._seq = 0
@@ -508,8 +541,10 @@ class MediatorService:
             now_s, ticket.seq, ticket.tenant,
             self.queue_depth, self.in_flight,
             ticket.latency_s, error="",
+            partial=True,
         )
         self._note_deadline_outcome(ticket, now_s)
+        self._finalize_trace(ticket, self.recorder)
         return True
 
     def _note_deadline_outcome(
@@ -524,6 +559,97 @@ class MediatorService:
         else:
             self.deadline_met_count += 1
         self.recorder.deadline_outcome(now_s, ticket.tenant, missed)
+
+    def _note_planned(
+        self,
+        recorder: Recorder,
+        ticket: QueryTicket,
+        optimization,
+        now_s: float,
+        cache_hit: bool | None,
+        elapsed_s: float,
+    ) -> None:
+        """Record one planning outcome on the ticket and (when tracing
+        is on) as a ``plan`` event + planning metrics.
+
+        ``elapsed_s`` is 0.0 in deterministic mode — planning takes no
+        *virtual* time, and recording measured wall time would make
+        replay machine-dependent.
+        """
+        ticket.planned_s = now_s
+        ticket.plan_elapsed_s = elapsed_s
+        ticket.plan_cache_hit = cache_hit
+        ticket.search_strategy = optimization.search_strategy
+        if not ticket.trace_id:
+            return
+        cache = "off"
+        if cache_hit is not None:
+            cache = "hit" if cache_hit else "miss"
+        recorder.query_planned(
+            now_s,
+            ticket.seq,
+            ticket.tenant,
+            ticket.trace_id,
+            cache=cache,
+            strategy=optimization.search_strategy,
+            subsets=optimization.subsets_considered,
+            elapsed_s=elapsed_s,
+            exhausted=optimization.budget_exhausted,
+        )
+
+    def _finalize_trace(self, ticket: QueryTicket, recorder: Recorder) -> None:
+        """Materialize the completed query's serve spans and attribute
+        its latency to phases (``ticket.phases``).
+
+        Every ticket that completed gets a trace — even ones that never
+        planned or dispatched (queue-expired, unplannable): their phase
+        boundaries collapse onto the completion instant, so the whole
+        latency reads as queue time, which is exactly what happened.
+        """
+        if self.spans is None or not ticket.trace_id:
+            return
+        completed = ticket.completed_s
+        if completed is None:
+            return
+        planned = (
+            ticket.planned_s if ticket.planned_s is not None else completed
+        )
+        planned = min(planned, completed)
+        dispatched = (
+            ticket.dispatched_s
+            if ticket.dispatched_s is not None
+            else completed
+        )
+        dispatched = min(max(dispatched, planned), completed)
+        cache = "off"
+        if ticket.plan_cache_hit is not None:
+            cache = "hit" if ticket.plan_cache_hit else "miss"
+        recorder.query_trace(
+            ticket.trace_id,
+            ticket.seq,
+            ticket.tenant,
+            ticket.status,
+            submitted_s=ticket.submitted_s,
+            planned_s=planned,
+            plan_elapsed_s=ticket.plan_elapsed_s,
+            dispatched_s=dispatched,
+            finished_s=completed,
+            completed_s=completed,
+            cache=cache,
+            strategy=ticket.search_strategy,
+        )
+        path = analyze_trace(self.spans.for_trace(ticket.trace_id))
+        if path is None:
+            return
+        ticket.phases = path.by_phase()
+        recorder.query_phases(
+            completed,
+            ticket.seq,
+            ticket.tenant,
+            ticket.trace_id,
+            ticket.phases,
+            path.total_s,
+        )
 
     @property
     def queue_depth(self) -> int:
@@ -641,6 +767,11 @@ class MediatorService:
             text=self._text_of(query),
             submitted_s=self.now_s,
             deadline_s=deadline_s,
+            trace_id=(
+                derive_trace_id(self.seed, seq)
+                if self.spans is not None
+                else ""
+            ),
         )
         self.tickets.append(ticket)
         self._by_seq[seq] = ticket
@@ -696,11 +827,26 @@ class MediatorService:
                 continue
             assert self._det_mediator is not None
             self._arm_planning(self._det_mediator, ticket, self.now_s)
+            hits_before = (
+                self.plan_cache.hits if self.plan_cache is not None else 0
+            )
             try:
                 optimization = self._det_mediator.plan(ticket.query)
             except FusionError as exc:
                 self._fail_unplannable(ticket, exc)
                 continue
+            self._note_planned(
+                self.recorder,
+                ticket,
+                optimization,
+                self.now_s,
+                cache_hit=(
+                    self.plan_cache.hits > hits_before
+                    if self.plan_cache is not None
+                    else None
+                ),
+                elapsed_s=0.0,
+            )
             ticket.planning_budget_exhausted = optimization.budget_exhausted
             sources = sorted(optimization.plan.sources_used())
             if not self.pools.can_acquire(sources):
@@ -727,6 +873,7 @@ class MediatorService:
             self.queue_depth, self.in_flight,
             ticket.latency_s, error=ticket.error,
         )
+        self._finalize_trace(ticket, self.recorder)
 
     def _dispatch_deterministic(
         self, ticket: QueryTicket, optimization, sources: list[str]
@@ -760,7 +907,11 @@ class MediatorService:
             )
         deadline_cut = False
         try:
-            result = engine.run(optimization.plan, budget_s=budget_s)
+            result = engine.run(
+                optimization.plan,
+                budget_s=budget_s,
+                trace_id=ticket.trace_id or None,
+            )
             execution = result.to_execution_result()
             ticket.items = execution.items
             ticket.partial = execution.partial
@@ -809,8 +960,10 @@ class MediatorService:
             done_at, seq, ticket.tenant,
             self.queue_depth, self.in_flight,
             ticket.latency_s, error=ticket.error,
+            partial=ticket.partial,
         )
         self._note_deadline_outcome(ticket, done_at)
+        self._finalize_trace(ticket, self.recorder)
 
     # ------------------------------------------------------------------
     # Thread mode: worker pool over shared scheduler + pools
@@ -852,6 +1005,11 @@ class MediatorService:
                 text=self._text_of(query),
                 submitted_s=now,
                 deadline_s=deadline_s,
+                trace_id=(
+                    derive_trace_id(self.seed, seq)
+                if self.spans is not None
+                else ""
+                ),
             )
             self.tickets.append(ticket)
             self._by_seq[seq] = ticket
@@ -879,7 +1037,9 @@ class MediatorService:
                 self._cond.wait(min(remaining, 0.1))
 
     def _worker(self, index: int) -> None:
-        recorder = Recorder(metrics=self.metrics, events=EventLog())
+        recorder = Recorder(
+            metrics=self.metrics, events=EventLog(), spans=self.spans
+        )
         mediator = self._make_mediator(recorder)
         while True:
             with self._cond:
@@ -899,6 +1059,9 @@ class MediatorService:
             # and optimization is the expensive part worth overlapping.
             self._arm_planning(mediator, ticket, self.elapsed_s)
             plan_t0 = time.monotonic()
+            hits_before = (
+                self.plan_cache.hits if self.plan_cache is not None else 0
+            )
             try:
                 optimization = mediator.plan(ticket.query)
                 sources = sorted(optimization.plan.sources_used())
@@ -909,8 +1072,29 @@ class MediatorService:
                 continue
             finally:
                 self._observe_plan_latency(time.monotonic() - plan_t0)
+            plan_elapsed = time.monotonic() - plan_t0
+            # planned_s marks when planning *started* (the queue span
+            # ends there; the plan span covers the measured elapsed).
+            planned_at = max(
+                ticket.submitted_s, self.elapsed_s - plan_elapsed
+            )
             ticket.planning_budget_exhausted = optimization.budget_exhausted
             with self._cond:
+                # Cache-hit attribution is best-effort under threads:
+                # the shared counter can also move for a sibling worker
+                # between our read and the lookup.
+                self._note_planned(
+                    self.recorder,
+                    ticket,
+                    optimization,
+                    planned_at,
+                    cache_hit=(
+                        self.plan_cache.hits > hits_before
+                        if self.plan_cache is not None
+                        else None
+                    ),
+                    elapsed_s=plan_elapsed,
+                )
                 while not (self.pools.can_acquire(sources) or self._stop):
                     self._cond.wait(0.1)
                 if self._stop and not self.pools.can_acquire(sources):
@@ -944,8 +1128,17 @@ class MediatorService:
                     + ticket.deadline_s
                     - ticket.dispatched_s,
                 )
+            # As in deterministic mode, offset the engine's restarted
+            # clock so its spans/events land on the service timeline
+            # (virtual engine seconds laid onto the wall axis).
+            assert ticket.dispatched_s is not None
+            recorder.clock_offset_s = ticket.dispatched_s
             try:
-                result = engine.run(optimization.plan, budget_s=budget_s)
+                result = engine.run(
+                    optimization.plan,
+                    budget_s=budget_s,
+                    trace_id=ticket.trace_id or None,
+                )
                 execution = result.to_execution_result()
                 items = execution.items
                 partial = execution.partial
@@ -954,6 +1147,8 @@ class MediatorService:
                 makespan = result.makespan_s
             except FusionError as exc:
                 error = f"{type(exc).__name__}: {exc}"
+            finally:
+                recorder.clock_offset_s = 0.0
             if self.mine_statistics and recorder.events is not None:
                 observe = getattr(self.statistics, "observe", None)
                 if callable(observe):
@@ -989,8 +1184,10 @@ class MediatorService:
                     now, ticket.seq, ticket.tenant,
                     self.queue_depth, self.in_flight,
                     ticket.latency_s, error=error,
+                    partial=partial,
                 )
                 self._note_deadline_outcome(ticket, now)
+                self._finalize_trace(ticket, self.recorder)
                 self._cond.notify_all()
 
     def _fail_unplannable_threads(
@@ -1009,3 +1206,4 @@ class MediatorService:
             self.queue_depth, self.in_flight,
             ticket.latency_s, error=ticket.error,
         )
+        self._finalize_trace(ticket, self.recorder)

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.errors import AdmissionError, CostModelError
+from repro.obs.spans import PHASES
 from repro.runtime.faults import FaultProfile
 from repro.serve.deadline import valid_deadline
 from repro.serve.tenants import TenantSpec
@@ -160,6 +161,15 @@ class WorkloadReport:
     plan_cache_misses: int = 0
     deadline_misses: int = 0
     partial_answers: int = 0
+    #: Per-phase critical-path seconds, one entry per completed query
+    #: (empty when the service ran with tracing off).  Keys follow
+    #: :data:`repro.obs.spans.PHASES`.
+    phase_latencies_s: dict[str, list[float]] = field(default_factory=dict)
+    #: Heaviest ``phase[@detail]`` blocking contributors across the
+    #: whole run, as (label, total seconds), largest first.
+    critical_contributors: list[tuple[str, float]] = field(
+        default_factory=list
+    )
 
     @property
     def qps(self) -> float:
@@ -194,6 +204,55 @@ class WorkloadReport:
     @property
     def p99_s(self) -> float:
         return percentile(self.latencies_s, 99)
+
+    def phase_percentiles(self) -> dict[str, tuple[float, float, float]]:
+        """p50/p95/p99 of per-query critical-path seconds, by phase.
+
+        Only phases observed at least once appear, in
+        :data:`~repro.obs.spans.PHASES` order — so the dominant tail
+        phase is readable straight off the p99 column.
+        """
+        out: dict[str, tuple[float, float, float]] = {}
+        for phase in PHASES:
+            values = self.phase_latencies_s.get(phase, [])
+            if not values or not any(v > 0 for v in values):
+                continue
+            out[phase] = (
+                percentile(values, 50),
+                percentile(values, 95),
+                percentile(values, 99),
+            )
+        return out
+
+    def dominant_phase(self, q: float = 99) -> str:
+        """The phase with the largest percentile-``q`` contribution."""
+        best, best_value = "", -1.0
+        for phase in PHASES:
+            values = self.phase_latencies_s.get(phase, [])
+            value = percentile(values, q) if values else 0.0
+            if value > best_value:
+                best, best_value = phase, value
+        return best
+
+    def phase_breakdown(self) -> str:
+        """Critical-path attribution as a text table (p50/p95/p99 per
+        phase plus the top blocking contributors)."""
+        rows = self.phase_percentiles()
+        if not rows:
+            return "phase breakdown: no traced queries"
+        lines = ["critical-path latency by phase (s):"]
+        lines.append(
+            f"  {'phase':<14} {'p50':>8} {'p95':>8} {'p99':>8}"
+        )
+        for phase, (p50, p95, p99) in rows.items():
+            lines.append(
+                f"  {phase:<14} {p50:>8.3f} {p95:>8.3f} {p99:>8.3f}"
+            )
+        if self.critical_contributors:
+            lines.append("top critical-path contributors (total blocked s):")
+            for label, seconds in self.critical_contributors:
+                lines.append(f"  {label:<24} {seconds:>8.3f}")
+        return "\n".join(lines)
 
     def summary(self) -> str:
         shed = sum(self.rejected.values())
@@ -256,6 +315,17 @@ def run_workload(service, arrivals: Sequence[Arrival]) -> WorkloadReport:
         latency_by_tenant.setdefault(ticket.tenant, []).append(
             ticket.latency_s
         )
+    phase_latencies: dict[str, list[float]] = {}
+    contributors: list[tuple[str, float]] = []
+    if getattr(service, "spans", None) is not None:
+        from repro.obs.spans import analyze_log, top_contributors
+
+        for ticket in done + failed:
+            for phase, seconds in ticket.phases.items():
+                phase_latencies.setdefault(phase, []).append(seconds)
+        contributors = top_contributors(
+            analyze_log(service.spans).values(), limit=5
+        )
     cache = service.plan_cache
     return WorkloadReport(
         mode=service.mode,
@@ -272,4 +342,6 @@ def run_workload(service, arrivals: Sequence[Arrival]) -> WorkloadReport:
         plan_cache_misses=cache.misses if cache is not None else 0,
         deadline_misses=sum(1 for t in done if t.deadline_missed),
         partial_answers=sum(1 for t in done if t.partial),
+        phase_latencies_s=phase_latencies,
+        critical_contributors=contributors,
     )

@@ -1,0 +1,95 @@
+"""The BENCH_*.json trajectory aggregator."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from benchmarks.trajectory import (
+    HEADLINE_METRIC,
+    TRACKED_BENCHES,
+    aggregate,
+    load_rows,
+    write_trajectory,
+)
+
+
+def _write(tmp_path, bench: str, rows: list[dict]) -> None:
+    (tmp_path / f"BENCH_{bench}.json").write_text(
+        json.dumps(rows, indent=2) + "\n", encoding="utf-8"
+    )
+
+
+class TestLoadRows:
+    def test_missing_files_are_skipped(self, tmp_path):
+        assert load_rows(str(tmp_path)) == []
+
+    def test_reads_normalized_rows(self, tmp_path):
+        _write(
+            tmp_path,
+            "R8",
+            [{"bench": "R8", "scenario": "calm", "p95_s": 0.2}],
+        )
+        rows = load_rows(str(tmp_path))
+        assert len(rows) == 1
+        assert rows[0]["scenario"] == "calm"
+
+    def test_rejects_rows_missing_keys(self, tmp_path):
+        _write(tmp_path, "R9", [{"scenario": "shed"}])
+        with pytest.raises(ValueError, match="missing normalized key"):
+            load_rows(str(tmp_path))
+
+    def test_rejects_mismatched_bench(self, tmp_path):
+        _write(tmp_path, "R9", [{"bench": "R8", "scenario": "x"}])
+        with pytest.raises(ValueError, match="does not match"):
+            load_rows(str(tmp_path))
+
+    def test_rejects_non_list_document(self, tmp_path):
+        (tmp_path / "BENCH_R7.json").write_text("{}", encoding="utf-8")
+        with pytest.raises(ValueError, match="expected a list"):
+            load_rows(str(tmp_path))
+
+
+class TestAggregate:
+    def test_keys_scenarios_by_bench_and_scenario(self):
+        document = aggregate(
+            [
+                {"bench": "R8", "scenario": "calm", "p95_s": 0.2},
+                {"bench": "R11", "scenario": "calm", "latency_burn_rate": 0.0},
+            ]
+        )
+        assert set(document["scenarios"]) == {"R8/calm", "R11/calm"}
+        assert document["benches"]["R8"]["headline"] == {"calm": 0.2}
+
+    def test_rejects_duplicate_scenarios(self):
+        rows = [
+            {"bench": "R9", "scenario": "shed"},
+            {"bench": "R9", "scenario": "shed"},
+        ]
+        with pytest.raises(ValueError, match="duplicate scenario"):
+            aggregate(rows)
+
+
+class TestWriteTrajectory:
+    def test_round_trips_to_disk(self, tmp_path):
+        _write(
+            tmp_path,
+            "R11",
+            [
+                {
+                    "bench": "R11",
+                    "scenario": "calm",
+                    "latency_burn_rate": 0.0,
+                }
+            ],
+        )
+        path = write_trajectory(str(tmp_path))
+        document = json.loads(
+            (tmp_path / "BENCH_TRAJECTORY.json").read_text()
+        )
+        assert path.endswith("BENCH_TRAJECTORY.json")
+        assert document["benches"]["R11"]["scenarios"] == 1
+
+    def test_every_tracked_bench_has_a_headline_metric(self):
+        assert set(HEADLINE_METRIC) == set(TRACKED_BENCHES)

@@ -144,3 +144,58 @@ class TestTrafficObserver:
                 install_traffic_observer(traffic_metrics_observer(registry))
         finally:
             uninstall_traffic_observer()
+
+
+class TestHistogramQuantiles:
+    def _loaded(self):
+        histogram = MetricsRegistry().histogram(
+            "q_s", buckets=(1.0, 2.0, 4.0)
+        )
+        # 50 in (0, 1], 30 in (1, 2], 20 in (2, 4].
+        for __ in range(50):
+            histogram.observe(0.5)
+        for __ in range(30):
+            histogram.observe(1.5)
+        for __ in range(20):
+            histogram.observe(3.0)
+        return histogram
+
+    def test_fraction_le_interpolates_within_buckets(self):
+        histogram = self._loaded()
+        assert histogram.fraction_le(1.0) == pytest.approx(0.5)
+        # Halfway through the (1, 2] bucket: 50 + 15 of 100.
+        assert histogram.fraction_le(1.5) == pytest.approx(0.65)
+        assert histogram.fraction_le(4.0) == pytest.approx(1.0)
+        assert histogram.fraction_le(100.0) == 1.0
+
+    def test_fraction_le_empty_histogram_is_zero(self):
+        histogram = MetricsRegistry().histogram("q_s", buckets=(1.0,))
+        assert histogram.fraction_le(0.5) == 0.0
+
+    def test_quantile_interpolates_and_clamps(self):
+        histogram = self._loaded()
+        assert histogram.quantile(0.5) == pytest.approx(1.0)
+        assert histogram.quantile(0.65) == pytest.approx(1.5)
+        assert histogram.quantile(1.0) == pytest.approx(4.0)
+        assert histogram.quantiles((0.5, 0.65)) == pytest.approx((1.0, 1.5))
+
+    def test_quantile_overflow_clamps_to_last_boundary(self):
+        histogram = MetricsRegistry().histogram("q_s", buckets=(1.0,))
+        histogram.observe(50.0)  # lands in +Inf
+        assert histogram.quantile(0.99) == 1.0
+
+    def test_quantile_rejects_out_of_range(self):
+        histogram = self._loaded()
+        with pytest.raises(ObservabilityError, match="quantile"):
+            histogram.quantile(1.5)
+
+
+class TestLabelEscaping:
+    def test_prometheus_escapes_label_values(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "esc_total", path='a\\b', note='say "hi"\nbye'
+        ).inc()
+        text = registry.to_prometheus()
+        assert 'path="a\\\\b"' in text
+        assert 'note="say \\"hi\\"\\nbye"' in text

@@ -201,3 +201,69 @@ class TestQuarantineHammer:
             assert registry.state_of(name) is BreakerState.QUARANTINED
             assert not registry.allow(name, 1e12)
         assert set(registry.quarantined_names()) == set(liars)
+
+
+class TestSpanLogHammer:
+    def test_concurrent_appends_and_exports(self):
+        from repro.obs.spans import (
+            Span,
+            SpanLog,
+            derive_trace_id,
+            validate_chrome_trace,
+        )
+
+        log = SpanLog()
+
+        def worker(index):
+            trace = derive_trace_id(99, index)
+            for round_no in range(ROUNDS):
+                log.add(
+                    Span(
+                        trace_id=trace,
+                        span_id=round_no + 1,
+                        parent_id=1 if round_no else None,
+                        name="query" if round_no == 0 else "op",
+                        category="query" if round_no == 0 else "execute",
+                        start_s=float(round_no),
+                        end_s=float(round_no) + 0.5,
+                    )
+                )
+                # Concurrent readers must never see torn state.
+                assert len(log.for_trace(trace)) >= round_no + 1
+                if round_no % 50 == 0:
+                    log.to_chrome_trace()
+
+        hammer(worker)
+        assert len(log) == THREADS * ROUNDS
+        assert len(log.trace_ids()) == THREADS
+        assert validate_chrome_trace(log.to_chrome_trace()) == len(log)
+
+    def test_concurrent_service_recorders_share_one_log(self):
+        # Thread mode gives each worker its own Recorder over one
+        # shared SpanLog; hammer that exact shape.
+        from repro.obs.recorder import Recorder
+        from repro.obs.spans import SpanLog, derive_trace_id
+
+        log = SpanLog()
+        recorders = [Recorder(spans=log) for __ in range(THREADS)]
+
+        def worker(index):
+            recorder = recorders[index]
+            for round_no in range(ROUNDS):
+                trace = derive_trace_id(index, round_no)
+                recorder.query_trace(
+                    trace_id=trace,
+                    query=round_no,
+                    tenant="hammer",
+                    status="done",
+                    submitted_s=0.0,
+                    planned_s=0.1,
+                    plan_elapsed_s=0.0,
+                    dispatched_s=0.2,
+                    finished_s=0.9,
+                    completed_s=1.0,
+                )
+
+        hammer(worker)
+        assert len(log) == THREADS * ROUNDS * 7
+        assert len(log.trace_ids()) == THREADS * ROUNDS
