@@ -1,4 +1,4 @@
-"""Aggregate the serving-era BENCH_*.json trend files (R7 - R11).
+"""Aggregate the serving-era BENCH_*.json trend files (R7 - R12).
 
 Each serving experiment writes per-scenario rows to ``BENCH_<id>.json``
 at the repo root for CI trend tracking.  The rows share two normalized
@@ -20,7 +20,7 @@ import os
 import sys
 
 #: The experiments whose row files the trajectory folds together.
-TRACKED_BENCHES: tuple[str, ...] = ("R7", "R8", "R9", "R10", "R11")
+TRACKED_BENCHES: tuple[str, ...] = ("R7", "R8", "R9", "R10", "R11", "R12")
 
 #: The headline metric quoted per experiment in the summary line
 #: (every other metric still lands in the aggregated rows).
@@ -30,6 +30,7 @@ HEADLINE_METRIC: dict[str, str] = {
     "R9": "p95_s",
     "R10": "spurious",
     "R11": "latency_burn_rate",
+    "R12": "speedup_columnar",
 }
 
 

@@ -27,6 +27,7 @@ from repro.bench.extensions import (
     run_robust_planning,
     run_search_scaling,
 )
+from repro.bench.columnar import run_columnar
 from repro.bench.deadlines import run_deadlines
 from repro.bench.report import write_metrics, write_report
 from repro.bench.serving import run_serving
@@ -64,6 +65,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[], str]]] = {
     "R9": ("deadline-aware serving: shedding and partial answers", run_deadlines),
     "R10": ("untrusted answers: verification and quarantine", run_untrusted),
     "R11": ("causal tracing: critical-path attribution and SLO burn", run_tracing),
+    "R12": ("columnar substrate: vectorized kernels vs the row path", run_columnar),
     "A1": ("adaptive execution vs static plans", run_adaptive),
     "C7": ("condition correlation vs independence", run_correlation),
     "C8": ("data overlap ablation", run_overlap),

@@ -130,6 +130,22 @@ def _build_parser() -> argparse.ArgumentParser:
             )
         if name == "query":
             sub.add_argument(
+                "--aggregate",
+                action="store_true",
+                help="treat the SQL as an aggregation fusion query "
+                "(COUNT/SUM/AVG/MIN/MAX ... GROUP BY over the fused "
+                "entity set); aggregate SQL is also auto-detected",
+            )
+            sub.add_argument(
+                "--pushdown",
+                choices=("auto", "force", "off"),
+                default="auto",
+                help="partial-aggregate pushdown to capable sources: "
+                "'auto' chooses per source by estimated cost, 'force' "
+                "pushes down everywhere possible, 'off' always fetches "
+                "raw tuples (default: auto)",
+            )
+            sub.add_argument(
                 "--adaptive",
                 action="store_true",
                 help="interleave planning and execution (re-plan each "
@@ -553,6 +569,8 @@ def _command_query(
     data_faults: str | None = None,
     verify: str = "off",
     quarantine: bool = False,
+    aggregate: bool = False,
+    pushdown: str = "auto",
 ) -> int:
     federation = load_federation(spec)
     recorder = _make_recorder(metrics, profile, emit_events)
@@ -566,6 +584,9 @@ def _command_query(
             "--data-faults/--verify/--quarantine need the runtime "
             "backend; add --runtime"
         )
+    from repro.query.sqlparse import is_aggregate_query
+
+    aggregate = aggregate or is_aggregate_query(sql)
     if runtime:
         return _run_runtime(
             federation, sql, optimizer_name, fault_rate, fault_seed,
@@ -577,6 +598,7 @@ def _command_query(
             search=search, beam_width=beam_width, plan_cache=plan_cache,
             deadline=deadline,
             data_faults=data_faults, verify=verify, quarantine=quarantine,
+            aggregate=aggregate, pushdown=pushdown,
         )
     mediator = Mediator(
         federation,
@@ -592,6 +614,8 @@ def _command_query(
         search=search,
         beam_width=beam_width,
     )
+    if aggregate:
+        return _run_aggregate(mediator, sql, pushdown)
     if adaptive:
         return _run_adaptive(mediator, sql)
     answer = mediator.answer(sql)
@@ -604,6 +628,26 @@ def _command_query(
     if mediator.plan_cache is not None:
         print(mediator.plan_cache.summary())
     _emit_telemetry(answer, recorder, metrics, profile, emit_events)
+    return 0
+
+
+def _run_aggregate(
+    mediator: Mediator,
+    sql: str,
+    pushdown: str,
+    deadline: float | None = None,
+) -> int:
+    """Run an aggregation fusion query and print both phases."""
+    mode: bool | str = {"auto": True, "force": "force", "off": False}[pushdown]
+    answer = mediator.answer_aggregate(
+        sql, budget_s=deadline, pushdown=mode
+    )
+    print(answer.fusion.plan.pretty())
+    print()
+    print(answer.aggregate_plan.render())
+    print()
+    print(answer.result.pretty())
+    print(answer.summary())
     return 0
 
 
@@ -633,6 +677,8 @@ def _run_runtime(
     data_faults: str | None = None,
     verify: str = "off",
     quarantine: bool = False,
+    aggregate: bool = False,
+    pushdown: str = "auto",
 ) -> int:
     from dataclasses import replace as dc_replace
 
@@ -685,6 +731,8 @@ def _run_runtime(
         search=search,
         beam_width=beam_width,
     )
+    if aggregate:
+        return _run_aggregate(mediator, sql, pushdown, deadline=deadline)
     answer = mediator.answer(sql, budget_s=deadline)
     assert answer.runtime is not None
     print(answer.plan.pretty())
@@ -1026,6 +1074,8 @@ def main(argv: list[str] | None = None) -> int:
                 data_faults=args.data_faults,
                 verify=args.verify,
                 quarantine=args.quarantine,
+                aggregate=args.aggregate,
+                pushdown=args.pushdown,
             )
         if args.command == "explain":
             return _command_explain(

@@ -136,6 +136,7 @@ def capabilities_to_dict(capabilities: SourceCapabilities) -> dict[str, Any]:
         "semijoin": capabilities.semijoin.value,
         "supports_load": capabilities.supports_load,
         "max_semijoin_batch": capabilities.max_semijoin_batch,
+        "supports_aggregates": capabilities.supports_aggregates,
     }
 
 
@@ -144,6 +145,7 @@ def capabilities_from_dict(data: dict[str, Any]) -> SourceCapabilities:
         semijoin=SemijoinSupport(data.get("semijoin", "native")),
         supports_load=bool(data.get("supports_load", True)),
         max_semijoin_batch=data.get("max_semijoin_batch"),
+        supports_aggregates=bool(data.get("supports_aggregates", False)),
     )
 
 

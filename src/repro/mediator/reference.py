@@ -16,7 +16,14 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.query.aggregate import AggregateQuery
 from repro.query.fusion import FusionQuery
+from repro.relational.aggregates import (
+    GroupedAggregates,
+    finalize_partials,
+    merge_partials,
+    partial_aggregate_rows,
+)
 from repro.relational.algebra import intersect_many, select_items
 from repro.relational.relation import Relation
 from repro.sources.registry import Federation
@@ -45,6 +52,28 @@ def reference_answer(
     query.validate_against_schema(federation.schema)
     union_view = federation.union_view()
     return intersect_many(items_satisfying_anywhere(union_view, query))
+
+
+def reference_aggregate(
+    federation: Federation, query: AggregateQuery
+) -> GroupedAggregates:
+    """The ground-truth aggregation-fusion answer, from materialized data.
+
+    The fusion part fixes the qualifying entity set; the aggregate then
+    summarizes every source row belonging to a qualifying entity.
+    Partials are computed per source and merged in sorted source order —
+    the same arithmetic order as both execution paths, so float results
+    are bit-identical, not merely approximately equal.
+    """
+    query.validate_against_schema(federation.schema)
+    items = reference_answer(federation, query.fusion)
+    merged: dict = {}
+    for source in sorted(federation, key=lambda s: s.name):
+        partials = partial_aggregate_rows(
+            source.table.relation, query.specs, query.group_by, items=items
+        )
+        merged = merge_partials(merged, partials, query.specs)
+    return finalize_partials(merged, query.specs, query.group_by)
 
 
 def reference_answer_via_join(

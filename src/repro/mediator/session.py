@@ -30,15 +30,23 @@ from repro.costs.model import CostModel
 from repro.errors import CostModelError, ExecutionError
 from repro.mediator.executor import ExecutionResult, Executor
 from repro.mediator.plan_cache import PlanCache
-from repro.mediator.reference import reference_answer
+from repro.mediator.reference import reference_aggregate, reference_answer
 from repro.optimize.base import OptimizationResult, Optimizer
 from repro.optimize.robust import RobustOptimizer
 from repro.optimize.search import DEFAULT_BEAM_WIDTH, PlanningBudget
 from repro.optimize.sja_plus import SJAPlusOptimizer
+from repro.plans.aggregate import AggregatePlan, plan_aggregate
 from repro.plans.cost import estimate_plan_cost
 from repro.plans.plan import Plan
+from repro.query.aggregate import AggregateQuery
 from repro.query.fusion import FusionQuery
-from repro.query.sqlparse import parse_fusion_query
+from repro.query.sqlparse import parse_fusion_query, parse_query
+from repro.relational.aggregates import (
+    GroupedAggregates,
+    finalize_partials,
+    merge_partials,
+    partial_aggregate_rows,
+)
 from repro.relational.relation import Relation
 from repro.runtime.availability import AvailabilityModel, ObservedAvailability
 from repro.runtime.engine import RuntimeEngine, RuntimeResult
@@ -101,6 +109,44 @@ class MediatorAnswer:
         if self.resilient is not None and self.resilient.replans:
             text += f"; {self.resilient.replans} replan round(s)"
         return text
+
+
+@dataclass
+class AggregateAnswer:
+    """Everything one aggregation-fusion query run produced.
+
+    The fusion phase is a full :class:`MediatorAnswer` (its plan, trace,
+    and resilience counters are untouched by aggregation); the aggregate
+    phase adds the per-source pushdown/fetch plan and the finalized
+    grouped result.
+    """
+
+    query: AggregateQuery
+    fusion: MediatorAnswer
+    aggregate_plan: AggregatePlan
+    result: GroupedAggregates
+    verified: bool | None = None
+
+    @property
+    def items(self) -> frozenset[Any]:
+        """The qualifying entity set the aggregate summarized."""
+        return self.fusion.items
+
+    def summary(self) -> str:
+        checked = (
+            ""
+            if self.verified is None
+            else (" (verified)" if self.verified else " (MISMATCH!)")
+        )
+        pushed = len(self.aggregate_plan.pushdown_sources)
+        fetched = len(self.aggregate_plan.fetch_sources)
+        return (
+            f"{len(self.result.groups)} groups over {len(self.items)} "
+            f"entities{checked}; aggregate phase: {pushed} pushdown + "
+            f"{fetched} fetch source(s), est cost "
+            f"{self.aggregate_plan.estimated_cost:.1f}; fusion: "
+            f"{self.fusion.summary()}"
+        )
 
 
 class Mediator:
@@ -549,6 +595,103 @@ class Mediator:
             )
         lines.append(f"estimated total cost: {breakdown.total:.1f}")
         return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Aggregation fusion queries (PR 10)
+
+    def parse_any(self, sql: str) -> FusionQuery | AggregateQuery:
+        """Parse SQL into whichever query kind it is (fusion or aggregate)."""
+        query = parse_query(
+            sql,
+            view_name=self.federation.name,
+            merge_attribute=self.federation.schema.merge_attribute,
+        )
+        query.validate_against_schema(self.federation.schema)
+        return query
+
+    def _coerce_aggregate(self, query: AggregateQuery | str) -> AggregateQuery:
+        if isinstance(query, str):
+            query = self.parse_any(query)
+        if not isinstance(query, AggregateQuery):
+            raise CostModelError(
+                "answer_aggregate requires an aggregation fusion query; "
+                "use answer() for plain fusion queries"
+            )
+        query.validate_against_schema(self.federation.schema)
+        return query
+
+    def answer_aggregate(
+        self,
+        query: AggregateQuery | str,
+        budget_s: float | None = None,
+        trace_id: str | None = None,
+        pushdown: bool | str = True,
+    ) -> AggregateAnswer:
+        """Optimize, execute, and aggregate one aggregation fusion query.
+
+        The fusion part runs exactly as :meth:`answer` (same plans, same
+        traces); the aggregate node then gathers per-source evidence for
+        the qualifying entities — via partial-aggregate pushdown (``aq``)
+        at sources declaring ``supports_aggregates``, raw-tuple fetch
+        plus mediator-side partials everywhere else — and merges partials
+        in sorted source order, so both paths produce bit-identical
+        results.  ``pushdown`` is ``True`` (cost-based choice per
+        source), ``False`` (always fetch), or ``"force"`` (push down at
+        every capable source regardless of cost); verification modes
+        other than ``"off"`` always force the fetch path, because the
+        voter must see raw tuples.
+        """
+        query = self._coerce_aggregate(query)
+        fusion_answer = self.answer(
+            query.fusion, budget_s=budget_s, trace_id=trace_id
+        )
+        items = fusion_answer.items
+        allow_pushdown = bool(pushdown) and self.verify_mode == "off"
+        aggregate_plan = plan_aggregate(
+            query,
+            self.federation,
+            answer_size=len(items),
+            allow_pushdown=allow_pushdown,
+            statistics=self.statistics,
+            force_pushdown=allow_pushdown and pushdown == "force",
+        )
+        merged: dict = {}
+        specs = tuple(query.specs)
+        group_by = tuple(query.group_by)
+        for task in aggregate_plan.tasks:
+            source = self.federation.source(task.source)
+            if task.pushdown:
+                partials = source.aggregate(specs, group_by, items)
+            else:
+                evidence = source.fetch_rows(items)
+                partials = partial_aggregate_rows(
+                    evidence, specs, group_by
+                )
+            merged = merge_partials(merged, partials, specs)
+        result = finalize_partials(merged, specs, group_by)
+        verified = None
+        if self.verify:
+            expected = reference_aggregate(self.federation, query)
+            verified = result == expected
+            degraded = (
+                fusion_answer.runtime is not None
+                and not fusion_answer.runtime.complete
+            ) or (
+                fusion_answer.resilient is not None
+                and bool(fusion_answer.resilient.masked)
+            )
+            if not verified and not degraded:
+                raise ExecutionError(
+                    f"aggregate answer {result.groups!r} differs from "
+                    f"reference {expected.groups!r}"
+                )
+        return AggregateAnswer(
+            query=query,
+            fusion=fusion_answer,
+            aggregate_plan=aggregate_plan,
+            result=result,
+            verified=verified,
+        )
 
     # ------------------------------------------------------------------
     # Second phase (Sec. 1)

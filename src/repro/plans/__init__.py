@@ -29,6 +29,7 @@ from repro.plans.operations import (
     SemijoinOp,
     UnionOp,
 )
+from repro.plans.aggregate import AggregatePlan, AggregateTask, plan_aggregate
 from repro.plans.plan import Plan, StageInfo
 from repro.plans.builder import (
     StagedChoice,
@@ -56,6 +57,9 @@ __all__ = [
     "DifferenceOp",
     "Plan",
     "StageInfo",
+    "AggregatePlan",
+    "AggregateTask",
+    "plan_aggregate",
     "StagedChoice",
     "build_staged_plan",
     "build_filter_plan",

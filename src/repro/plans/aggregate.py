@@ -1,0 +1,160 @@
+"""The post-fusion aggregate node and its per-source pushdown plan.
+
+An aggregation fusion query executes in two stages: the fusion plan
+fixes the qualifying entity set exactly as in the paper, then the
+*aggregate node* summarizes every union-view row belonging to a
+qualifying entity.  For each source the mediator has two ways to obtain
+that evidence:
+
+* **fetch** — second-phase ``fetch`` of the raw matching tuples, with
+  partial aggregation at the mediator (always possible); or
+* **pushdown** — ship the entity bindings and let the wrapper return
+  decomposable partial states (``aq``), available only when the source
+  declares ``supports_aggregates`` and the mediator is not running in
+  ``vote`` verification (the voter must see raw tuples).
+
+:func:`plan_aggregate` costs both options per source under the link's
+cost model and picks the cheaper admissible one; partials are always
+merged in sorted source order so both strategies produce bit-identical
+floats (see :mod:`repro.relational.aggregates`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.query.aggregate import AggregateQuery
+from repro.sources.registry import Federation
+
+
+@dataclass(frozen=True)
+class AggregateTask:
+    """How one source contributes evidence to the aggregate node."""
+
+    source: str
+    pushdown: bool
+    estimated_cost: float
+    estimated_rows: float
+
+    def render(self) -> str:
+        verb = "aq" if self.pushdown else "fetch"
+        return (
+            f"P_{self.source} := {verb}({self.source}, X)"
+            f"  # est cost {self.estimated_cost:.1f}"
+        )
+
+
+@dataclass(frozen=True)
+class AggregatePlan:
+    """The aggregate node: one task per source, merged in sorted order."""
+
+    specs: tuple
+    group_by: tuple[str, ...]
+    tasks: tuple[AggregateTask, ...]
+
+    @property
+    def estimated_cost(self) -> float:
+        return sum(task.estimated_cost for task in self.tasks)
+
+    @property
+    def pushdown_sources(self) -> tuple[str, ...]:
+        return tuple(t.source for t in self.tasks if t.pushdown)
+
+    @property
+    def fetch_sources(self) -> tuple[str, ...]:
+        return tuple(t.source for t in self.tasks if not t.pushdown)
+
+    def render(self) -> str:
+        aggs = ", ".join(str(s) for s in self.specs)
+        group = (
+            f" GROUP BY {', '.join(self.group_by)}" if self.group_by else ""
+        )
+        lines = [f"aggregate node: {aggs}{group}"]
+        for i, task in enumerate(self.tasks, start=1):
+            lines.append(f"{i:>3}) {task.render()}")
+        lines.append(
+            f"     A := merge partials in sorted source order "
+            f"(est cost {self.estimated_cost:.1f})"
+        )
+        return "\n".join(lines)
+
+
+def _estimated_group_count(
+    estimated_rows: float, group_by: tuple[str, ...], answer_size: int
+) -> float:
+    """A coarse group-count estimate for the pushdown answer.
+
+    With no GROUP BY there is exactly one group; grouping by the merge
+    attribute (the common case) yields at most one group per qualifying
+    entity; anything else is bounded by the row count.
+    """
+    if not group_by:
+        return 1.0
+    return min(estimated_rows, float(max(1, answer_size)))
+
+
+def plan_aggregate(
+    query: AggregateQuery,
+    federation: Federation,
+    answer_size: int,
+    allow_pushdown: bool = True,
+    statistics: Any | None = None,
+    force_pushdown: bool = False,
+) -> AggregatePlan:
+    """Choose fetch vs pushdown per source for the aggregate node.
+
+    ``answer_size`` is the (known, post-fusion) number of qualifying
+    entities; ``statistics`` (a
+    :class:`~repro.sources.statistics.StatisticsProvider`) refines the
+    per-source matching-row estimate when available, otherwise the
+    source's own cardinality is scaled by the answer's share of its
+    distinct items.  ``force_pushdown`` skips the cost comparison and
+    pushes down at every capable source (tests and benchmarks use it to
+    pin the strategy).
+    """
+    specs = tuple(query.specs)
+    group_by = tuple(query.group_by)
+    tasks = []
+    for source in sorted(federation, key=lambda s: s.name):
+        rows_total = len(source.table)
+        distinct = len(source.table.relation.items())
+        if statistics is not None:
+            try:
+                rows_total = statistics.cardinality(source.name)
+                distinct = max(1, len(statistics.distinct_items(source.name)))
+            except Exception:
+                distinct = max(1, distinct)
+        distinct = max(1, distinct)
+        # Expected matching rows: each qualifying entity matches the
+        # source's average number of rows per entity, capped by overlap.
+        est_rows = rows_total * min(1.0, answer_size / distinct)
+        link = source.link
+        fetch_cost = link.request_cost(
+            items_sent=answer_size, items_received=0, rows_loaded=round(est_rows)
+        )
+        if allow_pushdown and source.capabilities.supports_aggregates:
+            groups = _estimated_group_count(est_rows, group_by, answer_size)
+            push_cost = link.request_cost(
+                items_sent=answer_size,
+                items_received=round(groups * max(1, len(specs))),
+            )
+            if force_pushdown or push_cost <= fetch_cost:
+                tasks.append(
+                    AggregateTask(
+                        source=source.name,
+                        pushdown=True,
+                        estimated_cost=push_cost,
+                        estimated_rows=est_rows,
+                    )
+                )
+                continue
+        tasks.append(
+            AggregateTask(
+                source=source.name,
+                pushdown=False,
+                estimated_cost=fetch_cost,
+                estimated_rows=est_rows,
+            )
+        )
+    return AggregatePlan(specs=specs, group_by=group_by, tasks=tuple(tasks))

@@ -13,7 +13,22 @@ suggests existing systems add), and :func:`is_fusion_query` is the
 boolean detector.
 """
 
+from repro.query.aggregate import AggregateQuery
 from repro.query.fusion import FusionQuery
-from repro.query.sqlparse import is_fusion_query, parse_fusion_query
+from repro.query.sqlparse import (
+    is_aggregate_query,
+    is_fusion_query,
+    parse_aggregate_query,
+    parse_fusion_query,
+    parse_query,
+)
 
-__all__ = ["FusionQuery", "parse_fusion_query", "is_fusion_query"]
+__all__ = [
+    "AggregateQuery",
+    "FusionQuery",
+    "parse_fusion_query",
+    "parse_aggregate_query",
+    "parse_query",
+    "is_fusion_query",
+    "is_aggregate_query",
+]

@@ -1,0 +1,98 @@
+"""Aggregation fusion queries: summarize the fused entity set.
+
+An :class:`AggregateQuery` wraps a plain :class:`FusionQuery` with a
+SELECT list of aggregates and an optional GROUP BY over union-view
+attributes::
+
+    SELECT u1.V, COUNT(*), AVG(u1.D)
+    FROM U u1, U u2
+    WHERE u1.L = u2.L AND u1.V = 'dui' AND u2.D >= 1994
+    GROUP BY u1.V
+
+Semantics: the fusion part runs exactly as in the paper and fixes the
+qualifying entity set; the aggregate then summarizes *every* union-view
+row belonging to a qualifying entity (all evidence about the fused
+entities, across all sources — conflict-aware fusion in the sense of
+Dong et al.), grouped by the GROUP BY attributes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import QueryError
+from repro.query.fusion import FusionQuery
+from repro.relational.aggregates import AggregateSpec
+from repro.relational.schema import Schema
+
+
+@dataclass(frozen=True)
+class AggregateQuery:
+    """A fusion query plus a post-fusion aggregate node.
+
+    Attributes:
+        fusion: The underlying fusion query (fixes the entity set).
+        specs: The aggregates in the SELECT list, in order.
+        group_by: GROUP BY attributes of the union view (may be empty).
+        name: Optional label used in traces and reports.
+    """
+
+    fusion: FusionQuery
+    specs: tuple[AggregateSpec, ...]
+    group_by: tuple[str, ...] = ()
+    name: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.specs, tuple):
+            object.__setattr__(self, "specs", tuple(self.specs))
+        if not isinstance(self.group_by, tuple):
+            object.__setattr__(self, "group_by", tuple(self.group_by))
+        if not self.specs:
+            raise QueryError("an aggregate query requires at least one aggregate")
+        if len(set(self.group_by)) != len(self.group_by):
+            raise QueryError(f"duplicate GROUP BY attributes: {self.group_by}")
+
+    @property
+    def merge_attribute(self) -> str:
+        return self.fusion.merge_attribute
+
+    def validate_against_schema(self, schema: Schema) -> None:
+        """Check the fusion part, every aggregate, and the GROUP BY."""
+        self.fusion.validate_against_schema(schema)
+        for spec in self.specs:
+            spec.validate_against_schema(schema)
+        for attribute in self.group_by:
+            if attribute not in schema:
+                raise QueryError(
+                    f"GROUP BY attribute {attribute!r} not in schema {schema}"
+                )
+
+    def to_sql(self, view_name: str = "U") -> str:
+        """Render the canonical aggregate SQL over the union view."""
+        fusion_sql = self.fusion.to_sql(view_name)
+        select_parts = [f"u1.{a}" for a in self.group_by]
+        select_parts.extend(
+            f"{s.func.upper()}({'*' if s.attribute is None else 'u1.' + s.attribute})"
+            for s in self.specs
+        )
+        prefix = f"SELECT u1.{self.merge_attribute} "
+        assert fusion_sql.startswith(prefix)
+        sql = f"SELECT {', '.join(select_parts)} " + fusion_sql[len(prefix) :]
+        if self.group_by:
+            sql += " GROUP BY " + ", ".join(f"u1.{a}" for a in self.group_by)
+        return sql
+
+    def describe(self) -> str:
+        """Multi-line human-readable description used by examples."""
+        lines = [f"Aggregation fusion query{f' {self.name!r}' if self.name else ''}:"]
+        lines.append(f"  aggregates: {', '.join(str(s) for s in self.specs)}")
+        if self.group_by:
+            lines.append(f"  group by: {', '.join(self.group_by)}")
+        for line in self.fusion.describe().splitlines()[1:]:
+            lines.append(line)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        aggs = ", ".join(str(s) for s in self.specs)
+        group = f" by {','.join(self.group_by)}" if self.group_by else ""
+        return f"agg[{aggs}]{group} over {self.fusion}"

@@ -30,14 +30,23 @@ from __future__ import annotations
 import re
 
 from repro.errors import NotAFusionQueryError, ParseError
+from repro.query.aggregate import AggregateQuery
 from repro.query.fusion import FusionQuery
 from repro.relational.conditions import And, Condition
-from repro.relational.parser import parse_condition, tokenize
+from repro.relational.parser import parse_aggregate_list, parse_condition, tokenize
 
 _SQL_SHAPE = re.compile(
     r"^\s*SELECT\s+(?P<select>.+?)\s+FROM\s+(?P<from>.+?)\s+WHERE\s+(?P<where>.+?)\s*;?\s*$",
     re.IGNORECASE | re.DOTALL,
 )
+
+_AGG_SQL_SHAPE = re.compile(
+    r"^\s*SELECT\s+(?P<select>.+?)\s+FROM\s+(?P<from>.+?)\s+WHERE\s+(?P<where>.+?)"
+    r"(?:\s+GROUP\s+BY\s+(?P<group>.+?))?\s*;?\s*$",
+    re.IGNORECASE | re.DOTALL,
+)
+
+_AGG_FUNC_HEAD = re.compile(r"^\s*(count|sum|avg|min|max)\s*\(", re.IGNORECASE)
 
 _QUALIFIED = re.compile(r"^\s*(\w+)\.(\w+)\s*$")
 
@@ -204,6 +213,150 @@ def parse_fusion_query(
         conditions.append(parsed[0] if len(parsed) == 1 else And.of(*parsed))
 
     return FusionQuery(merge_attribute, tuple(conditions), name=name)
+
+
+def _strip_qualifier(entry: str, variable_set: set[str] | None = None) -> str:
+    match = _QUALIFIED.match(entry)
+    if match:
+        return match.group(2)
+    return entry.strip()
+
+
+def is_aggregate_query(sql: str) -> bool:
+    """True iff the SELECT list contains an aggregate or GROUP BY appears."""
+    shape = _AGG_SQL_SHAPE.match(sql)
+    if not shape:
+        return False
+    if shape.group("group"):
+        return True
+    return any(
+        _AGG_FUNC_HEAD.match(entry) for entry in shape.group("select").split(",")
+    )
+
+
+def parse_aggregate_query(
+    sql: str,
+    view_name: str = "U",
+    merge_attribute: str | None = None,
+    name: str = "",
+) -> AggregateQuery:
+    """Parse aggregation-fusion SQL into an :class:`AggregateQuery`.
+
+    The FROM/WHERE clauses must match the fusion pattern exactly (they
+    are delegated to :func:`parse_fusion_query`); the SELECT list mixes
+    GROUP BY attributes and aggregate calls.  The merge attribute is
+    inferred from the join equalities when the query ranges over more
+    than one tuple variable; single-variable aggregates need it passed
+    explicitly (the mediator supplies the federation's).
+
+    Example:
+        >>> q = parse_aggregate_query(
+        ...     "SELECT u1.V, COUNT(*) FROM U u1, U u2 "
+        ...     "WHERE u1.L = u2.L AND u1.V = 'dui' AND u2.V = 'sp' "
+        ...     "GROUP BY u1.V"
+        ... )
+        >>> q.group_by, [str(s) for s in q.specs]
+        (('V',), ['COUNT(*)'])
+    """
+    shape = _AGG_SQL_SHAPE.match(sql)
+    if not shape:
+        raise NotAFusionQueryError(
+            "statement is not of the form SELECT ... FROM ... WHERE ... [GROUP BY ...]"
+        )
+
+    # --- GROUP BY attributes ---------------------------------------------
+    group_by: list[str] = []
+    if shape.group("group"):
+        for entry in shape.group("group").split(","):
+            attribute = _strip_qualifier(entry)
+            if not attribute.replace("_", "a").isalnum():
+                raise NotAFusionQueryError(
+                    f"cannot parse GROUP BY entry {entry.strip()!r}"
+                )
+            group_by.append(attribute)
+
+    # --- SELECT list: group columns + aggregates --------------------------
+    specs = []
+    select_columns: list[str] = []
+    for entry in shape.group("select").split(","):
+        if _AGG_FUNC_HEAD.match(entry):
+            parsed = parse_aggregate_list(entry.strip())
+            specs.extend(parsed)
+            continue
+        qualified = _QUALIFIED.match(entry)
+        bare = entry.strip()
+        if qualified:
+            select_columns.append(qualified.group(2))
+        elif bare.replace("_", "a").isalnum():
+            select_columns.append(bare)
+        else:
+            raise NotAFusionQueryError(
+                f"cannot parse SELECT entry {entry.strip()!r}: neither an "
+                "attribute nor an aggregate call"
+            )
+    if not specs:
+        raise NotAFusionQueryError(
+            "an aggregation fusion query needs at least one aggregate "
+            "(COUNT/SUM/AVG/MIN/MAX) in the SELECT list"
+        )
+    unknown = [c for c in select_columns if c not in group_by]
+    if unknown:
+        raise NotAFusionQueryError(
+            f"non-aggregated SELECT columns {unknown} must appear in GROUP BY"
+        )
+
+    # --- infer the merge attribute from the join equalities ----------------
+    inferred: str | None = None
+    for fragment in _split_top_level(shape.group("where"), "AND"):
+        equality = _EQUALITY.match(fragment)
+        if equality:
+            _, lattr, _, rattr = equality.groups()
+            if lattr == rattr:
+                inferred = lattr
+                break
+    if merge_attribute is None:
+        merge_attribute = inferred
+    if merge_attribute is None:
+        raise NotAFusionQueryError(
+            "cannot infer the merge attribute: the query has no join "
+            "equalities; pass merge_attribute explicitly"
+        )
+
+    # --- delegate the fusion part ------------------------------------------
+    from_clause = shape.group("from")
+    first_entry = _FROM_ENTRY.match(from_clause.split(",")[0])
+    if not first_entry:
+        raise NotAFusionQueryError(
+            f"cannot parse FROM entry {from_clause.split(',')[0]!r}"
+        )
+    select_var = first_entry.group(2) or first_entry.group(1)
+    fusion_sql = (
+        f"SELECT {select_var}.{merge_attribute} FROM {from_clause} "
+        f"WHERE {shape.group('where')}"
+    )
+    fusion = parse_fusion_query(fusion_sql, view_name=view_name, name=name)
+    return AggregateQuery(
+        fusion=fusion, specs=tuple(specs), group_by=tuple(group_by), name=name
+    )
+
+
+def parse_query(
+    sql: str,
+    view_name: str = "U",
+    merge_attribute: str | None = None,
+    name: str = "",
+) -> FusionQuery | AggregateQuery:
+    """Parse SQL into whichever query kind it is.
+
+    Dispatches on the SELECT list: aggregate calls (or a GROUP BY
+    clause) produce an :class:`AggregateQuery`; otherwise the classic
+    fusion pattern is required.
+    """
+    if is_aggregate_query(sql):
+        return parse_aggregate_query(
+            sql, view_name=view_name, merge_attribute=merge_attribute, name=name
+        )
+    return parse_fusion_query(sql, view_name=view_name, name=name)
 
 
 def is_fusion_query(sql: str, view_name: str = "U") -> bool:

@@ -23,7 +23,23 @@ from repro.relational.conditions import (
     Or,
     TrueCondition,
 )
-from repro.relational.parser import parse_condition
+from repro.relational.parser import parse_aggregate_list, parse_condition
+from repro.relational.columnar import (
+    ColumnarTable,
+    columnar_enabled,
+    numpy_available,
+    numpy_enabled,
+    set_columnar_enabled,
+    set_numpy_enabled,
+)
+from repro.relational.aggregates import (
+    AggregateSpec,
+    GroupedAggregates,
+    aggregate_rows,
+    finalize_partials,
+    merge_partials,
+    partial_aggregate_rows,
+)
 from repro.relational.algebra import (
     difference,
     intersect_many,
@@ -51,6 +67,19 @@ __all__ = [
     "TrueCondition",
     "FalseCondition",
     "parse_condition",
+    "parse_aggregate_list",
+    "ColumnarTable",
+    "columnar_enabled",
+    "set_columnar_enabled",
+    "numpy_available",
+    "numpy_enabled",
+    "set_numpy_enabled",
+    "AggregateSpec",
+    "GroupedAggregates",
+    "aggregate_rows",
+    "partial_aggregate_rows",
+    "merge_partials",
+    "finalize_partials",
     "select_rows",
     "select_items",
     "semijoin_items",

@@ -1,0 +1,342 @@
+"""Decomposable aggregates over the fused entity set.
+
+Aggregation fusion queries (`COUNT/SUM/AVG/MIN/MAX … GROUP BY`) run
+*after* fusion: the fusion answer fixes the qualifying entity set, and
+the aggregate summarizes every union-view row belonging to a qualifying
+entity.  All five functions are **decomposable** — each source can
+compute a partial state over its own rows and the mediator combines
+partials — which is what makes partial-aggregate pushdown sound
+(Dong et al.'s conflict-aware fusion aggregates the same way).
+
+Determinism contract: float accumulation is *sequential python
+addition in row order*, and the mediator always merges per-source
+partials in sorted source order — so the pushdown path and the
+mediator-side path over raw tuples produce bit-identical floats.  The
+numpy fast path is never used for accumulation (pairwise summation
+would change the rounding), only the columnar layout is reused to
+avoid per-row dict materialization.
+
+Partial states (one per :class:`AggregateSpec`):
+
+======== =====================================================
+COUNT    ``int`` — rows (``*``) or non-null values (attribute)
+SUM      ``(total, nonnull_count)`` — SUM of no rows is NULL
+AVG      ``(total, nonnull_count)``
+MIN/MAX  the extreme non-null value, or ``None``
+======== =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from repro.errors import ConditionError
+from repro.relational.relation import Relation
+from repro.relational.schema import DataType, Schema
+
+#: Aggregate functions supported by aggregation fusion queries.
+AGGREGATE_FUNCS = ("count", "sum", "avg", "min", "max")
+
+#: Group key for the global (no GROUP BY) aggregate.
+GLOBAL_GROUP: tuple[Any, ...] = ()
+
+GroupKey = tuple
+PartialState = Any
+Partials = dict  # GroupKey -> tuple[PartialState, ...]
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One aggregate in the SELECT list: ``func(attribute)``.
+
+    ``attribute`` is ``None`` only for ``COUNT(*)``.  Specs are frozen
+    values so plans and caches can key on them.
+    """
+
+    func: str
+    attribute: str | None = None
+
+    def __post_init__(self) -> None:
+        func = self.func.lower()
+        object.__setattr__(self, "func", func)
+        if func not in AGGREGATE_FUNCS:
+            raise ConditionError(
+                f"unknown aggregate function {self.func!r}; "
+                f"expected one of {AGGREGATE_FUNCS}"
+            )
+        if self.attribute is None and func != "count":
+            raise ConditionError(f"{func.upper()}(*) is not defined; only COUNT(*)")
+
+    @property
+    def label(self) -> str:
+        """The SQL rendering, used as the output column name."""
+        return f"{self.func.upper()}({self.attribute or '*'})"
+
+    def validate_against_schema(self, schema: Schema) -> None:
+        if self.attribute is None:
+            return
+        attribute = schema.attribute(self.attribute)
+        if self.func in ("sum", "avg") and attribute.data_type not in (
+            DataType.INT,
+            DataType.FLOAT,
+        ):
+            raise ConditionError(
+                f"{self.label} requires a numeric attribute; "
+                f"{self.attribute!r} is {attribute.data_type.name}"
+            )
+
+    def __str__(self) -> str:
+        return self.label
+
+
+@dataclass(frozen=True)
+class GroupedAggregates:
+    """The finalized result of an aggregation fusion query.
+
+    ``groups`` holds ``(key, values)`` pairs — one per group, sorted by
+    the repr of the key so renderings are byte-identical across runs
+    regardless of which path (pushdown or mediator-side) produced them.
+    """
+
+    group_by: tuple[str, ...]
+    specs: tuple[AggregateSpec, ...]
+    groups: tuple[tuple[GroupKey, tuple[Any, ...]], ...] = field(default=())
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return self.group_by + tuple(spec.label for spec in self.specs)
+
+    def as_dicts(self) -> list[dict[str, Any]]:
+        """Each group as one dict keyed by group attributes + labels."""
+        out = []
+        for key, values in self.groups:
+            row = dict(zip(self.group_by, key))
+            row.update(zip((s.label for s in self.specs), values))
+            out.append(row)
+        return out
+
+    def pretty(self) -> str:
+        """A small fixed-width rendering for the CLI and traces."""
+        names = self.column_names
+        rows = [key + values for key, values in self.groups]
+        widths = [
+            max(len(str(name)), *(len(str(r[i])) for r in rows), 1)
+            if rows
+            else len(str(name))
+            for i, name in enumerate(names)
+        ]
+        header = " | ".join(str(n).ljust(w) for n, w in zip(names, widths))
+        bar = "-+-".join("-" * w for w in widths)
+        lines = [header, bar]
+        for r in rows:
+            lines.append(" | ".join(str(v).ljust(w) for v, w in zip(r, widths)))
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Partial-state kernels
+
+
+def _initial(spec: AggregateSpec) -> PartialState:
+    if spec.func == "count":
+        return 0
+    if spec.func in ("sum", "avg"):
+        return (0, 0)
+    return None
+
+
+def _accumulate(spec: AggregateSpec, state: PartialState, value: Any) -> PartialState:
+    func = spec.func
+    if func == "count":
+        if spec.attribute is None or value is not None:
+            return state + 1
+        return state
+    if value is None:
+        return state
+    if func in ("sum", "avg"):
+        total, count = state
+        return (total + value, count + 1)
+    if func == "min":
+        return value if state is None or value < state else state
+    return value if state is None or value > state else state
+
+
+def merge_partial(spec: AggregateSpec, left: PartialState, right: PartialState) -> PartialState:
+    """Combine two partial states for one aggregate (left ⊕ right).
+
+    Not commutative for float SUM/AVG rounding — callers must merge in
+    sorted source order (both execution paths do).
+    """
+    func = spec.func
+    if func == "count":
+        return left + right
+    if func in ("sum", "avg"):
+        return (left[0] + right[0], left[1] + right[1])
+    if left is None:
+        return right
+    if right is None:
+        return left
+    if func == "min":
+        return right if right < left else left
+    return right if right > left else left
+
+
+def finalize_partial(spec: AggregateSpec, state: PartialState) -> Any:
+    """The SQL value of a completed partial state."""
+    func = spec.func
+    if func == "count":
+        return state
+    if func == "sum":
+        total, count = state
+        return total if count else None
+    if func == "avg":
+        total, count = state
+        return total / count if count else None
+    return state
+
+
+# ---------------------------------------------------------------------------
+# Relation-level aggregation (columnar layout, sequential accumulation)
+
+
+def _column_values(relation: Relation, name: str) -> list[Any]:
+    """One column of the relation, null-padded for ragged rows.
+
+    Well-formed relations reuse the cached columnar view; ragged
+    fault-injected payloads fall back to positional extraction with a
+    bounds check (missing positions read as NULL, mirroring ``row.get``
+    in the dict path).
+    """
+    table = relation.columnar()
+    if table.well_formed:
+        column = table.column(name)
+        if column is not None:
+            return column
+        return [None] * len(relation.rows)
+    try:
+        pos = relation.schema.position(name)
+    except Exception:
+        return [None] * len(relation.rows)
+    return [
+        row[pos] if pos < len(row) else None for row in relation.rows
+    ]
+
+
+def partial_aggregate_rows(
+    relation: Relation,
+    specs: Iterable[AggregateSpec],
+    group_by: Iterable[str] = (),
+    items: frozenset[Any] | None = None,
+) -> Partials:
+    """Partial aggregate states for one relation's rows.
+
+    ``items`` (when given) restricts input rows to those whose merge
+    attribute is in the set — this is exactly what a source computes
+    during partial-aggregate pushdown, with ``items`` the fusion
+    answer.  Accumulation is sequential in row order.
+    """
+    specs = tuple(specs)
+    group_by = tuple(group_by)
+    n = len(relation.rows)
+    key_columns = [_column_values(relation, name) for name in group_by]
+    value_columns = [
+        _column_values(relation, spec.attribute)
+        if spec.attribute is not None
+        else None
+        for spec in specs
+    ]
+    member: list[bool] | None = None
+    if items is not None:
+        merge_column = _column_values(
+            relation, relation.schema.merge_attribute
+        )
+        member = [v in items for v in merge_column]
+    partials: Partials = {}
+    for i in range(n):
+        if member is not None and not member[i]:
+            continue
+        key = tuple(column[i] for column in key_columns)
+        states = partials.get(key)
+        if states is None:
+            states = [_initial(spec) for spec in specs]
+            partials[key] = states
+        for j, spec in enumerate(specs):
+            column = value_columns[j]
+            value = column[i] if column is not None else None
+            states[j] = _accumulate(spec, states[j], value)
+    return partials
+
+
+def merge_partials(
+    accumulated: Partials,
+    incoming: Mapping,
+    specs: Iterable[AggregateSpec],
+) -> Partials:
+    """Fold ``incoming`` partials into ``accumulated`` (mutates + returns).
+
+    Order-sensitive for float sums: the mediator calls this once per
+    source, in sorted source order, on both execution paths.
+    """
+    specs = tuple(specs)
+    for key, states in incoming.items():
+        mine = accumulated.get(key)
+        if mine is None:
+            accumulated[key] = list(states)
+            continue
+        for j, spec in enumerate(specs):
+            mine[j] = merge_partial(spec, mine[j], states[j])
+    return accumulated
+
+
+def finalize_partials(
+    partials: Mapping,
+    specs: Iterable[AggregateSpec],
+    group_by: Iterable[str] = (),
+) -> GroupedAggregates:
+    """Finalize merged partials into a deterministic result."""
+    specs = tuple(specs)
+    groups = tuple(
+        sorted(
+            (
+                (key, tuple(finalize_partial(s, st) for s, st in zip(specs, states)))
+                for key, states in partials.items()
+            ),
+            key=lambda pair: repr(pair[0]),
+        )
+    )
+    return GroupedAggregates(
+        group_by=tuple(group_by), specs=specs, groups=groups
+    )
+
+
+def aggregate_rows(
+    relation: Relation,
+    specs: Iterable[AggregateSpec],
+    group_by: Iterable[str] = (),
+    items: frozenset[Any] | None = None,
+) -> GroupedAggregates:
+    """One-shot aggregate of a single relation (partial + finalize)."""
+    specs = tuple(specs)
+    group_by = tuple(group_by)
+    return finalize_partials(
+        partial_aggregate_rows(relation, specs, group_by, items),
+        specs,
+        group_by,
+    )
+
+
+def partials_to_wire(partials: Partials) -> list[tuple[Any, ...]]:
+    """Partials as a deterministic list of ``(key, states...)`` tuples.
+
+    This is the shape a remote source "ships" to the mediator; its
+    length is what the traffic model charges for (one row per group).
+    """
+    return [
+        (key, *map(tuple_or_value, states))
+        for key, states in sorted(partials.items(), key=lambda p: repr(p[0]))
+    ]
+
+
+def tuple_or_value(state: PartialState) -> PartialState:
+    return tuple(state) if isinstance(state, list) else state

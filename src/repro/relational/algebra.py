@@ -7,13 +7,21 @@ These are the data-level counterparts of the plan operators in
 :mod:`repro.plans.operations` — the executor calls into this module.
 
 Item sets are plain ``frozenset`` objects: hashable, immutable, cheap.
+
+Since PR 10 every function here dispatches to the vectorized kernels in
+:mod:`repro.relational.columnar` whenever the substrate is enabled and
+the relation is well-formed; the row-at-a-time fallback (kept for
+ragged fault-injected payloads and for ``REPRO_COLUMNAR=off``) binds
+attribute positions once per call via :func:`repro.relational.conditions.bind`
+instead of materializing a dict per row.
 """
 
 from __future__ import annotations
 
 from typing import Any, Iterable
 
-from repro.relational.conditions import Condition
+from repro.relational import columnar
+from repro.relational.conditions import Condition, bind
 from repro.relational.relation import Relation
 
 ItemSet = frozenset
@@ -23,10 +31,11 @@ EMPTY_ITEMS: ItemSet = frozenset()
 
 def select_rows(relation: Relation, condition: Condition) -> list[tuple[Any, ...]]:
     """All rows of ``relation`` satisfying ``condition``."""
-    schema = relation.schema
-    return [
-        row for row in relation if condition.evaluate(schema.row_to_dict(row))
-    ]
+    table = columnar.table_for(relation)
+    if table is not None:
+        return columnar.select_row_tuples(table, relation.rows, condition)
+    predicate = _row_predicate(relation, condition)
+    return [row for row in relation if predicate(row)]
 
 
 def select_items(relation: Relation, condition: Condition) -> ItemSet:
@@ -35,13 +44,12 @@ def select_items(relation: Relation, condition: Condition) -> ItemSet:
     This is the data-level semantics of the paper's selection query — the
     set of merge-attribute values of qualifying tuples.
     """
-    schema = relation.schema
-    merge_pos = schema.merge_position
-    return frozenset(
-        row[merge_pos]
-        for row in relation
-        if condition.evaluate(schema.row_to_dict(row))
-    )
+    table = columnar.table_for(relation)
+    if table is not None:
+        return columnar.select_items(table, condition)
+    merge_pos = relation.schema.merge_position
+    predicate = _row_predicate(relation, condition)
+    return frozenset(row[merge_pos] for row in relation if predicate(row))
 
 
 def semijoin_items(
@@ -52,13 +60,15 @@ def semijoin_items(
     wanted = frozenset(items)
     if not wanted:
         return EMPTY_ITEMS
-    schema = relation.schema
-    merge_pos = schema.merge_position
+    table = columnar.table_for(relation)
+    if table is not None:
+        return columnar.semijoin_items(table, condition, wanted)
+    merge_pos = relation.schema.merge_position
+    predicate = _row_predicate(relation, condition)
     return frozenset(
         row[merge_pos]
         for row in relation
-        if row[merge_pos] in wanted
-        and condition.evaluate(schema.row_to_dict(row))
+        if row[merge_pos] in wanted and predicate(row)
     )
 
 
@@ -69,29 +79,17 @@ def project_items(relation: Relation) -> ItemSet:
 
 def union_many(sets: Iterable[Iterable[Any]]) -> ItemSet:
     """``X := X_1 ∪ ... ∪ X_k`` (empty union is the empty set)."""
-    result: set[Any] = set()
-    for s in sets:
-        result.update(s)
-    return frozenset(result)
+    return columnar.union_items(sets)
 
 
 def intersect_many(sets: Iterable[Iterable[Any]]) -> ItemSet:
     """``X := X_1 ∩ ... ∩ X_k``; raises on an empty intersection list."""
-    iterator = iter(sets)
-    try:
-        result = set(next(iterator))
-    except StopIteration:
-        raise ValueError("intersection of zero sets is undefined") from None
-    for s in iterator:
-        result.intersection_update(s)
-        if not result:
-            break
-    return frozenset(result)
+    return columnar.intersect_items(sets)
 
 
 def difference(left: Iterable[Any], right: Iterable[Any]) -> ItemSet:
     """``X := Y − Z`` — used by SJA+ to prune semijoin send-sets."""
-    return frozenset(left) - frozenset(right)
+    return columnar.difference_items(left, right)
 
 
 def local_selection(
@@ -106,3 +104,18 @@ def local_selection(
     about where work happened.
     """
     return select_items(relation, condition)
+
+
+def _row_predicate(relation: Relation, condition: Condition):
+    """A per-row predicate for the fallback path.
+
+    Well-formed relations get the positional bound evaluator (indices
+    resolved once, no dict per row); ragged fault-injected relations
+    keep the historical dict path, whose per-row ``row_to_dict`` is the
+    only evaluator with defined behaviour for arity-mismatched rows.
+    """
+    schema = relation.schema
+    width = len(schema.names)
+    if all(len(row) == width for row in relation.rows):
+        return bind(condition, schema.names)
+    return lambda row: condition.evaluate(schema.row_to_dict(row))

@@ -43,7 +43,7 @@ _KEYWORDS = {
     "AND", "OR", "NOT", "IN", "LIKE", "BETWEEN", "IS", "NULL", "TRUE", "FALSE",
 }
 
-_PUNCTUATION = {"(", ")", ","}
+_PUNCTUATION = {"(", ")", ",", "*"}
 
 _OPERATORS = ("<=", ">=", "!=", "<>", "=", "<", ">")
 
@@ -250,6 +250,64 @@ class _Parser:
         raise ParseError(
             f"expected a literal, found {token.text!r}", self.text, token.position
         )
+
+
+def parse_aggregate_list(text: str):
+    """Parse a SELECT-list of aggregates into :class:`AggregateSpec`\\ s.
+
+    Grammar::
+
+        agg_list := agg ( ',' agg )*
+        agg      := FUNC '(' ( '*' | ident ) ')'
+
+    where ``FUNC`` is one of COUNT/SUM/AVG/MIN/MAX (case-insensitive)
+    and the ident may be tuple-variable qualified (``u1.D``).
+
+    Example:
+        >>> [str(s) for s in parse_aggregate_list("COUNT(*), avg(u1.D)")]
+        ['COUNT(*)', 'AVG(D)']
+    """
+    from repro.relational.aggregates import AGGREGATE_FUNCS, AggregateSpec
+
+    if not text or not text.strip():
+        raise ParseError("empty aggregate list", text, 0)
+    parser = _Parser(text)
+
+    def one() -> AggregateSpec:
+        ident = parser.expect("ident")
+        func = ident.text.lower()
+        if func not in AGGREGATE_FUNCS:
+            raise ParseError(
+                f"unknown aggregate function {ident.text!r}; "
+                f"expected one of {tuple(f.upper() for f in AGGREGATE_FUNCS)}",
+                text,
+                ident.position,
+            )
+        parser.expect("punct", "(")
+        if parser.accept("punct", "*"):
+            attribute = None
+            if func != "count":
+                raise ParseError(
+                    f"{func.upper()}(*) is not defined; only COUNT(*)",
+                    text,
+                    ident.position,
+                )
+        else:
+            attr_token = parser.expect("ident")
+            attribute = attr_token.text.split(".")[-1]
+        parser.expect("punct", ")")
+        return AggregateSpec(func, attribute)
+
+    specs = [one()]
+    while parser.accept("punct", ","):
+        specs.append(one())
+    if parser.current.kind != "eof":
+        raise ParseError(
+            f"trailing input starting at {parser.current.text!r}",
+            text,
+            parser.current.position,
+        )
+    return tuple(specs)
 
 
 def parse_condition(text: str) -> Condition:

@@ -28,7 +28,7 @@ class Relation:
         frozenset({'J55'})
     """
 
-    __slots__ = ("name", "schema", "_rows", "_items")
+    __slots__ = ("name", "schema", "_rows", "_items", "_columnar")
 
     def __init__(self, name: str, schema: Schema, rows: Iterable[Row] = ()):
         self.name = name
@@ -40,6 +40,7 @@ class Relation:
             validated.append(row)
         self._rows: tuple[Row, ...] = tuple(validated)
         self._items: frozenset[Any] | None = None
+        self._columnar: Any | None = None
 
     # ------------------------------------------------------------------
     # Container protocol
@@ -85,6 +86,20 @@ class Relation:
             pos = self.schema.merge_position
             self._items = frozenset(row[pos] for row in self._rows)
         return self._items
+
+    def columnar(self):
+        """The cached columnar view of this relation's rows.
+
+        Built lazily on first use; the columns share value structure
+        with the row tuples, so the rows stay the canonical storage and
+        the columnar table is a derived, immutable view (see
+        :mod:`repro.relational.columnar`).
+        """
+        if self._columnar is None:
+            from repro.relational.columnar import ColumnarTable
+
+            self._columnar = ColumnarTable(self.schema, self._rows)
+        return self._columnar
 
     def column(self, attribute: str) -> list[Any]:
         """All values (with duplicates) of one column."""
@@ -146,6 +161,7 @@ class Relation:
         relation.schema = schema
         relation._rows = tuple(tuple(row) for row in rows)
         relation._items = None
+        relation._columnar = None
         return relation
 
     @staticmethod

@@ -59,6 +59,7 @@ from repro.obs.recorder import Recorder
 from repro.obs.spans import SpanLog, analyze_trace, derive_trace_id
 from repro.optimize.search import PlanningBudget
 from repro.query.fusion import FusionQuery
+from repro.relational.columnar import substrate_summary
 from repro.runtime.faults import (
     DataFaultProfile,
     FaultInjector,
@@ -693,6 +694,7 @@ class MediatorService:
         """Service counters as plain data (tests and the CLI read this)."""
         return {
             "mode": self.mode,
+            "substrate": substrate_summary(),
             "queued": self.queue_depth,
             "in_flight": self.in_flight,
             "max_in_flight": self.max_in_flight,

@@ -44,11 +44,17 @@ class SourceCapabilities:
             one request may carry; larger sets are split into ceil(|X|/b)
             requests, each paying the per-request overhead.  ``None``
             means unlimited.
+        supports_aggregates: Whether the wrapper can evaluate decomposable
+            partial aggregates (COUNT/SUM/AVG/MIN/MAX partial states over
+            its own rows) so the mediator can push aggregation down
+            instead of fetching raw tuples.  Off by default — most 1998
+            wrappers could not.
     """
 
     semijoin: SemijoinSupport = SemijoinSupport.NATIVE
     supports_load: bool = True
     max_semijoin_batch: int | None = None
+    supports_aggregates: bool = False
 
     def __post_init__(self) -> None:
         if self.max_semijoin_batch is not None and self.max_semijoin_batch < 1:
@@ -81,6 +87,11 @@ class SourceCapabilities:
     def full() -> "SourceCapabilities":
         """A fully capable wrapper (native semijoin, loads allowed)."""
         return SourceCapabilities()
+
+    @staticmethod
+    def analytic() -> "SourceCapabilities":
+        """A fully capable wrapper that also computes partial aggregates."""
+        return SourceCapabilities(supports_aggregates=True)
 
     @staticmethod
     def selection_only() -> "SourceCapabilities":

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.errors import CapabilityError, SourceUnavailableError
+from repro.relational.aggregates import AggregateSpec, Partials
 from repro.relational.conditions import Condition
 from repro.relational.relation import Relation
 from repro.sources.capabilities import SemijoinSupport, SourceCapabilities
@@ -231,6 +232,36 @@ class RemoteSource:
             rows_loaded=len(rows),
         )
         return rows
+
+    def aggregate(
+        self,
+        specs: tuple[AggregateSpec, ...],
+        group_by: tuple[str, ...],
+        items: frozenset[Any],
+    ) -> Partials:
+        """``aq``: partial-aggregate pushdown (PR 10).
+
+        Ships the fusion-answer bindings and receives one partial-state
+        row per group — charged like a semijoin send with a per-group
+        answer, which is the whole point: for large entity sets the
+        partials are a fraction of the raw-tuple fetch the mediator
+        would otherwise pay for.  Only wrappers declaring
+        ``supports_aggregates`` accept the request.
+        """
+        if not self.capabilities.supports_aggregates:
+            raise CapabilityError(
+                f"source {self.name!r} does not support partial aggregates"
+            )
+        self._before_request()
+        partials = self.table.aggregate_partials(specs, group_by, items)
+        self.traffic.charge(
+            self.link,
+            self.name,
+            "aq",
+            items_sent=len(items),
+            items_received=len(partials) * max(1, len(specs)),
+        )
+        return partials
 
     def load(self) -> Relation:
         """``lq(R_j)``: fetch the entire relation (Sec. 4)."""

@@ -13,7 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.relational.algebra import select_items, semijoin_items
+from repro.relational.aggregates import AggregateSpec, Partials, partial_aggregate_rows
+from repro.relational.algebra import select_items, select_rows, semijoin_items
 from repro.relational.conditions import And, Comparison, Condition
 from repro.relational.relation import Relation
 
@@ -26,6 +27,7 @@ class SourceOpCounters:
     semijoins: int = 0
     binding_selections: int = 0
     loads: int = 0
+    aggregates: int = 0
     rows_scanned: int = 0
 
     def reset(self) -> None:
@@ -33,6 +35,7 @@ class SourceOpCounters:
         self.semijoins = 0
         self.binding_selections = 0
         self.loads = 0
+        self.aggregates = 0
         self.rows_scanned = 0
 
 
@@ -88,9 +91,8 @@ class TableSource:
         """
         self.counters.selections += 1
         self.counters.rows_scanned += len(self.relation)
-        return self.relation.filter(
-            condition.evaluate, name=f"{self.name}_rows"
-        )
+        keep = select_rows(self.relation, condition)
+        return Relation(f"{self.name}_rows", self.schema, keep)
 
     def binding_selection(self, condition: Condition, item: Any) -> bool:
         """``sq(c AND M = m, R_j)``: the passed-binding probe of Sec. 2.3.
@@ -112,3 +114,22 @@ class TableSource:
         self.counters.loads += 1
         self.counters.rows_scanned += len(self.relation)
         return self.relation
+
+    def aggregate_partials(
+        self,
+        specs: tuple[AggregateSpec, ...],
+        group_by: tuple[str, ...],
+        items: frozenset[Any],
+    ) -> Partials:
+        """``aq(specs, R_j, Y)``: partial aggregate states over this source.
+
+        Input rows are those whose merge attribute lies in ``items``
+        (the fusion answer); the mediator combines partials from every
+        source.  Only reachable through wrappers declaring
+        ``supports_aggregates``.
+        """
+        self.counters.aggregates += 1
+        self.counters.rows_scanned += len(self.relation)
+        return partial_aggregate_rows(
+            self.relation, specs, group_by, items=items
+        )

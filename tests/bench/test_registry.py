@@ -15,7 +15,7 @@ class TestRegistry:
         expected = {
             "F1", "F2", "F3", "F4", "F5",
             "C1", "C2", "C3", "C4", "C5", "C6", "C7", "C8",
-            "E1", "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10", "R11",
+            "E1", "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10", "R11", "R12",
             "A1", "P1",
         }
         assert set(EXPERIMENTS) == expected

@@ -1,0 +1,263 @@
+"""Property tests: the columnar substrate is invisible to semantics.
+
+Every vectorized kernel — predicate masks, semijoin probes, hash set
+operators, decomposable aggregates — must return exactly what the seed's
+row-at-a-time evaluation returns, for arbitrary relations and
+conditions, with and without the numpy fast path.  The oracles here are
+deliberately independent reimplementations (a dict per row, set ops in
+arrival order), not calls back into the code under test.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational import columnar
+from repro.relational.aggregates import (
+    AggregateSpec,
+    finalize_partials,
+    merge_partials,
+    partial_aggregate_rows,
+)
+from repro.relational.algebra import (
+    difference,
+    intersect_many,
+    select_items,
+    select_rows,
+    semijoin_items,
+    union_many,
+)
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, DataType, Schema
+
+from tests.property.strategies import dmv_conditions, dmv_relations, licenses
+
+# --- a nullable variant of the DMV schema (dmv_schema has no nullable
+# columns, so the null-handling kernels would otherwise go untested) ---
+
+NULLABLE_SCHEMA = Schema(
+    (
+        Attribute("L", DataType.STRING),
+        Attribute("V", DataType.STRING, nullable=True),
+        Attribute("D", DataType.INT, nullable=True),
+    ),
+    merge_attribute="L",
+)
+
+_violations = st.sampled_from(["dui", "sp", "reckless", "parking"])
+_years = st.integers(min_value=1988, max_value=1998)
+
+nullable_rows = st.tuples(
+    licenses,
+    st.one_of(_violations, st.none()),
+    st.one_of(_years, st.none()),
+)
+
+
+@st.composite
+def nullable_relations(draw, name="N"):
+    rows = draw(st.lists(nullable_rows, max_size=25))
+    return Relation(name, NULLABLE_SCHEMA, rows)
+
+
+any_relations = st.one_of(dmv_relations(), nullable_relations())
+
+item_sets = st.lists(
+    st.lists(licenses, max_size=6).map(frozenset), max_size=5
+)
+
+
+@contextmanager
+def _numpy(flag: bool):
+    prev = columnar.set_numpy_enabled(flag)
+    try:
+        yield
+    finally:
+        columnar.set_numpy_enabled(prev)
+
+
+def _numpy_modes():
+    modes = [False]
+    if columnar.numpy_available():
+        modes.append(True)
+    return modes
+
+
+# --- independent row-at-a-time oracles -----------------------------------
+
+
+def _oracle_rows(relation, condition):
+    schema = relation.schema
+    return [
+        row for row in relation if condition.evaluate(schema.row_to_dict(row))
+    ]
+
+
+def _oracle_items(relation, condition):
+    merge_pos = relation.schema.merge_position
+    return frozenset(row[merge_pos] for row in _oracle_rows(relation, condition))
+
+
+def _oracle_semijoin(relation, condition, wanted):
+    return frozenset(
+        item for item in _oracle_items(relation, condition) if item in wanted
+    )
+
+
+# --- filter / scan / semijoin --------------------------------------------
+
+
+@settings(max_examples=120, deadline=None)
+@given(any_relations, dmv_conditions)
+def test_filter_matches_row_oracle(relation, condition):
+    expected = _oracle_items(relation, condition)
+    for use_numpy in _numpy_modes():
+        with _numpy(use_numpy):
+            assert select_items(relation, condition) == expected
+
+
+@settings(max_examples=80, deadline=None)
+@given(any_relations, dmv_conditions)
+def test_scan_matches_row_oracle(relation, condition):
+    expected = _oracle_rows(relation, condition)
+    for use_numpy in _numpy_modes():
+        with _numpy(use_numpy):
+            assert select_rows(relation, condition) == expected
+
+
+@settings(max_examples=80, deadline=None)
+@given(any_relations, dmv_conditions, st.lists(licenses, max_size=5))
+def test_semijoin_matches_row_oracle(relation, condition, wanted_list):
+    wanted = frozenset(wanted_list)
+    expected = _oracle_semijoin(relation, condition, wanted)
+    for use_numpy in _numpy_modes():
+        with _numpy(use_numpy):
+            assert semijoin_items(relation, condition, wanted) == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(any_relations, dmv_conditions)
+def test_columnar_off_equals_on(relation, condition):
+    with _numpy(False):
+        on = select_items(relation, condition)
+    prev = columnar.set_columnar_enabled(False)
+    try:
+        off = select_items(relation, condition)
+    finally:
+        columnar.set_columnar_enabled(prev)
+    assert on == off
+
+
+# --- hash set operators ---------------------------------------------------
+
+
+@settings(max_examples=100, deadline=None)
+@given(item_sets)
+def test_union_matches_frozenset_oracle(sets):
+    expected = frozenset().union(*sets) if sets else frozenset()
+    assert union_many(sets) == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(item_sets)
+def test_intersect_matches_frozenset_oracle(sets):
+    if not sets:
+        import pytest
+
+        with pytest.raises(ValueError):
+            intersect_many(sets)
+        return
+    expected = sets[0]
+    for s in sets[1:]:
+        expected &= s
+    assert intersect_many(sets) == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(licenses, max_size=8).map(frozenset),
+    st.lists(licenses, max_size=8).map(frozenset),
+)
+def test_difference_matches_frozenset_oracle(left, right):
+    assert difference(left, right) == left - right
+
+
+# --- decomposable aggregates ---------------------------------------------
+
+ALL_SPECS = (
+    AggregateSpec("count"),
+    AggregateSpec("count", "D"),
+    AggregateSpec("sum", "D"),
+    AggregateSpec("avg", "D"),
+    AggregateSpec("min", "D"),
+    AggregateSpec("max", "D"),
+)
+
+
+def _oracle_aggregate(relation, group_by, items=None):
+    """COUNT(*), COUNT(D), SUM(D), AVG(D), MIN(D), MAX(D) by hand."""
+    schema = relation.schema
+    merge = schema.merge_attribute
+    grouped = {}
+    for row in relation:
+        record = schema.row_to_dict(row)
+        if items is not None and record[merge] not in items:
+            continue
+        key = tuple(record[a] for a in group_by)
+        bucket = grouped.setdefault(key, [])
+        bucket.append(record["D"])
+    out = {}
+    for key, values in grouped.items():
+        present = [v for v in values if v is not None]
+        out[key] = (
+            len(values),
+            len(present),
+            sum(present) if present else None,
+            sum(present) / len(present) if present else None,
+            min(present) if present else None,
+            max(present) if present else None,
+        )
+    return out
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    nullable_relations(),
+    st.sampled_from([(), ("V",), ("V", "D")]),
+    st.one_of(st.none(), st.lists(licenses, max_size=5).map(frozenset)),
+)
+def test_aggregates_match_row_oracle(relation, group_by, items):
+    expected = _oracle_aggregate(relation, group_by, items)
+    grouped = finalize_partials(
+        partial_aggregate_rows(relation, ALL_SPECS, group_by, items=items),
+        ALL_SPECS,
+        group_by,
+    )
+    assert dict(grouped.groups) == expected
+
+
+@settings(max_examples=80, deadline=None)
+@given(nullable_relations(), st.integers(min_value=1, max_value=24))
+def test_partial_merge_equals_whole(relation, split):
+    """Aggregating partitions then merging == aggregating the whole.
+
+    This is the decomposability property partial-aggregate pushdown
+    rests on: each source computes partials over its own rows and the
+    mediator merges them in a fixed order.
+    """
+    group_by = ("V",)
+    rows = list(relation.rows)
+    left = Relation("A", relation.schema, rows[:split])
+    right = Relation("B", relation.schema, rows[split:])
+    merged = merge_partials(
+        partial_aggregate_rows(left, ALL_SPECS, group_by),
+        partial_aggregate_rows(right, ALL_SPECS, group_by),
+        ALL_SPECS,
+    )
+    whole = partial_aggregate_rows(relation, ALL_SPECS, group_by)
+    assert finalize_partials(merged, ALL_SPECS, group_by) == finalize_partials(
+        whole, ALL_SPECS, group_by
+    )

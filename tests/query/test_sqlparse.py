@@ -192,3 +192,77 @@ class TestRejections:
     def test_is_fusion_query_is_boolean(self):
         assert is_fusion_query(DMV_SQL) is True
         assert is_fusion_query("SELECT 1") is False
+
+
+AGG_SQL = (
+    "SELECT u1.V, COUNT(*), AVG(u1.D) FROM U u1, U u2 "
+    "WHERE u1.L = u2.L AND u1.V = 'dui' AND u2.V = 'sp' "
+    "GROUP BY u1.V"
+)
+
+
+class TestAggregateDetection:
+    def test_group_by_is_aggregate(self):
+        from repro.query.sqlparse import is_aggregate_query
+
+        assert is_aggregate_query(AGG_SQL)
+
+    def test_global_aggregate_without_group_by(self):
+        from repro.query.sqlparse import is_aggregate_query
+
+        sql = (
+            "SELECT COUNT(*) FROM U u1, U u2 "
+            "WHERE u1.L = u2.L AND u1.V = 'dui' AND u2.V = 'sp'"
+        )
+        assert is_aggregate_query(sql)
+
+    def test_plain_fusion_is_not_aggregate(self):
+        from repro.query.sqlparse import is_aggregate_query
+
+        assert not is_aggregate_query(DMV_SQL)
+
+
+class TestParseAggregateQuery:
+    def test_merge_attribute_inferred_from_join(self):
+        from repro.query.sqlparse import parse_aggregate_query
+
+        query = parse_aggregate_query(AGG_SQL)
+        assert query.merge_attribute == "L"
+        assert query.group_by == ("V",)
+
+    def test_single_variable_needs_explicit_merge(self):
+        from repro.query.sqlparse import parse_aggregate_query
+
+        sql = "SELECT COUNT(*) FROM U u1 WHERE u1.V = 'dui'"
+        query = parse_aggregate_query(sql, merge_attribute="L")
+        assert query.merge_attribute == "L"
+        with pytest.raises(NotAFusionQueryError):
+            parse_aggregate_query(sql)
+
+    def test_requires_at_least_one_aggregate(self):
+        from repro.query.sqlparse import parse_aggregate_query
+
+        sql = (
+            "SELECT u1.V FROM U u1, U u2 "
+            "WHERE u1.L = u2.L AND u1.V = 'dui' AND u2.V = 'sp' "
+            "GROUP BY u1.V"
+        )
+        with pytest.raises(NotAFusionQueryError):
+            parse_aggregate_query(sql)
+
+    def test_parse_query_dispatches(self):
+        from repro.query.aggregate import AggregateQuery
+        from repro.query.sqlparse import parse_query
+
+        assert isinstance(parse_query(AGG_SQL), AggregateQuery)
+        assert isinstance(parse_query(DMV_SQL), FusionQuery)
+
+    def test_count_star_only_for_count(self):
+        from repro.query.sqlparse import parse_aggregate_query
+
+        sql = (
+            "SELECT SUM(*) FROM U u1, U u2 "
+            "WHERE u1.L = u2.L AND u1.V = 'dui' AND u2.V = 'sp'"
+        )
+        with pytest.raises(Exception):
+            parse_aggregate_query(sql)

@@ -51,3 +51,13 @@ class TestSemijoinRequests:
     def test_invalid_batch_rejected(self):
         with pytest.raises(ValueError):
             SourceCapabilities(max_semijoin_batch=0)
+
+
+class TestAggregates:
+    def test_default_has_no_aggregates(self):
+        assert not SourceCapabilities.full().supports_aggregates
+
+    def test_analytic_factory(self):
+        caps = SourceCapabilities.analytic()
+        assert caps.supports_aggregates
+        assert caps.can_semijoin

@@ -246,3 +246,32 @@ class TestWorkload:
             ["workload", spec_path, DMV_SQL, "--churn", "oops"]
         ) == 2
         assert "error:" in capsys.readouterr().err
+
+
+AGG_SQL = (
+    "SELECT u1.V, COUNT(*), AVG(u1.D) FROM U u1, U u2 "
+    "WHERE u1.L = u2.L AND u1.V = 'dui' AND u2.V = 'sp' "
+    "GROUP BY u1.V"
+)
+
+
+class TestAggregateQuery:
+    def test_aggregate_sql_is_auto_detected(self, spec_path, capsys):
+        assert main(["query", spec_path, AGG_SQL]) == 0
+        out = capsys.readouterr().out
+        assert "aggregate node" in out
+        assert "COUNT(*)" in out
+        assert "1994.5" in out
+
+    def test_aggregate_flag_and_pushdown_modes(self, spec_path, capsys):
+        assert (
+            main(["query", spec_path, AGG_SQL, "--aggregate", "--pushdown", "off"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "fetch" in out
+
+    def test_aggregate_under_runtime(self, spec_path, capsys):
+        assert main(["query", spec_path, AGG_SQL, "--runtime"]) == 0
+        out = capsys.readouterr().out
+        assert "aggregate node" in out

@@ -124,3 +124,18 @@ class TestCSV:
         )
         federation = load_federation(str(spec_path))
         assert len(federation.source("R1").table) == 1
+
+
+class TestAggregateCapabilityIO:
+    def test_supports_aggregates_round_trips(self):
+        caps = SourceCapabilities.analytic()
+        assert capabilities_from_dict(capabilities_to_dict(caps)) == caps
+        assert capabilities_from_dict(
+            capabilities_to_dict(caps)
+        ).supports_aggregates
+
+    def test_legacy_dict_defaults_to_false(self):
+        # Spec files written before PR 10 carry no aggregate key.
+        payload = capabilities_to_dict(SourceCapabilities.full())
+        payload.pop("supports_aggregates", None)
+        assert capabilities_from_dict(payload).supports_aggregates is False
